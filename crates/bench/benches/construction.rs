@@ -1,0 +1,81 @@
+//! Criterion microbenches: building the SENS topologies and their base
+//! graphs at realistic densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_core::nn::build_nn_sens;
+use wsn_core::params::{NnSensParams, UdgSensParams};
+use wsn_core::tilegrid::TileGrid;
+use wsn_core::udg::build_udg_sens;
+use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
+use wsn_rgg::{build_knn, build_udg};
+
+fn deployment(side: f64, lambda: f64) -> PointSet {
+    let window = wsn_geom::Aabb::square(side);
+    sample_poisson_window(&mut rng_from_seed(42), lambda, &window)
+}
+
+fn bench_udg_construction(c: &mut Criterion) {
+    let params = UdgSensParams::strict_default();
+    let mut group = c.benchmark_group("udg_sens_build");
+    for side in [12.0, 24.0] {
+        let pts = deployment(side, 25.0);
+        group.bench_with_input(
+            BenchmarkId::new("build_udg_sens", pts.len()),
+            &pts,
+            |b, pts| {
+                b.iter(|| {
+                    let grid = TileGrid::fit(side, params.tile_side);
+                    black_box(build_udg_sens(pts, params, grid).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("build_udg_base", pts.len()), &pts, |b, pts| {
+            b.iter(|| black_box(build_udg(pts, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nn_construction(c: &mut Criterion) {
+    let params = NnSensParams { a: 1.2, k: 400 };
+    let mut group = c.benchmark_group("nn_sens_build");
+    group.sample_size(10);
+    let grid_dim = 3usize;
+    let side = params.tile_side() * grid_dim as f64;
+    let pts = deployment(side, 1.0);
+    let base = build_knn(&pts, params.k);
+    group.bench_function(BenchmarkId::new("build_knn_base", pts.len()), |b| {
+        b.iter(|| black_box(build_knn(&pts, params.k)))
+    });
+    group.bench_function(BenchmarkId::new("build_nn_sens", pts.len()), |b| {
+        b.iter(|| {
+            let grid = TileGrid::new(params.tile_side(), grid_dim, grid_dim);
+            black_box(build_nn_sens(&pts, &base, params, grid).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_tile_classification(c: &mut Criterion) {
+    let params = UdgSensParams::strict_default();
+    let geom = wsn_core::udg::UdgTileGeometry::new(params).unwrap();
+    let pts = deployment(1.2, 300.0);
+    c.bench_function("udg_classify_300pts", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for p in pts.iter() {
+                acc += black_box(geom.classify(p - wsn_geom::Point::new(0.6, 0.6))) as u32;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_udg_construction,
+    bench_nn_construction,
+    bench_tile_classification
+);
+criterion_main!(benches);

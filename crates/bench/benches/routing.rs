@@ -1,0 +1,57 @@
+//! Criterion microbenches: lattice routing (Fig. 9) and chemical distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_perc::chemical::chemical_distance;
+use wsn_perc::sample::bernoulli_lattice;
+use wsn_perc::{route_xy, Lattice};
+use wsn_pointproc::rng_from_seed;
+
+fn supercritical(l: usize, p: f64) -> Lattice {
+    bernoulli_lattice(&mut rng_from_seed(7), l, l, p)
+}
+
+fn corner_pair(lat: &Lattice) -> Option<(wsn_perc::Site, wsn_perc::Site)> {
+    let clusters = wsn_perc::cluster::label_clusters(lat);
+    let members: Vec<wsn_perc::Site> = lat
+        .sites()
+        .filter(|&s| clusters.in_largest(lat, s))
+        .collect();
+    Some((*members.first()?, *members.last()?))
+}
+
+fn bench_route_xy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_xy");
+    for (l, p) in [(64usize, 0.75), (128, 0.75), (128, 0.65)] {
+        let lat = supercritical(l, p);
+        let Some((a, b)) = corner_pair(&lat) else { continue };
+        group.bench_with_input(
+            BenchmarkId::new(format!("L{l}_p{p}"), l),
+            &lat,
+            |bench, lat| bench.iter(|| black_box(route_xy(lat, a, b))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_chemical_distance(c: &mut Criterion) {
+    let lat = supercritical(128, 0.7);
+    let (a, b) = corner_pair(&lat).unwrap();
+    c.bench_function("chemical_distance_128", |bench| {
+        bench.iter(|| black_box(chemical_distance(&lat, a, b)))
+    });
+}
+
+fn bench_cluster_labeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_labeling");
+    for l in [64usize, 256] {
+        let lat = supercritical(l, 0.6);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &lat, |b, lat| {
+            b.iter(|| black_box(wsn_perc::cluster::label_clusters(lat)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_xy, bench_chemical_distance, bench_cluster_labeling);
+criterion_main!(benches);

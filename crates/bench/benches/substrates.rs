@@ -1,0 +1,62 @@
+//! Criterion microbenches for the substrates: Poisson sampling, spatial
+//! index queries, and graph algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_geom::{Aabb, Point};
+use wsn_pointproc::{rng_from_seed, sample_poisson, sample_poisson_window};
+use wsn_spatial::GridIndex;
+
+fn bench_poisson_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_sampler");
+    for mean in [2.0, 50.0, 5000.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(mean), &mean, |b, &mean| {
+            let mut rng = rng_from_seed(1);
+            b.iter(|| black_box(sample_poisson(&mut rng, mean)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spatial_queries(c: &mut Criterion) {
+    let window = Aabb::square(50.0);
+    let pts = sample_poisson_window(&mut rng_from_seed(2), 10.0, &window);
+    let idx = GridIndex::build(&pts, 1.0);
+    let mut out = Vec::new();
+    c.bench_function("grid_in_disk_r1", |b| {
+        b.iter(|| {
+            idx.in_disk(Point::new(25.0, 25.0), 1.0, &mut out);
+            black_box(out.len())
+        })
+    });
+    c.bench_function("grid_knn_16", |b| {
+        b.iter(|| black_box(idx.knn(Point::new(25.0, 25.0), 16, None)))
+    });
+}
+
+fn bench_graph_algorithms(c: &mut Criterion) {
+    let window = Aabb::square(40.0);
+    let pts = sample_poisson_window(&mut rng_from_seed(3), 5.0, &window);
+    let g = wsn_rgg::build_udg(&pts, 1.0);
+    c.bench_function("udg_bfs_full", |b| {
+        b.iter(|| black_box(wsn_graph::bfs::distances(&g, 0)))
+    });
+    c.bench_function("udg_dijkstra_full", |b| {
+        b.iter(|| {
+            black_box(wsn_graph::dijkstra::distances(&g, 0, |u, v| {
+                pts.get(u).dist(pts.get(v))
+            }))
+        })
+    });
+    c.bench_function("udg_components", |b| {
+        b.iter(|| black_box(wsn_graph::components::connected_components(&g)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_poisson_sampler,
+    bench_spatial_queries,
+    bench_graph_algorithms
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! EXP-ABL-R — ablation: why route along the canonical x–y path with BFS
+//! *repair* (Fig. 9) instead of just flooding?
+//!
+//! Compares, on the same supercritical lattices and pairs:
+//!
+//! * **Fig. 9** — x–y path + distributed BFS repair (probes counted);
+//! * **flooding** — a full distributed BFS from the source (probes = every
+//!   site the flood expands);
+//! * **oracle** — the true shortest open path length (lower bound, free).
+//!
+//! Expected shape: Fig. 9 probes grow linearly with distance (constant per
+//! step), flooding probes grow with the *cluster size* (≈ lattice area) —
+//! the gap widens with the window, which is the paper's reason for adopting
+//! Angel et al.'s algorithm.
+
+use rand::RngExt;
+use std::collections::VecDeque;
+use wsn_bench::table::{f, Table};
+use wsn_bench::{scaled, seed, write_json};
+use wsn_perc::chemical::chemical_distance;
+use wsn_perc::cluster::label_clusters;
+use wsn_perc::sample::bernoulli_lattice;
+use wsn_perc::{route_xy, Lattice, Site};
+use wsn_pointproc::rng_from_seed;
+
+/// Distributed flood: BFS from `src` until `dst` is dequeued; every
+/// expanded site is one probe.
+fn flood_probes(lat: &Lattice, src: Site, dst: Site) -> Option<u64> {
+    let mut seen = vec![false; lat.len()];
+    let mut queue = VecDeque::new();
+    seen[lat.id(src) as usize] = true;
+    queue.push_back(src);
+    let mut probes = 0u64;
+    while let Some(s) = queue.pop_front() {
+        probes += 1;
+        if s == dst {
+            return Some(probes);
+        }
+        for nb in lat.neighbors(s) {
+            if lat.is_open(nb) && !seen[lat.id(nb) as usize] {
+                seen[lat.id(nb) as usize] = true;
+                queue.push_back(nb);
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let p = 0.72;
+    let pairs_per_size = scaled(300);
+    let sizes: &[usize] = if wsn_bench::quick_mode() {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
+
+    let mut t = Table::new(
+        &format!("EXP-ABL-R: Fig. 9 vs flooding at p = {p}"),
+        &["L", "pairs", "mean dist", "fig9 probes", "flood probes", "fig9/dist", "flood/dist"],
+    );
+    let mut results = Vec::new();
+    for &l in sizes {
+        let lat = bernoulli_lattice(&mut rng_from_seed(seed()), l, l, p);
+        let clusters = label_clusters(&lat);
+        let members: Vec<Site> = lat
+            .sites()
+            .filter(|&s| clusters.in_largest(&lat, s))
+            .collect();
+        let mut rng = rng_from_seed(seed() ^ l as u64);
+        let mut n = 0u64;
+        let (mut sum_d, mut sum_fig9, mut sum_flood) = (0u64, 0u64, 0u64);
+        for _ in 0..pairs_per_size {
+            let a = members[rng.random_range(0..members.len())];
+            let b = members[rng.random_range(0..members.len())];
+            if Lattice::dist_l1(a, b) < (l / 4) as u32 {
+                continue;
+            }
+            let r = route_xy(&lat, a, b);
+            assert!(r.delivered);
+            let fl = flood_probes(&lat, a, b).expect("same cluster");
+            let d = chemical_distance(&lat, a, b).unwrap() as u64;
+            n += 1;
+            sum_d += d;
+            sum_fig9 += r.probes as u64;
+            sum_flood += fl;
+        }
+        let (d, f9, fl) = (
+            sum_d as f64 / n as f64,
+            sum_fig9 as f64 / n as f64,
+            sum_flood as f64 / n as f64,
+        );
+        t.row(&[
+            l.to_string(),
+            n.to_string(),
+            f(d, 1),
+            f(f9, 1),
+            f(fl, 1),
+            f(f9 / d, 2),
+            f(fl / d, 2),
+        ]);
+        results.push((l, d, f9, fl));
+    }
+    t.print();
+    println!(
+        "shape check: Fig. 9 probes per unit of shortest path stay O(1) as L grows; flooding \
+         probes per unit grow ~linearly with L (the flood visits the whole cluster)."
+    );
+    write_json("exp_ablation_routing", &results);
+}

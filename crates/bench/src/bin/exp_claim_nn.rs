@@ -1,0 +1,75 @@
+//! EXP-C23 — Claim 2.3: adjacent good tiles in NN-SENS are joined by a
+//! 5-edge path through 4 relays, with every edge present in `NN(2, k)`
+//! (missing_links = 0) and rep–rep stretch constant c_k.
+
+use wsn_bench::table::{f, Table};
+use wsn_bench::{scaled, seed, write_json};
+use wsn_core::nn::build_nn_sens;
+use wsn_core::params::NnSensParams;
+use wsn_core::tilegrid::TileGrid;
+use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+use wsn_rgg::build_knn;
+
+fn main() {
+    // Unit density; tile area 100a² must be ≲ k/2 to have good tiles.
+    let params = NnSensParams { a: 1.2, k: 400 };
+    let grids = if wsn_bench::quick_mode() { 2usize } else { 6 };
+    let reps_target = scaled(400);
+
+    let mut checked = 0usize;
+    let mut five_edge = 0usize;
+    let mut missing_total = 0usize;
+    let mut max_ck: f64 = 0.0;
+    let mut sum_ck = 0.0;
+    let mut replicate = 0u64;
+
+    while checked < reps_target && (replicate as usize) < grids {
+        let grid = TileGrid::new(params.tile_side(), 4, 4);
+        let window = grid.covered_area();
+        let pts = sample_poisson_window(
+            &mut rng_from_seed(seed().wrapping_add(replicate)),
+            1.0,
+            &window,
+        );
+        let base = build_knn(&pts, params.k);
+        let net = build_nn_sens(&pts, &base, params, grid).unwrap();
+        missing_total += net.missing_links;
+        for s in net.lattice.sites() {
+            if !net.lattice.is_open(s) {
+                continue;
+            }
+            for nb in [(s.0 + 1, s.1), (s.0, s.1 + 1)] {
+                if !net.lattice.in_bounds(nb) || !net.lattice.is_open(nb) {
+                    continue;
+                }
+                checked += 1;
+                let Some(path) = net.adjacent_rep_path(s, nb) else {
+                    continue;
+                };
+                if path.len() <= 6 {
+                    five_edge += 1;
+                }
+                let plen: f64 = path.windows(2).map(|w| pts.get(w[0]).dist(pts.get(w[1]))).sum();
+                let eu = pts.get(path[0]).dist(pts.get(*path.last().unwrap()));
+                let ck = plen / eu;
+                max_ck = max_ck.max(ck);
+                sum_ck += ck;
+            }
+        }
+        replicate += 1;
+    }
+
+    let mut t = Table::new("EXP-C23: Claim 2.3 on adjacent good tiles (NN-SENS)", &["metric", "value", "paper"]);
+    t.row(&["pairs checked".into(), checked.to_string(), "-".into()]);
+    t.row(&["missing NN(2,k) links".into(), missing_total.to_string(), "0".into()]);
+    if checked > 0 {
+        t.row(&["≤5-edge paths".into(), f(five_edge as f64 / checked as f64, 4), "1 (all)".into()]);
+        t.row(&["mean c_k".into(), f(sum_ck / checked as f64, 4), "constant".into()]);
+        t.row(&["max c_k".into(), f(max_ck, 4), "constant".into()]);
+    }
+    t.print();
+
+    assert_eq!(missing_total, 0, "Claim 2.3 edge missing from the base graph");
+    println!("Claim 2.3 verified: every required link existed in NN(2, k).");
+    write_json("exp_claim_nn", &(checked, missing_total, max_ck));
+}

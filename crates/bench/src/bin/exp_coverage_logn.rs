@@ -1,0 +1,50 @@
+//! EXP-C34 — Corollary 3.4: the box side needed to push the empty
+//! probability below 1/n grows like log n.
+
+use wsn_bench::table::{f, Table};
+use wsn_bench::{scaled, seed, write_json};
+use wsn_core::coverage::ell_for_target;
+use wsn_core::params::UdgSensParams;
+use wsn_core::tilegrid::TileGrid;
+use wsn_core::udg::build_udg_sens;
+use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+
+fn main() {
+    let params = UdgSensParams::strict_default();
+    let side = if wsn_bench::quick_mode() { 16.0 } else { 36.0 };
+    let samples = scaled(20_000);
+
+    let grid = TileGrid::fit(side, params.tile_side);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(seed()), 30.0, &window);
+    let net = build_udg_sens(&pts, params, grid).unwrap();
+
+    let mut t = Table::new(
+        "EXP-C34: smallest ℓ with P[B(ℓ) empty] < 1/n",
+        &["n", "log n", "ℓ*", "ℓ*/log n"],
+    );
+    let mut results = Vec::new();
+    for n in [10.0, 30.0, 100.0, 300.0, 1000.0] {
+        match ell_for_target(&net, &pts, n, samples, seed()) {
+            Some(ell) => {
+                t.row(&[
+                    f(n, 0),
+                    f(n.ln(), 2),
+                    f(ell, 3),
+                    f(ell / n.ln(), 3),
+                ]);
+                results.push((n, Some(ell)));
+            }
+            None => {
+                t.row(&[f(n, 0), f(n.ln(), 2), "-".into(), "-".into()]);
+                results.push((n, None));
+            }
+        }
+    }
+    t.print();
+    println!(
+        "shape check (Cor 3.4): ℓ*/log n is roughly constant — the required box side grows \
+         logarithmically in the failure target."
+    );
+    write_json("exp_coverage_logn", &results);
+}

@@ -1,0 +1,30 @@
+//! EXP-PC — substrate validation: site-percolation θ(p), crossing
+//! probability, and a p_c estimate.
+//!
+//! Paper reference: §2 cites p_c ∈ [0.592, 0.593]; the literature value is
+//! 0.592746. Our crossing-probability bisection should land inside the
+//! cited bracket (±finite-size error).
+
+use wsn_bench::table::{f, Table};
+use wsn_bench::{scaled, seed, write_json};
+use wsn_perc::critical::{estimate_pc, sweep};
+
+fn main() {
+    let l_size = if wsn_bench::quick_mode() { 48 } else { 128 };
+    let reps = scaled(200);
+    let ps: Vec<f64> = (0..=12).map(|i| 0.53 + 0.01 * i as f64).collect();
+
+    let points = sweep(&ps, l_size, reps, seed());
+    let mut t = Table::new(
+        &format!("EXP-PC: site percolation on {l_size}x{l_size}, {reps} reps"),
+        &["p", "theta_L(p)", "P[crossing]"],
+    );
+    for pt in &points {
+        t.row(&[f(pt.p, 3), f(pt.theta, 4), f(pt.crossing, 4)]);
+    }
+    t.print();
+
+    let pc = estimate_pc(l_size, reps, 14, seed());
+    println!("estimated p_c = {pc:.4}   (paper bracket [0.592, 0.593]; literature 0.5927)");
+    write_json("exp_pc", &(points, pc));
+}

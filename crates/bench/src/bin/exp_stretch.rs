@@ -1,0 +1,53 @@
+//! EXP-T32 — Theorem 3.2: constant stretch with an exponentially small
+//! tail.
+//!
+//! Expected shape: mean stretch flat in distance; `P[stretch > α]` decaying
+//! (roughly exponentially) with distance for α above the typical constant.
+
+use wsn_bench::table::{f, Table};
+use wsn_bench::{scaled, seed, write_json};
+use wsn_core::params::UdgSensParams;
+use wsn_core::stretch::{binned_stretch, measure_sens_stretch, sample_rep_pairs};
+use wsn_core::tilegrid::TileGrid;
+use wsn_core::udg::build_udg_sens;
+use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+
+fn main() {
+    let params = UdgSensParams::strict_default();
+    let side = if wsn_bench::quick_mode() { 20.0 } else { 60.0 };
+    let pairs_n = scaled(4000);
+    let grid = TileGrid::fit(side, params.tile_side);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(seed()), 25.0, &window);
+    let net = build_udg_sens(&pts, params, grid).unwrap();
+
+    let pairs = sample_rep_pairs(&net, pairs_n, seed());
+    let samples = measure_sens_stretch(&net, &pts, &pairs);
+    let max_d = side * 0.9;
+    let edges: Vec<f64> = (0..=8).map(|i| 1.0 + (max_d - 1.0) * i as f64 / 8.0).collect();
+    let alpha = 2.5;
+    let bins = binned_stretch(&samples, &edges, alpha);
+
+    let mut t = Table::new(
+        &format!("EXP-T32: stretch vs distance (α = {alpha}, {} pairs)", samples.len()),
+        &["d range", "pairs", "mean stretch", "max stretch", "P[stretch>α]"],
+    );
+    for b in &bins {
+        if b.pairs == 0 {
+            continue;
+        }
+        t.row(&[
+            format!("[{:.1},{:.1})", b.dist_lo, b.dist_hi),
+            b.pairs.to_string(),
+            f(b.mean_stretch, 3),
+            f(b.max_stretch, 3),
+            f(b.tail_prob, 4),
+        ]);
+    }
+    t.print();
+    println!(
+        "shape check (Thm 3.2): mean stretch is flat in distance (constant-stretch) and the \
+         α-exceedance probability does not grow with distance."
+    );
+    write_json("exp_stretch", &bins);
+}

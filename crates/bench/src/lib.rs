@@ -1,0 +1,71 @@
+//! # wsn-bench
+//!
+//! The experiment harness: every theorem, claim and algorithm figure of the
+//! paper has a binary target here that regenerates the corresponding
+//! numbers (see DESIGN.md §5 for the index and EXPERIMENTS.md for recorded
+//! paper-vs-measured results).
+//!
+//! Run an experiment with
+//!
+//! ```text
+//! cargo run -p wsn-bench --release --bin exp_udg_threshold
+//! ```
+//!
+//! Every binary honours the `WSN_QUICK=1` environment variable, which
+//! scales replicate counts down ~10× for smoke runs (the integration tests
+//! use it). Results are printed as aligned tables and, when `WSN_JSON_DIR`
+//! is set, also written as JSON for archival.
+
+pub mod table;
+
+use serde::Serialize;
+
+/// True when quick (smoke-test) mode is requested.
+pub fn quick_mode() -> bool {
+    std::env::var("WSN_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Scale a replicate count down in quick mode.
+pub fn scaled(full: usize) -> usize {
+    if quick_mode() {
+        (full / 10).max(8)
+    } else {
+        full
+    }
+}
+
+/// Write a JSON result file if `WSN_JSON_DIR` is set.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    if let Ok(dir) = std::env::var("WSN_JSON_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|_| std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()))
+        {
+            eprintln!("warning: could not write {path:?}: {e}");
+        }
+    }
+}
+
+/// Default deterministic seed for experiments (override with `WSN_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("WSN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_reduces_in_quick_mode() {
+        // Environment-dependent, so only check the arithmetic helper
+        // directly.
+        let scale = |full: usize| (full / 10).max(8);
+        assert_eq!(scale(1000), 100);
+        assert_eq!(scale(20), 8);
+        let _ = quick_mode();
+        assert!(seed() > 0);
+    }
+}

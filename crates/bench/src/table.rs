@@ -1,0 +1,92 @@
+//! Aligned plain-text tables for experiment output.
+
+/// A simple column-aligned table accumulated row by row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format helper: fixed decimals.
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), f(1.23456, 3)]);
+        t.row(&["longer".into(), f(10.0, 3)]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("1.235"));
+        assert!(r.contains("10.000"));
+        // Both value cells right-aligned to the same width.
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

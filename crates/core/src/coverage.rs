@@ -1,0 +1,238 @@
+//! Coverage measurement — Theorem 3.3 and Corollary 3.4 (experiments
+//! EXP-T33 / EXP-C34).
+//!
+//! The paper's coverage guarantee: the probability that a square `B(ℓ)`
+//! contains no point of the SENS network decays exponentially with `ℓ`, and
+//! the decay sharpens as density grows. We estimate
+//! `P[|B(ℓ) ∩ SENS| = 0]` by dropping boxes uniformly inside the covered
+//! window and counting member hits with a spatial index.
+
+use serde::Serialize;
+use wsn_geom::{Aabb, Point};
+use wsn_pointproc::{rng_from_seed, PointSet};
+use wsn_spatial::GridIndex;
+
+use crate::subgraph::SensNetwork;
+use rand::RngExt;
+
+/// Extract the member positions of a network as their own point set.
+pub fn member_points(net: &SensNetwork, points: &PointSet) -> PointSet {
+    points
+        .iter_enumerated()
+        .filter(|&(i, _)| net.core_mask[i as usize])
+        .map(|(_, p)| p)
+        .collect()
+}
+
+/// One point of an empty-box-probability curve.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CoveragePoint {
+    pub ell: f64,
+    pub p_empty: f64,
+}
+
+/// Estimate `P[B(ℓ) empty of SENS members]` for each `ℓ`, dropping
+/// `samples` uniformly-placed boxes per value. Boxes are constrained to the
+/// covered window so results are free of boundary truncation.
+pub fn empty_box_curve(
+    net: &SensNetwork,
+    points: &PointSet,
+    ells: &[f64],
+    samples: usize,
+    seed: u64,
+) -> Vec<CoveragePoint> {
+    let members = member_points(net, points);
+    let window = net.grid.covered_area();
+    let index = (!members.is_empty()).then(|| GridIndex::build(&members, 1.0f64.max(window.width() / 64.0)));
+    let mut rng = rng_from_seed(seed);
+    let mut out = Vec::with_capacity(ells.len());
+    let mut buf = Vec::new();
+    for &ell in ells {
+        assert!(
+            ell > 0.0 && ell <= window.width() && ell <= window.height(),
+            "box of side {ell} does not fit the window"
+        );
+        let mut empty = 0usize;
+        for _ in 0..samples {
+            let cx = rng.random_range(window.min.x + ell * 0.5..=window.max.x - ell * 0.5);
+            let cy = rng.random_range(window.min.y + ell * 0.5..=window.max.y - ell * 0.5);
+            let b = Aabb::centered_square(Point::new(cx, cy), ell);
+            let occupied = match &index {
+                Some(idx) => {
+                    idx.in_aabb(&b, &mut buf);
+                    !buf.is_empty()
+                }
+                None => false,
+            };
+            if !occupied {
+                empty += 1;
+            }
+        }
+        out.push(CoveragePoint {
+            ell,
+            p_empty: empty as f64 / samples as f64,
+        });
+    }
+    out
+}
+
+/// Fit `log P_empty ≈ c − rate·ℓ` by least squares over the points with
+/// `P_empty > 0`; returns the decay rate (positive when decaying).
+///
+/// Theorem 3.3 predicts a positive rate that grows with λ.
+pub fn exponential_decay_rate(curve: &[CoveragePoint]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = curve
+        .iter()
+        .filter(|c| c.p_empty > 0.0)
+        .map(|c| (c.ell, c.p_empty.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some(-(n * sxy - sx * sy) / denom)
+}
+
+/// Smallest `ℓ` (by doubling + bisection over the measured curve support)
+/// with estimated `P_empty < 1/n` — the Corollary 3.4 quantity `c·log n`.
+pub fn ell_for_target(
+    net: &SensNetwork,
+    points: &PointSet,
+    n_target: f64,
+    samples: usize,
+    seed: u64,
+) -> Option<f64> {
+    let window = net.grid.covered_area();
+    let max_ell = window.width().min(window.height());
+    let target = 1.0 / n_target;
+    let mut lo = 0.25f64;
+    let mut hi = lo;
+    // Grow until the target is met (or the window is exhausted).
+    loop {
+        let p = empty_box_curve(net, points, &[hi], samples, seed)[0].p_empty;
+        if p < target {
+            break;
+        }
+        hi *= 2.0;
+        if hi > max_ell {
+            return None;
+        }
+        lo = hi * 0.5;
+    }
+    // Bisect to ~5% precision.
+    for _ in 0..8 {
+        let mid = 0.5 * (lo + hi);
+        let p = empty_box_curve(net, points, &[mid], samples, seed)[0].p_empty;
+        if p < target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::UdgSensParams;
+    use crate::tilegrid::TileGrid;
+    use crate::udg::build_udg_sens;
+    use wsn_pointproc::sample_poisson_window;
+
+    fn dense_network(seed: u64, side: f64, lambda: f64) -> (SensNetwork, PointSet) {
+        let params = UdgSensParams::strict_default();
+        let grid = TileGrid::fit(side, params.tile_side);
+        let window = grid.covered_area();
+        let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &window);
+        let net = build_udg_sens(&pts, params, grid).unwrap();
+        (net, pts)
+    }
+
+    #[test]
+    fn member_points_match_mask() {
+        let (net, pts) = dense_network(1, 12.0, 35.0);
+        let members = member_points(&net, &pts);
+        assert_eq!(
+            members.len(),
+            net.core_mask.iter().filter(|&&b| b).count()
+        );
+    }
+
+    #[test]
+    fn p_empty_is_monotone_decreasing_in_ell() {
+        let (net, pts) = dense_network(2, 16.0, 35.0);
+        let curve = empty_box_curve(&net, &pts, &[0.5, 1.5, 3.0, 6.0], 400, 7);
+        for w in curve.windows(2) {
+            assert!(
+                w[0].p_empty >= w[1].p_empty,
+                "{} < {}",
+                w[0].p_empty,
+                w[1].p_empty
+            );
+        }
+        // Large boxes in a dense supercritical network are never empty.
+        assert_eq!(curve.last().unwrap().p_empty, 0.0);
+    }
+
+    #[test]
+    fn decay_rate_is_positive_for_supercritical_density() {
+        let (net, pts) = dense_network(3, 16.0, 35.0);
+        let curve = empty_box_curve(&net, &pts, &[0.4, 0.8, 1.2, 1.6, 2.0], 600, 9);
+        let rate = exponential_decay_rate(&curve).expect("enough positive points");
+        assert!(rate > 0.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn higher_density_decays_at_least_as_fast() {
+        // Theorem 3.3's refinement: more density ⇒ sharper decay.
+        let (net_lo, pts_lo) = dense_network(4, 16.0, 20.0);
+        let (net_hi, pts_hi) = dense_network(4, 16.0, 45.0);
+        let ells = [0.4, 0.8, 1.2, 1.6];
+        let c_lo = empty_box_curve(&net_lo, &pts_lo, &ells, 600, 11);
+        let c_hi = empty_box_curve(&net_hi, &pts_hi, &ells, 600, 11);
+        // Compare pointwise emptiness (with slack for MC noise).
+        for (lo, hi) in c_lo.iter().zip(c_hi.iter()) {
+            assert!(
+                hi.p_empty <= lo.p_empty + 0.05,
+                "ℓ = {}: dense {} vs sparse {}",
+                lo.ell,
+                hi.p_empty,
+                lo.p_empty
+            );
+        }
+    }
+
+    #[test]
+    fn empty_network_has_p_empty_one() {
+        // λ so small no tile is good → no members → every box empty.
+        let (net, pts) = dense_network(5, 12.0, 0.05);
+        assert_eq!(net.summary().core_size, 0);
+        let curve = empty_box_curve(&net, &pts, &[1.0], 50, 3);
+        assert_eq!(curve[0].p_empty, 1.0);
+        assert!(ell_for_target(&net, &pts, 100.0, 50, 3).is_none());
+    }
+
+    #[test]
+    fn ell_for_target_meets_the_target() {
+        let (net, pts) = dense_network(6, 16.0, 35.0);
+        let ell = ell_for_target(&net, &pts, 50.0, 400, 13).expect("dense network covers");
+        let p = empty_box_curve(&net, &pts, &[ell * 1.3], 400, 14)[0].p_empty;
+        assert!(p <= 0.06, "P_empty at 1.3·ℓ* = {p}");
+    }
+
+    #[test]
+    fn decay_rate_handles_degenerate_curves() {
+        assert_eq!(exponential_decay_rate(&[]), None);
+        let flat = [CoveragePoint { ell: 1.0, p_empty: 0.0 }];
+        assert_eq!(exponential_decay_rate(&flat), None);
+    }
+}

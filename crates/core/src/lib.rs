@@ -1,0 +1,45 @@
+//! # wsn-core
+//!
+//! The paper's contribution: **sparse, power-efficient subgraph
+//! constructions for wireless ad hoc sensor networks** on two geometric
+//! random-graph models,
+//!
+//! * `UDG-SENS(2, λ)` on the unit-disk graph `UDG(2, λ)` ([`udg`]), and
+//! * `NN-SENS(2, k)` on the k-nearest-neighbour graph `NN(2, k)` ([`nn`]),
+//!
+//! both built by tiling R², electing a *representative* point near each tile
+//! centre and *relay* points near tile boundaries, and coupling good tiles
+//! (all required regions occupied) to open sites of a Z² site-percolation
+//! process ([`wsn_perc`]).
+//!
+//! The four advertised properties map to modules:
+//!
+//! | property | paper | module |
+//! |---|---|---|
+//! | P1 sparsity (max degree 4) | §1 | [`subgraph`] degree audit |
+//! | P2 constant stretch | Thm 3.2 | [`stretch`] |
+//! | P3 coverage | Thm 3.3 | [`coverage`] |
+//! | P4 local computability | Fig. 7 | region tests here + `wsn-simnet` |
+//!
+//! [`threshold`] reproduces the paper's numerical calculations (λ_s, k_s);
+//! [`optimize`] searches the corrected UDG tile geometry (see DESIGN.md §2
+//! for why the paper's literal region definition needs correcting);
+//! [`render`] regenerates the geometry figures as SVG.
+
+pub mod coverage;
+pub mod nn;
+pub mod optimize;
+pub mod params;
+pub mod power;
+pub mod render;
+pub mod stretch;
+pub mod subgraph;
+pub mod threshold;
+pub mod tilegrid;
+pub mod udg;
+
+pub use nn::{build_nn_sens, NnTileGeometry};
+pub use params::{NnSensParams, UdgGeometryMode, UdgSensParams};
+pub use subgraph::SensNetwork;
+pub use tilegrid::{TileAssignment, TileGrid};
+pub use udg::{build_udg_sens, UdgTileGeometry};

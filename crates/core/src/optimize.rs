@@ -1,0 +1,146 @@
+//! Search over corrected UDG tile geometries.
+//!
+//! The strict-mode geometry has four lengths `(a, r_0, r_e, d_e)` under the
+//! visibility constraints of [`UdgSensParams::validate`]. Restricting to
+//! *disjoint* regions makes the good-tile probability an exact product
+//! ([`crate::threshold::p_good_udg_analytic`]), so the supercritical density
+//!
+//! `λ_s(geometry) = inf { λ : P[good](λ) ≥ 0.593 }`
+//!
+//! is computable by bisection without Monte Carlo. This module grid-searches
+//! the feasible set for the geometry minimising λ_s — the corrected
+//! counterpart of the paper's "numerical calculations showed that the
+//! smallest value of λ … is 1.568".
+
+use serde::Serialize;
+
+use crate::params::{UdgGeometryMode, UdgSensParams};
+use crate::threshold::{p_good_udg_analytic, GOODNESS_TARGET};
+
+/// Result of the geometry search.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct OptimizedUdgGeometry {
+    pub params: UdgSensParams,
+    /// Supercritical density of the winning geometry.
+    pub lambda_s: f64,
+}
+
+/// λ_s for one disjoint strict geometry by bisection on the analytic
+/// formula. `None` when the geometry is infeasible or not disjoint.
+pub fn lambda_s_analytic(params: UdgSensParams, target: f64) -> Option<f64> {
+    params.validate().ok()?;
+    p_good_udg_analytic(params, 1.0)?; // disjointness check
+    let (mut lo, mut hi) = (1e-6, 1e4);
+    // P is continuous and strictly increasing in λ with limits 0 and 1.
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if p_good_udg_analytic(params, mid).unwrap() < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Grid-search strict geometries for minimal λ_s.
+///
+/// For fixed `(a, r_0, r_e)` the probability does not depend on `d_e`, so it
+/// suffices to check that a feasible `d_e` exists:
+///
+/// * containment: `d_e ≤ a/2 − r_e`
+/// * rep→relay:   `d_e ≤ radius − r_e − r_0`
+/// * relay↔relay: `d_e ≥ (a − radius + 2·r_e) / 2`
+/// * disjoint from C0: `d_e ≥ r_0 + r_e`
+/// * adjacent relays disjoint: `d_e ≥ √2·r_e`
+pub fn optimize_udg_geometry(steps: usize) -> OptimizedUdgGeometry {
+    let radius = 1.0;
+    let mut best: Option<OptimizedUdgGeometry> = None;
+    for ia in 0..steps {
+        // a ∈ (0.5, 2.0]; larger tiles need impossible relay spans.
+        let a = 0.5 + 1.5 * (ia as f64 + 1.0) / steps as f64;
+        for ir0 in 0..steps {
+            let r0 = 0.02 + (a * 0.5 - 0.02) * (ir0 as f64) / steps as f64;
+            for ire in 0..steps {
+                let re = 0.02 + 0.5 * (ire as f64) / steps as f64;
+                let de_hi = (a * 0.5 - re).min(radius - re - r0);
+                let de_lo = ((a - radius + 2.0 * re) * 0.5)
+                    .max(r0 + re)
+                    .max(std::f64::consts::SQRT_2 * re);
+                if de_lo > de_hi {
+                    continue;
+                }
+                let params = UdgSensParams {
+                    tile_side: a,
+                    r0,
+                    relay_radius: re,
+                    relay_offset: 0.5 * (de_lo + de_hi),
+                    radius,
+                    mode: UdgGeometryMode::Strict,
+                };
+                if let Some(ls) = lambda_s_analytic(params, GOODNESS_TARGET) {
+                    if best.is_none_or(|b| ls < b.lambda_s) {
+                        best = Some(OptimizedUdgGeometry {
+                            params,
+                            lambda_s: ls,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    best.expect("the feasible set is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::p_good_udg;
+
+    #[test]
+    fn lambda_s_analytic_inverts_the_probability() {
+        let p = UdgSensParams::strict_default();
+        let ls = lambda_s_analytic(p, GOODNESS_TARGET).unwrap();
+        let back = p_good_udg_analytic(p, ls).unwrap();
+        assert!((back - GOODNESS_TARGET).abs() < 1e-9, "P(λ_s) = {back}");
+    }
+
+    #[test]
+    fn infeasible_geometries_return_none() {
+        let mut p = UdgSensParams::strict_default();
+        p.relay_offset = 2.0; // outside the tile
+        assert!(lambda_s_analytic(p, GOODNESS_TARGET).is_none());
+        assert!(lambda_s_analytic(UdgSensParams::paper(), GOODNESS_TARGET).is_none());
+    }
+
+    #[test]
+    fn optimizer_beats_or_matches_the_default() {
+        let opt = optimize_udg_geometry(14);
+        let default_ls =
+            lambda_s_analytic(UdgSensParams::strict_default(), GOODNESS_TARGET).unwrap();
+        assert!(
+            opt.lambda_s <= default_ls + 1e-9,
+            "optimised {} vs default {default_ls}",
+            opt.lambda_s
+        );
+        assert_eq!(opt.params.validate(), Ok(()));
+    }
+
+    #[test]
+    fn optimum_is_stable_under_refinement() {
+        let coarse = optimize_udg_geometry(10);
+        let fine = optimize_udg_geometry(20);
+        // Refinement can only improve (or roughly match) the objective.
+        assert!(fine.lambda_s <= coarse.lambda_s * 1.02);
+    }
+
+    #[test]
+    fn optimized_geometry_agrees_with_monte_carlo() {
+        let opt = optimize_udg_geometry(12);
+        let mc = p_good_udg(opt.params, opt.lambda_s, 4000, 17);
+        assert!(
+            (mc - GOODNESS_TARGET).abs() < 0.04,
+            "MC at λ_s: {mc} (target {GOODNESS_TARGET})"
+        );
+    }
+}

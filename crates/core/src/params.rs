@@ -1,0 +1,219 @@
+//! Construction parameters for both SENS variants.
+
+use serde::{Deserialize, Serialize};
+
+/// Which UDG tile-region geometry to use (DESIGN.md §2, defect D1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UdgGeometryMode {
+    /// Disk-shaped relay regions satisfying closed-form all-pairs visibility
+    /// constraints: *any* election yields the 3-hop path of Claim 2.1, and
+    /// the site-percolation coupling is exact. The default.
+    Strict,
+    /// The paper's stated geometry (a = 4/3, `C0` radius ½) with relay
+    /// regions read as the lens within distance 1 of both tile centres. Edges
+    /// are not guaranteed for every election, so election is
+    /// visibility-verified and cross-tile links are checked at connect time.
+    Paper,
+}
+
+/// Parameters of `UDG-SENS(2, λ)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UdgSensParams {
+    /// Tile side `a`.
+    pub tile_side: f64,
+    /// Radius of the representative region `C0`.
+    pub r0: f64,
+    /// Radius of each relay disk (strict mode only).
+    pub relay_radius: f64,
+    /// Distance of each relay-disk centre from the tile centre (strict mode
+    /// only).
+    pub relay_offset: f64,
+    /// Radio range (1.0 throughout the paper).
+    pub radius: f64,
+    pub mode: UdgGeometryMode,
+}
+
+/// Violations of the strict-mode visibility constraints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamError {
+    /// Relay disk leaves the tile: `d_e + r_e > a/2`.
+    RelayOutsideTile,
+    /// A representative might not reach a relay: `d_e + r_e + r_0 > radius`.
+    RepRelayTooFar,
+    /// Opposed relays of adjacent tiles might not reach each other:
+    /// `(a − 2·d_e) + 2·r_e > radius`.
+    RelayRelayTooFar,
+    /// `C0` leaves the tile: `r_0 > a/2`.
+    C0OutsideTile,
+    /// A non-positive length parameter.
+    NonPositive,
+}
+
+impl UdgSensParams {
+    /// The corrected strict-mode geometry with the workspace default
+    /// parameters (found by [`crate::optimize::optimize_udg_geometry`]; see
+    /// EXPERIMENTS.md for the search):
+    /// `a = 1.2, r_0 = 0.2, r_e = 0.2, d_e = 0.4`.
+    pub fn strict_default() -> Self {
+        UdgSensParams {
+            tile_side: 1.2,
+            r0: 0.2,
+            relay_radius: 0.2,
+            relay_offset: 0.4,
+            radius: 1.0,
+            mode: UdgGeometryMode::Strict,
+        }
+    }
+
+    /// The paper's stated parameters: tile side 4/3, `C0` radius ½.
+    pub fn paper() -> Self {
+        UdgSensParams {
+            tile_side: 4.0 / 3.0,
+            r0: 0.5,
+            // Unused in paper mode (relay regions are lenses), kept for
+            // serialisation completeness.
+            relay_radius: f64::NAN,
+            relay_offset: f64::NAN,
+            radius: 1.0,
+            mode: UdgGeometryMode::Paper,
+        }
+    }
+
+    /// Check the closed-form constraints (strict mode). Paper mode only
+    /// checks positivity — by design it does not guarantee visibility.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !(self.tile_side > 0.0 && self.r0 > 0.0 && self.radius > 0.0) {
+            return Err(ParamError::NonPositive);
+        }
+        if self.r0 > self.tile_side * 0.5 {
+            return Err(ParamError::C0OutsideTile);
+        }
+        if self.mode == UdgGeometryMode::Paper {
+            return Ok(());
+        }
+        let (a, re, de) = (self.tile_side, self.relay_radius, self.relay_offset);
+        if !(re > 0.0 && de > 0.0) {
+            return Err(ParamError::NonPositive);
+        }
+        if de + re > a * 0.5 + 1e-12 {
+            return Err(ParamError::RelayOutsideTile);
+        }
+        if de + re + self.r0 > self.radius + 1e-12 {
+            return Err(ParamError::RepRelayTooFar);
+        }
+        if (a - 2.0 * de) + 2.0 * re > self.radius + 1e-12 {
+            return Err(ParamError::RelayRelayTooFar);
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of `NN-SENS(2, k)`.
+///
+/// The point-process density is irrelevant for the NN model (only relative
+/// distances matter), so the construction is parameterised by the circle
+/// radius `a` — tiles have side `10a` — and the neighbour count `k`. The
+/// paper's numerical values are `a = 0.893`, `k = 188` at unit density.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NnSensParams {
+    /// Radius of the five circles `C0, Cl, Cr, Ct, Cb`; tile side is `10a`.
+    pub a: f64,
+    /// Neighbour count of the base `NN(2, k)` graph.
+    pub k: usize,
+}
+
+impl NnSensParams {
+    /// The paper's stated parameters.
+    pub fn paper() -> Self {
+        NnSensParams { a: 0.893, k: 188 }
+    }
+
+    #[inline]
+    pub fn tile_side(&self) -> f64 {
+        10.0 * self.a
+    }
+
+    /// The goodness bound on points per tile (`k/2`).
+    #[inline]
+    pub fn max_points_per_tile(&self) -> usize {
+        self.k / 2
+    }
+
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.a > 0.0 && self.a.is_finite() && self.k >= 2 {
+            Ok(())
+        } else {
+            Err(ParamError::NonPositive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_default_is_valid() {
+        assert_eq!(UdgSensParams::strict_default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn paper_params_are_valid_as_paper_mode() {
+        assert_eq!(UdgSensParams::paper().validate(), Ok(()));
+    }
+
+    #[test]
+    fn constraint_violations_are_detected() {
+        let base = UdgSensParams::strict_default();
+
+        let mut p = base;
+        p.relay_offset = 0.55; // d_e + r_e = 0.75 > a/2 = 0.6
+        assert_eq!(p.validate(), Err(ParamError::RelayOutsideTile));
+
+        let mut p = base;
+        p.r0 = 0.45; // d_e + r_e + r_0 = 1.05 > 1
+        assert_eq!(p.validate(), Err(ParamError::RepRelayTooFar));
+
+        let mut p = base;
+        p.tile_side = 1.2;
+        p.relay_offset = 0.25;
+        p.relay_radius = 0.35;
+        // containment: 0.25 + 0.35 = 0.6 ≤ 0.6 OK;
+        // rep-relay: 0.25 + 0.35 + 0.2 = 0.8 ≤ 1 OK;
+        // relay-relay: (1.2 − 0.5) + 0.7 = 1.4 > 1 → violation.
+        assert_eq!(p.validate(), Err(ParamError::RelayRelayTooFar));
+
+        let mut p = base;
+        p.r0 = 0.7;
+        assert_eq!(p.validate(), Err(ParamError::C0OutsideTile));
+
+        let mut p = base;
+        p.tile_side = -1.0;
+        assert_eq!(p.validate(), Err(ParamError::NonPositive));
+    }
+
+    #[test]
+    fn strict_constraints_imply_claim_21_edge_lengths() {
+        // Worst-case rep–relay and relay–relay distances under the strict
+        // constraints are within the radio range.
+        let p = UdgSensParams::strict_default();
+        let worst_rep_relay = p.relay_offset + p.relay_radius + p.r0;
+        let worst_relay_relay = (p.tile_side - 2.0 * p.relay_offset) + 2.0 * p.relay_radius;
+        assert!(worst_rep_relay <= p.radius + 1e-12);
+        assert!(worst_relay_relay <= p.radius + 1e-12);
+    }
+
+    #[test]
+    fn nn_paper_parameters() {
+        let p = NnSensParams::paper();
+        assert_eq!(p.validate(), Ok(()));
+        assert!((p.tile_side() - 8.93).abs() < 1e-12);
+        assert_eq!(p.max_points_per_tile(), 94);
+    }
+
+    #[test]
+    fn nn_rejects_tiny_k() {
+        assert!(NnSensParams { a: 1.0, k: 1 }.validate().is_err());
+        assert!(NnSensParams { a: 0.0, k: 10 }.validate().is_err());
+    }
+}

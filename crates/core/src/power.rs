@@ -1,0 +1,178 @@
+//! Power efficiency — the paper's headline claim (experiment EXP-PWR).
+//!
+//! Li–Wan–Wang: transmitting over distance `d` costs `d^β` with path-loss
+//! exponent `β ∈ [2, 5]`, so a subgraph with distance stretch `δ` has power
+//! stretch at most `δ^β`. We measure the *actual* power stretch: the ratio
+//! of the minimum-power path in the subgraph to the minimum-power path in
+//! the base graph, for the same endpoint pair.
+
+use serde::Serialize;
+use wsn_graph::{dijkstra, Csr};
+use wsn_pointproc::PointSet;
+
+/// Minimum-power distance between two nodes in `g` under exponent `beta`
+/// (each hop `u→v` costs `d(u, v)^β`). `None` when disconnected.
+pub fn power_distance(
+    g: &Csr,
+    points: &PointSet,
+    src: u32,
+    dst: u32,
+    beta: f64,
+) -> Option<f64> {
+    dijkstra::distance_to(g, src, dst, |u, v| {
+        points.get(u).dist(points.get(v)).powf(beta)
+    })
+}
+
+/// Power stretch of `sub` relative to `base` for one pair.
+pub fn power_stretch_pair(
+    base: &Csr,
+    sub: &Csr,
+    points: &PointSet,
+    pair: (u32, u32),
+    beta: f64,
+) -> Option<f64> {
+    let b = power_distance(base, points, pair.0, pair.1, beta)?;
+    let s = power_distance(sub, points, pair.0, pair.1, beta)?;
+    if b <= 0.0 {
+        return Some(1.0);
+    }
+    Some(s / b)
+}
+
+/// Aggregate power-stretch comparison of one topology against the base
+/// graph.
+#[derive(Clone, Debug, Serialize)]
+pub struct PowerComparison {
+    pub beta: f64,
+    /// Pairs connected in the base graph.
+    pub base_pairs: usize,
+    /// Of those, pairs also connected in the subgraph.
+    pub sub_pairs: usize,
+    pub mean_stretch: f64,
+    pub max_stretch: f64,
+    /// Edges per node of the subgraph (sparsity cost of the ratio).
+    pub edges_per_node: f64,
+}
+
+/// Measure power stretch of `sub` vs `base` over the given pairs.
+pub fn compare_power(
+    base: &Csr,
+    sub: &Csr,
+    points: &PointSet,
+    pairs: &[(u32, u32)],
+    beta: f64,
+) -> PowerComparison {
+    let mut base_pairs = 0usize;
+    let mut ratios = Vec::with_capacity(pairs.len());
+    for &(u, v) in pairs {
+        let Some(b) = power_distance(base, points, u, v, beta) else {
+            continue;
+        };
+        base_pairs += 1;
+        if let Some(s) = power_distance(sub, points, u, v, beta) {
+            ratios.push(if b > 0.0 { s / b } else { 1.0 });
+        }
+    }
+    let (mean, max) = if ratios.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (
+            ratios.iter().sum::<f64>() / ratios.len() as f64,
+            ratios.iter().cloned().fold(0.0, f64::max),
+        )
+    };
+    PowerComparison {
+        beta,
+        base_pairs,
+        sub_pairs: ratios.len(),
+        mean_stretch: mean,
+        max_stretch: max,
+        edges_per_node: if sub.n() > 0 {
+            sub.m() as f64 / sub.n() as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_geom::Point;
+    use wsn_graph::EdgeList;
+
+    /// Base: triangle 0-1-2 with positions making two short hops cheaper
+    /// than one long hop for β ≥ 2. Sub: only the long edge removed.
+    fn setup() -> (Csr, Csr, PointSet) {
+        let points: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.1),
+            Point::new(1.0, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        let mut base = EdgeList::new(3);
+        base.add(0, 1);
+        base.add(1, 2);
+        base.add(0, 2);
+        let mut sub = EdgeList::new(3);
+        sub.add(0, 1);
+        sub.add(1, 2);
+        (
+            Csr::from_edge_list(base),
+            Csr::from_edge_list(sub),
+            points,
+        )
+    }
+
+    #[test]
+    fn power_distance_prefers_short_hops_at_high_beta() {
+        let (base, _, pts) = setup();
+        // β = 2: two hops cost 0.26+0.26 = 0.52 < 1 (direct).
+        let d2 = power_distance(&base, &pts, 0, 2, 2.0).unwrap();
+        assert!(d2 < 1.0);
+        // β = 0 would make fewer hops cheaper, but β ≥ 2 always relays here.
+        let d4 = power_distance(&base, &pts, 0, 2, 4.0).unwrap();
+        assert!(d4 < d2, "higher β favours relaying even more");
+    }
+
+    #[test]
+    fn subgraph_without_long_edge_has_stretch_one_here() {
+        // The base optimum already uses the two short hops, so removing the
+        // long edge costs nothing: power stretch exactly 1.
+        let (base, sub, pts) = setup();
+        let r = power_stretch_pair(&base, &sub, &pts, (0, 2), 2.0).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretch_is_at_least_one() {
+        let (base, sub, pts) = setup();
+        for beta in [2.0, 3.0, 5.0] {
+            let c = compare_power(&base, &sub, &pts, &[(0, 1), (0, 2), (1, 2)], beta);
+            assert_eq!(c.base_pairs, 3);
+            assert_eq!(c.sub_pairs, 3);
+            assert!(c.mean_stretch >= 1.0 - 1e-12);
+            assert!(c.max_stretch >= c.mean_stretch);
+        }
+    }
+
+    #[test]
+    fn disconnected_subgraph_pairs_are_counted_separately() {
+        let (base, _, pts) = setup();
+        let sub = Csr::empty(3);
+        let c = compare_power(&base, &sub, &pts, &[(0, 1), (1, 2)], 2.0);
+        assert_eq!(c.base_pairs, 2);
+        assert_eq!(c.sub_pairs, 0);
+        assert!(c.mean_stretch.is_nan());
+    }
+
+    #[test]
+    fn edges_per_node_reflects_sparsity() {
+        let (base, sub, pts) = setup();
+        let cb = compare_power(&base, &base, &pts, &[(0, 2)], 2.0);
+        let cs = compare_power(&base, &sub, &pts, &[(0, 2)], 2.0);
+        assert!(cs.edges_per_node < cb.edges_per_node);
+    }
+}

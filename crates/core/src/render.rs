@@ -1,0 +1,248 @@
+//! SVG renderings of the paper's geometry figures (Figures 1–6 and 8),
+//! regenerated from live constructions rather than drawn by hand.
+//!
+//! The `figures` example writes these to disk; tests only check structure.
+
+use wsn_geom::svg::SvgCanvas;
+use wsn_geom::tile::Dir;
+use wsn_geom::{Aabb, Point};
+use wsn_pointproc::PointSet;
+
+use crate::nn::NnTileGeometry;
+use crate::subgraph::{SensNetwork, ROLE_REP};
+use crate::udg::UdgTileGeometry;
+
+const PX_WIDTH: f64 = 900.0;
+
+/// Figure 1: a portion of the tiling with representatives, relays and
+/// unconnected points.
+pub fn render_tiling(net: &SensNetwork, points: &PointSet) -> String {
+    let window = net.grid.covered_area();
+    let mut c = SvgCanvas::new(window.inflate(0.5), PX_WIDTH);
+    for s in net.grid.sites() {
+        let bb = net
+            .grid
+            .tiling()
+            .tile_aabb(net.grid.tile_of_site(s));
+        let fill = if net.lattice.is_open(s) { "#eef7ee" } else { "#fbeeee" };
+        c.rect(&bb, "#999", fill, 0.6);
+    }
+    for (i, p) in points.iter_enumerated() {
+        let role = net.roles[i as usize];
+        if role & ROLE_REP != 0 {
+            c.dot(p, 4.0, "#111");
+        } else if role != 0 {
+            c.dot(p, 3.0, "#c33");
+        } else {
+            c.dot(p, 1.3, "#bbb");
+        }
+    }
+    c.finish()
+}
+
+/// Figure 2: the coupled portion of Z² (open sites and open edges).
+pub fn render_lattice(net: &SensNetwork) -> String {
+    let lat = &net.lattice;
+    let view = Aabb::from_coords(-1.0, -1.0, lat.cols() as f64, lat.rows() as f64);
+    let mut c = SvgCanvas::new(view, PX_WIDTH * 0.6);
+    for s in lat.sites() {
+        let p = Point::new(s.0 as f64, s.1 as f64);
+        if lat.is_open(s) {
+            for nb in lat.neighbors(s) {
+                if lat.is_open(nb) && (nb.0 > s.0 || nb.1 > s.1) {
+                    c.line(p, Point::new(nb.0 as f64, nb.1 as f64), "#333", 1.2);
+                }
+            }
+            c.dot(p, 4.0, "#111");
+        } else {
+            c.dot(p, 2.0, "#ddd");
+        }
+    }
+    c.finish()
+}
+
+/// Figure 3: a UDG-SENS tile with its five regions.
+pub fn render_udg_tile(geom: &UdgTileGeometry) -> String {
+    let a = geom.params().tile_side;
+    let half = a * 0.5;
+    let view = Aabb::centered_square(Point::ORIGIN, a * 1.3);
+    let mut c = SvgCanvas::new(view, PX_WIDTH * 0.7);
+    c.rect(
+        &Aabb::centered_square(Point::ORIGIN, a),
+        "#333",
+        "none",
+        1.5,
+    );
+    c.circle(Point::ORIGIN, geom.params().r0, "#06c", "#e6f0ff", 1.5);
+    c.text(Point::new(0.02 * a, 0.02 * a), 14.0, "C0");
+    for d in Dir::ALL {
+        let label_at = d.unit_vec() * (half * 0.72);
+        let region = wsn_geom::region::PredicateRegion::new(
+            Aabb::centered_square(Point::ORIGIN, a),
+            |p| geom.relay_contains(d, p),
+        );
+        c.region_stipple(&region, 80, "#c86");
+        let name = match d {
+            Dir::Right => "Er",
+            Dir::Left => "El",
+            Dir::Top => "Et",
+            Dir::Bottom => "Eb",
+        };
+        c.text(label_at, 13.0, name);
+    }
+    c.finish()
+}
+
+/// Figure 5: an NN-SENS tile with its nine regions.
+pub fn render_nn_tile(geom: &NnTileGeometry) -> String {
+    let a = geom.params().a;
+    let side = 10.0 * a;
+    let view = Aabb::centered_square(Point::ORIGIN, side * 1.15);
+    let mut c = SvgCanvas::new(view, PX_WIDTH * 0.7);
+    c.rect(
+        &Aabb::centered_square(Point::ORIGIN, side),
+        "#333",
+        "none",
+        1.5,
+    );
+    c.circle(Point::ORIGIN, a, "#06c", "#e6f0ff", 1.5);
+    c.text(Point::new(0.0, 0.0), 13.0, "C0");
+    for d in Dir::ALL {
+        let cd = geom.c_disk(d);
+        c.circle(cd.center, cd.radius, "#063", "#e6ffe6", 1.5);
+        let region = wsn_geom::region::PredicateRegion::new(
+            Aabb::centered_square(d.unit_vec() * (2.0 * a), 4.0 * a),
+            |p| geom.e_region_contains(d, p),
+        );
+        c.region_stipple(&region, 60, "#c86");
+    }
+    c.finish()
+}
+
+/// Figures 4 / 6: the relay path between the representatives of two
+/// adjacent good tiles. `None` when the pair is not adjacent-good.
+pub fn render_adjacent_path(
+    net: &SensNetwork,
+    points: &PointSet,
+    a: wsn_perc::Site,
+    b: wsn_perc::Site,
+) -> Option<String> {
+    let path = net.adjacent_rep_path(a, b)?;
+    let (ta, tb) = (
+        net.grid.tiling().tile_aabb(net.grid.tile_of_site(a)),
+        net.grid.tiling().tile_aabb(net.grid.tile_of_site(b)),
+    );
+    let view = Aabb::from_coords(
+        ta.min.x.min(tb.min.x),
+        ta.min.y.min(tb.min.y),
+        ta.max.x.max(tb.max.x),
+        ta.max.y.max(tb.max.y),
+    )
+    .inflate(0.3);
+    let mut c = SvgCanvas::new(view, PX_WIDTH * 0.8);
+    c.rect(&ta, "#999", "none", 1.0);
+    c.rect(&tb, "#999", "none", 1.0);
+    for w in path.windows(2) {
+        c.line(points.get(w[0]), points.get(w[1]), "#06c", 2.0);
+    }
+    for (idx, &u) in path.iter().enumerate() {
+        let fill = if idx == 0 || idx == path.len() - 1 { "#111" } else { "#c33" };
+        c.dot(points.get(u), 4.0, fill);
+    }
+    Some(c.finish())
+}
+
+/// Figure 8: a routed packet's node path over the tiling (good tiles
+/// shaded). `None` when undeliverable.
+pub fn render_route(
+    net: &SensNetwork,
+    points: &PointSet,
+    src: wsn_perc::Site,
+    dst: wsn_perc::Site,
+) -> Option<String> {
+    let (_, node_path) = net.route(src, dst);
+    let path = node_path?;
+    let window = net.grid.covered_area();
+    let mut c = SvgCanvas::new(window.inflate(0.5), PX_WIDTH);
+    for s in net.grid.sites() {
+        let bb = net.grid.tiling().tile_aabb(net.grid.tile_of_site(s));
+        let fill = if net.lattice.is_open(s) { "#eef7ee" } else { "#f3d9d9" };
+        c.rect(&bb, "#aaa", fill, 0.5);
+    }
+    for w in path.windows(2) {
+        c.line(points.get(w[0]), points.get(w[1]), "#06c", 2.2);
+    }
+    for &u in &path {
+        c.dot(points.get(u), 3.0, "#c33");
+    }
+    c.dot(points.get(*path.first()?), 5.0, "#111");
+    c.dot(points.get(*path.last()?), 5.0, "#111");
+    Some(c.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{UdgSensParams};
+    use crate::tilegrid::TileGrid;
+    use crate::udg::build_udg_sens;
+    use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+
+    fn network() -> (SensNetwork, PointSet) {
+        let params = UdgSensParams::strict_default();
+        let grid = TileGrid::fit(10.0, params.tile_side);
+        let window = grid.covered_area();
+        let pts = sample_poisson_window(&mut rng_from_seed(88), 35.0, &window);
+        (build_udg_sens(&pts, params, grid).unwrap(), pts)
+    }
+
+    #[test]
+    fn tiling_figure_is_wellformed() {
+        let (net, pts) = network();
+        let svg = render_tiling(&net, &pts);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.matches("<circle").count() >= pts.len());
+    }
+
+    #[test]
+    fn lattice_figure_shows_open_sites() {
+        let (net, _) = network();
+        let svg = render_lattice(&net);
+        assert!(svg.contains("<line"), "supercritical lattice must have open edges");
+    }
+
+    #[test]
+    fn tile_figures_render_regions() {
+        let geom = UdgTileGeometry::new(UdgSensParams::strict_default()).unwrap();
+        let svg = render_udg_tile(&geom);
+        assert!(svg.contains("C0"));
+        assert!(svg.contains("Er"));
+
+        let nn = NnTileGeometry::new(crate::params::NnSensParams { a: 1.0, k: 100 }).unwrap();
+        let svg = render_nn_tile(&nn);
+        assert!(svg.contains("C0"));
+        assert!(svg.matches("<circle").count() > 100, "stipple + disks");
+    }
+
+    #[test]
+    fn path_and_route_figures() {
+        let (net, pts) = network();
+        // Find an adjacent good pair.
+        let mut pair = None;
+        'outer: for s in net.lattice.sites() {
+            if net.lattice.is_open(s) {
+                let r = (s.0 + 1, s.1);
+                if net.lattice.in_bounds(r) && net.lattice.is_open(r) {
+                    pair = Some((s, r));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = pair.expect("λ = 10 must produce adjacent good tiles");
+        let svg = render_adjacent_path(&net, &pts, a, b).unwrap();
+        assert!(svg.contains("<line"));
+        let svg = render_route(&net, &pts, a, b).unwrap();
+        assert!(svg.contains("<line"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Stretch measurement on SENS networks — Theorem 3.2 (experiment EXP-T32).
+//!
+//! Theorem 3.2: for supercritical parameters there are constants `α, c` with
+//! `P[d_SENS(x, y) > α·D(x, y)] < e^(−c·D(x, y))` — i.e. the stretch of the
+//! subgraph is constant except on an exponentially rare tail. We measure
+//! the full stretch distribution of representative pairs binned by distance.
+
+use rand::RngExt;
+use serde::Serialize;
+use wsn_geom::hash::derive_seed;
+use wsn_graph::stretch::{measure_pairs, StretchSample};
+use wsn_pointproc::{rng_from_seed, PointSet};
+
+use crate::subgraph::SensNetwork;
+
+/// Uniformly sample `count` distinct ordered pairs of representatives that
+/// belong to the SENS core.
+pub fn sample_rep_pairs(net: &SensNetwork, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let reps: Vec<u32> = net
+        .reps
+        .iter()
+        .copied()
+        .filter(|&r| r != u32::MAX && net.is_member(r))
+        .collect();
+    if reps.len() < 2 {
+        return Vec::new();
+    }
+    let mut rng = rng_from_seed(derive_seed(seed, 0xAB));
+    (0..count)
+        .filter_map(|_| {
+            let a = reps[rng.random_range(0..reps.len())];
+            let b = reps[rng.random_range(0..reps.len())];
+            (a != b).then_some((a, b))
+        })
+        .collect()
+}
+
+/// Measure Euclidean-weighted stretch of the given pairs on the SENS graph.
+pub fn measure_sens_stretch(
+    net: &SensNetwork,
+    points: &PointSet,
+    pairs: &[(u32, u32)],
+) -> Vec<StretchSample> {
+    measure_pairs(&net.graph, |u| points.get(u), pairs)
+}
+
+/// Stretch statistics within one Euclidean-distance bin.
+#[derive(Clone, Debug, Serialize)]
+pub struct StretchBin {
+    pub dist_lo: f64,
+    pub dist_hi: f64,
+    pub pairs: usize,
+    pub mean_stretch: f64,
+    pub max_stretch: f64,
+    /// Empirical `P[stretch > alpha]` at the α used for the tail estimate.
+    pub tail_prob: f64,
+}
+
+/// Bin samples by Euclidean distance and compute per-bin stretch stats and
+/// the exceedance probability at `alpha`.
+///
+/// Theorem 3.2 predicts `tail_prob` decaying exponentially with distance
+/// while `mean_stretch` stays flat.
+pub fn binned_stretch(samples: &[StretchSample], edges: &[f64], alpha: f64) -> Vec<StretchBin> {
+    assert!(edges.len() >= 2, "need at least one bin");
+    let mut bins: Vec<StretchBin> = edges
+        .windows(2)
+        .map(|w| StretchBin {
+            dist_lo: w[0],
+            dist_hi: w[1],
+            pairs: 0,
+            mean_stretch: 0.0,
+            max_stretch: 0.0,
+            tail_prob: 0.0,
+        })
+        .collect();
+    for s in samples {
+        if !s.graph_dist.is_finite() {
+            continue;
+        }
+        let Some(bin) = bins
+            .iter_mut()
+            .find(|b| s.euclid >= b.dist_lo && s.euclid < b.dist_hi)
+        else {
+            continue;
+        };
+        let st = s.stretch();
+        bin.pairs += 1;
+        bin.mean_stretch += st;
+        bin.max_stretch = bin.max_stretch.max(st);
+        if st > alpha {
+            bin.tail_prob += 1.0;
+        }
+    }
+    for b in &mut bins {
+        if b.pairs > 0 {
+            bin_finalize(b);
+        }
+    }
+    bins
+}
+
+fn bin_finalize(b: &mut StretchBin) {
+    b.mean_stretch /= b.pairs as f64;
+    b.tail_prob /= b.pairs as f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::UdgSensParams;
+    use crate::tilegrid::TileGrid;
+    use crate::udg::build_udg_sens;
+    use wsn_pointproc::sample_poisson_window;
+
+    fn network(seed: u64, side: f64, lambda: f64) -> (SensNetwork, PointSet) {
+        let params = UdgSensParams::strict_default();
+        let grid = TileGrid::fit(side, params.tile_side);
+        let window = grid.covered_area();
+        let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &window);
+        let net = build_udg_sens(&pts, params, grid).unwrap();
+        (net, pts)
+    }
+
+    #[test]
+    fn sampled_pairs_are_core_reps() {
+        let (net, _pts) = network(1, 18.0, 35.0);
+        let pairs = sample_rep_pairs(&net, 50, 3);
+        assert!(!pairs.is_empty());
+        for (a, b) in pairs {
+            assert_ne!(a, b);
+            assert!(net.is_member(a) && net.is_member(b));
+            assert!(net.roles[a as usize] & crate::subgraph::ROLE_REP != 0);
+        }
+    }
+
+    #[test]
+    fn core_pairs_have_finite_bounded_stretch() {
+        let (net, pts) = network(2, 18.0, 35.0);
+        let pairs = sample_rep_pairs(&net, 80, 5);
+        let samples = measure_sens_stretch(&net, &pts, &pairs);
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert!(
+                s.graph_dist.is_finite(),
+                "core reps must be connected ({}, {})",
+                s.u,
+                s.v
+            );
+            assert!(s.stretch() >= 1.0 - 1e-9, "stretch below 1: {}", s.stretch());
+            // Generous sanity bound: constant-stretch means small constants
+            // at this density.
+            assert!(s.stretch() < 25.0, "implausible stretch {}", s.stretch());
+        }
+    }
+
+    #[test]
+    fn mean_stretch_is_flat_across_distance() {
+        let (net, pts) = network(3, 26.0, 35.0);
+        let pairs = sample_rep_pairs(&net, 400, 7);
+        let samples = measure_sens_stretch(&net, &pts, &pairs);
+        let edges = [1.0, 5.0, 10.0, 20.0];
+        let bins = binned_stretch(&samples, &edges, 6.0);
+        let populated: Vec<&StretchBin> = bins.iter().filter(|b| b.pairs >= 10).collect();
+        assert!(populated.len() >= 2, "need at least two populated bins");
+        // Constant-stretch: means across distance bins within a factor ~2.
+        let means: Vec<f64> = populated.iter().map(|b| b.mean_stretch).collect();
+        let (lo, hi) = (
+            means.iter().cloned().fold(f64::MAX, f64::min),
+            means.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(hi / lo < 2.0, "means vary too much: {means:?}");
+    }
+
+    #[test]
+    fn empty_network_yields_no_pairs() {
+        let (net, _pts) = network(4, 12.0, 0.05);
+        assert!(sample_rep_pairs(&net, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn binning_respects_edges() {
+        let samples = vec![
+            StretchSample {
+                u: 0,
+                v: 1,
+                euclid: 1.5,
+                graph_dist: 3.0,
+                hops: 3,
+            },
+            StretchSample {
+                u: 0,
+                v: 2,
+                euclid: 4.0,
+                graph_dist: 4.4,
+                hops: 4,
+            },
+        ];
+        let bins = binned_stretch(&samples, &[1.0, 2.0, 5.0], 1.5);
+        assert_eq!(bins[0].pairs, 1);
+        assert_eq!(bins[1].pairs, 1);
+        assert!((bins[0].mean_stretch - 2.0).abs() < 1e-12);
+        assert_eq!(bins[0].tail_prob, 1.0); // stretch 2.0 > α = 1.5
+        assert_eq!(bins[1].tail_prob, 0.0); // stretch 1.1 ≤ α
+    }
+}

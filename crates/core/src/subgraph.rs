@@ -1,0 +1,315 @@
+//! The common output type of both constructions.
+//!
+//! A [`SensNetwork`] bundles the elected subgraph, the node roles, the
+//! coupled percolation lattice and the tile grid. "The largest connected
+//! component formed by the representative points and relay points" — the
+//! paper's definition of `UDG-SENS` / `NN-SENS` — is exposed as
+//! [`SensNetwork::core_mask`].
+
+use serde::Serialize;
+use wsn_geom::tile::Dir;
+use wsn_graph::components::connected_components;
+use wsn_graph::stats::{degree_stats_masked, DegreeStats};
+use wsn_graph::Csr;
+use wsn_perc::{route_xy, Lattice, RouteOutcome, Site};
+use wsn_pointproc::PointSet;
+
+use crate::tilegrid::TileGrid;
+
+/// Role bit: the node is a tile representative.
+pub const ROLE_REP: u16 = 1;
+
+/// Role bit for a relay in direction `d`.
+#[inline]
+pub fn relay_bit(d: Dir) -> u16 {
+    2 << d.index()
+}
+
+/// Any-relay mask.
+pub const ROLE_RELAY_ANY: u16 = 0b0001_1110;
+
+/// A built SENS topology (either variant).
+#[derive(Clone, Debug)]
+pub struct SensNetwork {
+    /// The tile grid (the bijection φ to the lattice).
+    pub grid: TileGrid,
+    /// Coupled site-percolation lattice: site open ⇔ tile good.
+    pub lattice: Lattice,
+    /// The elected subgraph over the *full* node-id space (non-members are
+    /// isolated).
+    pub graph: Csr,
+    /// Per node: role bitmask ([`ROLE_REP`], [`relay_bit`]); 0 = unused.
+    pub roles: Vec<u16>,
+    /// Per node: linear tile index, `u32::MAX` when outside the grid.
+    pub tile_of_node: Vec<u32>,
+    /// Per linear tile index: elected representative (`u32::MAX` = none).
+    pub reps: Vec<u32>,
+    /// Mask of the largest connected component of elected nodes — the SENS
+    /// network proper.
+    pub core_mask: Vec<bool>,
+    /// Required links that were *not* present in the base graph (always 0 in
+    /// strict UDG mode; may be positive in paper mode — see DESIGN.md §2).
+    pub missing_links: usize,
+}
+
+/// Summary counters used by experiments and examples.
+#[derive(Clone, Debug, Serialize)]
+pub struct SensSummary {
+    pub nodes_total: usize,
+    pub tiles_total: usize,
+    pub tiles_good: usize,
+    pub elected: usize,
+    pub core_size: usize,
+    pub edges: usize,
+    pub max_degree: usize,
+    pub mean_degree: f64,
+    pub missing_links: usize,
+}
+
+impl SensNetwork {
+    #[doc(hidden)]
+    pub fn assemble(
+        grid: TileGrid,
+        lattice: Lattice,
+        graph: Csr,
+        roles: Vec<u16>,
+        tile_of_node: Vec<u32>,
+        reps: Vec<u32>,
+        missing_links: usize,
+    ) -> Self {
+        // Largest component among elected nodes. The graph has edges only
+        // between elected nodes, so plain components + masking out the
+        // unelected singletons is enough.
+        let comps = connected_components(&graph);
+        let mut core_mask = comps.largest_mask();
+        // An empty construction: largest "component" may be an unelected
+        // isolated node; clear it.
+        for (i, m) in core_mask.iter_mut().enumerate() {
+            if roles[i] == 0 {
+                *m = false;
+            }
+        }
+        SensNetwork {
+            grid,
+            lattice,
+            graph,
+            roles,
+            tile_of_node,
+            reps,
+            core_mask,
+            missing_links,
+        }
+    }
+
+    /// Representative of the tile at `site`, if the tile is good.
+    #[inline]
+    pub fn rep_of(&self, site: Site) -> Option<u32> {
+        let r = self.reps[self.grid.linear(site)];
+        (r != u32::MAX).then_some(r)
+    }
+
+    /// Is the node part of the SENS network (largest elected component)?
+    #[inline]
+    pub fn is_member(&self, node: u32) -> bool {
+        self.core_mask[node as usize]
+    }
+
+    /// Ids of all member nodes.
+    pub fn members(&self) -> Vec<u32> {
+        (0..self.core_mask.len() as u32)
+            .filter(|&u| self.core_mask[u as usize])
+            .collect()
+    }
+
+    /// Number of elected nodes (reps + relays, all components).
+    pub fn elected_count(&self) -> usize {
+        self.roles.iter().filter(|&&r| r != 0).count()
+    }
+
+    /// Degree statistics over the members — property P1 says `max ≤ 4`.
+    pub fn degree_stats(&self) -> DegreeStats {
+        degree_stats_masked(&self.graph, &self.core_mask)
+    }
+
+    pub fn summary(&self) -> SensSummary {
+        let d = self.degree_stats();
+        SensSummary {
+            nodes_total: self.roles.len(),
+            tiles_total: self.grid.tile_count(),
+            tiles_good: self.lattice.open_count(),
+            elected: self.elected_count(),
+            core_size: self.core_mask.iter().filter(|&&b| b).count(),
+            edges: self.graph.m(),
+            max_degree: d.max,
+            mean_degree: d.mean,
+            missing_links: self.missing_links,
+        }
+    }
+
+    /// Node-level path between the representatives of two *adjacent* good
+    /// tiles, using only nodes of those two tiles. `None` if the link was
+    /// not realised (possible only when `missing_links > 0`).
+    pub fn adjacent_rep_path(&self, a: Site, b: Site) -> Option<Vec<u32>> {
+        let (ra, rb) = (self.rep_of(a)?, self.rep_of(b)?);
+        let (la, lb) = (
+            self.grid.linear(a) as u32,
+            self.grid.linear(b) as u32,
+        );
+        // BFS from ra to rb restricted to the two tiles (≤ ~20 nodes deep).
+        let mut parent: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        parent.insert(ra, ra);
+        queue.push_back(ra);
+        while let Some(u) = queue.pop_front() {
+            if u == rb {
+                let mut path = vec![rb];
+                let mut c = rb;
+                while c != ra {
+                    c = parent[&c];
+                    path.push(c);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &v in self.graph.neighbors(u) {
+                let t = self.tile_of_node[v as usize];
+                if (t == la || t == lb) && !parent.contains_key(&v) {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Route a packet between the representatives of two tiles with the
+    /// Fig. 9 algorithm on the coupled lattice, then expand the site path to
+    /// an actual node path through relays.
+    ///
+    /// Returns the lattice-level outcome together with the node path; the
+    /// node path is `None` when the packet was undeliverable or (paper mode
+    /// only) a lattice edge was not realised by physical links.
+    pub fn route(&self, src: Site, dst: Site) -> (RouteOutcome, Option<Vec<u32>>) {
+        let outcome = route_xy(&self.lattice, src, dst);
+        if !outcome.delivered {
+            return (outcome, None);
+        }
+        let mut nodes: Vec<u32> = Vec::new();
+        match self.rep_of(src) {
+            Some(r) => nodes.push(r),
+            None => return (outcome, None),
+        }
+        for w in outcome.path.windows(2) {
+            match self.adjacent_rep_path(w[0], w[1]) {
+                Some(seg) => nodes.extend_from_slice(&seg[1..]),
+                None => return (outcome, None),
+            }
+        }
+        (outcome, Some(nodes))
+    }
+
+    /// Check every consecutive pair of a node path is a graph edge.
+    pub fn validate_node_path(&self, path: &[u32]) -> bool {
+        path.windows(2).all(|w| self.graph.has_edge(w[0], w[1]))
+    }
+
+    /// Member nodes inside an axis-aligned box — the coverage primitive of
+    /// Theorem 3.3 (`|B(ℓ) ∩ SENS|`).
+    pub fn members_in_box(&self, points: &PointSet, b: &wsn_geom::Aabb) -> usize {
+        // Members are sparse; a linear scan over members is fine and avoids
+        // keeping a second spatial index alive.
+        (0..points.len() as u32)
+            .filter(|&u| self.core_mask[u as usize] && b.contains(points.get(u)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::UdgSensParams;
+    use crate::tilegrid::TileGrid;
+    use crate::udg::build_udg_sens;
+    use wsn_geom::{Aabb, Point};
+    use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+
+    fn network(seed: u64, lambda: f64) -> (SensNetwork, PointSet) {
+        let params = UdgSensParams::strict_default();
+        let grid = TileGrid::fit(14.0, params.tile_side);
+        let window = grid.covered_area();
+        let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &window);
+        (build_udg_sens(&pts, params, grid).unwrap(), pts)
+    }
+
+    #[test]
+    fn role_bits_are_distinct_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(ROLE_REP));
+        for d in Dir::ALL {
+            assert!(seen.insert(relay_bit(d)), "duplicate bit for {d:?}");
+            assert_ne!(relay_bit(d), 0);
+            assert_ne!(relay_bit(d) & ROLE_RELAY_ANY, 0);
+        }
+        assert_eq!(ROLE_REP & ROLE_RELAY_ANY, 0);
+    }
+
+    #[test]
+    fn summary_counters_are_consistent() {
+        let (net, pts) = network(1, 30.0);
+        let s = net.summary();
+        assert_eq!(s.nodes_total, pts.len());
+        assert_eq!(s.tiles_total, net.grid.tile_count());
+        assert_eq!(s.tiles_good, net.lattice.open_count());
+        assert!(s.core_size <= s.elected);
+        assert_eq!(s.elected, net.elected_count());
+        assert_eq!(s.core_size, net.members().len());
+        assert!(s.max_degree <= 4);
+    }
+
+    #[test]
+    fn members_in_box_counts_only_core_members() {
+        let (net, pts) = network(2, 30.0);
+        let window = net.grid.covered_area();
+        let all = net.members_in_box(&pts, &window);
+        assert_eq!(all, net.members().len(), "the full window holds the core");
+        let empty = net.members_in_box(&pts, &Aabb::centered_square(Point::new(-50.0, -50.0), 1.0));
+        assert_eq!(empty, 0);
+    }
+
+    #[test]
+    fn route_to_bad_tile_returns_no_path() {
+        let (net, _) = network(3, 20.0);
+        let bad = net.lattice.sites().find(|&s| !net.lattice.is_open(s));
+        let good = net.lattice.sites().find(|&s| net.lattice.is_open(s));
+        if let (Some(b), Some(g)) = (bad, good) {
+            let (outcome, path) = net.route(g, b);
+            assert!(!outcome.delivered);
+            assert!(path.is_none());
+            assert!(net.rep_of(b).is_none());
+        }
+    }
+
+    #[test]
+    fn validate_node_path_rejects_non_edges() {
+        let (net, _) = network(4, 30.0);
+        let members = net.members();
+        assert!(net.validate_node_path(&[members[0]]), "singleton path is valid");
+        // Two arbitrary members are almost surely not adjacent.
+        let (a, b) = (members[0], members[members.len() - 1]);
+        if !net.graph.has_edge(a, b) {
+            assert!(!net.validate_node_path(&[a, b]));
+        }
+    }
+
+    #[test]
+    fn adjacent_rep_path_requires_good_tiles() {
+        let (net, _) = network(5, 20.0);
+        let bad = net.lattice.sites().find(|&s| !net.lattice.is_open(s));
+        if let Some(b) = bad {
+            let nb = (b.0 + 1, b.1);
+            if net.lattice.in_bounds(nb) {
+                assert!(net.adjacent_rep_path(b, nb).is_none());
+            }
+        }
+    }
+}

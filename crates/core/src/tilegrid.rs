@@ -1,0 +1,265 @@
+//! Finite tile grids and point→tile assignment.
+//!
+//! Experiments realise the constructions inside a window `[0, W]²`; the
+//! window is covered by `cols × rows` whole tiles (a leftover strip narrower
+//! than one tile is ignored). Tile `(i, j)` of the grid corresponds to site
+//! `(i, j)` of the coupled percolation lattice — this *is* the bijection `φ`
+//! of the paper.
+
+use wsn_geom::{Aabb, Point, TileIndex, Tiling};
+use wsn_perc::Site;
+use wsn_pointproc::PointSet;
+
+/// A finite `cols × rows` grid of square tiles anchored at the origin.
+#[derive(Clone, Debug)]
+pub struct TileGrid {
+    tiling: Tiling,
+    cols: usize,
+    rows: usize,
+}
+
+impl TileGrid {
+    /// Grid of the largest `cols × rows` block of whole tiles of side
+    /// `tile_side` fitting in `[0, window_side]²`. Panics if not even one
+    /// tile fits.
+    pub fn fit(window_side: f64, tile_side: f64) -> Self {
+        let tiling = Tiling::new(tile_side);
+        let n = tiling.tiles_across(window_side);
+        assert!(n >= 1, "window smaller than one tile");
+        TileGrid {
+            tiling,
+            cols: n,
+            rows: n,
+        }
+    }
+
+    /// Explicit dimensions.
+    pub fn new(tile_side: f64, cols: usize, rows: usize) -> Self {
+        assert!(cols >= 1 && rows >= 1);
+        TileGrid {
+            tiling: Tiling::new(tile_side),
+            cols,
+            rows,
+        }
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn tile_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    #[inline]
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    #[inline]
+    pub fn tile_side(&self) -> f64 {
+        self.tiling.side()
+    }
+
+    /// The region covered by whole tiles.
+    pub fn covered_area(&self) -> Aabb {
+        Aabb::from_coords(
+            0.0,
+            0.0,
+            self.cols as f64 * self.tile_side(),
+            self.rows as f64 * self.tile_side(),
+        )
+    }
+
+    /// Grid (lattice) site of the tile containing `p`, if inside the grid.
+    #[inline]
+    pub fn site_of_point(&self, p: Point) -> Option<Site> {
+        let t = self.tiling.tile_of(p);
+        self.site_of_tile(t)
+    }
+
+    /// Convert an (unbounded) tile index to a grid site.
+    #[inline]
+    pub fn site_of_tile(&self, t: TileIndex) -> Option<Site> {
+        if t.i >= 0 && t.j >= 0 && (t.i as usize) < self.cols && (t.j as usize) < self.rows {
+            Some((t.i as usize, t.j as usize))
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub fn tile_of_site(&self, s: Site) -> TileIndex {
+        TileIndex::new(s.0 as i64, s.1 as i64)
+    }
+
+    /// Linear index of a site (row-major).
+    #[inline]
+    pub fn linear(&self, s: Site) -> usize {
+        s.1 * self.cols + s.0
+    }
+
+    #[inline]
+    pub fn site_of_linear(&self, idx: usize) -> Site {
+        (idx % self.cols, idx / self.cols)
+    }
+
+    /// Centre of a tile in R².
+    #[inline]
+    pub fn center(&self, s: Site) -> Point {
+        self.tiling.tile_center(self.tile_of_site(s))
+    }
+
+    /// Position of `p` relative to the centre of tile `s`.
+    #[inline]
+    pub fn local(&self, s: Site, p: Point) -> Point {
+        p - self.center(s)
+    }
+
+    /// All sites, row-major.
+    pub fn sites(&self) -> impl Iterator<Item = Site> + '_ {
+        (0..self.rows).flat_map(move |j| (0..self.cols).map(move |i| (i, j)))
+    }
+}
+
+/// CSR-style assignment of point ids to tiles.
+#[derive(Clone, Debug)]
+pub struct TileAssignment {
+    start: Vec<u32>,
+    ids: Vec<u32>,
+    /// Per point: linear tile index, or `u32::MAX` if outside the grid.
+    pub tile_of_point: Vec<u32>,
+}
+
+impl TileAssignment {
+    /// Assign every point of `points` to its tile (points outside the grid
+    /// area are left unassigned).
+    pub fn build(grid: &TileGrid, points: &PointSet) -> Self {
+        let n_tiles = grid.tile_count();
+        let mut counts = vec![0u32; n_tiles + 1];
+        let mut tile_of_point = vec![u32::MAX; points.len()];
+        for (id, p) in points.iter_enumerated() {
+            if let Some(s) = grid.site_of_point(p) {
+                let lin = grid.linear(s);
+                tile_of_point[id as usize] = lin as u32;
+                counts[lin + 1] += 1;
+            }
+        }
+        for t in 0..n_tiles {
+            counts[t + 1] += counts[t];
+        }
+        let start = counts.clone();
+        let mut cursor = counts;
+        let total = start[n_tiles] as usize;
+        let mut ids = vec![0u32; total];
+        for (id, _) in points.iter_enumerated() {
+            let lin = tile_of_point[id as usize];
+            if lin != u32::MAX {
+                ids[cursor[lin as usize] as usize] = id;
+                cursor[lin as usize] += 1;
+            }
+        }
+        TileAssignment {
+            start,
+            ids,
+            tile_of_point,
+        }
+    }
+
+    /// Point ids inside tile `lin` (ascending).
+    #[inline]
+    pub fn points_in(&self, lin: usize) -> &[u32] {
+        &self.ids[self.start[lin] as usize..self.start[lin + 1] as usize]
+    }
+
+    /// Number of points assigned to any tile.
+    #[inline]
+    pub fn assigned_count(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_ignores_partial_tiles() {
+        let g = TileGrid::fit(10.0, 3.0);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.covered_area(), Aabb::from_coords(0.0, 0.0, 9.0, 9.0));
+    }
+
+    #[test]
+    fn site_mapping_roundtrips() {
+        let g = TileGrid::new(2.0, 4, 3);
+        for s in g.sites() {
+            assert_eq!(g.site_of_linear(g.linear(s)), s);
+            assert_eq!(g.site_of_tile(g.tile_of_site(s)), Some(s));
+            assert_eq!(g.site_of_point(g.center(s)), Some(s));
+        }
+        assert_eq!(g.tile_count(), 12);
+    }
+
+    #[test]
+    fn out_of_grid_points_are_unassigned() {
+        let g = TileGrid::new(1.0, 2, 2);
+        assert_eq!(g.site_of_point(Point::new(-0.1, 0.5)), None);
+        assert_eq!(g.site_of_point(Point::new(2.5, 0.5)), None);
+        assert_eq!(g.site_of_point(Point::new(1.5, 1.5)), Some((1, 1)));
+    }
+
+    #[test]
+    fn local_coordinates_are_tile_centred() {
+        let g = TileGrid::new(2.0, 3, 3);
+        let p = Point::new(3.5, 1.0);
+        let s = g.site_of_point(p).unwrap();
+        assert_eq!(s, (1, 0));
+        let local = g.local(s, p);
+        assert!(local.dist(Point::new(0.5, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn assignment_partitions_inside_points() {
+        let g = TileGrid::new(1.0, 3, 3);
+        let pts: PointSet = vec![
+            Point::new(0.5, 0.5),  // (0,0)
+            Point::new(1.5, 0.5),  // (1,0)
+            Point::new(0.6, 0.4),  // (0,0)
+            Point::new(2.9, 2.9),  // (2,2)
+            Point::new(5.0, 5.0),  // outside
+        ]
+        .into_iter()
+        .collect();
+        let asg = TileAssignment::build(&g, &pts);
+        assert_eq!(asg.assigned_count(), 4);
+        assert_eq!(asg.points_in(g.linear((0, 0))), &[0, 2]);
+        assert_eq!(asg.points_in(g.linear((1, 0))), &[1]);
+        assert_eq!(asg.points_in(g.linear((2, 2))), &[3]);
+        assert_eq!(asg.tile_of_point[4], u32::MAX);
+        // Every interior tile slice is consistent with tile_of_point.
+        for lin in 0..g.tile_count() {
+            for &id in asg.points_in(lin) {
+                assert_eq!(asg.tile_of_point[id as usize], lin as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_point_set() {
+        let g = TileGrid::new(1.0, 2, 2);
+        let asg = TileAssignment::build(&g, &PointSet::new());
+        assert_eq!(asg.assigned_count(), 0);
+        for lin in 0..g.tile_count() {
+            assert!(asg.points_in(lin).is_empty());
+        }
+    }
+}

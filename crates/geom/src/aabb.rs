@@ -1,0 +1,218 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A closed axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
+///
+/// Used for simulation windows, tile extents and the coverage boxes `B(ℓ)`
+/// of Theorem 3.3.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Construct from corner points; panics in debug builds if inverted.
+    #[inline]
+    pub fn new(min: Point, max: Point) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "inverted Aabb");
+        Aabb { min, max }
+    }
+
+    /// Construct from raw coordinates.
+    #[inline]
+    pub fn from_coords(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Aabb::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// The square `[0, side] × [0, side]` — the usual simulation window.
+    #[inline]
+    pub fn square(side: f64) -> Self {
+        Aabb::from_coords(0.0, 0.0, side, side)
+    }
+
+    /// A square of side `side` centred at `c` — the paper's `B(ℓ)` boxes.
+    #[inline]
+    pub fn centered_square(c: Point, side: f64) -> Self {
+        let h = side * 0.5;
+        Aabb::from_coords(c.x - h, c.y - h, c.x + h, c.y + h)
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Closed containment (boundary points are inside).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True iff the rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// True iff `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_aabb(&self, other: &Aabb) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// The box expanded by `margin` on every side (shrunk if negative).
+    #[inline]
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        Aabb::from_coords(
+            self.min.x - margin,
+            self.min.y - margin,
+            self.max.x + margin,
+            self.max.y + margin,
+        )
+    }
+
+    /// Intersection of two boxes, or `None` when disjoint.
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        let x0 = self.min.x.max(other.min.x);
+        let y0 = self.min.y.max(other.min.y);
+        let x1 = self.max.x.min(other.max.x);
+        let y1 = self.max.y.min(other.max.y);
+        if x0 <= x1 && y0 <= y1 {
+            Some(Aabb::from_coords(x0, y0, x1, y1))
+        } else {
+            None
+        }
+    }
+
+    /// Closest point of the box to `p` (equals `p` when `p` is inside).
+    #[inline]
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Distance from `p` to the box (0 when inside).
+    #[inline]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        p.dist(self.clamp_point(p))
+    }
+
+    /// Distance from an interior point `p` to the box *boundary*.
+    ///
+    /// This is the radius of the largest disk centred at `p` that fits inside
+    /// the box — the quantity defining the NN-SENS `E`-regions ("the largest
+    /// circle centred at any point … that lies wholly within the two tiles").
+    /// Returns a negative value when `p` is outside the box.
+    #[inline]
+    pub fn interior_clearance(&self, p: Point) -> f64 {
+        let dx = (p.x - self.min.x).min(self.max.x - p.x);
+        let dy = (p.y - self.min.y).min(self.max.y - p.y);
+        dx.min(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_measures() {
+        let b = Aabb::from_coords(1.0, 2.0, 4.0, 6.0);
+        assert_eq!(b.width(), 3.0);
+        assert_eq!(b.height(), 4.0);
+        assert_eq!(b.area(), 12.0);
+        assert_eq!(b.center(), Point::new(2.5, 4.0));
+    }
+
+    #[test]
+    fn containment_is_closed() {
+        let b = Aabb::square(2.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(2.0, 2.0)));
+        assert!(b.contains(Point::new(1.0, 1.5)));
+        assert!(!b.contains(Point::new(-0.001, 1.0)));
+        assert!(!b.contains(Point::new(1.0, 2.001)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Aabb::from_coords(0.0, 0.0, 2.0, 2.0);
+        let b = Aabb::from_coords(1.0, 1.0, 3.0, 3.0);
+        let c = Aabb::from_coords(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&b), Some(Aabb::from_coords(1.0, 1.0, 2.0, 2.0)));
+        assert_eq!(a.intersection(&c), None);
+        // Touching edges intersect (closed boxes).
+        let d = Aabb::from_coords(2.0, 0.0, 3.0, 2.0);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn nested_containment() {
+        let outer = Aabb::square(10.0);
+        let inner = Aabb::from_coords(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains_aabb(&inner));
+        assert!(!inner.contains_aabb(&outer));
+        assert!(outer.contains_aabb(&outer));
+    }
+
+    #[test]
+    fn clamp_and_distance() {
+        let b = Aabb::square(1.0);
+        assert_eq!(b.clamp_point(Point::new(0.5, 0.5)), Point::new(0.5, 0.5));
+        assert_eq!(b.clamp_point(Point::new(2.0, 0.5)), Point::new(1.0, 0.5));
+        assert_eq!(b.dist_to_point(Point::new(2.0, 0.5)), 1.0);
+        assert_eq!(b.dist_to_point(Point::new(0.2, 0.8)), 0.0);
+        let corner = b.dist_to_point(Point::new(2.0, 2.0));
+        assert!((corner - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_clearance_matches_largest_inscribed_disk() {
+        let b = Aabb::from_coords(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(b.interior_clearance(Point::new(2.0, 1.0)), 1.0);
+        assert_eq!(b.interior_clearance(Point::new(0.5, 1.0)), 0.5);
+        assert!((b.interior_clearance(Point::new(3.9, 1.0)) - 0.1).abs() < 1e-12);
+        assert!(b.interior_clearance(Point::new(-1.0, 1.0)) < 0.0);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let b = Aabb::square(2.0).inflate(0.5);
+        assert_eq!(b, Aabb::from_coords(-0.5, -0.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn centered_square_matches_paper_b_ell() {
+        let b = Aabb::centered_square(Point::new(10.0, 10.0), 4.0);
+        assert_eq!(b, Aabb::from_coords(8.0, 8.0, 12.0, 12.0));
+        assert_eq!(b.area(), 16.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Closed disks in R².
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A closed disk `{ x : d(x, center) ≤ radius }`.
+///
+/// Disks are the workhorse of the unit-disk-graph model (`UDG(2, λ)` connects
+/// points at distance ≤ 1) and of the tile regions `C0`, `Cl`, `Cr`, `Ct`,
+/// `Cb` in both SENS constructions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Disk {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Disk {
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "negative disk radius");
+        Disk { center, radius }
+    }
+
+    /// The unit disk centred at `center` — the UDG connectivity range.
+    #[inline]
+    pub fn unit(center: Point) -> Self {
+        Disk::new(center, 1.0)
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Closed containment.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    /// True iff the two closed disks share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Disk) -> bool {
+        let r = self.radius + other.radius;
+        self.center.dist_sq(other.center) <= r * r
+    }
+
+    /// True iff `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_disk(&self, other: &Disk) -> bool {
+        if other.radius > self.radius {
+            return false;
+        }
+        let slack = self.radius - other.radius;
+        self.center.dist_sq(other.center) <= slack * slack
+    }
+
+    /// True iff the disk lies entirely inside the box.
+    #[inline]
+    pub fn inside_aabb(&self, b: &Aabb) -> bool {
+        b.interior_clearance(self.center) >= self.radius
+    }
+
+    /// True iff the closed disk and closed box share at least one point.
+    #[inline]
+    pub fn intersects_aabb(&self, b: &Aabb) -> bool {
+        b.dist_to_point(self.center) <= self.radius
+    }
+
+    /// Smallest box containing the disk.
+    #[inline]
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_coords(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+    }
+
+    /// The point of the disk farthest from `p` is at this distance.
+    ///
+    /// Visibility arguments in the SENS constructions repeatedly need
+    /// "`q` is within distance 1 of *every* point of disk `D`", which is
+    /// exactly `D.max_dist_to(q) ≤ 1`.
+    #[inline]
+    pub fn max_dist_to(&self, p: Point) -> f64 {
+        self.center.dist(p) + self.radius
+    }
+
+    /// Distance from `p` to the nearest point of the disk (0 when inside).
+    #[inline]
+    pub fn min_dist_to(&self, p: Point) -> f64 {
+        (self.center.dist(p) - self.radius).max(0.0)
+    }
+
+    /// Erosion: the set of points within distance `reach` of *every* point of
+    /// this disk, which is the concentric disk of radius `reach − radius`
+    /// (empty when `reach < radius`, returned as `None`).
+    ///
+    /// This is the operation that exposes the degeneracy (D1 in DESIGN.md) of
+    /// the paper's literal UDG relay-region definition: eroding the unit disk
+    /// by the radius-½ region `C0` leaves exactly `C0` itself.
+    #[inline]
+    pub fn erosion_of_reach(&self, reach: f64) -> Option<Disk> {
+        let r = reach - self.radius;
+        if r >= 0.0 {
+            Some(Disk::new(self.center, r))
+        } else {
+            None
+        }
+    }
+
+    /// Area of the intersection of two disks (closed form).
+    pub fn intersection_area(&self, other: &Disk) -> f64 {
+        let d = self.center.dist(other.center);
+        let (r, s) = (self.radius, other.radius);
+        if d >= r + s {
+            return 0.0;
+        }
+        if d <= (r - s).abs() {
+            // One disk inside the other.
+            let m = r.min(s);
+            return std::f64::consts::PI * m * m;
+        }
+        // Standard circular-segment formula.
+        let r2 = r * r;
+        let s2 = s * s;
+        let alpha = ((d * d + r2 - s2) / (2.0 * d * r)).clamp(-1.0, 1.0).acos();
+        let beta = ((d * d + s2 - r2) / (2.0 * d * s)).clamp(-1.0, 1.0).acos();
+        r2 * (alpha - alpha.sin() * alpha.cos()) + s2 * (beta - beta.sin() * beta.cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn containment_is_closed() {
+        let d = Disk::unit(Point::ORIGIN);
+        assert!(d.contains(Point::new(1.0, 0.0)));
+        assert!(d.contains(Point::new(0.0, 0.0)));
+        assert!(!d.contains(Point::new(1.0 + 1e-9, 0.0)));
+    }
+
+    #[test]
+    fn disk_disk_intersection_predicate() {
+        let a = Disk::new(Point::ORIGIN, 1.0);
+        let b = Disk::new(Point::new(2.0, 0.0), 1.0); // tangent
+        let c = Disk::new(Point::new(2.1, 0.0), 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn disk_containment() {
+        let big = Disk::new(Point::ORIGIN, 2.0);
+        let small = Disk::new(Point::new(0.5, 0.0), 1.0);
+        assert!(big.contains_disk(&small));
+        assert!(!small.contains_disk(&big));
+        // Tangent internally: still contained (closed sets).
+        let tangent = Disk::new(Point::new(1.0, 0.0), 1.0);
+        assert!(big.contains_disk(&tangent));
+    }
+
+    #[test]
+    fn aabb_interactions() {
+        let b = Aabb::square(4.0);
+        let inside = Disk::new(Point::new(2.0, 2.0), 1.0);
+        let poking = Disk::new(Point::new(0.5, 2.0), 1.0);
+        let outside = Disk::new(Point::new(-2.0, 2.0), 1.0);
+        assert!(inside.inside_aabb(&b));
+        assert!(!poking.inside_aabb(&b));
+        assert!(poking.intersects_aabb(&b));
+        assert!(!outside.intersects_aabb(&b));
+    }
+
+    #[test]
+    fn min_max_distances() {
+        let d = Disk::new(Point::ORIGIN, 1.0);
+        let p = Point::new(3.0, 0.0);
+        assert_eq!(d.max_dist_to(p), 4.0);
+        assert_eq!(d.min_dist_to(p), 2.0);
+        assert_eq!(d.min_dist_to(Point::new(0.5, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn erosion_reproduces_design_md_degeneracy() {
+        // Eroding reach-1 visibility by the paper's C0 (radius 1/2) leaves a
+        // radius-1/2 disk — i.e. exactly C0, so Er \ C0 = ∅ (defect D1).
+        let c0 = Disk::new(Point::ORIGIN, 0.5);
+        let eroded = c0.erosion_of_reach(1.0).unwrap();
+        assert_eq!(eroded.radius, 0.5);
+        assert!(c0.erosion_of_reach(0.4).is_none());
+    }
+
+    #[test]
+    fn intersection_area_limits() {
+        let a = Disk::new(Point::ORIGIN, 1.0);
+        // Disjoint.
+        assert_eq!(a.intersection_area(&Disk::new(Point::new(3.0, 0.0), 1.0)), 0.0);
+        // Identical: full area.
+        let same = a.intersection_area(&a);
+        assert!((same - PI).abs() < 1e-12);
+        // Contained: area of the smaller disk.
+        let small = Disk::new(Point::new(0.1, 0.0), 0.5);
+        assert!((a.intersection_area(&small) - PI * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_area_half_overlap_is_symmetric_and_sane() {
+        let a = Disk::new(Point::ORIGIN, 1.0);
+        let b = Disk::new(Point::new(1.0, 0.0), 1.0);
+        let ab = a.intersection_area(&b);
+        let ba = b.intersection_area(&a);
+        assert!((ab - ba).abs() < 1e-12);
+        // Known value: 2r² cos⁻¹(d/2r) − (d/2)·√(4r² − d²) with r = d = 1.
+        let expected = 2.0 * (0.5_f64).acos() - 0.5 * (3.0_f64).sqrt();
+        assert!((ab - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let d = Disk::new(Point::new(1.0, 2.0), 0.5);
+        assert_eq!(d.bounding_box(), Aabb::from_coords(0.5, 1.5, 1.5, 2.5));
+    }
+}

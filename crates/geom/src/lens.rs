@@ -1,0 +1,148 @@
+//! Lens shapes: intersections of two disks.
+
+use crate::aabb::Aabb;
+use crate::disk::Disk;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// The intersection of two closed disks.
+///
+/// In "paper mode" the UDG relay region `Er(t)` is modelled as the lens of
+/// points within distance 1 of both tile centres (minus `C0`); see DESIGN.md
+/// §2 (D1) for why the paper's literal definition is replaced by this shape.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Lens {
+    pub a: Disk,
+    pub b: Disk,
+}
+
+impl Lens {
+    #[inline]
+    pub fn new(a: Disk, b: Disk) -> Self {
+        Lens { a, b }
+    }
+
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.a.contains(p) && self.b.contains(p)
+    }
+
+    /// True iff the lens has non-empty interior.
+    #[inline]
+    pub fn is_nonempty(&self) -> bool {
+        self.a.intersects(&self.b)
+    }
+
+    /// Exact area via the circular-segment formula.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.a.intersection_area(&self.b)
+    }
+
+    /// A bounding box (intersection of the two disk boxes; tight enough for
+    /// rejection sampling).
+    pub fn bounding_box(&self) -> Aabb {
+        self.a
+            .bounding_box()
+            .intersection(&self.b.bounding_box())
+            .unwrap_or_else(|| {
+                // Empty lens: return a degenerate box at the midpoint.
+                let m = self.a.center.midpoint(self.b.center);
+                Aabb::new(m, m)
+            })
+    }
+
+    /// The two intersection points of the boundary circles, when they exist
+    /// and the circles are not identical.
+    pub fn boundary_intersections(&self) -> Option<(Point, Point)> {
+        let d = self.a.center.dist(self.b.center);
+        let (r, s) = (self.a.radius, self.b.radius);
+        if d == 0.0 || d > r + s || d < (r - s).abs() {
+            return None;
+        }
+        // Standard two-circle intersection.
+        let t = (d * d + r * r - s * s) / (2.0 * d);
+        let h2 = r * r - t * t;
+        if h2 < 0.0 {
+            return None;
+        }
+        let h = h2.sqrt();
+        let dir = (self.b.center - self.a.center) / d;
+        let mid = self.a.center + dir * t;
+        let perp = Point::new(-dir.y, dir.x);
+        Some((mid + perp * h, mid - perp * h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_requires_both_disks() {
+        let l = Lens::new(
+            Disk::new(Point::ORIGIN, 1.0),
+            Disk::new(Point::new(1.0, 0.0), 1.0),
+        );
+        assert!(l.contains(Point::new(0.5, 0.0)));
+        assert!(!l.contains(Point::new(-0.5, 0.0))); // only in disk a
+        assert!(!l.contains(Point::new(1.5, 0.0))); // only in disk b
+    }
+
+    #[test]
+    fn emptiness() {
+        let empty = Lens::new(
+            Disk::new(Point::ORIGIN, 0.4),
+            Disk::new(Point::new(1.0, 0.0), 0.4),
+        );
+        assert!(!empty.is_nonempty());
+        assert_eq!(empty.area(), 0.0);
+    }
+
+    #[test]
+    fn boundary_intersections_of_unit_circles() {
+        let l = Lens::new(
+            Disk::new(Point::ORIGIN, 1.0),
+            Disk::new(Point::new(1.0, 0.0), 1.0),
+        );
+        let (p, q) = l.boundary_intersections().unwrap();
+        // Both points at x = 1/2, y = ±√3/2.
+        for pt in [p, q] {
+            assert!((pt.x - 0.5).abs() < 1e-12);
+            assert!((pt.y.abs() - (3.0_f64).sqrt() / 2.0).abs() < 1e-12);
+            assert!(l.a.center.dist(pt) - 1.0 < 1e-12);
+        }
+        assert!(p.y * q.y < 0.0, "points on opposite sides");
+    }
+
+    #[test]
+    fn bounding_box_contains_lens_samples() {
+        let l = Lens::new(
+            Disk::new(Point::new(0.0, 0.0), 1.2),
+            Disk::new(Point::new(1.0, 0.3), 0.9),
+        );
+        let bb = l.bounding_box();
+        // Any contained sample point must be inside the box.
+        let mut found = 0;
+        for i in 0..50 {
+            for j in 0..50 {
+                let p = Point::new(-1.2 + 2.8 * (i as f64) / 49.0, -1.2 + 2.8 * (j as f64) / 49.0);
+                if l.contains(p) {
+                    found += 1;
+                    assert!(bb.contains(p));
+                }
+            }
+        }
+        assert!(found > 0, "sampling grid should hit the lens");
+    }
+
+    #[test]
+    fn degenerate_bounding_box_for_disjoint_disks() {
+        let l = Lens::new(
+            Disk::new(Point::ORIGIN, 0.1),
+            Disk::new(Point::new(5.0, 0.0), 0.1),
+        );
+        let bb = l.bounding_box();
+        assert_eq!(bb.area(), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Points (and vectors) in R².
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point in R², also used as a 2-D vector.
+///
+/// The paper works with points of a Poisson process in the plane; all
+/// distances are Euclidean (`d(x, y)` in the paper's notation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — prefer this in comparisons to avoid the
+    /// square root.
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm when the point is interpreted as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// L¹ (Manhattan) distance; the lattice Z² in the paper uses this metric.
+    #[inline]
+    pub fn dist_l1(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// L∞ (Chebyshev) distance.
+    #[inline]
+    pub fn dist_linf(self, other: Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product; positive when `other` is
+    /// counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+
+    /// Unit vector in the direction of `self`, or `None` for (0, 0).
+    #[inline]
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n > 0.0 {
+            Some(Point::new(self.x / n, self.y / n))
+        } else {
+            None
+        }
+    }
+
+    /// The point rotated by `theta` radians about the origin.
+    #[inline]
+    pub fn rotated(self, theta: f64) -> Point {
+        let (s, c) = theta.sin_cos();
+        Point::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// A unit vector at angle `theta` from the +x axis.
+    #[inline]
+    pub fn unit(theta: f64) -> Point {
+        let (s, c) = theta.sin_cos();
+        Point::new(c, s)
+    }
+
+    /// Both coordinates are finite (not NaN / infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn distances_agree_on_345_triangle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(b) - 5.0).abs() < EPS);
+        assert!((a.dist_sq(b) - 25.0).abs() < EPS);
+        assert!((a.dist_l1(b) - 7.0).abs() < EPS);
+        assert!((a.dist_linf(b) - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(4.0, -0.25);
+        assert_eq!(a.dist(b), b.dist(a));
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), Point::new(1.0, 2.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.25), Point::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Point::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < EPS);
+        assert!(Point::ORIGIN.normalized().is_none());
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Point::new(2.0, -1.0);
+        let r = v.rotated(1.2345);
+        assert!((r.norm() - v.norm()).abs() < EPS);
+        // Rotating by 2π returns (numerically) to the start.
+        let full = v.rotated(std::f64::consts::TAU);
+        assert!(full.dist(v) < 1e-9);
+    }
+
+    #[test]
+    fn unit_vector_hits_axes() {
+        assert!(Point::unit(0.0).dist(Point::new(1.0, 0.0)) < EPS);
+        let up = Point::unit(std::f64::consts::FRAC_PI_2);
+        assert!(up.dist(Point::new(0.0, 1.0)) < EPS);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

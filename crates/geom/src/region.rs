@@ -1,0 +1,240 @@
+//! The [`Region`] trait: a uniform interface over all planar shapes.
+//!
+//! Tile regions in the SENS constructions are heterogeneous — disks, lenses,
+//! erosion loci, set differences — and the classification step only ever
+//! needs membership tests and a bounding box for sampling, so that is the
+//! whole trait.
+
+use crate::aabb::Aabb;
+use crate::disk::Disk;
+use crate::lens::Lens;
+use crate::point::Point;
+
+/// A (measurable) subset of R² supporting point membership.
+pub trait Region {
+    /// Whether `p` belongs to the region (closed-set semantics).
+    fn contains(&self, p: Point) -> bool;
+
+    /// A box containing the entire region. Need not be tight, but tighter
+    /// boxes make quadrature and rejection sampling cheaper.
+    fn bounding_box(&self) -> Aabb;
+
+    /// Deterministic midpoint-quadrature area estimate on a `resolution ×
+    /// resolution` grid over the bounding box.
+    ///
+    /// Accuracy is O(perimeter · cell-size); used for analytic cross-checks
+    /// of Monte-Carlo good-tile probabilities, not in hot paths.
+    fn area_estimate(&self, resolution: usize) -> f64 {
+        let bb = self.bounding_box();
+        if bb.area() == 0.0 || resolution == 0 {
+            return 0.0;
+        }
+        let dx = bb.width() / resolution as f64;
+        let dy = bb.height() / resolution as f64;
+        let mut hits = 0usize;
+        for i in 0..resolution {
+            let x = bb.min.x + (i as f64 + 0.5) * dx;
+            for j in 0..resolution {
+                let y = bb.min.y + (j as f64 + 0.5) * dy;
+                if self.contains(Point::new(x, y)) {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 * dx * dy
+    }
+}
+
+impl Region for Disk {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        Disk::contains(self, p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        Disk::bounding_box(self)
+    }
+}
+
+impl Region for Lens {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        Lens::contains(self, p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        Lens::bounding_box(self)
+    }
+}
+
+impl Region for Aabb {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        Aabb::contains(self, p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        *self
+    }
+}
+
+impl<R: Region + ?Sized> Region for &R {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        (**self).contains(p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        (**self).bounding_box()
+    }
+}
+
+impl<R: Region + ?Sized> Region for Box<R> {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        (**self).contains(p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        (**self).bounding_box()
+    }
+}
+
+/// Set difference `A \ B` — e.g. the paper's "remove all the points of
+/// `C0(t)`" step in the relay-region definition.
+#[derive(Clone, Copy, Debug)]
+pub struct Difference<A, B> {
+    pub keep: A,
+    pub remove: B,
+}
+
+impl<A: Region, B: Region> Region for Difference<A, B> {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        self.keep.contains(p) && !self.remove.contains(p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        self.keep.bounding_box()
+    }
+}
+
+/// Set intersection `A ∩ B`.
+#[derive(Clone, Copy, Debug)]
+pub struct Intersection<A, B> {
+    pub a: A,
+    pub b: B,
+}
+
+impl<A: Region, B: Region> Region for Intersection<A, B> {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        self.a.contains(p) && self.b.contains(p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        let (ba, bb) = (self.a.bounding_box(), self.b.bounding_box());
+        ba.intersection(&bb).unwrap_or_else(|| {
+            let m = ba.center().midpoint(bb.center());
+            Aabb::new(m, m)
+        })
+    }
+}
+
+/// Set union `A ∪ B`.
+#[derive(Clone, Copy, Debug)]
+pub struct Union<A, B> {
+    pub a: A,
+    pub b: B,
+}
+
+impl<A: Region, B: Region> Region for Union<A, B> {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        self.a.contains(p) || self.b.contains(p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        let (ba, bb) = (self.a.bounding_box(), self.b.bounding_box());
+        Aabb::from_coords(
+            ba.min.x.min(bb.min.x),
+            ba.min.y.min(bb.min.y),
+            ba.max.x.max(bb.max.x),
+            ba.max.y.max(bb.max.y),
+        )
+    }
+}
+
+/// A region defined by an arbitrary predicate and an explicit bounding box.
+///
+/// The NN-SENS `E`-regions (loci of points inside *every* sufficiently large
+/// inscribed circle) are expressed this way.
+pub struct PredicateRegion<F: Fn(Point) -> bool> {
+    pub bb: Aabb,
+    pub pred: F,
+}
+
+impl<F: Fn(Point) -> bool> PredicateRegion<F> {
+    pub fn new(bb: Aabb, pred: F) -> Self {
+        PredicateRegion { bb, pred }
+    }
+}
+
+impl<F: Fn(Point) -> bool> Region for PredicateRegion<F> {
+    #[inline]
+    fn contains(&self, p: Point) -> bool {
+        self.bb.contains(p) && (self.pred)(p)
+    }
+    fn bounding_box(&self) -> Aabb {
+        self.bb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn quadrature_area_of_unit_disk_converges() {
+        let d = Disk::unit(Point::ORIGIN);
+        let a = d.area_estimate(400);
+        assert!((a - PI).abs() < 0.01, "got {a}");
+    }
+
+    #[test]
+    fn difference_region_semantics() {
+        let annulus = Difference {
+            keep: Disk::new(Point::ORIGIN, 2.0),
+            remove: Disk::new(Point::ORIGIN, 1.0),
+        };
+        assert!(annulus.contains(Point::new(1.5, 0.0)));
+        assert!(!annulus.contains(Point::new(0.5, 0.0)));
+        assert!(!annulus.contains(Point::new(2.5, 0.0)));
+        let a = annulus.area_estimate(400);
+        assert!((a - 3.0 * PI).abs() < 0.05, "got {a}");
+    }
+
+    #[test]
+    fn intersection_and_union_semantics() {
+        let a = Disk::new(Point::ORIGIN, 1.0);
+        let b = Disk::new(Point::new(1.0, 0.0), 1.0);
+        let inter = Intersection { a, b };
+        let uni = Union { a, b };
+        let p_mid = Point::new(0.5, 0.0);
+        let p_left = Point::new(-0.5, 0.0);
+        assert!(inter.contains(p_mid));
+        assert!(!inter.contains(p_left));
+        assert!(uni.contains(p_mid));
+        assert!(uni.contains(p_left));
+        // Inclusion-exclusion on quadrature estimates.
+        let (ia, ua) = (inter.area_estimate(300), uni.area_estimate(300));
+        assert!((ia + ua - 2.0 * PI).abs() < 0.08, "ia={ia} ua={ua}");
+    }
+
+    #[test]
+    fn predicate_region_respects_bounding_box() {
+        // Predicate says "everything", but the bb must still clip.
+        let r = PredicateRegion::new(Aabb::square(1.0), |_| true);
+        assert!(r.contains(Point::new(0.5, 0.5)));
+        assert!(!r.contains(Point::new(2.0, 0.5)));
+    }
+
+    #[test]
+    fn empty_region_has_zero_area() {
+        let r = PredicateRegion::new(Aabb::square(1.0), |_| false);
+        assert_eq!(r.area_estimate(64), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! A minimal SVG writer, used to regenerate the paper's geometry figures
+//! (Figures 1–6 and 8) from live constructions.
+//!
+//! Only the handful of primitives the figures need are implemented. The
+//! writer flips the y-axis so that mathematical coordinates (y up) render
+//! conventionally.
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+use std::fmt::Write as _;
+
+/// Accumulates SVG elements over a world-coordinate viewport.
+pub struct SvgCanvas {
+    view: Aabb,
+    scale: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// `view` is the world-coordinate window; `px_width` the output width in
+    /// pixels (height follows the aspect ratio).
+    pub fn new(view: Aabb, px_width: f64) -> Self {
+        assert!(view.area() > 0.0, "empty viewport");
+        SvgCanvas {
+            view,
+            scale: px_width / view.width(),
+            body: String::new(),
+        }
+    }
+
+    fn tx(&self, p: Point) -> (f64, f64) {
+        (
+            (p.x - self.view.min.x) * self.scale,
+            (self.view.max.y - p.y) * self.scale,
+        )
+    }
+
+    pub fn px_size(&self) -> (f64, f64) {
+        (
+            self.view.width() * self.scale,
+            self.view.height() * self.scale,
+        )
+    }
+
+    /// A circle outline (optionally filled with `fill`, e.g. `"none"`,
+    /// `"#cce"`).
+    pub fn circle(&mut self, center: Point, radius: f64, stroke: &str, fill: &str, width: f64) {
+        let (cx, cy) = self.tx(center);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" stroke="{stroke}" fill="{fill}" stroke-width="{width}"/>"#,
+            r = radius * self.scale,
+        );
+    }
+
+    /// A small filled dot marking a node.
+    pub fn dot(&mut self, center: Point, px_radius: f64, fill: &str) {
+        let (cx, cy) = self.tx(center);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{px_radius:.2}" fill="{fill}"/>"#,
+        );
+    }
+
+    pub fn line(&mut self, a: Point, b: Point, stroke: &str, width: f64) {
+        let (x1, y1) = self.tx(a);
+        let (x2, y2) = self.tx(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#,
+        );
+    }
+
+    pub fn rect(&mut self, b: &Aabb, stroke: &str, fill: &str, width: f64) {
+        let (x, y) = self.tx(Point::new(b.min.x, b.max.y));
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" stroke="{stroke}" fill="{fill}" stroke-width="{width}"/>"#,
+            w = b.width() * self.scale,
+            h = b.height() * self.scale,
+        );
+    }
+
+    pub fn text(&mut self, at: Point, size_px: f64, content: &str) {
+        let (x, y) = self.tx(at);
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size_px}" font-family="sans-serif">{content}</text>"#,
+        );
+    }
+
+    /// Scatter-plot a region by membership-testing a grid (cheap way to draw
+    /// the irregular NN-SENS E-regions).
+    pub fn region_stipple<R: crate::region::Region>(
+        &mut self,
+        region: &R,
+        resolution: usize,
+        fill: &str,
+    ) {
+        let bb = region.bounding_box();
+        let dx = bb.width() / resolution as f64;
+        let dy = bb.height() / resolution as f64;
+        for i in 0..resolution {
+            for j in 0..resolution {
+                let p = Point::new(
+                    bb.min.x + (i as f64 + 0.5) * dx,
+                    bb.min.y + (j as f64 + 0.5) * dy,
+                );
+                if region.contains(p) {
+                    self.dot(p, (dx * self.scale * 0.55).max(0.4), fill);
+                }
+            }
+        }
+    }
+
+    /// Serialise the finished document.
+    pub fn finish(self) -> String {
+        let (w, h) = self.px_size();
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.2} {h:.2}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Disk;
+
+    #[test]
+    fn produces_well_formed_document() {
+        let mut c = SvgCanvas::new(Aabb::square(10.0), 200.0);
+        c.circle(Point::new(5.0, 5.0), 2.0, "black", "none", 1.0);
+        c.dot(Point::new(1.0, 1.0), 2.0, "red");
+        c.line(Point::new(0.0, 0.0), Point::new(10.0, 10.0), "blue", 0.5);
+        c.rect(&Aabb::from_coords(2.0, 2.0, 4.0, 4.0), "green", "none", 1.0);
+        c.text(Point::new(5.0, 9.0), 12.0, "label");
+        let doc = c.finish();
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert!(doc.contains("<circle"));
+        assert!(doc.contains("<line"));
+        assert!(doc.contains("<rect"));
+        assert!(doc.contains("label"));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut c = SvgCanvas::new(Aabb::square(10.0), 100.0);
+        // World (0, 0) is the bottom-left → pixel y = 100.
+        c.dot(Point::new(0.0, 0.0), 1.0, "k");
+        let doc = c.finish();
+        assert!(doc.contains(r#"cx="0.00" cy="100.00""#), "{doc}");
+    }
+
+    #[test]
+    fn stipple_marks_region_interior() {
+        let mut c = SvgCanvas::new(Aabb::square(4.0), 100.0);
+        c.region_stipple(&Disk::new(Point::new(2.0, 2.0), 1.0), 10, "#888");
+        let doc = c.finish();
+        // ~π/4 of a 10×10 grid over the bounding box should be inside.
+        let dots = doc.matches("fill=\"#888\"").count();
+        assert!((60..=90).contains(&dots), "dots = {dots}");
+    }
+}

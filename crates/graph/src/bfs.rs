@@ -1,0 +1,141 @@
+//! Breadth-first search: hop distances and shortest hop paths.
+
+use crate::csr::Csr;
+use crate::UNREACHABLE;
+use std::collections::VecDeque;
+
+/// Hop distance from `src` to every node (`UNREACHABLE` when disconnected).
+pub fn distances(g: &Csr, src: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance from `src` to `dst` only (early exit), or `None`.
+pub fn distance_to(g: &Csr, src: u32, dst: u32) -> Option<u32> {
+    if src == dst {
+        return Some(0);
+    }
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                if v == dst {
+                    return Some(du + 1);
+                }
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Shortest hop path `src → dst` inclusive, or `None` when disconnected.
+pub fn path(g: &Csr, src: u32, dst: u32) -> Option<Vec<u32>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut parent = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    parent[src as usize] = src;
+    queue.push_back(src);
+    'outer: while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if parent[v as usize] == UNREACHABLE {
+                parent[v as usize] = u;
+                if v == dst {
+                    break 'outer;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if parent[dst as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut p = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        p.push(cur);
+    }
+    p.reverse();
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+
+    fn cycle(n: usize) -> Csr {
+        let mut el = EdgeList::new(n);
+        for i in 0..n as u32 {
+            el.add(i, ((i + 1) as usize % n) as u32);
+        }
+        Csr::from_edge_list(el)
+    }
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = cycle(6);
+        let d = distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut el = EdgeList::new(4);
+        el.add(0, 1);
+        let g = Csr::from_edge_list(el);
+        let d = distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(distance_to(&g, 0, 3), None);
+        assert_eq!(path(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn distance_to_matches_full_bfs() {
+        let g = cycle(9);
+        let d = distances(&g, 2);
+        for v in 0..9u32 {
+            assert_eq!(distance_to(&g, 2, v), Some(d[v as usize]));
+        }
+    }
+
+    #[test]
+    fn path_is_shortest_and_valid() {
+        let g = cycle(8);
+        let p = path(&g, 0, 3).unwrap();
+        assert_eq!(p.len() as u32 - 1, distance_to(&g, 0, 3).unwrap());
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 3);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "invalid step {w:?}");
+        }
+    }
+
+    #[test]
+    fn trivial_source_equals_target() {
+        let g = cycle(4);
+        assert_eq!(distance_to(&g, 1, 1), Some(0));
+        assert_eq!(path(&g, 1, 1), Some(vec![1]));
+    }
+}

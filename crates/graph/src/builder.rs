@@ -1,0 +1,96 @@
+//! Edge-list accumulation.
+
+/// A growable undirected edge list over nodes `0..n`.
+///
+/// Self-loops are rejected; duplicate edges are removed at CSR build time, so
+/// constructions may freely emit the same edge from both endpoints (as the
+/// distributed protocol of Fig. 7 naturally does).
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl EdgeList {
+    pub fn new(n: usize) -> Self {
+        EdgeList {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        EdgeList {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (possibly duplicated) undirected edges accumulated so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Add the undirected edge `{u, v}`. Stored canonically (min, max).
+    #[inline]
+    pub fn add(&mut self, u: u32, v: u32) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n, "edge out of range");
+        debug_assert_ne!(u, v, "self-loop");
+        self.edges.push((u.min(v), u.max(v)));
+    }
+
+    /// Canonical, deduplicated edges.
+    pub fn dedup_edges(mut self) -> (usize, Vec<(u32, u32)>) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        (self.n, self.edges)
+    }
+
+    /// Raw (canonicalised, possibly duplicated) edges.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalises_and_dedups() {
+        let mut el = EdgeList::new(4);
+        el.add(2, 1);
+        el.add(1, 2);
+        el.add(0, 3);
+        let (n, edges) = el.dedup_edges();
+        assert_eq!(n, 4);
+        assert_eq!(edges, vec![(0, 3), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops_in_debug() {
+        let mut el = EdgeList::new(2);
+        el.add(1, 1);
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut el = EdgeList::with_capacity(10, 5);
+        assert!(el.is_empty());
+        el.add(0, 1);
+        assert_eq!(el.len(), 1);
+        assert_eq!(el.n(), 10);
+    }
+}

@@ -1,0 +1,119 @@
+//! Connected components.
+
+use crate::csr::Csr;
+use crate::unionfind::UnionFind;
+
+/// Component labelling of every node. Labels are arbitrary but stable for a
+/// given graph; `count` is the number of components (isolated nodes count).
+#[derive(Clone, Debug)]
+pub struct Components {
+    pub label: Vec<u32>,
+    pub count: usize,
+}
+
+impl Components {
+    /// Ids of nodes in the largest component (ties broken toward the
+    /// smallest root id). Empty for the empty graph.
+    pub fn largest(&self) -> Vec<u32> {
+        if self.label.is_empty() {
+            return Vec::new();
+        }
+        let mut sizes = std::collections::HashMap::new();
+        for &l in &self.label {
+            *sizes.entry(l).or_insert(0usize) += 1;
+        }
+        let best = sizes
+            .iter()
+            .max_by_key(|&(l, s)| (*s, std::cmp::Reverse(*l)))
+            .map(|(&l, _)| l)
+            .unwrap();
+        (0..self.label.len() as u32)
+            .filter(|&u| self.label[u as usize] == best)
+            .collect()
+    }
+
+    /// Membership mask of the largest component.
+    pub fn largest_mask(&self) -> Vec<bool> {
+        let ids = self.largest();
+        let mut mask = vec![false; self.label.len()];
+        for u in ids {
+            mask[u as usize] = true;
+        }
+        mask
+    }
+
+    #[inline]
+    pub fn same(&self, u: u32, v: u32) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+}
+
+/// Compute components via union–find (O(m α(n))).
+pub fn connected_components(g: &Csr) -> Components {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let label: Vec<u32> = (0..g.n() as u32).map(|u| uf.find(u)).collect();
+    Components {
+        count: uf.component_count(),
+        label,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+    use crate::bfs;
+
+    fn two_cliques() -> Csr {
+        // {0,1,2} triangle, {3,4} edge, 5 isolated.
+        let mut el = EdgeList::new(6);
+        el.add(0, 1);
+        el.add(1, 2);
+        el.add(0, 2);
+        el.add(3, 4);
+        Csr::from_edge_list(el)
+    }
+
+    #[test]
+    fn counts_components_including_isolated() {
+        let c = connected_components(&two_cliques());
+        assert_eq!(c.count, 3);
+        assert!(c.same(0, 2));
+        assert!(c.same(3, 4));
+        assert!(!c.same(0, 3));
+        assert!(!c.same(5, 0));
+    }
+
+    #[test]
+    fn largest_component_is_the_triangle() {
+        let c = connected_components(&two_cliques());
+        assert_eq!(c.largest(), vec![0, 1, 2]);
+        let mask = c.largest_mask();
+        assert_eq!(mask, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn labels_agree_with_bfs_reachability() {
+        let g = two_cliques();
+        let c = connected_components(&g);
+        for u in 0..g.n() as u32 {
+            let d = bfs::distances(&g, u);
+            for v in 0..g.n() as u32 {
+                assert_eq!(c.same(u, v), d[v as usize] != crate::UNREACHABLE);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let c = connected_components(&Csr::empty(0));
+        assert_eq!(c.count, 0);
+        assert!(c.largest().is_empty());
+        let c1 = connected_components(&Csr::empty(4));
+        assert_eq!(c1.count, 4);
+        assert_eq!(c1.largest().len(), 1); // any singleton
+    }
+}

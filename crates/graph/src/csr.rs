@@ -1,0 +1,189 @@
+//! CSR (compressed sparse row) adjacency.
+
+use crate::builder::EdgeList;
+
+/// An undirected graph in CSR form: `targets[offsets[u]..offsets[u + 1]]`
+/// are the neighbours of `u`, sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from an edge list; duplicates are removed.
+    pub fn from_edge_list(edges: EdgeList) -> Self {
+        let (n, edges) = edges.dedup_edges();
+        Self::from_canonical_edges(n, &edges)
+    }
+
+    /// Build from canonical `(min, max)` unique edges.
+    pub fn from_canonical_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0u32; n + 1];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let offsets = deg.clone();
+        let mut cursor = deg;
+        let mut targets = vec![0u32; edges.len() * 2];
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Neighbour lists come out sorted because edges are sorted
+        // canonically... only per source of the first endpoint; sort each
+        // list to guarantee the invariant cheaply.
+        let mut csr = Csr { offsets, targets };
+        for u in 0..n {
+            let (s, e) = (csr.offsets[u] as usize, csr.offsets[u + 1] as usize);
+            csr.targets[s..e].sort_unstable();
+        }
+        csr
+    }
+
+    /// An edgeless graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Csr {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbours of `u`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let s = self.offsets[u as usize] as usize;
+        let e = self.offsets[u as usize + 1] as usize;
+        &self.targets[s..e]
+    }
+
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Membership test via binary search (neighbour lists are sorted).
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate canonical undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The subgraph induced by keeping only nodes where `keep[u]` is true;
+    /// node ids are preserved (non-kept nodes become isolated).
+    pub fn filter_nodes(&self, keep: &[bool]) -> Csr {
+        assert_eq!(keep.len(), self.n());
+        let mut el = EdgeList::new(self.n());
+        for (u, v) in self.edges() {
+            if keep[u as usize] && keep[v as usize] {
+                el.add(u, v);
+            }
+        }
+        Csr::from_edge_list(el)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut el = EdgeList::new(n);
+        for i in 1..n as u32 {
+            el.add(i - 1, i);
+        }
+        Csr::from_edge_list(el)
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = path_graph(4);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut el = EdgeList::new(3);
+        el.add(0, 1);
+        el.add(1, 0);
+        el.add(0, 1);
+        el.add(1, 2);
+        let g = Csr::from_edge_list(el);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = path_graph(5);
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(7);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 0);
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn filter_nodes_removes_incident_edges() {
+        let g = path_graph(5);
+        let keep = vec![true, true, false, true, true];
+        let f = g.filter_nodes(&keep);
+        assert_eq!(f.n(), 5);
+        assert_eq!(f.m(), 2); // 0-1 and 3-4 survive
+        assert!(f.has_edge(0, 1));
+        assert!(f.has_edge(3, 4));
+        assert!(!f.has_edge(1, 2));
+        assert!(f.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_regardless_of_insert_order() {
+        let mut el = EdgeList::new(5);
+        el.add(4, 0);
+        el.add(2, 0);
+        el.add(0, 3);
+        el.add(1, 0);
+        let g = Csr::from_edge_list(el);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Weighted shortest paths.
+//!
+//! Edge weights come from a caller-supplied function — the stretch and
+//! power-efficiency experiments use Euclidean length `d(u, v)` and its powers
+//! `d(u, v)^β` (the paper's power model, after Li–Wan–Wang), so weights are
+//! never materialised.
+
+use crate::csr::Csr;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Weighted distance from `src` to all nodes (`f64::INFINITY` when
+/// unreachable). `weight(u, v)` must be ≥ 0 and symmetric.
+pub fn distances<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, weight: W) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.n()];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), src)));
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for &v in g.neighbors(u) {
+            let w = weight(u, v);
+            debug_assert!(w >= 0.0, "negative edge weight");
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Weighted distance `src → dst` with early exit, or `None`.
+pub fn distance_to<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, dst: u32, weight: W) -> Option<f64> {
+    let mut dist = vec![f64::INFINITY; g.n()];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), src)));
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if u == dst {
+            return Some(d);
+        }
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            let nd = d + weight(u, v);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        }
+    }
+    None
+}
+
+/// Weighted shortest path `src → dst` inclusive, or `None`.
+pub fn path<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, dst: u32, weight: W) -> Option<Vec<u32>> {
+    let mut dist = vec![f64::INFINITY; g.n()];
+    let mut parent = vec![u32::MAX; g.n()];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+    dist[src as usize] = 0.0;
+    parent[src as usize] = src;
+    heap.push(Reverse((OrdF64(0.0), src)));
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if u == dst {
+            break;
+        }
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            let nd = d + weight(u, v);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = u;
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        }
+    }
+    if parent[dst as usize] == u32::MAX {
+        return None;
+    }
+    let mut p = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        p.push(cur);
+    }
+    p.reverse();
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+    use crate::{bfs, UNREACHABLE};
+
+    /// Weighted grid-ish test graph:
+    ///
+    /// 0 --1.0-- 1 --1.0-- 2
+    ///  \                 /
+    ///   ----- 2.5 ------
+    fn triangle() -> Csr {
+        let mut el = EdgeList::new(3);
+        el.add(0, 1);
+        el.add(1, 2);
+        el.add(0, 2);
+        Csr::from_edge_list(el)
+    }
+
+    fn tri_weight(u: u32, v: u32) -> f64 {
+        match (u.min(v), u.max(v)) {
+            (0, 1) | (1, 2) => 1.0,
+            (0, 2) => 2.5,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn prefers_lighter_two_hop_route() {
+        let g = triangle();
+        let d = distances(&g, 0, tri_weight);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(distance_to(&g, 0, 2, tri_weight), Some(2.0));
+        assert_eq!(path(&g, 0, 2, tri_weight), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs() {
+        // Random-ish sparse graph.
+        let mut el = EdgeList::new(12);
+        for i in 0..11u32 {
+            el.add(i, i + 1);
+        }
+        el.add(0, 6);
+        el.add(3, 9);
+        let g = Csr::from_edge_list(el);
+        let dw = distances(&g, 0, |_, _| 1.0);
+        let db = bfs::distances(&g, 0);
+        for v in 0..12 {
+            if db[v] == UNREACHABLE {
+                assert!(dw[v].is_infinite());
+            } else {
+                assert_eq!(dw[v] as u32, db[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut el = EdgeList::new(4);
+        el.add(0, 1);
+        let g = Csr::from_edge_list(el);
+        assert_eq!(distance_to(&g, 0, 3, |_, _| 1.0), None);
+        assert_eq!(path(&g, 0, 3, |_, _| 1.0), None);
+        let d = distances(&g, 0, |_, _| 1.0);
+        assert!(d[3].is_infinite());
+    }
+
+    #[test]
+    fn path_weights_sum_to_distance() {
+        let g = triangle();
+        let p = path(&g, 0, 2, tri_weight).unwrap();
+        let total: f64 = p.windows(2).map(|w| tri_weight(w[0], w[1])).sum();
+        assert_eq!(Some(total), distance_to(&g, 0, 2, tri_weight));
+    }
+}

@@ -1,0 +1,37 @@
+//! # wsn-graph
+//!
+//! Compact graph substrate shared by the percolation lattice, the geometric
+//! random graphs and the SENS subgraph constructions.
+//!
+//! Graphs are stored in CSR (compressed sparse row) form with `u32` node ids
+//! — one flat `targets` array plus an `offsets` array — which keeps
+//! traversals cache-dense and the memory footprint at 8 bytes per directed
+//! edge (perf-book guidance on flat data structures).
+//!
+//! Modules:
+//!
+//! * [`csr`] — the [`Csr`] structure and its [`builder::EdgeList`] builder.
+//! * [`builder`] — edge-list accumulation and deduplication.
+//! * [`unionfind`] — disjoint sets with union by size + path halving.
+//! * [`bfs`] — unweighted shortest paths (hop distance).
+//! * [`dijkstra`] — weighted shortest paths with a caller-supplied weight
+//!   function (Euclidean edge lengths in the stretch experiments).
+//! * [`components`] — connected components and the giant component.
+//! * [`stats`] — degree statistics (sparsity property P1).
+//! * [`stretch`] — hop/Euclidean stretch sampling (stretch property P2).
+
+pub mod bfs;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod dijkstra;
+pub mod stats;
+pub mod stretch;
+pub mod unionfind;
+
+pub use builder::EdgeList;
+pub use csr::Csr;
+pub use unionfind::UnionFind;
+
+/// Sentinel for "unreachable" in hop-distance arrays.
+pub const UNREACHABLE: u32 = u32::MAX;

@@ -1,0 +1,135 @@
+//! Degree statistics — the evidence for sparsity property P1.
+
+use crate::csr::Csr;
+use serde::Serialize;
+
+/// Summary of a graph's degree distribution.
+#[derive(Clone, Debug, Serialize, PartialEq)]
+pub struct DegreeStats {
+    pub n: usize,
+    pub m: usize,
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    /// `histogram[d]` = number of nodes with degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Compute degree statistics. For the empty graph all scalar fields are 0.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.n();
+    if n == 0 {
+        return DegreeStats {
+            n: 0,
+            m: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            histogram: Vec::new(),
+        };
+    }
+    let degrees: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
+    let max = degrees.iter().copied().max().unwrap();
+    let min = degrees.iter().copied().min().unwrap();
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    DegreeStats {
+        n,
+        m: g.m(),
+        min,
+        max,
+        mean: 2.0 * g.m() as f64 / n as f64,
+        histogram,
+    }
+}
+
+/// Degree statistics restricted to a node subset (e.g. the nodes actually in
+/// the SENS subgraph, ignoring the unconnected leftovers).
+pub fn degree_stats_masked(g: &Csr, mask: &[bool]) -> DegreeStats {
+    assert_eq!(mask.len(), g.n());
+    let degrees: Vec<usize> = (0..g.n() as u32)
+        .filter(|&u| mask[u as usize])
+        .map(|u| g.degree(u))
+        .collect();
+    if degrees.is_empty() {
+        return DegreeStats {
+            n: 0,
+            m: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            histogram: Vec::new(),
+        };
+    }
+    let max = degrees.iter().copied().max().unwrap();
+    let min = degrees.iter().copied().min().unwrap();
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    let m_in: usize = g
+        .edges()
+        .filter(|&(u, v)| mask[u as usize] && mask[v as usize])
+        .count();
+    DegreeStats {
+        n: degrees.len(),
+        m: m_in,
+        min,
+        max,
+        mean: degrees.iter().sum::<usize>() as f64 / degrees.len() as f64,
+        histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+
+    fn star(n: usize) -> Csr {
+        let mut el = EdgeList::new(n);
+        for i in 1..n as u32 {
+            el.add(0, i);
+        }
+        Csr::from_edge_list(el)
+    }
+
+    #[test]
+    fn star_stats() {
+        let s = degree_stats(&star(5));
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 1);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert_eq!(s.histogram, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let s = degree_stats(&star(8));
+        assert_eq!(s.histogram.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = degree_stats(&Csr::empty(0));
+        assert_eq!(s.n, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn masked_stats_ignore_outside_nodes() {
+        let g = star(5);
+        // Keep only the leaves: their degrees still count the hub edge, but
+        // n/m reflect the masked subset.
+        let mask = vec![false, true, true, true, true];
+        let s = degree_stats_masked(&g, &mask);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.m, 0); // no edge has both endpoints in the mask
+        assert_eq!(s.max, 1);
+        assert_eq!(s.mean, 1.0);
+    }
+}

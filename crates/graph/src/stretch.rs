@@ -1,0 +1,192 @@
+//! Stretch measurement — property P2.
+//!
+//! The paper defines distance stretch of a subgraph `H ⊆ G` as
+//! `δ = max_{u,v} d_H(u, v) / d_G(u, v)` and power stretch as `δ^β` with the
+//! path-loss exponent `β ∈ [2, 5]` (Li–Wan–Wang). Because Euclidean distance
+//! lower-bounds graph distance in both base models, we also measure the
+//! *Euclidean* stretch `d_H(u, v) / d(u, v)`, which is what Theorem 3.2
+//! bounds.
+
+use crate::csr::Csr;
+use crate::dijkstra;
+use serde::Serialize;
+use wsn_geom::Point;
+
+/// One measured pair.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct StretchSample {
+    pub u: u32,
+    pub v: u32,
+    /// Euclidean distance between the endpoints.
+    pub euclid: f64,
+    /// Length of the shortest path in the (sub)graph under Euclidean edge
+    /// weights; infinite when disconnected.
+    pub graph_dist: f64,
+    /// Hop count of that path (`u32::MAX` when disconnected).
+    pub hops: u32,
+}
+
+impl StretchSample {
+    /// Euclidean stretch `d_H / d`; infinite when disconnected.
+    #[inline]
+    pub fn stretch(&self) -> f64 {
+        if self.euclid > 0.0 {
+            self.graph_dist / self.euclid
+        } else {
+            1.0
+        }
+    }
+
+    /// Power stretch `(d_H / d)^β` for path-loss exponent `beta`.
+    #[inline]
+    pub fn power_stretch(&self, beta: f64) -> f64 {
+        self.stretch().powf(beta)
+    }
+}
+
+/// Measure stretch for explicit node pairs. `pos(u)` gives node positions;
+/// edges are weighted by Euclidean length.
+///
+/// Runs one Dijkstra per distinct source, so sampling many pairs that share
+/// sources is cheap.
+pub fn measure_pairs<P: Fn(u32) -> Point>(g: &Csr, pos: P, pairs: &[(u32, u32)]) -> Vec<StretchSample> {
+    let weight = |u: u32, v: u32| pos(u).dist(pos(v));
+    let mut out = Vec::with_capacity(pairs.len());
+    // Group by source to reuse Dijkstra runs.
+    let mut by_src: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for &(u, v) in pairs {
+        by_src.entry(u).or_default().push(v);
+    }
+    for (&src, dsts) in by_src.iter() {
+        let dist = dijkstra::distances(g, src, weight);
+        let hops = crate::bfs::distances(g, src);
+        for &dst in dsts {
+            out.push(StretchSample {
+                u: src,
+                v: dst,
+                euclid: pos(src).dist(pos(dst)),
+                graph_dist: dist[dst as usize],
+                hops: hops[dst as usize],
+            });
+        }
+    }
+    out
+}
+
+/// Aggregate of finite-stretch samples.
+#[derive(Clone, Debug, Serialize)]
+pub struct StretchSummary {
+    pub pairs: usize,
+    pub connected_pairs: usize,
+    pub max_stretch: f64,
+    pub mean_stretch: f64,
+    pub p95_stretch: f64,
+}
+
+/// Summarise samples, ignoring disconnected pairs (reported separately).
+pub fn summarize(samples: &[StretchSample]) -> StretchSummary {
+    let mut finite: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.graph_dist.is_finite())
+        .map(|s| s.stretch())
+        .collect();
+    finite.sort_by(f64::total_cmp);
+    let connected = finite.len();
+    if connected == 0 {
+        return StretchSummary {
+            pairs: samples.len(),
+            connected_pairs: 0,
+            max_stretch: f64::NAN,
+            mean_stretch: f64::NAN,
+            p95_stretch: f64::NAN,
+        };
+    }
+    StretchSummary {
+        pairs: samples.len(),
+        connected_pairs: connected,
+        max_stretch: *finite.last().unwrap(),
+        mean_stretch: finite.iter().sum::<f64>() / connected as f64,
+        p95_stretch: finite[((connected as f64 * 0.95) as usize).min(connected - 1)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+
+    /// Unit square with corners 0..4 and edges around the boundary.
+    fn square() -> (Csr, [Point; 4]) {
+        let pos = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        let mut el = EdgeList::new(4);
+        el.add(0, 1);
+        el.add(1, 2);
+        el.add(2, 3);
+        el.add(3, 0);
+        (Csr::from_edge_list(el), pos)
+    }
+
+    #[test]
+    fn diagonal_stretch_is_sqrt2() {
+        let (g, pos) = square();
+        let s = measure_pairs(&g, |u| pos[u as usize], &[(0, 2)]);
+        assert_eq!(s.len(), 1);
+        assert!((s[0].euclid - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((s[0].graph_dist - 2.0).abs() < 1e-12);
+        assert_eq!(s[0].hops, 2);
+        assert!((s[0].stretch() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_pair_has_stretch_one() {
+        let (g, pos) = square();
+        let s = measure_pairs(&g, |u| pos[u as usize], &[(0, 1)]);
+        assert!((s[0].stretch() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_stretch_is_monotone_in_beta() {
+        let (g, pos) = square();
+        let s = measure_pairs(&g, |u| pos[u as usize], &[(0, 2)])[0];
+        let mut prev = 0.0;
+        for beta in [2.0, 3.0, 4.0, 5.0] {
+            let ps = s.power_stretch(beta);
+            assert!(ps > prev, "β = {beta}");
+            prev = ps;
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_excluded_from_summary() {
+        let mut el = EdgeList::new(4);
+        el.add(0, 1);
+        let g = Csr::from_edge_list(el);
+        let pos = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(6.0, 0.0),
+        ];
+        let s = measure_pairs(&g, |u| pos[u as usize], &[(0, 1), (0, 2)]);
+        let sum = summarize(&s);
+        assert_eq!(sum.pairs, 2);
+        assert_eq!(sum.connected_pairs, 1);
+        assert!((sum.max_stretch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics_are_ordered() {
+        let (g, pos) = square();
+        let pairs: Vec<(u32, u32)> = vec![(0, 1), (0, 2), (1, 3), (2, 0), (3, 1)];
+        let sum = summarize(&measure_pairs(&g, |u| pos[u as usize], &pairs));
+        assert_eq!(sum.connected_pairs, 5);
+        assert!(sum.mean_stretch <= sum.max_stretch);
+        assert!(sum.p95_stretch <= sum.max_stretch);
+        assert!(sum.mean_stretch >= 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Chemical distance in the supercritical phase (Lemma 1.1 substrate,
+//! experiment EXP-AP).
+//!
+//! Antal–Pisztora: above p_c, the graph distance `D_p(x, y)` between sites
+//! of the same open cluster is at most `ρ · D(x, y)` except with probability
+//! exponentially small in the distance. The experiment samples same-cluster
+//! pairs and records the ratio `D_p / D`.
+
+use crate::cluster::label_clusters;
+use crate::lattice::{Lattice, Site};
+use crate::sample::bernoulli_lattice;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::VecDeque;
+use wsn_geom::hash::derive_seed;
+
+/// BFS graph distance through open sites, or `None` when not connected (or
+/// either endpoint closed).
+pub fn chemical_distance(l: &Lattice, a: Site, b: Site) -> Option<u32> {
+    if !l.is_open(a) || !l.is_open(b) {
+        return None;
+    }
+    if a == b {
+        return Some(0);
+    }
+    let mut dist = vec![u32::MAX; l.len()];
+    let mut queue = VecDeque::new();
+    dist[l.id(a) as usize] = 0;
+    queue.push_back(a);
+    while let Some(s) = queue.pop_front() {
+        let d = dist[l.id(s) as usize];
+        for nb in l.neighbors(s) {
+            if l.is_open(nb) && dist[l.id(nb) as usize] == u32::MAX {
+                if nb == b {
+                    return Some(d + 1);
+                }
+                dist[l.id(nb) as usize] = d + 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    None
+}
+
+/// One sampled same-cluster pair.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ChemicalSample {
+    pub l1: u32,
+    pub chemical: u32,
+}
+
+impl ChemicalSample {
+    /// The stretch ratio `D_p / D` (≥ 1).
+    #[inline]
+    pub fn ratio(&self) -> f64 {
+        self.chemical as f64 / self.l1.max(1) as f64
+    }
+}
+
+/// Sample same-largest-cluster pairs on fresh `L × L` lattices at `p` and
+/// return their `(D, D_p)` values. Pairs are drawn uniformly from the
+/// largest cluster, `pairs_per_rep` per replicate.
+pub fn sample_ratios(
+    p: f64,
+    l_size: usize,
+    reps: usize,
+    pairs_per_rep: usize,
+    seed: u64,
+) -> Vec<ChemicalSample> {
+    (0..reps as u64)
+        .into_par_iter()
+        .flat_map_iter(|rep| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(derive_seed(seed, rep));
+            let lat = bernoulli_lattice(&mut rng, l_size, l_size, p);
+            let clusters = label_clusters(&lat);
+            let members: Vec<Site> = lat
+                .sites()
+                .filter(|&s| clusters.in_largest(&lat, s))
+                .collect();
+            let mut out = Vec::new();
+            if members.len() >= 2 {
+                for _ in 0..pairs_per_rep {
+                    let a = members[rng.random_range(0..members.len())];
+                    let b = members[rng.random_range(0..members.len())];
+                    if a == b {
+                        continue;
+                    }
+                    if let Some(chem) = chemical_distance(&lat, a, b) {
+                        out.push(ChemicalSample {
+                            l1: Lattice::dist_l1(a, b),
+                            chemical: chem,
+                        });
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_on_open_lattice_is_l1() {
+        let l = Lattice::open_all(8, 8);
+        assert_eq!(chemical_distance(&l, (0, 0), (3, 4)), Some(7));
+        assert_eq!(chemical_distance(&l, (2, 2), (2, 2)), Some(0));
+    }
+
+    #[test]
+    fn detour_lengthens_chemical_distance() {
+        // Wall at column 2 with a gap only at the top row forces a detour.
+        let l = Lattice::from_fn(5, 5, |i, j| i != 2 || j == 4);
+        let d = chemical_distance(&l, (0, 0), (4, 0)).unwrap();
+        assert!(d > Lattice::dist_l1((0, 0), (4, 0)));
+        assert_eq!(d, 4 + 2 * 4); // up 4, across 4, down 4
+    }
+
+    #[test]
+    fn closed_endpoints_or_disconnection_return_none() {
+        let mut l = Lattice::open_all(4, 4);
+        l.set((1, 1), false);
+        assert_eq!(chemical_distance(&l, (1, 1), (0, 0)), None);
+        // Split into two halves.
+        let split = Lattice::from_fn(5, 5, |i, _| i != 2);
+        assert_eq!(chemical_distance(&split, (0, 0), (4, 0)), None);
+    }
+
+    #[test]
+    fn ratios_are_at_least_one() {
+        let samples = sample_ratios(0.75, 32, 4, 16, 9);
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert!(s.chemical >= s.l1, "chemical < L1: {s:?}");
+            assert!(s.ratio() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_ratio_shrinks_with_higher_p() {
+        let lo = sample_ratios(0.65, 40, 6, 24, 10);
+        let hi = sample_ratios(0.95, 40, 6, 24, 10);
+        let mean = |v: &[ChemicalSample]| {
+            v.iter().map(|s| s.ratio()).sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(&lo) > mean(&hi),
+            "ratio(0.65) = {} vs ratio(0.95) = {}",
+            mean(&lo),
+            mean(&hi)
+        );
+        // Near p = 1 the ratio approaches 1.
+        assert!(mean(&hi) < 1.1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = sample_ratios(0.7, 24, 3, 8, 5);
+        let b = sample_ratios(0.7, 24, 3, 8, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.l1, y.l1);
+            assert_eq!(x.chemical, y.chemical);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Open-cluster structure.
+//!
+//! An *open cluster* is a maximal set of open sites connected through open
+//! edges (edges between open sites). Labelling uses union–find over the open
+//! sub-lattice; a BFS reference implementation cross-checks it in tests.
+
+use crate::lattice::{Lattice, Site};
+use wsn_graph::UnionFind;
+
+/// Cluster labelling of a lattice.
+#[derive(Clone, Debug)]
+pub struct Clusters {
+    /// For each site id: the cluster root id, or `u32::MAX` for closed sites.
+    pub label: Vec<u32>,
+    /// Number of open clusters.
+    pub count: usize,
+    /// Size of the largest cluster (0 when no site is open).
+    pub largest_size: usize,
+    /// Root label of the largest cluster (`u32::MAX` when none).
+    pub largest_root: u32,
+}
+
+impl Clusters {
+    #[inline]
+    pub fn same_cluster(&self, l: &Lattice, a: Site, b: Site) -> bool {
+        let (la, lb) = (self.label[l.id(a) as usize], self.label[l.id(b) as usize]);
+        la != u32::MAX && la == lb
+    }
+
+    #[inline]
+    pub fn in_largest(&self, l: &Lattice, s: Site) -> bool {
+        self.largest_root != u32::MAX && self.label[l.id(s) as usize] == self.largest_root
+    }
+
+    /// Mask of sites in the largest cluster.
+    pub fn largest_mask(&self) -> Vec<bool> {
+        self.label.iter().map(|&l| l != u32::MAX && l == self.largest_root).collect()
+    }
+}
+
+/// Label all open clusters with union–find (near-linear time).
+pub fn label_clusters(l: &Lattice) -> Clusters {
+    let n = l.len();
+    let mut uf = UnionFind::new(n);
+    for s in l.sites() {
+        if !l.is_open(s) {
+            continue;
+        }
+        // Union with right and up neighbours only — each open edge once.
+        let right = (s.0 + 1, s.1);
+        if l.in_bounds(right) && l.is_open(right) {
+            uf.union(l.id(s), l.id(right));
+        }
+        let up = (s.0, s.1 + 1);
+        if l.in_bounds(up) && l.is_open(up) {
+            uf.union(l.id(s), l.id(up));
+        }
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut sizes: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for s in l.sites() {
+        if l.is_open(s) {
+            let root = uf.find(l.id(s));
+            label[l.id(s) as usize] = root;
+            *sizes.entry(root).or_insert(0) += 1;
+        }
+    }
+    let (largest_root, largest_size) = sizes
+        .iter()
+        .max_by_key(|&(r, s)| (*s, std::cmp::Reverse(*r)))
+        .map(|(&r, &s)| (r, s))
+        .unwrap_or((u32::MAX, 0));
+    Clusters {
+        label,
+        count: sizes.len(),
+        largest_size,
+        largest_root,
+    }
+}
+
+/// BFS reference labelling (used by tests as an oracle).
+pub fn label_clusters_bfs(l: &Lattice) -> Clusters {
+    let n = l.len();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0usize;
+    let mut largest_size = 0usize;
+    let mut largest_root = u32::MAX;
+    let mut queue = std::collections::VecDeque::new();
+    for start in l.sites() {
+        if !l.is_open(start) || label[l.id(start) as usize] != u32::MAX {
+            continue;
+        }
+        let root = l.id(start);
+        count += 1;
+        let mut size = 0usize;
+        label[root as usize] = root;
+        queue.push_back(start);
+        while let Some(s) = queue.pop_front() {
+            size += 1;
+            for nb in l.neighbors(s) {
+                if l.is_open(nb) && label[l.id(nb) as usize] == u32::MAX {
+                    label[l.id(nb) as usize] = root;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        if size > largest_size {
+            largest_size = size;
+            largest_root = root;
+        }
+    }
+    Clusters {
+        label,
+        count,
+        largest_size,
+        largest_root,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::bernoulli_lattice;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_open_is_one_cluster() {
+        let l = Lattice::open_all(5, 4);
+        let c = label_clusters(&l);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.largest_size, 20);
+        assert!(c.same_cluster(&l, (0, 0), (4, 3)));
+    }
+
+    #[test]
+    fn all_closed_has_no_clusters() {
+        let l = Lattice::closed(5, 4);
+        let c = label_clusters(&l);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.largest_size, 0);
+        assert_eq!(c.largest_root, u32::MAX);
+        assert!(!c.in_largest(&l, (0, 0)));
+    }
+
+    #[test]
+    fn diagonal_sites_are_not_connected() {
+        // Site percolation uses 4-neighbour adjacency: a diagonal pair is two
+        // clusters.
+        let mut l = Lattice::closed(3, 3);
+        l.set((0, 0), true);
+        l.set((1, 1), true);
+        let c = label_clusters(&l);
+        assert_eq!(c.count, 2);
+        assert!(!c.same_cluster(&l, (0, 0), (1, 1)));
+    }
+
+    #[test]
+    fn two_strips() {
+        // Rows 0 and 2 open, row 1 closed → two clusters of 4.
+        let l = Lattice::from_fn(4, 3, |_, j| j != 1);
+        let c = label_clusters(&l);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.largest_size, 4);
+        assert!(c.same_cluster(&l, (0, 0), (3, 0)));
+        assert!(!c.same_cluster(&l, (0, 0), (0, 2)));
+    }
+
+    #[test]
+    fn largest_mask_matches_membership() {
+        let l = Lattice::from_fn(5, 1, |i, _| i != 2); // sizes 2 and 2 → tie
+        let c = label_clusters(&l);
+        let mask = c.largest_mask();
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 2);
+        for s in l.sites() {
+            assert_eq!(mask[l.id(s) as usize], c.in_largest(&l, s));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Union–find labelling ≡ BFS labelling as partitions.
+        #[test]
+        fn prop_uf_equals_bfs(seed in 0u64..500, cols in 1usize..24, rows in 1usize..24, p in 0.0f64..1.0) {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let l = bernoulli_lattice(&mut rng, cols, rows, p);
+            let uf = label_clusters(&l);
+            let bfs = label_clusters_bfs(&l);
+            prop_assert_eq!(uf.count, bfs.count);
+            prop_assert_eq!(uf.largest_size, bfs.largest_size);
+            // Same partition (labels may differ).
+            for a in l.sites() {
+                for b in l.sites() {
+                    prop_assert_eq!(
+                        uf.same_cluster(&l, a, b),
+                        bfs.same_cluster(&l, a, b)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Critical-point estimation (experiment EXP-PC).
+//!
+//! Two standard finite-size observables:
+//!
+//! * `θ_L(p)` — fraction of sites in the largest cluster; converges to the
+//!   infinite-cluster density θ(p) above p_c and to 0 below.
+//! * crossing probability — probability of a left-to-right open crossing,
+//!   whose crossing point in `p` converges quickly to p_c ≈ 0.5927.
+//!
+//! Replicates are embarrassingly parallel (rayon) with per-replicate derived
+//! seeds, so results are independent of thread count.
+
+use crate::cluster::label_clusters;
+use crate::lattice::Lattice;
+use crate::sample::bernoulli_lattice;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::Serialize;
+use wsn_geom::hash::derive_seed2;
+use wsn_graph::UnionFind;
+
+/// Monte-Carlo estimate of `θ_L(p)` = E[largest cluster / sites] on an
+/// `L × L` lattice over `reps` replicates.
+pub fn theta_estimate(p: f64, l_size: usize, reps: usize, seed: u64) -> f64 {
+    let total: f64 = (0..reps as u64)
+        .into_par_iter()
+        .map(|r| {
+            let mut rng =
+                rand::rngs::SmallRng::seed_from_u64(derive_seed2(seed, r, p.to_bits()));
+            let lat = bernoulli_lattice(&mut rng, l_size, l_size, p);
+            label_clusters(&lat).largest_size as f64 / lat.len() as f64
+        })
+        .sum();
+    total / reps as f64
+}
+
+/// Whether the lattice has a left-to-right crossing of open sites.
+pub fn has_lr_crossing(l: &Lattice) -> bool {
+    // Union–find with two virtual nodes for the left and right walls.
+    let n = l.len();
+    let left = n as u32;
+    let right = n as u32 + 1;
+    let mut uf = UnionFind::new(n + 2);
+    for s in l.sites() {
+        if !l.is_open(s) {
+            continue;
+        }
+        if s.0 == 0 {
+            uf.union(l.id(s), left);
+        }
+        if s.0 == l.cols() - 1 {
+            uf.union(l.id(s), right);
+        }
+        let r = (s.0 + 1, s.1);
+        if l.in_bounds(r) && l.is_open(r) {
+            uf.union(l.id(s), l.id(r));
+        }
+        let u = (s.0, s.1 + 1);
+        if l.in_bounds(u) && l.is_open(u) {
+            uf.union(l.id(s), l.id(u));
+        }
+    }
+    uf.connected(left, right)
+}
+
+/// Monte-Carlo crossing probability at `p`.
+pub fn crossing_probability(p: f64, l_size: usize, reps: usize, seed: u64) -> f64 {
+    let hits: usize = (0..reps as u64)
+        .into_par_iter()
+        .map(|r| {
+            let mut rng =
+                rand::rngs::SmallRng::seed_from_u64(derive_seed2(seed, r, p.to_bits() ^ 0xC5));
+            let lat = bernoulli_lattice(&mut rng, l_size, l_size, p);
+            has_lr_crossing(&lat) as usize
+        })
+        .sum();
+    hits as f64 / reps as f64
+}
+
+/// One point of a `θ(p)` / crossing sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct CriticalPoint {
+    pub p: f64,
+    pub theta: f64,
+    pub crossing: f64,
+}
+
+/// Sweep `p` over `values`, measuring both observables.
+pub fn sweep(values: &[f64], l_size: usize, reps: usize, seed: u64) -> Vec<CriticalPoint> {
+    values
+        .iter()
+        .map(|&p| CriticalPoint {
+            p,
+            theta: theta_estimate(p, l_size, reps, seed),
+            crossing: crossing_probability(p, l_size, reps, seed),
+        })
+        .collect()
+}
+
+/// Estimate p_c by bisecting the crossing probability to 1/2.
+///
+/// On an `L × L` box the estimate is within O(L^(−3/4)) of the true
+/// p_c ≈ 0.592746; `L = 128, reps = 200` lands within ±0.01 reliably.
+pub fn estimate_pc(l_size: usize, reps: usize, iterations: usize, seed: u64) -> f64 {
+    let (mut lo, mut hi) = (0.45, 0.75);
+    for it in 0..iterations {
+        let mid = 0.5 * (lo + hi);
+        let cross = crossing_probability(mid, l_size, reps, derive_seed2(seed, it as u64, 0));
+        if cross < 0.5 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_on_deterministic_patterns() {
+        // Full row open → crossing; full column open (no row) → no crossing.
+        let row = Lattice::from_fn(6, 6, |_, j| j == 3);
+        assert!(has_lr_crossing(&row));
+        let col = Lattice::from_fn(6, 6, |i, _| i == 3);
+        assert!(!has_lr_crossing(&col));
+        assert!(has_lr_crossing(&Lattice::open_all(4, 4)));
+        assert!(!has_lr_crossing(&Lattice::closed(4, 4)));
+    }
+
+    #[test]
+    fn single_column_lattice() {
+        // cols = 1: any open site is both walls.
+        let l = Lattice::from_fn(1, 5, |_, j| j == 2);
+        assert!(has_lr_crossing(&l));
+        assert!(!has_lr_crossing(&Lattice::closed(1, 5)));
+    }
+
+    #[test]
+    fn theta_is_monotone_across_the_transition() {
+        let lo = theta_estimate(0.45, 48, 24, 7);
+        let hi = theta_estimate(0.75, 48, 24, 7);
+        assert!(lo < 0.15, "θ(0.45) = {lo}");
+        assert!(hi > 0.55, "θ(0.75) = {hi}");
+    }
+
+    #[test]
+    fn crossing_probability_brackets_pc() {
+        let below = crossing_probability(0.50, 48, 40, 11);
+        let above = crossing_probability(0.68, 48, 40, 11);
+        assert!(below < 0.35, "cross(0.50) = {below}");
+        assert!(above > 0.65, "cross(0.68) = {above}");
+    }
+
+    #[test]
+    fn pc_estimate_is_near_known_value() {
+        // Small lattice + few reps keeps the test fast; the bench target
+        // EXP-PC runs the precise version.
+        let pc = estimate_pc(48, 30, 8, 3);
+        assert!(
+            (0.54..=0.65).contains(&pc),
+            "p_c estimate {pc} outside sanity band"
+        );
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_p_on_average() {
+        let pts = sweep(&[0.4, 0.6, 0.8], 32, 20, 5);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].theta < pts[2].theta);
+        assert!(pts[0].crossing <= pts[2].crossing);
+    }
+
+    #[test]
+    fn determinism_independent_of_parallelism() {
+        let a = theta_estimate(0.6, 32, 16, 99);
+        let b = theta_estimate(0.6, 32, 16, 99);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,191 @@
+//! The finite site lattice.
+
+use serde::{Deserialize, Serialize};
+
+/// A lattice site, `(column, row)` with the origin at the bottom-left.
+pub type Site = (usize, usize);
+
+/// A finite `cols × rows` window of Z² with an open/closed state per site.
+///
+/// Row-major `Vec<bool>` storage; site ids (`u32`) are `row * cols + col`,
+/// which is also the node id used when the lattice is viewed as a graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lattice {
+    cols: usize,
+    rows: usize,
+    open: Vec<bool>,
+}
+
+impl Lattice {
+    /// All-closed lattice.
+    pub fn closed(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "degenerate lattice");
+        Lattice {
+            cols,
+            rows,
+            open: vec![false; cols * rows],
+        }
+    }
+
+    /// All-open lattice.
+    pub fn open_all(cols: usize, rows: usize) -> Self {
+        let mut l = Lattice::closed(cols, rows);
+        l.open.fill(true);
+        l
+    }
+
+    /// Build from a predicate — this is the tile-goodness coupling hook: the
+    /// SENS constructions call it with `|i, j| tile (i, j) is good`.
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(cols: usize, rows: usize, mut f: F) -> Self {
+        let mut l = Lattice::closed(cols, rows);
+        for j in 0..rows {
+            for i in 0..cols {
+                l.open[j * cols + i] = f(i, j);
+            }
+        }
+        l
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.open.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    #[inline]
+    pub fn in_bounds(&self, s: Site) -> bool {
+        s.0 < self.cols && s.1 < self.rows
+    }
+
+    #[inline]
+    pub fn id(&self, s: Site) -> u32 {
+        debug_assert!(self.in_bounds(s));
+        (s.1 * self.cols + s.0) as u32
+    }
+
+    #[inline]
+    pub fn site(&self, id: u32) -> Site {
+        (id as usize % self.cols, id as usize / self.cols)
+    }
+
+    #[inline]
+    pub fn is_open(&self, s: Site) -> bool {
+        self.open[s.1 * self.cols + s.0]
+    }
+
+    #[inline]
+    pub fn set(&mut self, s: Site, open: bool) {
+        let id = self.id(s) as usize;
+        self.open[id] = open;
+    }
+
+    /// Number of open sites.
+    pub fn open_count(&self) -> usize {
+        self.open.iter().filter(|&&o| o).count()
+    }
+
+    /// Fraction of open sites.
+    pub fn open_fraction(&self) -> f64 {
+        self.open_count() as f64 / self.len() as f64
+    }
+
+    /// In-bounds lattice neighbours of `s` (up to 4), in right/left/up/down
+    /// order.
+    pub fn neighbors(&self, s: Site) -> impl Iterator<Item = Site> + '_ {
+        let (x, y) = (s.0 as isize, s.1 as isize);
+        [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)]
+            .into_iter()
+            .filter_map(move |(i, j)| {
+                if i >= 0 && j >= 0 && (i as usize) < self.cols && (j as usize) < self.rows {
+                    Some((i as usize, j as usize))
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// All sites, row-major.
+    pub fn sites(&self) -> impl Iterator<Item = Site> + '_ {
+        (0..self.rows).flat_map(move |j| (0..self.cols).map(move |i| (i, j)))
+    }
+
+    /// L¹ distance — `D(x, y)` in the paper.
+    #[inline]
+    pub fn dist_l1(a: Site, b: Site) -> u32 {
+        (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        let l = Lattice::closed(7, 5);
+        for s in l.sites() {
+            assert_eq!(l.site(l.id(s)), s);
+        }
+        assert_eq!(l.len(), 35);
+    }
+
+    #[test]
+    fn from_fn_sets_pattern() {
+        let l = Lattice::from_fn(4, 4, |i, j| (i + j) % 2 == 0);
+        assert!(l.is_open((0, 0)));
+        assert!(!l.is_open((1, 0)));
+        assert!(l.is_open((1, 1)));
+        assert_eq!(l.open_count(), 8);
+        assert_eq!(l.open_fraction(), 0.5);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut l = Lattice::closed(3, 3);
+        assert_eq!(l.open_count(), 0);
+        l.set((1, 2), true);
+        assert!(l.is_open((1, 2)));
+        l.set((1, 2), false);
+        assert_eq!(l.open_count(), 0);
+    }
+
+    #[test]
+    fn corner_and_edge_neighbors() {
+        let l = Lattice::closed(3, 3);
+        let corner: Vec<Site> = l.neighbors((0, 0)).collect();
+        assert_eq!(corner.len(), 2);
+        assert!(corner.contains(&(1, 0)) && corner.contains(&(0, 1)));
+        let edge: Vec<Site> = l.neighbors((1, 0)).collect();
+        assert_eq!(edge.len(), 3);
+        let middle: Vec<Site> = l.neighbors((1, 1)).collect();
+        assert_eq!(middle.len(), 4);
+    }
+
+    #[test]
+    fn l1_distance() {
+        assert_eq!(Lattice::dist_l1((0, 0), (3, 4)), 7);
+        assert_eq!(Lattice::dist_l1((3, 4), (0, 0)), 7);
+        assert_eq!(Lattice::dist_l1((2, 2), (2, 2)), 0);
+    }
+
+    #[test]
+    fn sites_iterates_row_major_once_each() {
+        let l = Lattice::closed(3, 2);
+        let all: Vec<Site> = l.sites().collect();
+        assert_eq!(all, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+    }
+}

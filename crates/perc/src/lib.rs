@@ -1,0 +1,35 @@
+//! # wsn-perc
+//!
+//! Site percolation on Z² — the analytical engine of the paper.
+//!
+//! Both SENS constructions couple tiles of R² to sites of Z²: a site is
+//! *open* iff its tile is *good*. Everything the paper proves then flows
+//! through standard percolation facts:
+//!
+//! * supercriticality (`P[good] > p_c ≈ 0.5927`) ⇒ an infinite cluster ⇒ an
+//!   infinite SENS subgraph (Theorems 2.2 / 2.4);
+//! * Antal–Pisztora chemical-distance bounds ⇒ constant stretch
+//!   (Theorem 3.2, via Lemma 1.1);
+//! * exponential decay of finite-cluster radii ⇒ coverage (Theorem 3.3);
+//! * Angel et al. routing on the percolated mesh ⇒ the paper's Fig. 9
+//!   routing algorithm with constant expected probe overhead.
+//!
+//! This crate implements the finite-volume versions of all four: lattice
+//! sampling, cluster structure, critical-point estimation, chemical
+//! distance, and x–y-path routing with distributed-BFS repair.
+
+pub mod chemical;
+pub mod cluster;
+pub mod critical;
+pub mod lattice;
+pub mod routing;
+pub mod sample;
+
+pub use lattice::{Lattice, Site};
+pub use routing::{route_xy, RouteOutcome};
+
+/// Accepted bracket for the site-percolation threshold on Z²; the paper
+/// quotes `p_c ∈ [0.592, 0.593]` (its reference \[13\]) and uses 0.593 as the
+/// goodness target for both constructions.
+pub const PC_SITE_LOWER: f64 = 0.592;
+pub const PC_SITE_UPPER: f64 = 0.593;

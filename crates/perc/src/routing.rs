@@ -1,0 +1,276 @@
+//! Distributed routing on the percolated mesh — the paper's Fig. 9
+//! algorithm, after Angel, Benjamini, Ofek & Wieder (PODC 2005).
+//!
+//! The packet follows the canonical x–y path (fix the x coordinate first,
+//! then y). Before each step the current node *probes* whether the next site
+//! is open; if it is closed, a distributed BFS over open sites finds the next
+//! open site lying further along the x–y path, the packet is forwarded along
+//! the BFS tree, and normal routing resumes. Angel et al. prove the expected
+//! number of probes is O(shortest path length); experiment EXP-F9 measures
+//! exactly that ratio.
+
+use crate::lattice::{Lattice, Site};
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Result of routing one packet.
+#[derive(Clone, Debug, Serialize)]
+pub struct RouteOutcome {
+    pub delivered: bool,
+    /// Lattice steps actually travelled by the packet.
+    pub hops: u32,
+    /// Probe messages: one per `isOpen` check plus one per site expanded
+    /// during BFS repairs.
+    pub probes: u32,
+    /// Number of BFS repairs that were needed.
+    pub repairs: u32,
+    /// Sites visited by the packet, `src` first; ends at `dst` iff delivered.
+    pub path: Vec<Site>,
+}
+
+/// Position of `s` along the canonical x–y path `curr → dst`, if it lies on
+/// it: the path walks horizontally from `curr.x` to `dst.x` at height
+/// `curr.y`, then vertically to `dst.y` at column `dst.x`. Position 0 is
+/// `curr` itself.
+fn xy_path_position(curr: Site, dst: Site, s: Site) -> Option<u32> {
+    let horiz = curr.0.abs_diff(dst.0);
+    let between = |a: usize, b: usize, x: usize| (a.min(b)..=a.max(b)).contains(&x);
+    if s.1 == curr.1 && between(curr.0, dst.0, s.0) {
+        // On the horizontal leg. (When curr.y == dst.y the vertical leg is
+        // empty, so this covers the whole path.)
+        Some(s.0.abs_diff(curr.0) as u32)
+    } else if s.0 == dst.0 && between(curr.1, dst.1, s.1) {
+        Some((horiz + s.1.abs_diff(curr.1)) as u32)
+    } else {
+        None
+    }
+}
+
+/// The next site on the canonical x–y path from `curr` toward `dst`.
+fn compute_next(curr: Site, dst: Site) -> Site {
+    if curr.0 != dst.0 {
+        if curr.0 < dst.0 {
+            (curr.0 + 1, curr.1)
+        } else {
+            (curr.0 - 1, curr.1)
+        }
+    } else if curr.1 < dst.1 {
+        (curr.0, curr.1 + 1)
+    } else {
+        (curr.0, curr.1 - 1)
+    }
+}
+
+/// BFS from `curr` through open sites until reaching a site on the x–y path
+/// `curr → dst` at position ≥ 1. Returns the site, the tree path to it
+/// (excluding `curr`), and the number of sites expanded.
+fn bfs_repair(lat: &Lattice, curr: Site, dst: Site) -> (Option<(Site, Vec<Site>)>, u32) {
+    let mut parent: Vec<u32> = vec![u32::MAX; lat.len()];
+    let mut queue = VecDeque::new();
+    parent[lat.id(curr) as usize] = lat.id(curr);
+    queue.push_back(curr);
+    let mut expanded = 0u32;
+    while let Some(s) = queue.pop_front() {
+        expanded += 1;
+        if s != curr {
+            if let Some(k) = xy_path_position(curr, dst, s) {
+                if k >= 1 {
+                    // Reconstruct tree path curr → s.
+                    let mut rev = vec![s];
+                    let mut c = s;
+                    while c != curr {
+                        c = lat.site(parent[lat.id(c) as usize]);
+                        if c != curr {
+                            rev.push(c);
+                        }
+                    }
+                    rev.reverse();
+                    return (Some((s, rev)), expanded);
+                }
+            }
+        }
+        for nb in lat.neighbors(s) {
+            if lat.is_open(nb) && parent[lat.id(nb) as usize] == u32::MAX {
+                parent[lat.id(nb) as usize] = lat.id(s);
+                queue.push_back(nb);
+            }
+        }
+    }
+    (None, expanded)
+}
+
+/// Route a packet from `src` to `dst` with the Fig. 9 algorithm.
+///
+/// Terminates after at most `D(src, dst)` outer iterations because every
+/// move — direct step or BFS repair — strictly decreases the L¹ distance to
+/// the target. Undeliverable packets (endpoints closed, or in different
+/// open clusters) return `delivered = false` with the probes spent
+/// discovering that.
+pub fn route_xy(lat: &Lattice, src: Site, dst: Site) -> RouteOutcome {
+    assert!(lat.in_bounds(src) && lat.in_bounds(dst), "route endpoints out of bounds");
+    let mut out = RouteOutcome {
+        delivered: false,
+        hops: 0,
+        probes: 0,
+        repairs: 0,
+        path: vec![src],
+    };
+    if !lat.is_open(src) || !lat.is_open(dst) {
+        return out;
+    }
+    let mut curr = src;
+    while curr != dst {
+        let next = compute_next(curr, dst);
+        out.probes += 1; // the isOpen(next) check
+        if lat.is_open(next) {
+            curr = next;
+            out.hops += 1;
+            out.path.push(curr);
+        } else {
+            out.repairs += 1;
+            let (found, expanded) = bfs_repair(lat, curr, dst);
+            out.probes += expanded;
+            match found {
+                Some((v, tree_path)) => {
+                    out.hops += tree_path.len() as u32;
+                    out.path.extend_from_slice(&tree_path);
+                    curr = v;
+                }
+                None => return out, // different cluster: undeliverable
+            }
+        }
+    }
+    out.delivered = true;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_position_enumerates_the_path() {
+        let curr = (1, 1);
+        let dst = (4, 3);
+        // Path: (1,1) (2,1) (3,1) (4,1) (4,2) (4,3) — positions 0..=5.
+        let expect = [
+            ((1, 1), 0),
+            ((2, 1), 1),
+            ((3, 1), 2),
+            ((4, 1), 3),
+            ((4, 2), 4),
+            ((4, 3), 5),
+        ];
+        for (s, k) in expect {
+            assert_eq!(xy_path_position(curr, dst, s), Some(k), "{s:?}");
+        }
+        assert_eq!(xy_path_position(curr, dst, (2, 2)), None);
+        assert_eq!(xy_path_position(curr, dst, (0, 1)), None);
+        assert_eq!(xy_path_position(curr, dst, (4, 4)), None);
+    }
+
+    #[test]
+    fn compute_next_walks_x_then_y() {
+        assert_eq!(compute_next((0, 0), (2, 2)), (1, 0));
+        assert_eq!(compute_next((2, 0), (2, 2)), (2, 1));
+        assert_eq!(compute_next((5, 5), (2, 2)), (4, 5));
+        assert_eq!(compute_next((2, 5), (2, 2)), (2, 4));
+    }
+
+    #[test]
+    fn clear_lattice_routes_along_l1() {
+        let lat = Lattice::open_all(10, 10);
+        let r = route_xy(&lat, (1, 1), (7, 4));
+        assert!(r.delivered);
+        assert_eq!(r.hops, 9);
+        assert_eq!(r.repairs, 0);
+        assert_eq!(r.probes, 9); // one isOpen per step
+        assert_eq!(*r.path.first().unwrap(), (1, 1));
+        assert_eq!(*r.path.last().unwrap(), (7, 4));
+        // Path steps are lattice-adjacent.
+        for w in r.path.windows(2) {
+            assert_eq!(Lattice::dist_l1(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn single_obstacle_triggers_one_repair() {
+        let mut lat = Lattice::open_all(9, 9);
+        lat.set((4, 2), false); // on the horizontal leg of (1,2) → (7,2)
+        let r = route_xy(&lat, (1, 2), (7, 2));
+        assert!(r.delivered);
+        assert_eq!(r.repairs, 1);
+        assert!(r.hops > 6, "detour must exceed L1 = 6, got {}", r.hops);
+        assert!(r.probes > r.hops - 1);
+        for w in r.path.windows(2) {
+            assert_eq!(Lattice::dist_l1(w[0], w[1]), 1);
+            assert!(lat.is_open(w[1]));
+        }
+    }
+
+    #[test]
+    fn wall_with_gap_is_routed_around() {
+        // Vertical wall at x = 4 except the top row.
+        let lat = Lattice::from_fn(9, 9, |i, j| i != 4 || j == 8);
+        let r = route_xy(&lat, (0, 0), (8, 0));
+        assert!(r.delivered);
+        assert!(r.hops >= 8 + 2 * 8, "hops = {}", r.hops);
+        assert!(r.repairs >= 1);
+    }
+
+    #[test]
+    fn disconnected_destination_is_undeliverable() {
+        let lat = Lattice::from_fn(9, 9, |i, _| i != 4); // solid wall
+        let r = route_xy(&lat, (0, 0), (8, 0));
+        assert!(!r.delivered);
+        assert!(r.probes > 0, "must spend probes discovering the cut");
+    }
+
+    #[test]
+    fn closed_endpoints_fail_immediately() {
+        let mut lat = Lattice::open_all(5, 5);
+        lat.set((0, 0), false);
+        let r = route_xy(&lat, (0, 0), (4, 4));
+        assert!(!r.delivered);
+        assert_eq!(r.probes, 0);
+        lat.set((0, 0), true);
+        lat.set((4, 4), false);
+        let r2 = route_xy(&lat, (0, 0), (4, 4));
+        assert!(!r2.delivered);
+    }
+
+    #[test]
+    fn src_equals_dst() {
+        let lat = Lattice::open_all(3, 3);
+        let r = route_xy(&lat, (1, 1), (1, 1));
+        assert!(r.delivered);
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.probes, 0);
+        assert_eq!(r.path, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn hops_never_below_l1_and_terminates_supercritical() {
+        use crate::sample::bernoulli_lattice;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
+        let lat = bernoulli_lattice(&mut rng, 40, 40, 0.75);
+        let clusters = crate::cluster::label_clusters(&lat);
+        let members: Vec<Site> = lat
+            .sites()
+            .filter(|&s| clusters.in_largest(&lat, s))
+            .collect();
+        let mut routed = 0;
+        for k in 0..40usize.min(members.len() / 2) {
+            let (a, b) = (members[k], members[members.len() - 1 - k]);
+            if a == b {
+                continue;
+            }
+            let r = route_xy(&lat, a, b);
+            assert!(r.delivered, "same-cluster pair must deliver");
+            assert!(r.hops >= Lattice::dist_l1(a, b));
+            routed += 1;
+        }
+        assert!(routed > 10);
+    }
+}

@@ -1,0 +1,47 @@
+//! Bernoulli site sampling.
+
+use crate::lattice::Lattice;
+use rand::{Rng, RngExt};
+
+/// Sample a `cols × rows` lattice with i.i.d. open probability `p` — the
+/// site-percolation measure `∏ {0,1}` of the paper's Section 1.1.
+pub fn bernoulli_lattice<R: Rng>(rng: &mut R, cols: usize, rows: usize, p: f64) -> Lattice {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    Lattice::from_fn(cols, rows, |_, _| rng.random::<f64>() < p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_geom::hash::derive_seed;
+
+    fn rng(seed: u64) -> impl Rng {
+        use rand::SeedableRng;
+        rand::rngs::SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut r = rng(1);
+        assert_eq!(bernoulli_lattice(&mut r, 10, 10, 0.0).open_count(), 0);
+        assert_eq!(bernoulli_lattice(&mut r, 10, 10, 1.0).open_count(), 100);
+    }
+
+    #[test]
+    fn open_fraction_concentrates() {
+        let mut r = rng(2);
+        let l = bernoulli_lattice(&mut r, 200, 200, 0.6);
+        let f = l.open_fraction();
+        // sd = √(p(1−p)/n) ≈ 0.00245; allow 5σ.
+        assert!((f - 0.6).abs() < 0.013, "fraction = {f}");
+    }
+
+    #[test]
+    fn determinism_via_seed() {
+        let a = bernoulli_lattice(&mut rng(42), 30, 30, 0.5);
+        let b = bernoulli_lattice(&mut rng(42), 30, 30, 0.5);
+        assert_eq!(a, b);
+        let c = bernoulli_lattice(&mut rng(derive_seed(42, 1)), 30, 30, 0.5);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,188 @@
+//! Flat point-set container.
+//!
+//! Structure-of-arrays layout (two `Vec<f64>`) per the performance-book
+//! guidance: sequential scans over one coordinate stay cache-dense, and node
+//! ids are plain `u32` indices used consistently by the spatial index, the
+//! graph substrate and the SENS constructions.
+
+use wsn_geom::{Aabb, Point};
+
+/// An indexed set of points in R². Node `i` of every graph built downstream
+/// is point `i` of this set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointSet {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PointSet {
+    pub fn new() -> Self {
+        PointSet::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        PointSet {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let iter = points.into_iter();
+        let mut set = PointSet::with_capacity(iter.size_hint().0);
+        for p in iter {
+            set.push(p);
+        }
+        set
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    #[inline]
+    pub fn push(&mut self, p: Point) {
+        debug_assert!(p.is_finite());
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+    }
+
+    /// Point by id. Panics on out-of-range (ids are internal, so this is a
+    /// logic error, not an input error).
+    #[inline]
+    pub fn get(&self, i: u32) -> Point {
+        Point::new(self.xs[i as usize], self.ys[i as usize])
+    }
+
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.xs
+            .iter()
+            .zip(self.ys.iter())
+            .map(|(&x, &y)| Point::new(x, y))
+    }
+
+    /// Ids and points together.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (u32, Point)> + '_ {
+        self.iter().enumerate().map(|(i, p)| (i as u32, p))
+    }
+
+    /// Tight bounding box, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<Aabb> {
+        if self.is_empty() {
+            return None;
+        }
+        let (mut x0, mut y0, mut x1, mut y1) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+        for p in self.iter() {
+            x0 = x0.min(p.x);
+            y0 = y0.min(p.y);
+            x1 = x1.max(p.x);
+            y1 = y1.max(p.y);
+        }
+        Some(Aabb::from_coords(x0, y0, x1, y1))
+    }
+
+    /// Keep only points satisfying the predicate; returns the old→new id map
+    /// (`u32::MAX` marks removed points).
+    #[allow(clippy::needless_range_loop)] // in-place compaction: w trails r over the same buffers
+    pub fn retain_with_map<F: FnMut(u32, Point) -> bool>(&mut self, mut keep: F) -> Vec<u32> {
+        let mut map = vec![u32::MAX; self.len()];
+        let mut w = 0usize;
+        for r in 0..self.len() {
+            let p = Point::new(self.xs[r], self.ys[r]);
+            if keep(r as u32, p) {
+                self.xs[w] = self.xs[r];
+                self.ys[w] = self.ys[r];
+                map[r] = w as u32;
+                w += 1;
+            }
+        }
+        self.xs.truncate(w);
+        self.ys.truncate(w);
+        map
+    }
+}
+
+impl FromIterator<Point> for PointSet {
+    fn from_iter<T: IntoIterator<Item = Point>>(iter: T) -> Self {
+        PointSet::from_points(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut s = PointSet::new();
+        assert!(s.is_empty());
+        s.push(Point::new(1.0, 2.0));
+        s.push(Point::new(-3.0, 4.5));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), Point::new(1.0, 2.0));
+        assert_eq!(s.get(1), Point::new(-3.0, 4.5));
+    }
+
+    #[test]
+    fn iter_matches_indexing() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 4.0),
+        ];
+        let s = PointSet::from_points(pts.clone());
+        let collected: Vec<Point> = s.iter().collect();
+        assert_eq!(collected, pts);
+        for (i, p) in s.iter_enumerated() {
+            assert_eq!(s.get(i), p);
+        }
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let s: PointSet = vec![
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.bounding_box(), Some(Aabb::from_coords(-2.0, -1.0, 4.0, 5.0)));
+        assert_eq!(PointSet::new().bounding_box(), None);
+    }
+
+    #[test]
+    fn retain_compacts_and_maps() {
+        let mut s: PointSet = (0..6).map(|i| Point::new(i as f64, 0.0)).collect();
+        // Keep even x.
+        let map = s.retain_with_map(|_, p| (p.x as i64) % 2 == 0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(map, vec![0, u32::MAX, 1, u32::MAX, 2, u32::MAX]);
+        assert_eq!(s.get(2), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn soa_slices_are_aligned() {
+        let s: PointSet = vec![Point::new(1.0, 10.0), Point::new(2.0, 20.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.xs(), &[1.0, 2.0]);
+        assert_eq!(s.ys(), &[10.0, 20.0]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Exact Poisson sampling for arbitrary mean.
+//!
+//! Two regimes:
+//!
+//! * `μ < 10` — Knuth's multiplication (inversion) method, exact and O(μ).
+//! * `μ ≥ 10` — Hörmann's PTRS transformed-rejection sampler (W. Hörmann,
+//!   *The transformed rejection method for generating Poisson random
+//!   variables*, Insurance: Mathematics & Economics 12, 1993), exact with
+//!   O(1) expected trials.
+//!
+//! `ln Γ` (needed by PTRS) is implemented locally with a Lanczos
+//! approximation because the std float gamma functions are not yet stable.
+
+use rand::{Rng, RngExt};
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+/// Absolute error < 1e-13 for x > 0.5 — far below what rejection sampling
+/// needs.
+#[allow(clippy::excessive_precision)] // published Lanczos coefficients, kept verbatim
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients from Numerical Recipes (Lanczos, g = 7).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma domain");
+    if x < 0.5 {
+        // Reflection formula keeps precision near 0.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(k!)` via `ln Γ(k + 1)` with a small exact table for tiny `k`.
+#[inline]
+#[allow(clippy::approx_constant, clippy::excessive_precision)] // table IS ln(k!), ln(2!) = LN_2
+pub fn ln_factorial(k: u64) -> f64 {
+    const TABLE: [f64; 10] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+    ];
+    if (k as usize) < TABLE.len() {
+        TABLE[k as usize]
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
+}
+
+/// Draw one Poisson(μ) variate. Exact for all finite `mean ≥ 0`.
+pub fn sample_poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "invalid Poisson mean {mean}");
+    if mean == 0.0 {
+        0
+    } else if mean < 10.0 {
+        poisson_inversion(rng, mean)
+    } else {
+        poisson_ptrs(rng, mean)
+    }
+}
+
+/// Knuth's multiplication method: count uniforms until the running product
+/// drops below e^(−μ).
+fn poisson_inversion<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.random::<f64>();
+    let mut k = 0u64;
+    while product > limit {
+        product *= rng.random::<f64>();
+        k += 1;
+    }
+    k
+}
+
+/// Hörmann's PTRS sampler for μ ≥ 10.
+fn poisson_ptrs<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    let b = 0.931 + 2.53 * mean.sqrt();
+    let a = -0.059 + 0.024_83 * b;
+    let inv_alpha = 1.123_9 + 1.132_8 / (b - 3.4);
+    let v_r = 0.927_7 - 3.622_4 / (b - 2.0);
+    let ln_mean = mean.ln();
+
+    loop {
+        let u = rng.random::<f64>() - 0.5;
+        let v = rng.random::<f64>();
+        let us = 0.5 - u.abs();
+        let k_f = (2.0 * a / us + b) * u + mean + 0.43;
+        if k_f < 0.0 {
+            continue;
+        }
+        let k = k_f.floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        if us < 0.013 && v > us {
+            continue;
+        }
+        let lhs = (v * inv_alpha / (a / (us * us) + b)).ln();
+        let rhs = k * ln_mean - mean - ln_factorial(k as u64);
+        if lhs <= rhs {
+            return k as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-11);
+        let half = ln_gamma(0.5);
+        assert!((half - std::f64::consts::PI.sqrt().ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn ln_factorial_table_consistent_with_gamma() {
+        for k in 0..20u64 {
+            let direct: f64 = (1..=k).map(|i| (i as f64).ln()).sum();
+            assert!(
+                (ln_factorial(k) - direct).abs() < 1e-10,
+                "k = {k}: {} vs {direct}",
+                ln_factorial(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mean_is_always_zero() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    fn check_moments(mean: f64, n: usize, seed: u64) {
+        let mut rng = rng_from_seed(seed);
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut rng, mean)).collect();
+        let m = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - m).powi(2))
+            .sum::<f64>()
+            / (n as f64 - 1.0);
+        // Sample mean of Poisson(μ): sd = √(μ/n); allow 5σ.
+        let tol_mean = 5.0 * (mean / n as f64).sqrt();
+        assert!(
+            (m - mean).abs() < tol_mean,
+            "mean {mean}: sample mean {m}, tol {tol_mean}"
+        );
+        // Variance should also be ≈ μ (Poisson); tolerance is loose.
+        let tol_var = 6.0 * mean * (2.0 / n as f64).sqrt() + 0.2;
+        assert!(
+            (var - mean).abs() < tol_var,
+            "mean {mean}: sample var {var}, tol {tol_var}"
+        );
+    }
+
+    #[test]
+    fn inversion_regime_moments() {
+        check_moments(0.5, 40_000, 101);
+        check_moments(3.0, 40_000, 102);
+        check_moments(9.5, 40_000, 103);
+    }
+
+    #[test]
+    fn ptrs_regime_moments() {
+        check_moments(10.5, 40_000, 201);
+        check_moments(50.0, 40_000, 202);
+        check_moments(400.0, 20_000, 203);
+        check_moments(10_000.0, 5_000, 204);
+    }
+
+    #[test]
+    fn pmf_chi_square_at_mean_four() {
+        // Compare empirical frequencies of k = 0..12 against the exact pmf
+        // for μ = 4 with a generous chi-square bound.
+        let mean = 4.0;
+        let n = 100_000;
+        let mut rng = rng_from_seed(42);
+        let mut counts = [0u64; 13];
+        let mut overflow = 0u64;
+        for _ in 0..n {
+            let k = sample_poisson(&mut rng, mean);
+            if (k as usize) < counts.len() {
+                counts[k as usize] += 1;
+            } else {
+                overflow += 1;
+            }
+        }
+        let mut chi2 = 0.0;
+        for (k, &c) in counts.iter().enumerate() {
+            let p = (mean.powi(k as i32) * (-mean).exp()) / (1..=k).product::<usize>().max(1) as f64;
+            let expected = p * n as f64;
+            chi2 += (c as f64 - expected).powi(2) / expected;
+        }
+        // 12 dof, p = 0.001 critical value ≈ 32.9; be generous.
+        assert!(chi2 < 40.0, "chi2 = {chi2}, counts = {counts:?}");
+        // P(K > 12 | μ=4) ≈ 0.000297 → expect ~30 of 100k.
+        assert!(overflow < 120, "overflow = {overflow}");
+    }
+
+    #[test]
+    fn boundary_between_regimes_is_smooth() {
+        // Means just below/above the 10.0 switch should give statistically
+        // indistinguishable results.
+        let mut rng = rng_from_seed(77);
+        let n = 60_000;
+        let m_lo: f64 = (0..n)
+            .map(|_| sample_poisson(&mut rng, 9.999) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let m_hi: f64 = (0..n)
+            .map(|_| sample_poisson(&mut rng, 10.001) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((m_lo - m_hi).abs() < 0.15, "{m_lo} vs {m_hi}");
+    }
+
+    #[test]
+    fn determinism_across_calls() {
+        let a: Vec<u64> = {
+            let mut rng = rng_from_seed(9);
+            (0..50).map(|_| sample_poisson(&mut rng, 123.4)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = rng_from_seed(9);
+            (0..50).map(|_| sample_poisson(&mut rng, 123.4)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

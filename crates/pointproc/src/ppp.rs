@@ -1,0 +1,123 @@
+//! Homogeneous point processes in a window.
+
+use crate::points::PointSet;
+use crate::poisson::sample_poisson;
+use crate::rng::uniform_in;
+use rand::Rng;
+use wsn_geom::Aabb;
+
+/// Realise a homogeneous Poisson point process of intensity `lambda` in the
+/// window: `N ~ Poisson(λ · area)` followed by `N` i.i.d. uniform positions.
+///
+/// This is the standard construction and is exact — counts in disjoint
+/// sub-regions are independent Poissons, which the tests verify.
+pub fn sample_poisson_window<R: Rng>(rng: &mut R, lambda: f64, window: &Aabb) -> PointSet {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "invalid intensity");
+    let n = sample_poisson(rng, lambda * window.area());
+    sample_binomial_window(rng, n as usize, window)
+}
+
+/// Realise a binomial point process: exactly `n` i.i.d. uniform points.
+pub fn sample_binomial_window<R: Rng>(rng: &mut R, n: usize, window: &Aabb) -> PointSet {
+    let mut set = PointSet::with_capacity(n);
+    for _ in 0..n {
+        set.push(uniform_in(rng, window));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use wsn_geom::Point;
+
+    #[test]
+    fn count_matches_intensity() {
+        let mut rng = rng_from_seed(3);
+        let window = Aabb::square(50.0);
+        let lambda = 2.0;
+        let mean = lambda * window.area(); // 5000
+        let n = sample_poisson_window(&mut rng, lambda, &window).len() as f64;
+        // 5σ band: σ = √5000 ≈ 70.7.
+        assert!((n - mean).abs() < 5.0 * mean.sqrt(), "n = {n}");
+    }
+
+    #[test]
+    fn all_points_inside_window() {
+        let mut rng = rng_from_seed(4);
+        let window = Aabb::from_coords(10.0, -5.0, 20.0, 5.0);
+        let pts = sample_poisson_window(&mut rng, 1.5, &window);
+        assert!(pts.iter().all(|p| window.contains(p)));
+    }
+
+    #[test]
+    fn disjoint_regions_have_independent_counts() {
+        // Split a window into left/right halves; over many realisations the
+        // sample correlation of the two counts should be near zero.
+        let window = Aabb::square(10.0);
+        let lambda = 1.0;
+        let reps = 2000;
+        let mut lefts = Vec::with_capacity(reps);
+        let mut rights = Vec::with_capacity(reps);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..reps {
+            let pts = sample_poisson_window(&mut rng, lambda, &window);
+            let l = pts.iter().filter(|p| p.x < 5.0).count() as f64;
+            let r = pts.len() as f64 - l;
+            lefts.push(l);
+            rights.push(r);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (ml, mr) = (mean(&lefts), mean(&rights));
+        let mut cov = 0.0;
+        let mut vl = 0.0;
+        let mut vr = 0.0;
+        for i in 0..reps {
+            cov += (lefts[i] - ml) * (rights[i] - mr);
+            vl += (lefts[i] - ml).powi(2);
+            vr += (rights[i] - mr).powi(2);
+        }
+        let corr = cov / (vl.sqrt() * vr.sqrt());
+        assert!(corr.abs() < 0.08, "corr = {corr}");
+        // Each half has mean 50.
+        assert!((ml - 50.0).abs() < 2.0 && (mr - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn binomial_process_has_exact_count() {
+        let mut rng = rng_from_seed(6);
+        let pts = sample_binomial_window(&mut rng, 137, &Aabb::square(3.0));
+        assert_eq!(pts.len(), 137);
+    }
+
+    #[test]
+    fn determinism() {
+        let w = Aabb::square(20.0);
+        let a = sample_poisson_window(&mut rng_from_seed(77), 0.8, &w);
+        let b = sample_poisson_window(&mut rng_from_seed(77), 0.8, &w);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b.iter()).all(|(p, q)| p == q));
+    }
+
+    #[test]
+    fn zero_intensity_gives_empty_set() {
+        let mut rng = rng_from_seed(8);
+        assert!(sample_poisson_window(&mut rng, 0.0, &Aabb::square(100.0)).is_empty());
+    }
+
+    #[test]
+    fn spatial_uniformity_quadrants() {
+        let mut rng = rng_from_seed(9);
+        let w = Aabb::square(10.0);
+        let pts = sample_binomial_window(&mut rng, 8000, &w);
+        let mut q = [0usize; 4];
+        for p in pts.iter() {
+            q[(p.x >= 5.0) as usize + 2 * (p.y >= 5.0) as usize] += 1;
+        }
+        for &c in &q {
+            assert!((1800..=2200).contains(&c), "{q:?}");
+        }
+        let _ = Point::ORIGIN; // silence unused import when asserts compile out
+    }
+}

@@ -1,0 +1,171 @@
+//! Simulation windows.
+//!
+//! The paper's processes live in infinite R²; experiments realise them in a
+//! finite window. Boundary effects are handled either by torus wrap-around
+//! (periodic boundary, no edge bias — used for threshold estimation) or by
+//! measuring only in an interior sub-window (used when Euclidean geometry
+//! must stay faithful, e.g. stretch measurements).
+
+use serde::{Deserialize, Serialize};
+use wsn_geom::{Aabb, Point};
+
+/// A rectangular simulation window with optional periodic boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    pub bounds: Aabb,
+    pub torus: bool,
+}
+
+impl Window {
+    /// Plane window `[0, side]²` with hard boundary.
+    pub fn square(side: f64) -> Self {
+        Window {
+            bounds: Aabb::square(side),
+            torus: false,
+        }
+    }
+
+    /// Torus window `[0, side)²`.
+    pub fn torus(side: f64) -> Self {
+        Window {
+            bounds: Aabb::square(side),
+            torus: true,
+        }
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.bounds.width()
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.bounds.height()
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.bounds.area()
+    }
+
+    /// Distance respecting the boundary convention.
+    #[inline]
+    pub fn dist(&self, a: Point, b: Point) -> f64 {
+        self.dist_sq(a, b).sqrt()
+    }
+
+    /// Squared distance respecting the boundary convention.
+    #[inline]
+    pub fn dist_sq(&self, a: Point, b: Point) -> f64 {
+        if !self.torus {
+            return a.dist_sq(b);
+        }
+        let (w, h) = (self.width(), self.height());
+        let mut dx = (a.x - b.x).abs();
+        let mut dy = (a.y - b.y).abs();
+        if dx > w * 0.5 {
+            dx = w - dx;
+        }
+        if dy > h * 0.5 {
+            dy = h - dy;
+        }
+        dx * dx + dy * dy
+    }
+
+    /// The interior sub-window at `margin` from every edge (for edge-bias-free
+    /// measurement on hard-boundary windows).
+    pub fn interior(&self, margin: f64) -> Aabb {
+        self.bounds.inflate(-margin)
+    }
+
+    /// Wrap a point into the window (torus only; identity otherwise).
+    #[inline]
+    pub fn wrap(&self, p: Point) -> Point {
+        if !self.torus {
+            return p;
+        }
+        let (w, h) = (self.width(), self.height());
+        Point::new(
+            self.bounds.min.x + (p.x - self.bounds.min.x).rem_euclid(w),
+            self.bounds.min.y + (p.y - self.bounds.min.y).rem_euclid(h),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_distance_is_euclidean() {
+        let w = Window::square(10.0);
+        assert_eq!(w.dist(Point::new(0.0, 0.0), Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn torus_distance_wraps() {
+        let w = Window::torus(10.0);
+        // Points near opposite edges are close on the torus.
+        let a = Point::new(0.5, 5.0);
+        let b = Point::new(9.5, 5.0);
+        assert!((w.dist(a, b) - 1.0).abs() < 1e-12);
+        // Interior pairs are unchanged.
+        assert_eq!(w.dist(Point::new(2.0, 2.0), Point::new(5.0, 6.0)), 5.0);
+        // Corner wrap uses both axes.
+        let c = Point::new(0.5, 0.5);
+        let d = Point::new(9.5, 9.5);
+        assert!((w.dist(c, d) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torus_distance_is_a_metric_sample() {
+        let w = Window::torus(7.0);
+        let pts = [
+            Point::new(0.1, 0.2),
+            Point::new(6.9, 0.1),
+            Point::new(3.5, 3.5),
+            Point::new(0.0, 6.9),
+        ];
+        for &a in &pts {
+            assert_eq!(w.dist(a, a), 0.0);
+            for &b in &pts {
+                assert!((w.dist(a, b) - w.dist(b, a)).abs() < 1e-12);
+                for &c in &pts {
+                    assert!(w.dist(a, c) <= w.dist(a, b) + w.dist(b, c) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_distance_never_exceeds_half_diagonal() {
+        let w = Window::torus(10.0);
+        let max = (2.0 * 5.0_f64.powi(2)).sqrt();
+        let mut worst: f64 = 0.0;
+        for i in 0..20 {
+            for j in 0..20 {
+                let a = Point::new(i as f64 * 0.5, j as f64 * 0.5);
+                let d = w.dist(Point::new(0.0, 0.0), a);
+                worst = worst.max(d);
+            }
+        }
+        assert!(worst <= max + 1e-12);
+    }
+
+    #[test]
+    fn wrap_maps_into_bounds() {
+        let w = Window::torus(10.0);
+        let p = w.wrap(Point::new(13.0, -2.5));
+        assert_eq!(p, Point::new(3.0, 7.5));
+        assert!(w.bounds.contains(p));
+        // Plane windows do not wrap.
+        let plane = Window::square(10.0);
+        assert_eq!(plane.wrap(Point::new(13.0, -2.5)), Point::new(13.0, -2.5));
+    }
+
+    #[test]
+    fn interior_shrinks_symmetrically() {
+        let w = Window::square(10.0);
+        assert_eq!(w.interior(2.0), Aabb::from_coords(2.0, 2.0, 8.0, 8.0));
+    }
+}

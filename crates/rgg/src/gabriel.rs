@@ -1,0 +1,119 @@
+//! Gabriel-graph topology control (baseline).
+//!
+//! The Gabriel graph keeps an edge `uv` iff the disk with diameter `uv`
+//! contains no other point. Computed, as in the topology-control literature
+//! (Li–Wan–Wang), as a spanning subgraph of the UDG: only edges of length
+//! ≤ `radius` are considered, which is what a radio can realise anyway.
+//!
+//! The Gabriel graph is a power spanner (power stretch 1 for β ≥ 2) and
+//! preserves UDG connectivity — properties the tests check — which makes it
+//! the natural "classical" baseline for EXP-PWR.
+
+use crate::udg::build_udg;
+use wsn_graph::{Csr, EdgeList};
+use wsn_pointproc::PointSet;
+use wsn_spatial::GridIndex;
+
+/// Build the Gabriel subgraph of `UDG(points, radius)`.
+pub fn build_gabriel(points: &PointSet, radius: f64) -> Csr {
+    let udg = build_udg(points, radius);
+    if points.is_empty() {
+        return udg;
+    }
+    let index = GridIndex::build(points, radius);
+    let mut el = EdgeList::new(points.len());
+    for (u, v) in udg.edges() {
+        let (pu, pv) = (points.get(u), points.get(v));
+        let mid = pu.midpoint(pv);
+        let r = pu.dist(pv) * 0.5;
+        let mut empty = true;
+        index.for_each_in_disk(mid, r, |w, q| {
+            // Strict interior: boundary points (and the endpoints, which lie
+            // exactly on the boundary) do not block the edge.
+            if w != u && w != v && q.dist_sq(mid) < r * r - 1e-12 {
+                empty = false;
+            }
+        });
+        if empty {
+            el.add(u, v);
+        }
+    }
+    Csr::from_edge_list(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wsn_geom::{Aabb, Point};
+    use wsn_graph::components::connected_components;
+    use wsn_pointproc::{rng_from_seed, sample_binomial_window};
+
+    #[test]
+    fn blocking_point_removes_edge() {
+        // w sits at the midpoint of uv → uv is not Gabriel.
+        let pts: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        let g = build_gabriel(&pts, 1.0);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn point_outside_diameter_disk_does_not_block() {
+        // w at (0.5, 0.6): outside the radius-0.5 disk centred at (0.5, 0).
+        let pts: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.6),
+        ]
+        .into_iter()
+        .collect();
+        let g = build_gabriel(&pts, 1.0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn right_angle_vertex_is_on_boundary_not_blocking() {
+        // w such that angle uwv = 90° lies exactly ON the diameter circle;
+        // closed-boundary points must not block (degenerate but decided).
+        let pts: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.5),
+        ]
+        .into_iter()
+        .collect();
+        let g = build_gabriel(&pts, 1.0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Gabriel ⊆ UDG, and connectivity of the UDG is preserved.
+        #[test]
+        fn prop_subgraph_and_connectivity(seed in 0u64..200, n in 2usize..80) {
+            let pts = sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(5.0));
+            let udg = build_udg(&pts, 1.2);
+            let gg = build_gabriel(&pts, 1.2);
+            for (u, v) in gg.edges() {
+                prop_assert!(udg.has_edge(u, v), "GG edge not in UDG");
+            }
+            // Same components.
+            let cu = connected_components(&udg);
+            let cg = connected_components(&gg);
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    prop_assert_eq!(cu.same(a, b), cg.same(a, b), "pair ({}, {})", a, b);
+                }
+            }
+        }
+    }
+}

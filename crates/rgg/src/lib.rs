@@ -1,0 +1,31 @@
+//! # wsn-rgg
+//!
+//! Geometric random graphs on point sets:
+//!
+//! * [`udg`] — the unit-disk graph `UDG(2, λ)` (edge iff `d(x, y) ≤ r`,
+//!   r = 1 in the paper), with an optional torus boundary.
+//! * [`knn`] — the k-nearest-neighbour graph `NN(2, k)` of Häggström &
+//!   Meester: each point connects (undirectedly) to its k nearest.
+//!
+//! plus the classical *topology-control baselines* the related-work section
+//! compares against (each computed as a spanning subgraph of the UDG, as in
+//! Li–Wan–Wang):
+//!
+//! * [`gabriel`] — Gabriel graph (diameter-disk empty);
+//! * [`rng_graph`] — relative neighbourhood graph (lune empty);
+//! * [`yao`] — Yao graph (shortest edge per angular cone).
+//!
+//! All builders return [`wsn_graph::Csr`] over the ids of the input
+//! [`wsn_pointproc::PointSet`].
+
+pub mod gabriel;
+pub mod knn;
+pub mod rng_graph;
+pub mod udg;
+pub mod yao;
+
+pub use gabriel::build_gabriel;
+pub use knn::{build_knn, knn_lists};
+pub use rng_graph::build_rng;
+pub use udg::{build_udg, build_udg_torus};
+pub use yao::build_yao;

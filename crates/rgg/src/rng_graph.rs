@@ -1,0 +1,101 @@
+//! Relative-neighbourhood-graph topology control (baseline).
+//!
+//! The RNG keeps an edge `uv` iff no witness `w` is simultaneously closer to
+//! both endpoints than they are to each other (the *lune* of `uv` is empty).
+//! Like the Gabriel graph it is computed as a spanning subgraph of the UDG.
+//! RNG ⊆ Gabriel ⊆ UDG, all with identical connected components.
+
+use crate::udg::build_udg;
+use wsn_graph::{Csr, EdgeList};
+use wsn_pointproc::PointSet;
+use wsn_spatial::GridIndex;
+
+/// Build the relative neighbourhood subgraph of `UDG(points, radius)`.
+pub fn build_rng(points: &PointSet, radius: f64) -> Csr {
+    let udg = build_udg(points, radius);
+    if points.is_empty() {
+        return udg;
+    }
+    let index = GridIndex::build(points, radius);
+    let mut el = EdgeList::new(points.len());
+    for (u, v) in udg.edges() {
+        let (pu, pv) = (points.get(u), points.get(v));
+        let d = pu.dist(pv);
+        let mid = pu.midpoint(pv);
+        let mut empty = true;
+        // The lune is contained in the disk of radius d around the midpoint
+        // (generous over-approximation; the exact test filters).
+        index.for_each_in_disk(mid, d, |w, q| {
+            if w != u && w != v {
+                let strict = d - 1e-12;
+                if q.dist(pu) < strict && q.dist(pv) < strict {
+                    empty = false;
+                }
+            }
+        });
+        if empty {
+            el.add(u, v);
+        }
+    }
+    Csr::from_edge_list(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gabriel::build_gabriel;
+    use proptest::prelude::*;
+    use wsn_geom::{Aabb, Point};
+    use wsn_graph::components::connected_components;
+    use wsn_pointproc::{rng_from_seed, sample_binomial_window};
+
+    #[test]
+    fn lune_witness_removes_edge() {
+        // Equilateral-ish witness near both endpoints kills the long edge.
+        let pts: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.3),
+        ]
+        .into_iter()
+        .collect();
+        let g = build_rng(&pts, 1.5);
+        assert!(!g.has_edge(0, 1), "witness in lune");
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn no_witness_keeps_edge() {
+        let pts: PointSet = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]
+            .into_iter()
+            .collect();
+        assert!(build_rng(&pts, 1.5).has_edge(0, 1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// RNG ⊆ Gabriel ⊆ UDG with identical components.
+        #[test]
+        fn prop_nested_subgraphs(seed in 0u64..200, n in 2usize..70) {
+            let pts = sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(5.0));
+            let udg = build_udg(&pts, 1.2);
+            let gg = build_gabriel(&pts, 1.2);
+            let rng_g = build_rng(&pts, 1.2);
+            for (u, v) in rng_g.edges() {
+                prop_assert!(gg.has_edge(u, v), "RNG edge ({}, {}) not in Gabriel", u, v);
+            }
+            for (u, v) in gg.edges() {
+                prop_assert!(udg.has_edge(u, v));
+            }
+            let cu = connected_components(&udg);
+            let cr = connected_components(&rng_g);
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    prop_assert_eq!(cu.same(a, b), cr.same(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Yao-graph topology control (baseline).
+//!
+//! Around every node the plane is divided into `cones` equal angular
+//! sectors; the node keeps a (directed) edge to the nearest UDG neighbour in
+//! each sector, and the undirected Yao graph is the symmetrised union. For
+//! `cones ≥ 6` the construction preserves UDG connectivity and is a
+//! constant-factor spanner — the classical degree-bounded baseline.
+
+use crate::udg::build_udg;
+use wsn_graph::{Csr, EdgeList};
+use wsn_pointproc::PointSet;
+use wsn_spatial::GridIndex;
+
+/// Build the Yao subgraph of `UDG(points, radius)` with `cones` sectors.
+pub fn build_yao(points: &PointSet, radius: f64, cones: usize) -> Csr {
+    assert!(cones >= 1, "need at least one cone");
+    if points.is_empty() {
+        return build_udg(points, radius);
+    }
+    let index = GridIndex::build(points, radius);
+    let sector = std::f64::consts::TAU / cones as f64;
+    let mut el = EdgeList::new(points.len());
+    // best[c] = (dist, id) of the nearest neighbour in cone c.
+    let mut best: Vec<Option<(f64, u32)>> = vec![None; cones];
+    for (u, p) in points.iter_enumerated() {
+        best.iter_mut().for_each(|b| *b = None);
+        index.for_each_in_disk(p, radius, |v, q| {
+            if v == u {
+                return;
+            }
+            let angle = (q.y - p.y).atan2(q.x - p.x).rem_euclid(std::f64::consts::TAU);
+            let cone = ((angle / sector) as usize).min(cones - 1);
+            let d = p.dist(q);
+            // Deterministic tie-break by id keeps the build reproducible.
+            let cand = (d, v);
+            if best[cone].is_none_or(|cur| cand < cur) {
+                best[cone] = Some(cand);
+            }
+        });
+        for b in best.iter().flatten() {
+            el.add(u, b.1);
+        }
+    }
+    Csr::from_edge_list(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wsn_geom::{Aabb, Point};
+    use wsn_graph::components::connected_components;
+    use wsn_pointproc::{rng_from_seed, sample_binomial_window};
+
+    #[test]
+    fn keeps_nearest_per_cone() {
+        // Two points to the right of the origin: only the nearer is kept by
+        // the origin's right-facing cone (cones = 4 → quadrant-ish sectors).
+        let pts: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.05),
+            Point::new(0.9, 0.05),
+        ]
+        .into_iter()
+        .collect();
+        let g = build_yao(&pts, 1.0, 4);
+        assert!(g.has_edge(0, 1));
+        // Edge 0–2 exists only if node 2 selected 0 in one of ITS cones;
+        // 2's left cone contains both 0 and 1, and 1 is nearer.
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn single_cone_is_nearest_neighbor_union() {
+        let pts = sample_binomial_window(&mut rng_from_seed(3), 40, &Aabb::square(4.0));
+        let yao1 = build_yao(&pts, 2.0, 1);
+        // With one cone each node keeps exactly its nearest UDG neighbour.
+        for u in 0..pts.len() as u32 {
+            let udg_nbrs: Vec<u32> =
+                wsn_spatial::bruteforce::in_disk(&pts, pts.get(u), 2.0)
+                    .into_iter()
+                    .filter(|&v| v != u)
+                    .collect();
+            if udg_nbrs.is_empty() {
+                continue;
+            }
+            let nearest = udg_nbrs
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    pts.get(u)
+                        .dist(pts.get(a))
+                        .total_cmp(&pts.get(u).dist(pts.get(b)))
+                        .then(a.cmp(&b))
+                })
+                .unwrap();
+            assert!(yao1.has_edge(u, nearest), "node {u} must keep nearest {nearest}");
+        }
+    }
+
+    #[test]
+    fn max_out_degree_bounds_total_degree_distribution() {
+        let pts = sample_binomial_window(&mut rng_from_seed(4), 300, &Aabb::square(8.0));
+        let cones = 6;
+        let yao = build_yao(&pts, 1.0, cones);
+        let udg = build_udg(&pts, 1.0);
+        // Yao has at most `cones` out-edges per node, so total edge count is
+        // ≤ cones·n (and typically far below the UDG's).
+        assert!(yao.m() <= cones * pts.len());
+        assert!(yao.m() <= udg.m());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Yao(≥6) ⊆ UDG and preserves UDG connectivity.
+        #[test]
+        fn prop_subgraph_connectivity(seed in 0u64..200, n in 2usize..80) {
+            let pts = sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(5.0));
+            let udg = build_udg(&pts, 1.2);
+            let yao = build_yao(&pts, 1.2, 6);
+            for (u, v) in yao.edges() {
+                prop_assert!(udg.has_edge(u, v));
+            }
+            let cu = connected_components(&udg);
+            let cy = connected_components(&yao);
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    prop_assert_eq!(cu.same(a, b), cy.same(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Distributed leader election on region cliques.
+//!
+//! The paper's `electLeader` runs "any distributed leader election algorithm
+//! on a complete graph topology since all the nodes within a region can talk
+//! to each other" (citing Singh '92). We simulate the canonical one-round
+//! variant: every candidate announces its id to its region-mates; everyone
+//! then deterministically agrees on the minimum id. Messages are real engine
+//! messages, so the clique assumption is *checked*, not assumed — a
+//! candidate pair out of radio range panics the engine.
+
+use crate::engine::Engine;
+use std::collections::HashMap;
+
+/// Announcement message: (group key, candidate id).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Announce<K: Clone> {
+    pub group: K,
+    pub id: u32,
+}
+
+/// Run leader election simultaneously in every group. `groups` maps a key
+/// to the candidate ids of that group (each candidate knows its own key
+/// locally — region identification is free, per Fig. 7 step 2).
+///
+/// Returns the elected leader per group (min id). Costs one communication
+/// round and `Σ_g |g|·(|g|−1)` messages.
+pub fn elect_leaders<K: Clone + Eq + std::hash::Hash + Ord>(
+    engine: &mut Engine<Announce<K>>,
+    groups: &HashMap<K, Vec<u32>>,
+) -> HashMap<K, u32> {
+    // Announcement round: each candidate unicasts to every group-mate.
+    for (key, members) in groups {
+        for &u in members {
+            for &v in members {
+                if u != v {
+                    engine.send(
+                        u,
+                        v,
+                        Announce {
+                            group: key.clone(),
+                            id: u,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    engine.deliver_round();
+    // Decision: every member computes min(self, heard ids); by clique
+    // completeness all members agree. We verify agreement node by node.
+    let mut leaders = HashMap::new();
+    for (key, members) in groups {
+        let mut agreed: Option<u32> = None;
+        for &u in members {
+            let mut best = u;
+            for (_, msg) in engine.inbox(u) {
+                if msg.group == *key && msg.id < best {
+                    best = msg.id;
+                }
+            }
+            match agreed {
+                None => agreed = Some(best),
+                Some(prev) => assert_eq!(
+                    prev, best,
+                    "election disagreement in a group: clique assumption broken"
+                ),
+            }
+        }
+        if let Some(leader) = agreed {
+            leaders.insert(key.clone(), leader);
+        }
+    }
+    leaders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_graph::{Csr, EdgeList};
+
+    fn clique(n: usize) -> Csr {
+        let mut el = EdgeList::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                el.add(u, v);
+            }
+        }
+        Csr::from_edge_list(el)
+    }
+
+    #[test]
+    fn single_group_elects_minimum() {
+        let g = clique(5);
+        let mut e = Engine::new(&g);
+        let mut groups = HashMap::new();
+        groups.insert("r", vec![3, 1, 4]);
+        let leaders = elect_leaders(&mut e, &groups);
+        assert_eq!(leaders["r"], 1);
+        // 3 candidates → 6 messages, 1 round.
+        assert_eq!(e.stats().sent, 6);
+        assert_eq!(e.stats().rounds, 1);
+    }
+
+    #[test]
+    fn multiple_disjoint_groups_run_in_parallel() {
+        let g = clique(8);
+        let mut e = Engine::new(&g);
+        let mut groups = HashMap::new();
+        groups.insert(0u8, vec![0, 2, 4]);
+        groups.insert(1u8, vec![1, 7]);
+        groups.insert(2u8, vec![5]);
+        let leaders = elect_leaders(&mut e, &groups);
+        assert_eq!(leaders[&0], 0);
+        assert_eq!(leaders[&1], 1);
+        assert_eq!(leaders[&2], 5, "singleton elects itself with no messages");
+        assert_eq!(e.stats().rounds, 1, "all groups share the round");
+        assert_eq!(e.stats().sent, 6 + 2);
+    }
+
+    #[test]
+    fn empty_groups_yield_no_leaders() {
+        let g = clique(3);
+        let mut e: Engine<Announce<u8>> = Engine::new(&g);
+        let groups: HashMap<u8, Vec<u32>> = HashMap::new();
+        assert!(elect_leaders(&mut e, &groups).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a radio edge")]
+    fn non_clique_group_is_detected() {
+        // Path graph: 0 and 2 are not neighbours, election must panic.
+        let mut el = EdgeList::new(3);
+        el.add(0, 1);
+        el.add(1, 2);
+        let g = Csr::from_edge_list(el);
+        let mut e = Engine::new(&g);
+        let mut groups = HashMap::new();
+        groups.insert((), vec![0, 2]);
+        elect_leaders(&mut e, &groups);
+    }
+}

@@ -1,0 +1,154 @@
+//! First-order radio energy model.
+//!
+//! The standard WSN abstraction (Heinzelman et al.): transmitting one
+//! message over distance `d` costs `elec + amp · d^β`, receiving costs
+//! `elec`, with path-loss exponent `β ∈ [2, 5]` — the same exponent family
+//! the paper's power-stretch argument (via Li–Wan–Wang) uses.
+
+use serde::{Deserialize, Serialize};
+use wsn_pointproc::PointSet;
+
+/// Energy parameters (units are arbitrary but consistent; defaults are the
+/// classic 50 nJ/bit electronics + 100 pJ/bit/m² amplifier scaled to unit
+/// messages).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EnergyModel {
+    pub beta: f64,
+    pub elec: f64,
+    pub amp: f64,
+}
+
+impl EnergyModel {
+    /// β = 2 free-space model.
+    pub fn free_space() -> Self {
+        EnergyModel {
+            beta: 2.0,
+            elec: 50.0,
+            amp: 100.0,
+        }
+    }
+
+    /// β = 4 multipath model.
+    pub fn multipath() -> Self {
+        EnergyModel {
+            beta: 4.0,
+            elec: 50.0,
+            amp: 100.0,
+        }
+    }
+
+    /// Cost of transmitting one message over distance `d`.
+    #[inline]
+    pub fn tx(&self, d: f64) -> f64 {
+        self.elec + self.amp * d.powf(self.beta)
+    }
+
+    /// Cost of receiving one message.
+    #[inline]
+    pub fn rx(&self) -> f64 {
+        self.elec
+    }
+
+    /// Cost of one hop (transmit + receive).
+    #[inline]
+    pub fn hop(&self, d: f64) -> f64 {
+        self.tx(d) + self.rx()
+    }
+}
+
+/// Total energy of forwarding one message along a node path.
+pub fn path_energy(points: &PointSet, path: &[u32], model: &EnergyModel) -> f64 {
+    path.windows(2)
+        .map(|w| model.hop(points.get(w[0]).dist(points.get(w[1]))))
+        .sum()
+}
+
+/// Minimum-energy path cost between two nodes in an arbitrary graph under
+/// this model (Dijkstra with per-hop energy weights).
+pub fn min_energy_path(
+    g: &wsn_graph::Csr,
+    points: &PointSet,
+    src: u32,
+    dst: u32,
+    model: &EnergyModel,
+) -> Option<f64> {
+    wsn_graph::dijkstra::distance_to(g, src, dst, |u, v| {
+        model.hop(points.get(u).dist(points.get(v)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_geom::Point;
+    use wsn_graph::EdgeList;
+
+    #[test]
+    fn tx_grows_with_distance_and_beta() {
+        let m2 = EnergyModel::free_space();
+        let m4 = EnergyModel::multipath();
+        assert!(m2.tx(2.0) > m2.tx(1.0));
+        // Beyond d = 1 the higher exponent dominates.
+        assert!(m4.tx(2.0) > m2.tx(2.0));
+        // Below d = 1 it is the other way around.
+        assert!(m4.tx(0.5) < m2.tx(0.5));
+    }
+
+    #[test]
+    fn path_energy_sums_hops() {
+        let pts: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        let m = EnergyModel::free_space();
+        let e = path_energy(&pts, &[0, 1, 2], &m);
+        assert!((e - 2.0 * m.hop(1.0)).abs() < 1e-9);
+        assert_eq!(path_energy(&pts, &[0], &m), 0.0);
+    }
+
+    #[test]
+    fn relaying_beats_long_hops_for_beta_at_least_two() {
+        // With amp·d^β ≫ elec, two hops of d/2 beat one hop of d.
+        let m = EnergyModel {
+            beta: 2.0,
+            elec: 0.1,
+            amp: 100.0,
+        };
+        let pts: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(1.0, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        let direct = m.hop(1.0);
+        let relayed = path_energy(&pts, &[0, 1, 2], &m);
+        assert!(relayed < direct);
+    }
+
+    #[test]
+    fn min_energy_path_picks_the_relay() {
+        let pts: PointSet = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(1.0, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        let mut el = EdgeList::new(3);
+        el.add(0, 1);
+        el.add(1, 2);
+        el.add(0, 2);
+        let g = wsn_graph::Csr::from_edge_list(el);
+        let m = EnergyModel {
+            beta: 2.0,
+            elec: 0.1,
+            amp: 100.0,
+        };
+        let best = min_energy_path(&g, &pts, 0, 2, &m).unwrap();
+        assert!((best - path_energy(&pts, &[0, 1, 2], &m)).abs() < 1e-9);
+    }
+}

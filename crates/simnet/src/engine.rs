@@ -1,0 +1,176 @@
+//! Synchronous-round message-passing engine.
+//!
+//! WSN protocol analyses conventionally use the synchronous model: in each
+//! round every node reads its inbox, updates state and sends messages that
+//! arrive at the start of the next round. Messages can only travel along
+//! radio-graph edges — sending to a non-neighbour is a logic error and
+//! panics, which keeps the simulated protocols honest about locality.
+
+use wsn_graph::Csr;
+
+/// Message accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MsgStats {
+    pub sent: u64,
+    pub rounds: u64,
+    /// Messages sent per node (for locality / load-balance checks).
+    pub per_node_sent: Vec<u64>,
+}
+
+impl MsgStats {
+    /// Highest per-node message count — the locality measure: Fig. 7 should
+    /// keep this O(local density), independent of network size.
+    pub fn max_per_node(&self) -> u64 {
+        self.per_node_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    pub fn mean_per_node(&self) -> f64 {
+        if self.per_node_sent.is_empty() {
+            return 0.0;
+        }
+        self.sent as f64 / self.per_node_sent.len() as f64
+    }
+}
+
+/// The engine: a radio graph, per-node inboxes, and a staging area for the
+/// next round.
+pub struct Engine<'g, M> {
+    radio: &'g Csr,
+    inboxes: Vec<Vec<(u32, M)>>,
+    staged: Vec<(u32, u32, M)>,
+    stats: MsgStats,
+}
+
+impl<'g, M: Clone> Engine<'g, M> {
+    pub fn new(radio: &'g Csr) -> Self {
+        Engine {
+            radio,
+            inboxes: vec![Vec::new(); radio.n()],
+            staged: Vec::new(),
+            stats: MsgStats {
+                per_node_sent: vec![0; radio.n()],
+                ..Default::default()
+            },
+        }
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.radio.n()
+    }
+
+    #[inline]
+    pub fn radio(&self) -> &Csr {
+        self.radio
+    }
+
+    /// Send `msg` from `from` to radio neighbour `to` (delivered next
+    /// round). Panics if the radio edge does not exist.
+    pub fn send(&mut self, from: u32, to: u32, msg: M) {
+        assert!(
+            self.radio.has_edge(from, to),
+            "node {from} cannot reach {to}: not a radio edge"
+        );
+        self.stats.sent += 1;
+        self.stats.per_node_sent[from as usize] += 1;
+        self.staged.push((from, to, msg));
+    }
+
+    /// Broadcast to every radio neighbour (local broadcast primitive).
+    pub fn broadcast(&mut self, from: u32, msg: M) {
+        for &to in self.radio.neighbors(from) {
+            self.stats.sent += 1;
+            self.stats.per_node_sent[from as usize] += 1;
+            self.staged.push((from, to, msg.clone()));
+        }
+    }
+
+    /// Deliver all staged messages and advance the round counter. Returns
+    /// the number of messages delivered this round.
+    pub fn deliver_round(&mut self) -> usize {
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        let n = self.staged.len();
+        for (from, to, msg) in self.staged.drain(..) {
+            self.inboxes[to as usize].push((from, msg));
+        }
+        self.stats.rounds += 1;
+        n
+    }
+
+    /// Inbox of `node` for the current round.
+    #[inline]
+    pub fn inbox(&self, node: u32) -> &[(u32, M)] {
+        &self.inboxes[node as usize]
+    }
+
+    pub fn stats(&self) -> &MsgStats {
+        &self.stats
+    }
+
+    pub fn into_stats(self) -> MsgStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_graph::EdgeList;
+
+    fn path3() -> Csr {
+        let mut el = EdgeList::new(3);
+        el.add(0, 1);
+        el.add(1, 2);
+        Csr::from_edge_list(el)
+    }
+
+    #[test]
+    fn messages_arrive_next_round() {
+        let g = path3();
+        let mut e: Engine<&str> = Engine::new(&g);
+        e.send(0, 1, "hi");
+        assert!(e.inbox(1).is_empty(), "not delivered within the round");
+        assert_eq!(e.deliver_round(), 1);
+        assert_eq!(e.inbox(1), &[(0, "hi")]);
+        // Next round clears old inboxes.
+        e.deliver_round();
+        assert!(e.inbox(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a radio edge")]
+    fn sending_beyond_radio_range_panics() {
+        let g = path3();
+        let mut e: Engine<&str> = Engine::new(&g);
+        e.send(0, 2, "cheat");
+    }
+
+    #[test]
+    fn broadcast_reaches_all_neighbors() {
+        let g = path3();
+        let mut e: Engine<u32> = Engine::new(&g);
+        e.broadcast(1, 7);
+        e.deliver_round();
+        assert_eq!(e.inbox(0), &[(1, 7)]);
+        assert_eq!(e.inbox(2), &[(1, 7)]);
+        assert_eq!(e.stats().sent, 2);
+        assert_eq!(e.stats().per_node_sent[1], 2);
+        assert_eq!(e.stats().max_per_node(), 2);
+    }
+
+    #[test]
+    fn stats_track_rounds_and_means() {
+        let g = path3();
+        let mut e: Engine<u32> = Engine::new(&g);
+        e.send(0, 1, 1);
+        e.deliver_round();
+        e.send(1, 2, 2);
+        e.deliver_round();
+        let s = e.into_stats();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.sent, 2);
+        assert!((s.mean_per_node() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Failure injection.
+//!
+//! Sensor nodes die; the paper's resilience story is that the construction
+//! only needs the *density of surviving useful nodes* to stay high — dead
+//! nodes are re-elected around at the next maintenance epoch. We model an
+//! epoch-based repair: kill a node set, re-run the (centralised) builder on
+//! the survivors, and compare connectivity and delivery before and after.
+
+use rand::RngExt;
+use wsn_core::params::UdgSensParams;
+use wsn_core::subgraph::SensNetwork;
+use wsn_core::tilegrid::TileGrid;
+use wsn_core::udg::build_udg_sens;
+use wsn_pointproc::{rng_from_seed, PointSet};
+
+/// Kill each node independently with probability `p_fail`. Returns the
+/// surviving deployment and the old→new id map (`u32::MAX` = dead).
+pub fn random_failures(
+    points: &PointSet,
+    p_fail: f64,
+    seed: u64,
+) -> (PointSet, Vec<u32>) {
+    assert!((0.0..=1.0).contains(&p_fail));
+    let mut rng = rng_from_seed(seed);
+    let alive: Vec<bool> = (0..points.len()).map(|_| rng.random::<f64>() >= p_fail).collect();
+    let mut survivors = points.clone();
+    let map = survivors.retain_with_map(|i, _| alive[i as usize]);
+    (survivors, map)
+}
+
+/// Rebuild the SENS network after failures (one maintenance epoch).
+pub fn rebuild_after_failures(
+    survivors: &PointSet,
+    params: UdgSensParams,
+    grid: TileGrid,
+) -> SensNetwork {
+    build_udg_sens(survivors, params, grid).expect("params validated before failure run")
+}
+
+/// Fraction of sampled good-tile pairs that remain deliverable.
+pub fn delivery_rate(net: &SensNetwork, pairs: usize, seed: u64) -> f64 {
+    let cores: Vec<wsn_perc::Site> = net
+        .lattice
+        .sites()
+        .filter(|&s| {
+            net.lattice.is_open(s)
+                && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
+        })
+        .collect();
+    if cores.len() < 2 {
+        return 0.0;
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut delivered = 0usize;
+    let mut tried = 0usize;
+    for _ in 0..pairs {
+        let a = cores[rng.random_range(0..cores.len())];
+        let b = cores[rng.random_range(0..cores.len())];
+        if a == b {
+            continue;
+        }
+        tried += 1;
+        let (_, path) = net.route(a, b);
+        if path.is_some() {
+            delivered += 1;
+        }
+    }
+    if tried == 0 {
+        0.0
+    } else {
+        delivered as f64 / tried as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_pointproc::sample_poisson_window;
+
+    fn deployment(seed: u64, side: f64, lambda: f64) -> (PointSet, TileGrid, UdgSensParams) {
+        let params = UdgSensParams::strict_default();
+        let grid = TileGrid::fit(side, params.tile_side);
+        let window = grid.covered_area();
+        let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &window);
+        (pts, grid, params)
+    }
+
+    #[test]
+    fn failure_map_is_consistent() {
+        let (pts, _, _) = deployment(1, 10.0, 20.0);
+        let (survivors, map) = random_failures(&pts, 0.3, 5);
+        assert_eq!(map.len(), pts.len());
+        let alive = map.iter().filter(|&&m| m != u32::MAX).count();
+        assert_eq!(alive, survivors.len());
+        for (old, &new) in map.iter().enumerate() {
+            if new != u32::MAX {
+                assert_eq!(survivors.get(new), pts.get(old as u32));
+            }
+        }
+        // ~30% should have died (loose band).
+        let frac = 1.0 - alive as f64 / pts.len() as f64;
+        assert!((frac - 0.3).abs() < 0.1, "failure fraction {frac}");
+    }
+
+    #[test]
+    fn zero_failure_changes_nothing() {
+        let (pts, grid, params) = deployment(2, 12.0, 30.0);
+        let (survivors, _) = random_failures(&pts, 0.0, 9);
+        let before = build_udg_sens(&pts, params, grid.clone()).unwrap();
+        let after = rebuild_after_failures(&survivors, params, grid);
+        assert_eq!(before.lattice, after.lattice);
+        assert_eq!(before.summary().edges, after.summary().edges);
+    }
+
+    #[test]
+    fn goodness_degrades_monotonically_with_failures() {
+        let (pts, grid, params) = deployment(3, 16.0, 30.0);
+        let mut last = usize::MAX;
+        for p_fail in [0.0, 0.4, 0.8] {
+            let (survivors, _) = random_failures(&pts, p_fail, 7);
+            let net = rebuild_after_failures(&survivors, params, grid.clone());
+            let good = net.lattice.open_count();
+            assert!(
+                good <= last,
+                "good tiles increased after more failures: {good} > {last}"
+            );
+            last = good;
+        }
+        assert!(last < grid.tile_count(), "80% failures must hurt");
+    }
+
+    #[test]
+    fn delivery_survives_moderate_failures() {
+        let (pts, grid, params) = deployment(4, 18.0, 40.0);
+        let (survivors, _) = random_failures(&pts, 0.2, 11);
+        let net = rebuild_after_failures(&survivors, params, grid);
+        // λ_eff = 32 is still far above λ_s ≈ 18: the rebuilt network must
+        // still deliver within its core.
+        let rate = delivery_rate(&net, 60, 13);
+        assert!(rate > 0.95, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn heavy_failures_break_delivery() {
+        let (pts, grid, params) = deployment(5, 18.0, 25.0);
+        let (survivors, _) = random_failures(&pts, 0.8, 17);
+        // λ_eff = 5 ≪ λ_s: the rebuilt lattice is subcritical.
+        let net = rebuild_after_failures(&survivors, params, grid);
+        assert!(
+            net.lattice.open_fraction() < 0.3,
+            "open fraction {}",
+            net.lattice.open_fraction()
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! The grid-bucket index.
+
+use wsn_geom::{Aabb, Point};
+use wsn_pointproc::PointSet;
+
+/// `f64` wrapper ordered by `total_cmp`, for heaps of distances.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A uniform-grid spatial index borrowing its point set.
+///
+/// Bucket layout is CSR-style: `ids` holds all point ids sorted by cell, and
+/// `cell_start[c]..cell_start[c + 1]` is the slice of cell `c` — one flat
+/// allocation, cache-dense iteration (perf-book idiom).
+pub struct GridIndex<'p> {
+    points: &'p PointSet,
+    bounds: Aabb,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    cell_start: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl<'p> GridIndex<'p> {
+    /// Build an index with the given cell size (typically the query radius).
+    ///
+    /// Empty point sets are allowed and yield an index whose queries return
+    /// nothing.
+    pub fn build(points: &'p PointSet, cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
+        let bounds = points
+            .bounding_box()
+            .unwrap_or_else(|| Aabb::square(cell));
+        // Guard against degenerate (single-point / colinear) extents.
+        let cols = ((bounds.width() / cell).ceil() as usize).max(1);
+        let rows = ((bounds.height() / cell).ceil() as usize).max(1);
+        let n_cells = cols * rows;
+
+        // Counting sort of ids by cell.
+        let mut counts = vec![0u32; n_cells + 1];
+        let cell_of = |p: Point| -> usize {
+            let i = (((p.x - bounds.min.x) / cell) as usize).min(cols - 1);
+            let j = (((p.y - bounds.min.y) / cell) as usize).min(rows - 1);
+            j * cols + i
+        };
+        for p in points.iter() {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..n_cells {
+            counts[c + 1] += counts[c];
+        }
+        let cell_start = counts.clone();
+        let mut cursor = counts;
+        let mut ids = vec![0u32; points.len()];
+        for (i, p) in points.iter_enumerated() {
+            let c = cell_of(p);
+            ids[cursor[c] as usize] = i;
+            cursor[c] += 1;
+        }
+        GridIndex {
+            points,
+            bounds,
+            cell,
+            cols,
+            rows,
+            cell_start,
+            ids,
+        }
+    }
+
+    #[inline]
+    pub fn points(&self) -> &PointSet {
+        self.points
+    }
+
+    #[inline]
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        let i = (((p.x - self.bounds.min.x) / self.cell).max(0.0) as usize).min(self.cols - 1);
+        let j = (((p.y - self.bounds.min.y) / self.cell).max(0.0) as usize).min(self.rows - 1);
+        (i, j)
+    }
+
+    #[inline]
+    fn cell_ids(&self, i: usize, j: usize) -> &[u32] {
+        let c = j * self.cols + i;
+        let (s, e) = (self.cell_start[c] as usize, self.cell_start[c + 1] as usize);
+        &self.ids[s..e]
+    }
+
+    /// Call `f(id, point)` for every point within `radius` of `center`
+    /// (closed ball). Visits only the O(r²/cell²) overlapping cells.
+    pub fn for_each_in_disk<F: FnMut(u32, Point)>(&self, center: Point, radius: f64, mut f: F) {
+        if self.points.is_empty() {
+            return;
+        }
+        let r2 = radius * radius;
+        let lo = self.cell_coords(Point::new(center.x - radius, center.y - radius));
+        let hi = self.cell_coords(Point::new(center.x + radius, center.y + radius));
+        for j in lo.1..=hi.1 {
+            for i in lo.0..=hi.0 {
+                for &id in self.cell_ids(i, j) {
+                    let p = self.points.get(id);
+                    if p.dist_sq(center) <= r2 {
+                        f(id, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ids of all points within `radius` of `center`, appended to `out`
+    /// (cleared first). Reuse `out` across calls to avoid allocation.
+    pub fn in_disk(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        self.for_each_in_disk(center, radius, |id, _| out.push(id));
+    }
+
+    /// Ids of all points inside the closed box, appended to `out`.
+    pub fn in_aabb(&self, b: &Aabb, out: &mut Vec<u32>) {
+        out.clear();
+        if self.points.is_empty() {
+            return;
+        }
+        let lo = self.cell_coords(b.min);
+        let hi = self.cell_coords(b.max);
+        for j in lo.1..=hi.1 {
+            for i in lo.0..=hi.0 {
+                for &id in self.cell_ids(i, j) {
+                    if b.contains(self.points.get(id)) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of points within `radius` of `center`.
+    pub fn count_in_disk(&self, center: Point, radius: f64) -> usize {
+        let mut n = 0usize;
+        self.for_each_in_disk(center, radius, |_, _| n += 1);
+        n
+    }
+
+    /// The `k` nearest neighbours of `query`, excluding `skip` (pass the
+    /// query point's own id when it belongs to the set). Returns
+    /// `(id, distance)` pairs sorted by increasing distance; fewer than `k`
+    /// when the set is small. Ties are broken deterministically by
+    /// `(distance, id)`.
+    pub fn knn(&self, query: Point, k: usize, skip: Option<u32>) -> Vec<(u32, f64)> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of the best k so far, keyed by (dist_sq, id).
+        let mut heap: std::collections::BinaryHeap<(OrdF64, u32)> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        let (qi, qj) = self.cell_coords(query);
+        let max_ring = self.cols.max(self.rows);
+
+        for ring in 0..=max_ring {
+            // Smallest possible distance from `query` to a cell `ring` cells
+            // away (Chebyshev): (ring − 1) · cell, because the query may sit
+            // anywhere within its own cell.
+            if heap.len() == k {
+                let kth = heap.peek().unwrap().0 .0.sqrt();
+                if ring >= 1 && (ring as f64 - 1.0) * self.cell > kth {
+                    break;
+                }
+            }
+            let mut visit = |i: isize, j: isize| {
+                if i < 0 || j < 0 || i as usize >= self.cols || j as usize >= self.rows {
+                    return;
+                }
+                for &id in self.cell_ids(i as usize, j as usize) {
+                    if Some(id) == skip {
+                        continue;
+                    }
+                    let d2 = self.points.get(id).dist_sq(query);
+                    let key = (OrdF64(d2), id);
+                    if heap.len() < k {
+                        heap.push(key);
+                    } else if key < *heap.peek().unwrap() {
+                        heap.pop();
+                        heap.push(key);
+                    }
+                }
+            };
+            let (ci, cj) = (qi as isize, qj as isize);
+            let r = ring as isize;
+            if r == 0 {
+                visit(ci, cj);
+            } else {
+                for d in -r..=r {
+                    visit(ci + d, cj - r);
+                    visit(ci + d, cj + r);
+                }
+                for d in (-r + 1)..r {
+                    visit(ci - r, cj + d);
+                    visit(ci + r, cj + d);
+                }
+            }
+        }
+        let mut out: Vec<(u32, f64)> = heap
+            .into_iter()
+            .map(|(d2, id)| (id, d2.0.sqrt()))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Nearest neighbour (excluding `skip`), if any.
+    pub fn nearest(&self, query: Point, skip: Option<u32>) -> Option<(u32, f64)> {
+        self.knn(query, 1, skip).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+    use proptest::prelude::*;
+    use rand::RngExt;
+    use wsn_pointproc::{rng_from_seed, sample_binomial_window};
+
+    fn sample_points(n: usize, seed: u64) -> PointSet {
+        sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(10.0))
+    }
+
+    #[test]
+    fn empty_set_queries_are_empty() {
+        let pts = PointSet::new();
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut out = Vec::new();
+        idx.in_disk(Point::new(0.0, 0.0), 5.0, &mut out);
+        assert!(out.is_empty());
+        assert!(idx.knn(Point::new(0.0, 0.0), 3, None).is_empty());
+        assert!(idx.nearest(Point::new(0.0, 0.0), None).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let pts: PointSet = vec![Point::new(5.0, 5.0)].into_iter().collect();
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.nearest(Point::new(0.0, 0.0), None), Some((0, 50.0_f64.sqrt())));
+        assert!(idx.nearest(Point::new(0.0, 0.0), Some(0)).is_none());
+        assert_eq!(idx.count_in_disk(Point::new(5.0, 5.0), 0.1), 1);
+    }
+
+    #[test]
+    fn disk_query_matches_bruteforce_on_fixed_sets() {
+        let pts = sample_points(500, 1);
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut fast = Vec::new();
+        for &(cx, cy, r) in &[(5.0, 5.0, 1.0), (0.0, 0.0, 2.5), (10.0, 10.0, 0.5), (3.3, 7.7, 4.0)] {
+            let c = Point::new(cx, cy);
+            idx.in_disk(c, r, &mut fast);
+            fast.sort_unstable();
+            let slow = bruteforce::in_disk(&pts, c, r);
+            assert_eq!(fast, slow, "center ({cx},{cy}) r {r}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_bruteforce_on_fixed_sets() {
+        let pts = sample_points(300, 2);
+        let idx = GridIndex::build(&pts, 0.8);
+        for qi in [0u32, 7, 42, 299] {
+            let q = pts.get(qi);
+            for k in [1usize, 3, 10, 50] {
+                let fast = idx.knn(q, k, Some(qi));
+                let slow = bruteforce::knn(&pts, q, k, Some(qi));
+                let f: Vec<u32> = fast.iter().map(|&(i, _)| i).collect();
+                let s: Vec<u32> = slow.iter().map(|&(i, _)| i).collect();
+                assert_eq!(f, s, "query {qi} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_returns_all_when_k_exceeds_n() {
+        let pts = sample_points(5, 3);
+        let idx = GridIndex::build(&pts, 1.0);
+        let res = idx.knn(Point::new(5.0, 5.0), 100, None);
+        assert_eq!(res.len(), 5);
+        // Sorted by distance.
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn knn_handles_duplicate_positions() {
+        let pts: PointSet = vec![
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ]
+        .into_iter()
+        .collect();
+        let idx = GridIndex::build(&pts, 1.0);
+        let res = idx.knn(Point::new(1.0, 1.0), 2, Some(0));
+        // Ids 1 and 2 are both at distance 0; deterministic tie-break by id.
+        assert_eq!(res.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn aabb_query_matches_predicate() {
+        let pts = sample_points(400, 4);
+        let idx = GridIndex::build(&pts, 1.3);
+        let b = Aabb::from_coords(2.0, 3.0, 6.5, 8.0);
+        let mut out = Vec::new();
+        idx.in_aabb(&b, &mut out);
+        out.sort_unstable();
+        let expected: Vec<u32> = pts
+            .iter_enumerated()
+            .filter(|&(_, p)| b.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn cell_size_does_not_change_results() {
+        let pts = sample_points(200, 5);
+        let q = Point::new(4.2, 6.1);
+        let mut reference: Option<Vec<u32>> = None;
+        for cell in [0.3, 1.0, 2.7, 9.0] {
+            let idx = GridIndex::build(&pts, cell);
+            let ids: Vec<u32> = idx.knn(q, 12, None).iter().map(|&(i, _)| i).collect();
+            match &reference {
+                None => reference = Some(ids),
+                Some(r) => assert_eq!(&ids, r, "cell = {cell}"),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_disk_query_equals_bruteforce(
+            seed in 0u64..1000,
+            n in 0usize..200,
+            cx in 0.0f64..10.0,
+            cy in 0.0f64..10.0,
+            r in 0.0f64..5.0,
+            cell in 0.1f64..3.0,
+        ) {
+            let pts = sample_points(n, seed);
+            let idx = GridIndex::build(&pts, cell);
+            let mut fast = Vec::new();
+            idx.in_disk(Point::new(cx, cy), r, &mut fast);
+            fast.sort_unstable();
+            let slow = bruteforce::in_disk(&pts, Point::new(cx, cy), r);
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_knn_equals_bruteforce(
+            seed in 0u64..1000,
+            n in 1usize..150,
+            k in 1usize..20,
+            cell in 0.1f64..3.0,
+        ) {
+            let pts = sample_points(n, seed);
+            let mut rng = rng_from_seed(seed ^ 0xABCD);
+            let q_id = rng.random_range(0..n) as u32;
+            let q = pts.get(q_id);
+            let idx = GridIndex::build(&pts, cell);
+            let fast: Vec<u32> = idx.knn(q, k, Some(q_id)).iter().map(|&(i, _)| i).collect();
+            let slow: Vec<u32> = bruteforce::knn(&pts, q, k, Some(q_id)).iter().map(|&(i, _)| i).collect();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+}

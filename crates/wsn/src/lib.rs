@@ -1,0 +1,61 @@
+//! # wsn — sparse power-efficient topologies for wireless ad hoc sensor networks
+//!
+//! Facade crate re-exporting the whole workspace: a full reproduction of
+//! Bagchi, *"Sparse power-efficient topologies for wireless ad hoc sensor
+//! networks"* (arXiv:0805.4060).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wsn::core::params::UdgSensParams;
+//! use wsn::core::tilegrid::TileGrid;
+//! use wsn::core::udg::build_udg_sens;
+//! use wsn::pointproc::{rng_from_seed, sample_poisson_window};
+//!
+//! // Deploy sensors as a Poisson process, λ above the supercritical
+//! // density of the default geometry.
+//! let params = UdgSensParams::strict_default();
+//! let grid = TileGrid::fit(20.0, params.tile_side);
+//! let window = grid.covered_area();
+//! let points = sample_poisson_window(&mut rng_from_seed(7), 30.0, &window);
+//!
+//! // Build the sparse sensing topology.
+//! let net = build_udg_sens(&points, params, grid).unwrap();
+//! let s = net.summary();
+//! assert!(s.max_degree <= 4);          // property P1
+//! assert!(s.core_size > 0);            // a usable network exists
+//! assert_eq!(s.missing_links, 0);      // strict geometry always links
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | upstream crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `wsn-geom` | planar geometry, tilings, SVG |
+//! | [`pointproc`] | `wsn-pointproc` | Poisson processes, RNG plumbing |
+//! | [`spatial`] | `wsn-spatial` | grid index (range / k-NN queries) |
+//! | [`graph`] | `wsn-graph` | CSR graphs, BFS/Dijkstra, union-find |
+//! | [`perc`] | `wsn-perc` | Z² site percolation + lattice routing |
+//! | [`rgg`] | `wsn-rgg` | UDG, k-NN graphs, baseline spanners |
+//! | [`core`] | `wsn-core` | **UDG-SENS / NN-SENS** (the paper) |
+//! | [`simnet`] | `wsn-simnet` | distributed protocols (Fig. 7 / Fig. 9) |
+
+pub use wsn_core as core;
+pub use wsn_geom as geom;
+pub use wsn_graph as graph;
+pub use wsn_perc as perc;
+pub use wsn_pointproc as pointproc;
+pub use wsn_rgg as rgg;
+pub use wsn_simnet as simnet;
+pub use wsn_spatial as spatial;
+
+/// Workspace version (kept in sync by the workspace manifest).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Regenerate the paper's geometry figures (Figures 1–6 and 8) as SVG
+//! files under `figures/`.
+//!
+//! ```text
+//! cargo run --release -p wsn --example figures
+//! ```
+
+use wsn::core::nn::{build_nn_sens, NnTileGeometry};
+use wsn::core::params::{NnSensParams, UdgSensParams};
+use wsn::core::render;
+use wsn::core::tilegrid::TileGrid;
+use wsn::core::udg::{build_udg_sens, UdgTileGeometry};
+use wsn::pointproc::{rng_from_seed, sample_poisson_window};
+use wsn::rgg::build_knn;
+
+fn save(name: &str, svg: &str) {
+    std::fs::create_dir_all("figures").expect("create figures dir");
+    let path = format!("figures/{name}.svg");
+    std::fs::write(&path, svg).expect("write figure");
+    println!("wrote {path}");
+}
+
+fn main() {
+    // A medium deployment at λ = 22 so both good and bad tiles appear.
+    let params = UdgSensParams::strict_default();
+    let grid = TileGrid::fit(16.0, params.tile_side);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(64), 22.0, &window);
+    let net = build_udg_sens(&pts, params, grid).unwrap();
+
+    // Figure 1: the tiling with reps / relays / unconnected points.
+    save("fig1_tiling", &render::render_tiling(&net, &pts));
+    // Figure 2: the coupled Z² portion.
+    save("fig2_lattice", &render::render_lattice(&net));
+    // Figure 3: UDG tile regions (strict mode) and the paper-mode lens.
+    let strict_geom = UdgTileGeometry::new(params).unwrap();
+    save("fig3_udg_tile_strict", &render::render_udg_tile(&strict_geom));
+    let paper_geom = UdgTileGeometry::new(UdgSensParams::paper()).unwrap();
+    save("fig3_udg_tile_paper", &render::render_udg_tile(&paper_geom));
+
+    // Figure 4: rep–rep path between adjacent good tiles (UDG).
+    let pair = net
+        .lattice
+        .sites()
+        .find_map(|s| {
+            let r = (s.0 + 1, s.1);
+            (net.lattice.is_open(s) && net.lattice.in_bounds(r) && net.lattice.is_open(r))
+                .then_some((s, r))
+        })
+        .expect("adjacent good tiles at λ = 22");
+    save(
+        "fig4_udg_path",
+        &render::render_adjacent_path(&net, &pts, pair.0, pair.1).unwrap(),
+    );
+
+    // Figure 5: NN tile regions.
+    let nn_params = NnSensParams { a: 1.0, k: 300 };
+    let nn_geom = NnTileGeometry::new(nn_params).unwrap();
+    save("fig5_nn_tile", &render::render_nn_tile(&nn_geom));
+
+    // Figure 6: NN rep–rep path on a small NN-SENS build.
+    let nn_build_params = NnSensParams { a: 1.2, k: 400 };
+    let nn_grid = TileGrid::new(nn_build_params.tile_side(), 3, 2);
+    let nn_window = nn_grid.covered_area();
+    let nn_pts = sample_poisson_window(&mut rng_from_seed(65), 1.0, &nn_window);
+    let base = build_knn(&nn_pts, nn_build_params.k);
+    let nn_net = build_nn_sens(&nn_pts, &base, nn_build_params, nn_grid).unwrap();
+    if let Some((a, b)) = nn_net.lattice.sites().find_map(|s| {
+        let r = (s.0 + 1, s.1);
+        (nn_net.lattice.is_open(s) && nn_net.lattice.in_bounds(r) && nn_net.lattice.is_open(r))
+            .then_some((s, r))
+    }) {
+        save(
+            "fig6_nn_path",
+            &render::render_adjacent_path(&nn_net, &nn_pts, a, b).unwrap(),
+        );
+    } else {
+        println!("fig6 skipped: no adjacent good NN tiles in this sample");
+    }
+
+    // Figure 8: a routed packet across the tiling.
+    let cores: Vec<_> = net
+        .lattice
+        .sites()
+        .filter(|&s| net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false))
+        .collect();
+    save(
+        "fig8_route",
+        &render::render_route(&net, &pts, cores[0], *cores.last().unwrap()).unwrap(),
+    );
+}

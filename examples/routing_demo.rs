@@ -1,0 +1,71 @@
+//! Distributed life-cycle demo: nodes build the topology with the Fig. 7
+//! message protocol, traffic flows with the Fig. 9 routing algorithm, a
+//! fifth of the nodes die, and the network is rebuilt and keeps routing.
+//!
+//! ```text
+//! cargo run --release -p wsn --example routing_demo
+//! ```
+
+use wsn::core::params::UdgSensParams;
+use wsn::core::tilegrid::TileGrid;
+use wsn::pointproc::{rng_from_seed, sample_poisson_window};
+use wsn::simnet::fault::{delivery_rate, random_failures, rebuild_after_failures};
+use wsn::simnet::{distributed_build_udg, route_packet};
+
+fn main() {
+    let params = UdgSensParams::strict_default();
+    let grid = TileGrid::fit(26.0, params.tile_side);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(5), 35.0, &window);
+
+    // --- Phase 1: the nodes build the network themselves ---------------
+    let build = distributed_build_udg(&pts, params, grid.clone()).unwrap();
+    let net = &build.network;
+    println!(
+        "distributed build: {} nodes, {} rounds, {} messages ({:.1} per node, max {})",
+        pts.len(),
+        build.rounds,
+        build.stats.sent,
+        build.stats.mean_per_node(),
+        build.stats.max_per_node()
+    );
+    println!(
+        "network: {} good tiles / {}, core size {}, max degree {}",
+        net.lattice.open_count(),
+        net.grid.tile_count(),
+        net.summary().core_size,
+        net.summary().max_degree
+    );
+
+    // --- Phase 2: traffic ------------------------------------------------
+    let cores: Vec<_> = net
+        .lattice
+        .sites()
+        .filter(|&s| net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false))
+        .collect();
+    let mut delivered = 0;
+    let mut msgs = 0u64;
+    let n_packets = 50;
+    for i in 0..n_packets {
+        let a = cores[i % cores.len()];
+        let b = cores[(cores.len() - 1 - i * 7) % cores.len()];
+        if a == b {
+            continue;
+        }
+        let r = route_packet(net, a, b);
+        delivered += r.delivered as usize;
+        msgs += r.total_msgs();
+    }
+    println!("traffic: {delivered}/{n_packets} packets delivered, {msgs} messages total");
+
+    // --- Phase 3: failures and repair -------------------------------------
+    let (survivors, _) = random_failures(&pts, 0.2, 99);
+    println!("\n20% of nodes failed ({} survive)", survivors.len());
+    let rebuilt = rebuild_after_failures(&survivors, params, grid);
+    println!(
+        "after rebuild: {} good tiles, core {}, delivery rate {:.2}",
+        rebuilt.lattice.open_count(),
+        rebuilt.summary().core_size,
+        delivery_rate(&rebuilt, 100, 123)
+    );
+}

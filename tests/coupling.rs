@@ -1,0 +1,91 @@
+//! The site-percolation coupling — the paper's central proof device — made
+//! executable: connectivity facts about the SENS graph must match cluster
+//! facts about the coupled lattice exactly (strict mode).
+
+use wsn::core::params::UdgSensParams;
+use wsn::core::tilegrid::TileGrid;
+use wsn::core::udg::build_udg_sens;
+use wsn::perc::cluster::label_clusters;
+use wsn::perc::route_xy;
+use wsn::pointproc::{rng_from_seed, sample_poisson_window};
+
+fn build(seed: u64, lambda: f64) -> (wsn::core::subgraph::SensNetwork, wsn::pointproc::PointSet) {
+    let params = UdgSensParams::strict_default();
+    let grid = TileGrid::fit(20.0, params.tile_side);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &window);
+    (build_udg_sens(&pts, params, grid).unwrap(), pts)
+}
+
+#[test]
+fn rep_connectivity_equals_cluster_connectivity() {
+    // At a marginal density the lattice has several clusters — the
+    // interesting case.
+    let (net, _) = build(1, 19.0);
+    let clusters = label_clusters(&net.lattice);
+    let comps = wsn::graph::components::connected_components(&net.graph);
+    let good: Vec<_> = net.lattice.sites().filter(|&s| net.lattice.is_open(s)).collect();
+    assert!(good.len() > 10);
+    for &a in &good {
+        for &b in &good {
+            let (ra, rb) = (net.rep_of(a).unwrap(), net.rep_of(b).unwrap());
+            assert_eq!(
+                clusters.same_cluster(&net.lattice, a, b),
+                comps.same(ra, rb),
+                "coupling broken between {a:?} and {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn core_is_exactly_the_largest_cluster_population() {
+    let (net, _) = build(2, 22.0);
+    let clusters = label_clusters(&net.lattice);
+    // Reps in the SENS core ⇔ tiles in the largest lattice cluster.
+    for s in net.lattice.sites() {
+        if let Some(rep) = net.rep_of(s) {
+            assert_eq!(
+                clusters.in_largest(&net.lattice, s),
+                net.is_member(rep),
+                "site {s:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn routing_delivers_iff_same_cluster() {
+    let (net, _) = build(3, 19.5);
+    let clusters = label_clusters(&net.lattice);
+    let good: Vec<_> = net.lattice.sites().filter(|&s| net.lattice.is_open(s)).collect();
+    let mut cross = 0;
+    for i in 0..good.len().min(15) {
+        for j in (i + 1)..good.len().min(15) {
+            let (a, b) = (good[i], good[j]);
+            let outcome = route_xy(&net.lattice, a, b);
+            assert_eq!(
+                outcome.delivered,
+                clusters.same_cluster(&net.lattice, a, b),
+                "routing / cluster mismatch for {a:?}, {b:?}"
+            );
+            if !outcome.delivered {
+                cross += 1;
+            }
+        }
+    }
+    assert!(cross > 0, "marginal density should produce cross-cluster pairs");
+}
+
+#[test]
+fn supercriticality_transfers_from_lattice_to_network() {
+    // Above λ_s: the open fraction exceeds p_c and the giant cluster spans
+    // a constant fraction — inherited by the SENS graph core.
+    let (net, _) = build(4, 30.0);
+    assert!(net.lattice.open_fraction() > wsn::perc::PC_SITE_UPPER);
+    let clusters = label_clusters(&net.lattice);
+    let frac = clusters.largest_size as f64 / net.lattice.len() as f64;
+    assert!(frac > 0.5, "giant cluster fraction {frac}");
+    let s = net.summary();
+    assert!(s.core_size as f64 > 0.5 * s.elected as f64);
+}

@@ -1,0 +1,93 @@
+//! End-to-end pipeline for the NN-SENS construction.
+
+use wsn::core::nn::build_nn_sens;
+use wsn::core::params::NnSensParams;
+use wsn::core::tilegrid::TileGrid;
+use wsn::pointproc::{rng_from_seed, sample_poisson_window};
+use wsn::rgg::build_knn;
+
+#[test]
+fn full_pipeline_nn() {
+    let params = NnSensParams { a: 1.2, k: 400 };
+    let grid = TileGrid::new(params.tile_side(), 4, 4);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(1), 1.0, &window);
+    let base = build_knn(&pts, params.k);
+    let net = build_nn_sens(&pts, &base, params, grid).unwrap();
+
+    // Claim 2.3 holds exactly: no required edge was missing.
+    assert_eq!(net.missing_links, 0);
+    assert!(net.degree_stats().max <= 4, "P1 for NN-SENS");
+    assert!(net.lattice.open_count() >= 4);
+
+    // Every SENS edge is an NN(2, k) edge.
+    for (u, v) in net.graph.edges() {
+        assert!(base.has_edge(u, v), "SENS edge ({u}, {v}) not in NN(2,k)");
+    }
+
+    // Adjacent good tiles expand to ≤ 5-edge verified paths.
+    let mut pairs = 0;
+    for s in net.lattice.sites() {
+        for nb in [(s.0 + 1, s.1), (s.0, s.1 + 1)] {
+            if net.lattice.is_open(s) && net.lattice.in_bounds(nb) && net.lattice.is_open(nb) {
+                let p = net.adjacent_rep_path(s, nb).expect("link must exist");
+                assert!(p.len() <= 6);
+                assert!(net.validate_node_path(&p));
+                pairs += 1;
+            }
+        }
+    }
+    assert!(pairs > 0, "need at least one adjacent good pair");
+}
+
+#[test]
+fn nn_goodness_depends_on_k_through_count_bound() {
+    // The same deployment with too-small k has zero good tiles purely
+    // because of the ≤ k/2 population condition.
+    let small_k = NnSensParams { a: 1.2, k: 60 }; // k/2 = 30 ≪ E[N] = 144
+    let grid = TileGrid::new(small_k.tile_side(), 3, 3);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(2), 1.0, &window);
+    let base = build_knn(&pts, small_k.k);
+    let net = build_nn_sens(&pts, &base, small_k, grid).unwrap();
+    assert_eq!(net.lattice.open_count(), 0);
+}
+
+#[test]
+fn density_invariance_of_the_nn_model() {
+    // NN(2, k) is scale-free: scaling all positions by c changes no
+    // adjacency. Build at two scales and compare edge sets.
+    let pts1 = sample_poisson_window(
+        &mut rng_from_seed(3),
+        1.0,
+        &wsn::geom::Aabb::square(30.0),
+    );
+    let scaled: wsn::pointproc::PointSet = pts1.iter().map(|p| p * 3.7).collect();
+    let g1 = build_knn(&pts1, 12);
+    let g2 = build_knn(&scaled, 12);
+    let e1: Vec<_> = g1.edges().collect();
+    let e2: Vec<_> = g2.edges().collect();
+    assert_eq!(e1, e2, "k-NN adjacency must be scale invariant");
+}
+
+#[test]
+fn nn_core_pairs_have_constant_stretch() {
+    // Theorem 3.2 for the NN side: reps in the core are connected with
+    // finite, modest stretch.
+    let params = NnSensParams { a: 1.2, k: 400 };
+    let grid = TileGrid::new(params.tile_side(), 4, 4);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(7), 1.0, &window);
+    let base = build_knn(&pts, params.k);
+    let net = build_nn_sens(&pts, &base, params, grid).unwrap();
+    let pairs = wsn::core::stretch::sample_rep_pairs(&net, 40, 5);
+    if pairs.is_empty() {
+        return; // subcritical draw; other tests cover goodness
+    }
+    let samples = wsn::core::stretch::measure_sens_stretch(&net, &pts, &pairs);
+    for s in &samples {
+        assert!(s.graph_dist.is_finite());
+        assert!(s.stretch() >= 1.0 - 1e-9);
+        assert!(s.stretch() < 40.0, "implausible NN stretch {}", s.stretch());
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end pipeline: Poisson deployment → UDG-SENS → percolation
+//! coupling → routing, in both geometry modes.
+
+use wsn::core::params::UdgSensParams;
+use wsn::core::tilegrid::TileGrid;
+use wsn::core::udg::build_udg_sens;
+use wsn::pointproc::{rng_from_seed, sample_poisson_window};
+use wsn::rgg::build_udg;
+
+fn deployment(seed: u64, side: f64, lambda: f64) -> (wsn::pointproc::PointSet, TileGrid) {
+    let params = UdgSensParams::strict_default();
+    let grid = TileGrid::fit(side, params.tile_side);
+    let window = grid.covered_area();
+    (
+        sample_poisson_window(&mut rng_from_seed(seed), lambda, &window),
+        grid,
+    )
+}
+
+#[test]
+fn full_pipeline_strict_mode() {
+    let params = UdgSensParams::strict_default();
+    let (pts, grid) = deployment(1, 24.0, 30.0);
+    let net = build_udg_sens(&pts, params, grid).unwrap();
+    let s = net.summary();
+
+    // Supercritical: most tiles good, a giant core exists.
+    assert!(net.lattice.open_fraction() > 0.6);
+    assert!(s.core_size > s.elected / 2);
+    assert_eq!(s.missing_links, 0);
+    assert!(s.max_degree <= 4);
+
+    // Every SENS edge is a physical UDG edge.
+    let udg = build_udg(&pts, params.radius);
+    for (u, v) in net.graph.edges() {
+        assert!(udg.has_edge(u, v), "SENS edge ({u}, {v}) not in UDG");
+    }
+
+    // Routing works across the core.
+    let cores: Vec<_> = net
+        .lattice
+        .sites()
+        .filter(|&s| net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false))
+        .collect();
+    let (a, b) = (cores[0], *cores.last().unwrap());
+    let (outcome, path) = net.route(a, b);
+    assert!(outcome.delivered);
+    let path = path.expect("strict mode must expand the node path");
+    assert!(net.validate_node_path(&path));
+    assert_eq!(path.first().copied(), net.rep_of(a));
+    assert_eq!(path.last().copied(), net.rep_of(b));
+}
+
+#[test]
+fn full_pipeline_paper_mode() {
+    // Paper geometry: lens-shaped relay regions with visibility-verified
+    // election. Needs a denser deployment; cross links may be missing
+    // (counted, not fatal).
+    let params = UdgSensParams::paper();
+    let grid = TileGrid::fit(16.0, params.tile_side);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(2), 12.0, &window);
+    let net = build_udg_sens(&pts, params, grid).unwrap();
+
+    assert!(net.lattice.open_count() > 0, "λ = 12 should produce good tiles");
+    assert!(net.degree_stats().max <= 4);
+
+    // All intra-tile edges respect the radio range even in paper mode.
+    let udg = build_udg(&pts, params.radius);
+    for (u, v) in net.graph.edges() {
+        assert!(udg.has_edge(u, v));
+    }
+}
+
+#[test]
+fn subcritical_density_gives_fragmented_network() {
+    let params = UdgSensParams::strict_default();
+    let (pts, grid) = deployment(3, 24.0, 8.0); // λ ≪ λ_s ≈ 18.4
+    let net = build_udg_sens(&pts, params, grid).unwrap();
+    assert!(
+        net.lattice.open_fraction() < 0.25,
+        "λ = 8 must be deeply subcritical: {}",
+        net.lattice.open_fraction()
+    );
+}
+
+#[test]
+fn matern_deployment_also_works() {
+    // Robustness: a hard-core (non-Poisson) deployment still yields a
+    // functioning network at sufficient density.
+    let params = UdgSensParams::strict_default();
+    let grid = TileGrid::fit(20.0, params.tile_side);
+    let window = grid.covered_area();
+    let pts = wsn::pointproc::matern::sample_matern_ii(
+        &mut rng_from_seed(4),
+        40.0,
+        0.05, // tiny hard core barely thins at this scale
+        &window,
+    );
+    let net = build_udg_sens(&pts, params, grid).unwrap();
+    assert!(net.lattice.open_fraction() > 0.5);
+    assert!(net.degree_stats().max <= 4);
+}

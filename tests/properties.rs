@@ -1,0 +1,93 @@
+//! Cross-crate property tests: the paper's four properties P1–P4 plus
+//! serialisation and determinism invariants, under randomised inputs.
+
+use proptest::prelude::*;
+use wsn::core::params::UdgSensParams;
+use wsn::core::tilegrid::TileGrid;
+use wsn::core::udg::build_udg_sens;
+use wsn::pointproc::{rng_from_seed, sample_poisson_window};
+
+fn build(seed: u64, lambda: f64, side: f64) -> (wsn::core::subgraph::SensNetwork, wsn::pointproc::PointSet) {
+    let params = UdgSensParams::strict_default();
+    let grid = TileGrid::fit(side, params.tile_side);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &window);
+    (build_udg_sens(&pts, params, grid).unwrap(), pts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// P1 (sparsity) holds for every seed and density.
+    #[test]
+    fn prop_p1_degree_bound(seed in 0u64..500, lambda in 5.0f64..45.0) {
+        let (net, _) = build(seed, lambda, 12.0);
+        prop_assert!(net.degree_stats().max <= 4);
+        prop_assert_eq!(net.missing_links, 0);
+    }
+
+    /// P2 precondition: members of the core are pairwise connected with
+    /// finite stretch ≥ 1.
+    #[test]
+    fn prop_p2_stretch_at_least_one(seed in 0u64..200) {
+        let (net, pts) = build(seed, 28.0, 12.0);
+        let pairs = wsn::core::stretch::sample_rep_pairs(&net, 12, seed);
+        for s in wsn::core::stretch::measure_sens_stretch(&net, &pts, &pairs) {
+            prop_assert!(s.graph_dist.is_finite());
+            prop_assert!(s.stretch() >= 1.0 - 1e-9);
+        }
+    }
+
+    /// The SENS graph is always a subgraph of the base UDG, and elected
+    /// roles are consistent with the graph.
+    #[test]
+    fn prop_subgraph_and_roles(seed in 0u64..500, lambda in 10.0f64..40.0) {
+        let (net, pts) = build(seed, lambda, 10.0);
+        let udg = wsn::rgg::build_udg(&pts, 1.0);
+        for (u, v) in net.graph.edges() {
+            prop_assert!(udg.has_edge(u, v));
+            prop_assert!(net.roles[u as usize] != 0 && net.roles[v as usize] != 0);
+        }
+        // Every rep recorded per tile has the rep role bit.
+        for &r in &net.reps {
+            if r != u32::MAX {
+                prop_assert!(net.roles[r as usize] & wsn::core::subgraph::ROLE_REP != 0);
+            }
+        }
+    }
+
+    /// Determinism: identical seeds produce identical networks.
+    #[test]
+    fn prop_determinism(seed in 0u64..300) {
+        let (a, _) = build(seed, 25.0, 10.0);
+        let (b, _) = build(seed, 25.0, 10.0);
+        prop_assert_eq!(a.lattice, b.lattice);
+        prop_assert_eq!(a.reps, b.reps);
+        prop_assert_eq!(a.graph.m(), b.graph.m());
+    }
+
+    /// P4 witness: tile membership is computable from a point's own
+    /// coordinates (matches the assignment the builder used).
+    #[test]
+    fn prop_p4_local_tile_identification(seed in 0u64..300) {
+        let (net, pts) = build(seed, 20.0, 10.0);
+        for (i, p) in pts.iter_enumerated() {
+            let expected = net
+                .grid
+                .site_of_point(p)
+                .map(|s| net.grid.linear(s) as u32)
+                .unwrap_or(u32::MAX);
+            prop_assert_eq!(net.tile_of_node[i as usize], expected);
+        }
+    }
+}
+
+#[test]
+fn summary_serializes_to_json() {
+    let (net, _) = build(9, 25.0, 10.0);
+    let s = net.summary();
+    let json = serde_json::to_string(&s).unwrap();
+    assert!(json.contains("core_size"));
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(parsed["max_degree"].as_u64().unwrap() <= 4);
+}

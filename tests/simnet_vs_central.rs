@@ -1,0 +1,72 @@
+//! The distributed Fig. 7 protocol must reconstruct exactly the network the
+//! centralised builder computes, across seeds and densities.
+
+use wsn::core::params::UdgSensParams;
+use wsn::core::tilegrid::TileGrid;
+use wsn::core::udg::build_udg_sens;
+use wsn::pointproc::{rng_from_seed, sample_poisson_window};
+use wsn::simnet::distributed_build_udg;
+
+fn check_equality(seed: u64, side: f64, lambda: f64) {
+    let params = UdgSensParams::strict_default();
+    let grid = TileGrid::fit(side, params.tile_side);
+    let window = grid.covered_area();
+    let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &window);
+
+    let central = build_udg_sens(&pts, params, grid.clone()).unwrap();
+    let dist = distributed_build_udg(&pts, params, grid).unwrap();
+
+    assert_eq!(central.lattice, dist.network.lattice, "seed {seed}: goodness");
+    assert_eq!(central.reps, dist.network.reps, "seed {seed}: representatives");
+    assert_eq!(central.roles, dist.network.roles, "seed {seed}: roles");
+    let mut e1: Vec<_> = central.graph.edges().collect();
+    let mut e2: Vec<_> = dist.network.graph.edges().collect();
+    e1.sort_unstable();
+    e2.sort_unstable();
+    assert_eq!(e1, e2, "seed {seed}: edges");
+    assert_eq!(
+        central.core_mask, dist.network.core_mask,
+        "seed {seed}: core membership"
+    );
+}
+
+#[test]
+fn equality_across_seeds() {
+    for seed in 0..5 {
+        check_equality(seed, 12.0, 30.0);
+    }
+}
+
+#[test]
+fn equality_at_marginal_density() {
+    // Near the threshold the tile pattern is fragile — a stronger test of
+    // agreement than deep supercritical.
+    check_equality(11, 16.0, 19.0);
+}
+
+#[test]
+fn equality_subcritical() {
+    check_equality(12, 12.0, 10.0);
+}
+
+#[test]
+fn message_cost_scales_with_nodes_not_area() {
+    // Double the area at fixed λ: total messages should scale ≈ with node
+    // count (locality), far below quadratic.
+    let params = UdgSensParams::strict_default();
+    let run = |side: f64, seed: u64| {
+        let grid = TileGrid::fit(side, params.tile_side);
+        let window = grid.covered_area();
+        let pts = sample_poisson_window(&mut rng_from_seed(seed), 30.0, &window);
+        let b = distributed_build_udg(&pts, params, grid).unwrap();
+        (pts.len() as f64, b.stats.sent as f64)
+    };
+    let (n1, m1) = run(12.0, 21);
+    let (n2, m2) = run(24.0, 22);
+    let per_node_1 = m1 / n1;
+    let per_node_2 = m2 / n2;
+    assert!(
+        (per_node_2 / per_node_1) < 1.5,
+        "messages per node grew with area: {per_node_1:.1} → {per_node_2:.1}"
+    );
+}
