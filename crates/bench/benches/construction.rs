@@ -30,9 +30,11 @@ fn bench_udg_construction(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("build_udg_base", pts.len()), &pts, |b, pts| {
-            b.iter(|| black_box(build_udg(pts, 1.0)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_udg_base", pts.len()),
+            &pts,
+            |b, pts| b.iter(|| black_box(build_udg(pts, 1.0))),
+        );
     }
     group.finish();
 }

@@ -24,7 +24,9 @@ fn bench_route_xy(c: &mut Criterion) {
     let mut group = c.benchmark_group("route_xy");
     for (l, p) in [(64usize, 0.75), (128, 0.75), (128, 0.65)] {
         let lat = supercritical(l, p);
-        let Some((a, b)) = corner_pair(&lat) else { continue };
+        let Some((a, b)) = corner_pair(&lat) else {
+            continue;
+        };
         group.bench_with_input(
             BenchmarkId::new(format!("L{l}_p{p}"), l),
             &lat,
@@ -53,5 +55,10 @@ fn bench_cluster_labeling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_route_xy, bench_chemical_distance, bench_cluster_labeling);
+criterion_group!(
+    benches,
+    bench_route_xy,
+    bench_chemical_distance,
+    bench_cluster_labeling
+);
 criterion_main!(benches);

@@ -57,7 +57,15 @@ fn main() {
 
     let mut t = Table::new(
         &format!("EXP-ABL-R: Fig. 9 vs flooding at p = {p}"),
-        &["L", "pairs", "mean dist", "fig9 probes", "flood probes", "fig9/dist", "flood/dist"],
+        &[
+            "L",
+            "pairs",
+            "mean dist",
+            "fig9 probes",
+            "flood probes",
+            "fig9/dist",
+            "flood/dist",
+        ],
     );
     let mut results = Vec::new();
     for &l in sizes {

@@ -13,7 +13,14 @@ fn main() {
 
     let mut t = Table::new(
         &format!("EXP-AP: chemical distance D_p/D on {l_size}² lattices"),
-        &["p", "samples", "mean ratio", "p95 ratio", "max ratio", "P[ratio>1.5]"],
+        &[
+            "p",
+            "samples",
+            "mean ratio",
+            "p95 ratio",
+            "max ratio",
+            "P[ratio>1.5]",
+        ],
     );
     let mut results = Vec::new();
     for p in [0.65, 0.75, 0.85, 0.95] {

@@ -49,7 +49,10 @@ fn main() {
                 if path.len() <= 6 {
                     five_edge += 1;
                 }
-                let plen: f64 = path.windows(2).map(|w| pts.get(w[0]).dist(pts.get(w[1]))).sum();
+                let plen: f64 = path
+                    .windows(2)
+                    .map(|w| pts.get(w[0]).dist(pts.get(w[1])))
+                    .sum();
                 let eu = pts.get(path[0]).dist(pts.get(*path.last().unwrap()));
                 let ck = plen / eu;
                 max_ck = max_ck.max(ck);
@@ -59,17 +62,35 @@ fn main() {
         replicate += 1;
     }
 
-    let mut t = Table::new("EXP-C23: Claim 2.3 on adjacent good tiles (NN-SENS)", &["metric", "value", "paper"]);
+    let mut t = Table::new(
+        "EXP-C23: Claim 2.3 on adjacent good tiles (NN-SENS)",
+        &["metric", "value", "paper"],
+    );
     t.row(&["pairs checked".into(), checked.to_string(), "-".into()]);
-    t.row(&["missing NN(2,k) links".into(), missing_total.to_string(), "0".into()]);
+    t.row(&[
+        "missing NN(2,k) links".into(),
+        missing_total.to_string(),
+        "0".into(),
+    ]);
     if checked > 0 {
-        t.row(&["≤5-edge paths".into(), f(five_edge as f64 / checked as f64, 4), "1 (all)".into()]);
-        t.row(&["mean c_k".into(), f(sum_ck / checked as f64, 4), "constant".into()]);
+        t.row(&[
+            "≤5-edge paths".into(),
+            f(five_edge as f64 / checked as f64, 4),
+            "1 (all)".into(),
+        ]);
+        t.row(&[
+            "mean c_k".into(),
+            f(sum_ck / checked as f64, 4),
+            "constant".into(),
+        ]);
         t.row(&["max c_k".into(), f(max_ck, 4), "constant".into()]);
     }
     t.print();
 
-    assert_eq!(missing_total, 0, "Claim 2.3 edge missing from the base graph");
+    assert_eq!(
+        missing_total, 0,
+        "Claim 2.3 edge missing from the base graph"
+    );
     println!("Claim 2.3 verified: every required link existed in NN(2, k).");
     write_json("exp_claim_nn", &(checked, missing_total, max_ck));
 }

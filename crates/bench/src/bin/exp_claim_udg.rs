@@ -62,16 +62,29 @@ fn main() {
         replicate += 1;
     }
 
-    let mut t = Table::new("EXP-C21: Claim 2.1 on adjacent good tiles", &["metric", "value", "paper"]);
+    let mut t = Table::new(
+        "EXP-C21: Claim 2.1 on adjacent good tiles",
+        &["metric", "value", "paper"],
+    );
     t.row(&["pairs checked".into(), checked.to_string(), "-".into()]);
-    t.row(&["≤3-edge paths".into(), f(ok_paths as f64 / checked as f64, 4), "1 (all)".into()]);
+    t.row(&[
+        "≤3-edge paths".into(),
+        f(ok_paths as f64 / checked as f64, 4),
+        "1 (all)".into(),
+    ]);
     t.row(&["max edge length".into(), f(max_edge_len, 4), "≤ 1".into()]);
     t.row(&["mean c_u".into(), f(sum_cu / checked as f64, 4), "-".into()]);
     t.row(&["max c_u".into(), f(max_cu, 4), "≤ 3".into()]);
     t.print();
 
-    assert!(max_edge_len <= params.radius + 1e-9, "Claim 2.1 edge bound violated");
-    assert!(ok_paths == checked, "some adjacent good pair lacked a 3-edge path");
+    assert!(
+        max_edge_len <= params.radius + 1e-9,
+        "Claim 2.1 edge bound violated"
+    );
+    assert!(
+        ok_paths == checked,
+        "some adjacent good pair lacked a 3-edge path"
+    );
     println!("Claim 2.1 verified on every sampled pair.");
     write_json("exp_claim_udg", &(checked, max_edge_len, max_cu));
 }

@@ -22,7 +22,14 @@ fn main() {
 
     let mut t = Table::new(
         "EXP-F7: distributed construction cost (λ = 30)",
-        &["window", "nodes", "rounds", "msgs total", "msgs/node", "max msgs/node"],
+        &[
+            "window",
+            "nodes",
+            "rounds",
+            "msgs total",
+            "msgs/node",
+            "max msgs/node",
+        ],
     );
     let mut results = Vec::new();
     for &side in sides {
@@ -39,7 +46,13 @@ fn main() {
             f(build.stats.mean_per_node(), 2),
             build.stats.max_per_node().to_string(),
         ]);
-        results.push((side, n, build.rounds, build.stats.sent, build.stats.mean_per_node()));
+        results.push((
+            side,
+            n,
+            build.rounds,
+            build.stats.sent,
+            build.stats.mean_per_node(),
+        ));
     }
     t.print();
     println!(

@@ -34,7 +34,10 @@ fn main() {
     }
     t.print();
 
-    let mut t2 = Table::new("EXP-T33: fitted exponential decay rates", &["λ", "decay rate c₃"]);
+    let mut t2 = Table::new(
+        "EXP-T33: fitted exponential decay rates",
+        &["λ", "decay rate c₃"],
+    );
     for (lambda, rate) in &rates {
         t2.row(&[
             f(*lambda, 0),

@@ -27,12 +27,7 @@ fn main() {
     for n in [10.0, 30.0, 100.0, 300.0, 1000.0] {
         match ell_for_target(&net, &pts, n, samples, seed()) {
             Some(ell) => {
-                t.row(&[
-                    f(n, 0),
-                    f(n.ln(), 2),
-                    f(ell, 3),
-                    f(ell / n.ln(), 3),
-                ]);
+                t.row(&[f(n, 0), f(n.ln(), 2), f(ell, 3), f(ell / n.ln(), 3)]);
                 results.push((n, Some(ell)));
             }
             None => {

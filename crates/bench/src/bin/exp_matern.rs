@@ -28,7 +28,14 @@ fn main() {
 
     let mut t = Table::new(
         "EXP-MAT: Poisson vs Matérn-II deployments (matched retained intensity)",
-        &["λ_retained", "process", "nodes", "good tiles", "max deg", "P_empty(ℓ=1)"],
+        &[
+            "λ_retained",
+            "process",
+            "nodes",
+            "good tiles",
+            "max deg",
+            "P_empty(ℓ=1)",
+        ],
     );
     let mut results = Vec::new();
     for lambda_target in [20.0, 30.0] {
@@ -46,7 +53,12 @@ fn main() {
             ),
             (
                 "Matérn-II",
-                sample_matern_ii(&mut rng_from_seed(seed()), lambda_parent, hard_core, &window),
+                sample_matern_ii(
+                    &mut rng_from_seed(seed()),
+                    lambda_parent,
+                    hard_core,
+                    &window,
+                ),
             ),
         ] {
             let net = build_udg_sens(&pts, params, grid.clone()).unwrap();

@@ -8,7 +8,9 @@
 
 use wsn_bench::table::{f, Table};
 use wsn_bench::{scaled, seed, write_json};
-use wsn_core::threshold::{k_s_for_scale, nn_tile_samples, p_good_nn_from_samples, GOODNESS_TARGET};
+use wsn_core::threshold::{
+    k_s_for_scale, nn_tile_samples, p_good_nn_from_samples, GOODNESS_TARGET,
+};
 
 fn main() {
     let reps = scaled(4000);
@@ -16,7 +18,12 @@ fn main() {
 
     let mut t = Table::new(
         &format!("EXP-T24: NN-SENS goodness vs tile scale a ({reps} tiles/point)"),
-        &["a", "P[regions occupied]", "k_s (P≥0.593)", "P[good] at k_s"],
+        &[
+            "a",
+            "P[regions occupied]",
+            "k_s (P≥0.593)",
+            "P[good] at k_s",
+        ],
     );
     let mut best: Option<(f64, usize)> = None;
     let mut results = Vec::new();

@@ -59,7 +59,14 @@ fn main() {
             pairs.len(),
             pts.len()
         ),
-        &["β", "topology", "connected", "mean δ^β", "max δ^β", "edges/node"],
+        &[
+            "β",
+            "topology",
+            "connected",
+            "mean δ^β",
+            "max δ^β",
+            "edges/node",
+        ],
     );
     let mut results = Vec::new();
     for beta in [2.0, 3.0, 4.0, 5.0] {

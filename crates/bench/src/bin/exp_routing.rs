@@ -59,7 +59,13 @@ fn main() {
 
     let mut t = Table::new(
         "EXP-F9: routing overhead vs distance (messages per lattice step)",
-        &["L1 distance bin", "routes", "delivered", "mean msgs/step", "mean repairs"],
+        &[
+            "L1 distance bin",
+            "routes",
+            "delivered",
+            "mean msgs/step",
+            "mean repairs",
+        ],
     );
     let mut results = Vec::new();
     for (i, &(n, sum_ov, sum_rep, delivered)) in per_bin.iter().enumerate() {

@@ -24,13 +24,24 @@ fn main() {
     let pairs = sample_rep_pairs(&net, pairs_n, seed());
     let samples = measure_sens_stretch(&net, &pts, &pairs);
     let max_d = side * 0.9;
-    let edges: Vec<f64> = (0..=8).map(|i| 1.0 + (max_d - 1.0) * i as f64 / 8.0).collect();
+    let edges: Vec<f64> = (0..=8)
+        .map(|i| 1.0 + (max_d - 1.0) * i as f64 / 8.0)
+        .collect();
     let alpha = 2.5;
     let bins = binned_stretch(&samples, &edges, alpha);
 
     let mut t = Table::new(
-        &format!("EXP-T32: stretch vs distance (α = {alpha}, {} pairs)", samples.len()),
-        &["d range", "pairs", "mean stretch", "max stretch", "P[stretch>α]"],
+        &format!(
+            "EXP-T32: stretch vs distance (α = {alpha}, {} pairs)",
+            samples.len()
+        ),
+        &[
+            "d range",
+            "pairs",
+            "mean stretch",
+            "max stretch",
+            "P[stretch>α]",
+        ],
     );
     for b in &bins {
         if b.pairs == 0 {

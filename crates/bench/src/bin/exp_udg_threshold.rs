@@ -18,7 +18,10 @@ fn main() {
     let reps = scaled(20_000);
     let configs: Vec<(&str, UdgSensParams)> = vec![
         ("strict-default", UdgSensParams::strict_default()),
-        ("strict-optimized", optimize_udg_geometry(if wsn_bench::quick_mode() { 10 } else { 24 }).params),
+        (
+            "strict-optimized",
+            optimize_udg_geometry(if wsn_bench::quick_mode() { 10 } else { 24 }).params,
+        ),
         ("paper-geometry", UdgSensParams::paper()),
     ];
 

@@ -22,7 +22,9 @@ use serde::Serialize;
 
 /// True when quick (smoke-test) mode is requested.
 pub fn quick_mode() -> bool {
-    std::env::var("WSN_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("WSN_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Scale a replicate count down in quick mode.

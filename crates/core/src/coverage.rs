@@ -43,7 +43,8 @@ pub fn empty_box_curve(
 ) -> Vec<CoveragePoint> {
     let members = member_points(net, points);
     let window = net.grid.covered_area();
-    let index = (!members.is_empty()).then(|| GridIndex::build(&members, 1.0f64.max(window.width() / 64.0)));
+    let index = (!members.is_empty())
+        .then(|| GridIndex::build(&members, 1.0f64.max(window.width() / 64.0)));
     let mut rng = rng_from_seed(seed);
     let mut out = Vec::with_capacity(ells.len());
     let mut buf = Vec::new();
@@ -161,10 +162,7 @@ mod tests {
     fn member_points_match_mask() {
         let (net, pts) = dense_network(1, 12.0, 35.0);
         let members = member_points(&net, &pts);
-        assert_eq!(
-            members.len(),
-            net.core_mask.iter().filter(|&&b| b).count()
-        );
+        assert_eq!(members.len(), net.core_mask.iter().filter(|&&b| b).count());
     }
 
     #[test]
@@ -232,7 +230,10 @@ mod tests {
     #[test]
     fn decay_rate_handles_degenerate_curves() {
         assert_eq!(exponential_decay_rate(&[]), None);
-        let flat = [CoveragePoint { ell: 1.0, p_empty: 0.0 }];
+        let flat = [CoveragePoint {
+            ell: 1.0,
+            p_empty: 0.0,
+        }];
         assert_eq!(exponential_decay_rate(&flat), None);
     }
 }

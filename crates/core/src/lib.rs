@@ -25,6 +25,24 @@
 //! [`optimize`] searches the corrected UDG tile geometry (see DESIGN.md §2
 //! for why the paper's literal region definition needs correcting);
 //! [`render`] regenerates the geometry figures as SVG.
+//!
+//! Build the paper's UDG-SENS topology on a Poisson deployment and check
+//! its sparsity guarantee (property P1):
+//!
+//! ```
+//! use wsn_core::params::UdgSensParams;
+//! use wsn_core::tilegrid::TileGrid;
+//! use wsn_core::udg::build_udg_sens;
+//! use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+//!
+//! let params = UdgSensParams::strict_default();
+//! let grid = TileGrid::fit(10.0, params.tile_side);
+//! let pts = sample_poisson_window(&mut rng_from_seed(1), 25.0, &grid.covered_area());
+//!
+//! let net = build_udg_sens(&pts, params, grid).unwrap();
+//! assert!(net.degree_stats().max <= 4); // P1: max degree 4
+//! assert_eq!(net.missing_links, 0);     // strict geometry always links
+//! ```
 
 pub mod coverage;
 pub mod nn;

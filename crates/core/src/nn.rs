@@ -133,9 +133,7 @@ impl NnTileGeometry {
             }
         }
         let m2 = self.margin;
-        self.constraints
-            .iter()
-            .all(|&(p, c)| x.dist(p) <= c - m2)
+        self.constraints.iter().all(|&(p, c)| x.dist(p) <= c - m2)
     }
 
     /// Membership in the inner relay region `E_d` (local coordinates).
@@ -505,13 +503,16 @@ mod tests {
     #[test]
     fn overfull_tile_is_bad() {
         let (mut pts, grid, params) = seeded_strip(2, 20); // max 10 points/tile
-        // Tile 0 already has 9 points; add 2 more to exceed k/2 = 10.
+                                                           // Tile 0 already has 9 points; add 2 more to exceed k/2 = 10.
         let c = grid.center((0, 0));
         pts.push(c + Point::new(0.3, 0.3));
         pts.push(c + Point::new(-0.3, 0.3));
         let base = build_knn(&pts, params.k);
         let net = build_nn_sens(&pts, &base, params, grid).unwrap();
-        assert!(!net.lattice.is_open((0, 0)), "count > k/2 must mark the tile bad");
+        assert!(
+            !net.lattice.is_open((0, 0)),
+            "count > k/2 must mark the tile bad"
+        );
         assert!(net.lattice.is_open((1, 0)));
     }
 
@@ -567,6 +568,9 @@ mod tests {
         // E[N] = (10·0.893)² ≈ 79.7.
         assert!((mean - 79.7).abs() < 10.0, "mean = {mean}");
         // Regions occupied sometimes but not always at this scale.
-        assert!(region_hits > 0, "C/E regions should be occupied occasionally");
+        assert!(
+            region_hits > 0,
+            "C/E regions should be occupied occasionally"
+        );
     }
 }

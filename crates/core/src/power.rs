@@ -12,13 +12,7 @@ use wsn_pointproc::PointSet;
 
 /// Minimum-power distance between two nodes in `g` under exponent `beta`
 /// (each hop `u→v` costs `d(u, v)^β`). `None` when disconnected.
-pub fn power_distance(
-    g: &Csr,
-    points: &PointSet,
-    src: u32,
-    dst: u32,
-    beta: f64,
-) -> Option<f64> {
+pub fn power_distance(g: &Csr, points: &PointSet, src: u32, dst: u32, beta: f64) -> Option<f64> {
     dijkstra::distance_to(g, src, dst, |u, v| {
         points.get(u).dist(points.get(v)).powf(beta)
     })
@@ -119,11 +113,7 @@ mod tests {
         let mut sub = EdgeList::new(3);
         sub.add(0, 1);
         sub.add(1, 2);
-        (
-            Csr::from_edge_list(base),
-            Csr::from_edge_list(sub),
-            points,
-        )
+        (Csr::from_edge_list(base), Csr::from_edge_list(sub), points)
     }
 
     #[test]

@@ -20,11 +20,12 @@ pub fn render_tiling(net: &SensNetwork, points: &PointSet) -> String {
     let window = net.grid.covered_area();
     let mut c = SvgCanvas::new(window.inflate(0.5), PX_WIDTH);
     for s in net.grid.sites() {
-        let bb = net
-            .grid
-            .tiling()
-            .tile_aabb(net.grid.tile_of_site(s));
-        let fill = if net.lattice.is_open(s) { "#eef7ee" } else { "#fbeeee" };
+        let bb = net.grid.tiling().tile_aabb(net.grid.tile_of_site(s));
+        let fill = if net.lattice.is_open(s) {
+            "#eef7ee"
+        } else {
+            "#fbeeee"
+        };
         c.rect(&bb, "#999", fill, 0.6);
     }
     for (i, p) in points.iter_enumerated() {
@@ -77,10 +78,10 @@ pub fn render_udg_tile(geom: &UdgTileGeometry) -> String {
     c.text(Point::new(0.02 * a, 0.02 * a), 14.0, "C0");
     for d in Dir::ALL {
         let label_at = d.unit_vec() * (half * 0.72);
-        let region = wsn_geom::region::PredicateRegion::new(
-            Aabb::centered_square(Point::ORIGIN, a),
-            |p| geom.relay_contains(d, p),
-        );
+        let region =
+            wsn_geom::region::PredicateRegion::new(Aabb::centered_square(Point::ORIGIN, a), |p| {
+                geom.relay_contains(d, p)
+            });
         c.region_stipple(&region, 80, "#c86");
         let name = match d {
             Dir::Right => "Er",
@@ -146,7 +147,11 @@ pub fn render_adjacent_path(
         c.line(points.get(w[0]), points.get(w[1]), "#06c", 2.0);
     }
     for (idx, &u) in path.iter().enumerate() {
-        let fill = if idx == 0 || idx == path.len() - 1 { "#111" } else { "#c33" };
+        let fill = if idx == 0 || idx == path.len() - 1 {
+            "#111"
+        } else {
+            "#c33"
+        };
         c.dot(points.get(u), 4.0, fill);
     }
     Some(c.finish())
@@ -166,7 +171,11 @@ pub fn render_route(
     let mut c = SvgCanvas::new(window.inflate(0.5), PX_WIDTH);
     for s in net.grid.sites() {
         let bb = net.grid.tiling().tile_aabb(net.grid.tile_of_site(s));
-        let fill = if net.lattice.is_open(s) { "#eef7ee" } else { "#f3d9d9" };
+        let fill = if net.lattice.is_open(s) {
+            "#eef7ee"
+        } else {
+            "#f3d9d9"
+        };
         c.rect(&bb, "#aaa", fill, 0.5);
     }
     for w in path.windows(2) {
@@ -183,7 +192,7 @@ pub fn render_route(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::params::{UdgSensParams};
+    use crate::params::UdgSensParams;
     use crate::tilegrid::TileGrid;
     use crate::udg::build_udg_sens;
     use wsn_pointproc::{rng_from_seed, sample_poisson_window};
@@ -209,7 +218,10 @@ mod tests {
     fn lattice_figure_shows_open_sites() {
         let (net, _) = network();
         let svg = render_lattice(&net);
-        assert!(svg.contains("<line"), "supercritical lattice must have open edges");
+        assert!(
+            svg.contains("<line"),
+            "supercritical lattice must have open edges"
+        );
     }
 
     #[test]

@@ -147,7 +147,11 @@ mod tests {
                 s.u,
                 s.v
             );
-            assert!(s.stretch() >= 1.0 - 1e-9, "stretch below 1: {}", s.stretch());
+            assert!(
+                s.stretch() >= 1.0 - 1e-9,
+                "stretch below 1: {}",
+                s.stretch()
+            );
             // Generous sanity bound: constant-stretch means small constants
             // at this density.
             assert!(s.stretch() < 25.0, "implausible stretch {}", s.stretch());

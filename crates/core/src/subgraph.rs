@@ -151,10 +151,7 @@ impl SensNetwork {
     /// not realised (possible only when `missing_links > 0`).
     pub fn adjacent_rep_path(&self, a: Site, b: Site) -> Option<Vec<u32>> {
         let (ra, rb) = (self.rep_of(a)?, self.rep_of(b)?);
-        let (la, lb) = (
-            self.grid.linear(a) as u32,
-            self.grid.linear(b) as u32,
-        );
+        let (la, lb) = (self.grid.linear(a) as u32, self.grid.linear(b) as u32);
         // BFS from ra to rb restricted to the two tiles (≤ ~20 nodes deep).
         let mut parent: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         let mut queue = std::collections::VecDeque::new();
@@ -293,7 +290,10 @@ mod tests {
     fn validate_node_path_rejects_non_edges() {
         let (net, _) = network(4, 30.0);
         let members = net.members();
-        assert!(net.validate_node_path(&[members[0]]), "singleton path is valid");
+        assert!(
+            net.validate_node_path(&[members[0]]),
+            "singleton path is valid"
+        );
         // Two arbitrary members are almost surely not adjacent.
         let (a, b) = (members[0], members[members.len() - 1]);
         if !net.graph.has_edge(a, b) {

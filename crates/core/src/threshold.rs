@@ -8,7 +8,7 @@
 //! parameter estimate is the smallest λ (resp. k) whose good-tile
 //! probability exceeds the paper's target 0.593.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rayon::prelude::*;
 use serde::Serialize;
 use wsn_geom::hash::{derive_seed, derive_seed2};
@@ -156,7 +156,11 @@ pub fn lambda_s_udg(
 
 /// Batch of NN tile samples at scale `a`, unit density.
 pub fn nn_tile_samples(a: f64, reps: usize, seed: u64) -> Vec<crate::nn::NnTileSample> {
-    let geom = NnTileGeometry::new(NnSensParams { a, k: usize::MAX / 2 }).expect("invalid a");
+    let geom = NnTileGeometry::new(NnSensParams {
+        a,
+        k: usize::MAX / 2,
+    })
+    .expect("invalid a");
     (0..reps as u64)
         .into_par_iter()
         .map(|r| {
@@ -215,7 +219,12 @@ pub fn optimize_nn_scale(
 ) -> Vec<(f64, Option<usize>)> {
     scales
         .iter()
-        .map(|&a| (a, k_s_for_scale(a, target, reps, derive_seed(seed, a.to_bits()))))
+        .map(|&a| {
+            (
+                a,
+                k_s_for_scale(a, target, reps, derive_seed(seed, a.to_bits())),
+            )
+        })
         .collect()
 }
 
@@ -310,10 +319,7 @@ mod tests {
         let ls = lambda_s_udg(p, GOODNESS_TARGET, 3000, 12, 3);
         // Invert the analytic formula at the estimate: P should be ≈ target.
         let at = p_good_udg_analytic(p, ls).unwrap();
-        assert!(
-            (at - GOODNESS_TARGET).abs() < 0.05,
-            "P(λ_s = {ls}) = {at}"
-        );
+        assert!((at - GOODNESS_TARGET).abs() < 0.05, "P(λ_s = {ls}) = {at}");
     }
 
     #[test]

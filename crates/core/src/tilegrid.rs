@@ -231,11 +231,11 @@ mod tests {
     fn assignment_partitions_inside_points() {
         let g = TileGrid::new(1.0, 3, 3);
         let pts: PointSet = vec![
-            Point::new(0.5, 0.5),  // (0,0)
-            Point::new(1.5, 0.5),  // (1,0)
-            Point::new(0.6, 0.4),  // (0,0)
-            Point::new(2.9, 2.9),  // (2,2)
-            Point::new(5.0, 5.0),  // outside
+            Point::new(0.5, 0.5), // (0,0)
+            Point::new(1.5, 0.5), // (1,0)
+            Point::new(0.6, 0.4), // (0,0)
+            Point::new(2.9, 2.9), // (2,2)
+            Point::new(5.0, 5.0), // outside
         ]
         .into_iter()
         .collect();

@@ -391,7 +391,10 @@ mod tests {
         assert_eq!(net.missing_links, 0, "strict mode never misses links");
         let stats = net.degree_stats();
         assert!(stats.max <= 4, "P1 violated: max degree {}", stats.max);
-        assert!(net.lattice.open_fraction() > 0.5, "λ=30 should be supercritical");
+        assert!(
+            net.lattice.open_fraction() > 0.5,
+            "λ=30 should be supercritical"
+        );
         // Representatives have degree exactly 4 when surrounded by good
         // neighbours; at least assert every member has degree ≥ 1.
         for u in net.members() {

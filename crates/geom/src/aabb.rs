@@ -167,7 +167,10 @@ mod tests {
         let c = Aabb::from_coords(5.0, 5.0, 6.0, 6.0);
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
-        assert_eq!(a.intersection(&b), Some(Aabb::from_coords(1.0, 1.0, 2.0, 2.0)));
+        assert_eq!(
+            a.intersection(&b),
+            Some(Aabb::from_coords(1.0, 1.0, 2.0, 2.0))
+        );
         assert_eq!(a.intersection(&c), None);
         // Touching edges intersect (closed boxes).
         let d = Aabb::from_coords(2.0, 0.0, 3.0, 2.0);

@@ -201,7 +201,10 @@ mod tests {
     fn intersection_area_limits() {
         let a = Disk::new(Point::ORIGIN, 1.0);
         // Disjoint.
-        assert_eq!(a.intersection_area(&Disk::new(Point::new(3.0, 0.0), 1.0)), 0.0);
+        assert_eq!(
+            a.intersection_area(&Disk::new(Point::new(3.0, 0.0), 1.0)),
+            0.0
+        );
         // Identical: full area.
         let same = a.intersection_area(&a);
         assert!((same - PI).abs() < 1e-12);

@@ -65,7 +65,10 @@ mod tests {
         let base = 7u64;
         let mut seen = std::collections::HashSet::new();
         for stream in 0..10_000u64 {
-            assert!(seen.insert(derive_seed(base, stream)), "collision at {stream}");
+            assert!(
+                seen.insert(derive_seed(base, stream)),
+                "collision at {stream}"
+            );
         }
     }
 

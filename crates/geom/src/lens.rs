@@ -126,7 +126,10 @@ mod tests {
         let mut found = 0;
         for i in 0..50 {
             for j in 0..50 {
-                let p = Point::new(-1.2 + 2.8 * (i as f64) / 49.0, -1.2 + 2.8 * (j as f64) / 49.0);
+                let p = Point::new(
+                    -1.2 + 2.8 * (i as f64) / 49.0,
+                    -1.2 + 2.8 * (j as f64) / 49.0,
+                );
                 if l.contains(p) {
                     found += 1;
                     assert!(bb.contains(p));

@@ -179,8 +179,7 @@ impl Tiling {
             b.max.y - f64::EPSILON * b.max.y.abs().max(1.0),
         ));
         let hi = TileIndex::new(hi.i.max(lo.i), hi.j.max(lo.j));
-        let mut out =
-            Vec::with_capacity(((hi.i - lo.i + 1) * (hi.j - lo.j + 1)).max(0) as usize);
+        let mut out = Vec::with_capacity(((hi.i - lo.i + 1) * (hi.j - lo.j + 1)).max(0) as usize);
         for j in lo.j..=hi.j {
             for i in lo.i..=hi.i {
                 out.push(TileIndex::new(i, j));

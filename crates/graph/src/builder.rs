@@ -45,7 +45,10 @@ impl EdgeList {
     /// Add the undirected edge `{u, v}`. Stored canonically (min, max).
     #[inline]
     pub fn add(&mut self, u: u32, v: u32) {
-        debug_assert!((u as usize) < self.n && (v as usize) < self.n, "edge out of range");
+        debug_assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge out of range"
+        );
         debug_assert_ne!(u, v, "self-loop");
         self.edges.push((u.min(v), u.max(v)));
     }

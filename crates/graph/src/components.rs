@@ -64,8 +64,8 @@ pub fn connected_components(g: &Csr) -> Components {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::EdgeList;
     use crate::bfs;
+    use crate::builder::EdgeList;
 
     fn two_cliques() -> Csr {
         // {0,1,2} triangle, {3,4} edge, 5 isolated.

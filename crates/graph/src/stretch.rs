@@ -49,7 +49,11 @@ impl StretchSample {
 ///
 /// Runs one Dijkstra per distinct source, so sampling many pairs that share
 /// sources is cheap.
-pub fn measure_pairs<P: Fn(u32) -> Point>(g: &Csr, pos: P, pairs: &[(u32, u32)]) -> Vec<StretchSample> {
+pub fn measure_pairs<P: Fn(u32) -> Point>(
+    g: &Csr,
+    pos: P,
+    pairs: &[(u32, u32)],
+) -> Vec<StretchSample> {
     let weight = |u: u32, v: u32| pos(u).dist(pos(v));
     let mut out = Vec::with_capacity(pairs.len());
     // Group by source to reuse Dijkstra runs.

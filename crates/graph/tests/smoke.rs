@@ -1,0 +1,91 @@
+//! Smoke tests for the CSR substrate: build a graph through the public
+//! EdgeList → Csr path and round-trip it through the traversal algorithms.
+
+use wsn_graph::{bfs, components, dijkstra, Csr, EdgeList, UnionFind, UNREACHABLE};
+
+/// A 4 × 4 grid graph: node (r, c) ↔ id 4r + c.
+fn grid4() -> Csr {
+    let mut el = EdgeList::new(16);
+    for r in 0..4u32 {
+        for c in 0..4u32 {
+            let u = 4 * r + c;
+            if c + 1 < 4 {
+                el.add(u, u + 1);
+            }
+            if r + 1 < 4 {
+                el.add(u, u + 4);
+            }
+        }
+    }
+    Csr::from_edge_list(el)
+}
+
+#[test]
+fn csr_round_trips_edge_list() {
+    let g = grid4();
+    assert_eq!(g.n(), 16);
+    assert_eq!(g.m(), 24);
+    // Adjacency is symmetric and matches the grid structure.
+    for (u, v) in g.edges() {
+        assert!(g.has_edge(u, v) && g.has_edge(v, u));
+        let (du, dv) = (u.abs_diff(v) % 4, u.abs_diff(v) / 4);
+        assert!(
+            (du == 1 && dv == 0) || (du == 0 && dv == 1),
+            "edge ({u}, {v})"
+        );
+    }
+    // Corner, edge and interior degrees.
+    assert_eq!(g.degree(0), 2);
+    assert_eq!(g.degree(1), 3);
+    assert_eq!(g.degree(5), 4);
+}
+
+#[test]
+fn bfs_distances_match_manhattan_on_grid() {
+    let g = grid4();
+    let dist = bfs::distances(&g, 0);
+    for r in 0..4u32 {
+        for c in 0..4u32 {
+            assert_eq!(dist[(4 * r + c) as usize], r + c, "node ({r}, {c})");
+        }
+    }
+    let path = bfs::path(&g, 0, 15).expect("grid is connected");
+    assert_eq!(path.len() as u32, dist[15] + 1);
+    assert_eq!((path[0], *path.last().unwrap()), (0, 15));
+    for w in path.windows(2) {
+        assert!(g.has_edge(w[0], w[1]));
+    }
+}
+
+#[test]
+fn dijkstra_with_unit_weights_equals_bfs() {
+    let g = grid4();
+    let hop = bfs::distances(&g, 5);
+    let weighted = dijkstra::distances(&g, 5, |_, _| 1.0);
+    for u in 0..16 {
+        assert_eq!(hop[u] as f64, weighted[u], "node {u}");
+    }
+}
+
+#[test]
+fn components_and_unionfind_agree_on_disconnected_graph() {
+    // Two triangles plus an isolated node.
+    let mut el = EdgeList::new(7);
+    for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+        el.add(u, v);
+    }
+    let g = Csr::from_edge_list(el);
+    let comps = components::connected_components(&g);
+    let mut uf = UnionFind::new(7);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    for u in 0..7u32 {
+        for v in 0..7u32 {
+            assert_eq!(comps.same(u, v), uf.connected(u, v), "pair ({u}, {v})");
+        }
+    }
+    let far = bfs::distances(&g, 0);
+    assert_eq!(far[6], UNREACHABLE);
+    assert_eq!(far[3], UNREACHABLE);
+}

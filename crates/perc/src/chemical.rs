@@ -143,9 +143,7 @@ mod tests {
     fn mean_ratio_shrinks_with_higher_p() {
         let lo = sample_ratios(0.65, 40, 6, 24, 10);
         let hi = sample_ratios(0.95, 40, 6, 24, 10);
-        let mean = |v: &[ChemicalSample]| {
-            v.iter().map(|s| s.ratio()).sum::<f64>() / v.len() as f64
-        };
+        let mean = |v: &[ChemicalSample]| v.iter().map(|s| s.ratio()).sum::<f64>() / v.len() as f64;
         assert!(
             mean(&lo) > mean(&hi),
             "ratio(0.65) = {} vs ratio(0.95) = {}",

@@ -34,7 +34,10 @@ impl Clusters {
 
     /// Mask of sites in the largest cluster.
     pub fn largest_mask(&self) -> Vec<bool> {
-        self.label.iter().map(|&l| l != u32::MAX && l == self.largest_root).collect()
+        self.label
+            .iter()
+            .map(|&l| l != u32::MAX && l == self.largest_root)
+            .collect()
     }
 }
 

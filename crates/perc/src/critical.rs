@@ -25,8 +25,7 @@ pub fn theta_estimate(p: f64, l_size: usize, reps: usize, seed: u64) -> f64 {
     let total: f64 = (0..reps as u64)
         .into_par_iter()
         .map(|r| {
-            let mut rng =
-                rand::rngs::SmallRng::seed_from_u64(derive_seed2(seed, r, p.to_bits()));
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(derive_seed2(seed, r, p.to_bits()));
             let lat = bernoulli_lattice(&mut rng, l_size, l_size, p);
             label_clusters(&lat).largest_size as f64 / lat.len() as f64
         })

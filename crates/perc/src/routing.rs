@@ -107,7 +107,10 @@ fn bfs_repair(lat: &Lattice, curr: Site, dst: Site) -> (Option<(Site, Vec<Site>)
 /// open clusters) return `delivered = false` with the probes spent
 /// discovering that.
 pub fn route_xy(lat: &Lattice, src: Site, dst: Site) -> RouteOutcome {
-    assert!(lat.in_bounds(src) && lat.in_bounds(dst), "route endpoints out of bounds");
+    assert!(
+        lat.in_bounds(src) && lat.in_bounds(dst),
+        "route endpoints out of bounds"
+    );
     let mut out = RouteOutcome {
         delivered: false,
         hops: 0,

@@ -1,7 +1,7 @@
 //! Bernoulli site sampling.
 
 use crate::lattice::Lattice;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Sample a `cols × rows` lattice with i.i.d. open probability `p` — the
 /// site-percolation measure `∏ {0,1}` of the paper's Section 1.1.

@@ -12,7 +12,7 @@
 
 use crate::points::PointSet;
 use crate::ppp::sample_poisson_window;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use wsn_geom::{Aabb, Point};
 
 /// Sample a Matérn type-II hard-core process with primary intensity
@@ -179,9 +179,7 @@ mod tests {
             .iter_enumerated()
             .filter(|&(i, p)| {
                 primary.iter_enumerated().all(|(j, q)| {
-                    j == i
-                        || q.dist_sq(p) > r2
-                        || (marks[j as usize], j) > (marks[i as usize], i)
+                    j == i || q.dist_sq(p) > r2 || (marks[j as usize], j) > (marks[i as usize], i)
                 })
             })
             .map(|(_, p)| p)

@@ -163,7 +163,10 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert_eq!(s.bounding_box(), Some(Aabb::from_coords(-2.0, -1.0, 4.0, 5.0)));
+        assert_eq!(
+            s.bounding_box(),
+            Some(Aabb::from_coords(-2.0, -1.0, 4.0, 5.0))
+        );
         assert_eq!(PointSet::new().bounding_box(), None);
     }
 

@@ -11,7 +11,7 @@
 //! `ln Γ` (needed by PTRS) is implemented locally with a Lanczos
 //! approximation because the std float gamma functions are not yet stable.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
 /// Absolute error < 1e-13 for x > 0.5 — far below what rejection sampling
@@ -70,7 +70,10 @@ pub fn ln_factorial(k: u64) -> f64 {
 
 /// Draw one Poisson(μ) variate. Exact for all finite `mean ≥ 0`.
 pub fn sample_poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean >= 0.0 && mean.is_finite(), "invalid Poisson mean {mean}");
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "invalid Poisson mean {mean}"
+    );
     if mean == 0.0 {
         0
     } else if mean < 10.0 {
@@ -163,11 +166,7 @@ mod tests {
         let mut rng = rng_from_seed(seed);
         let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut rng, mean)).collect();
         let m = samples.iter().sum::<u64>() as f64 / n as f64;
-        let var = samples
-            .iter()
-            .map(|&x| (x as f64 - m).powi(2))
-            .sum::<f64>()
-            / (n as f64 - 1.0);
+        let var = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / (n as f64 - 1.0);
         // Sample mean of Poisson(μ): sd = √(μ/n); allow 5σ.
         let tol_mean = 5.0 * (mean / n as f64).sqrt();
         assert!(
@@ -216,7 +215,8 @@ mod tests {
         }
         let mut chi2 = 0.0;
         for (k, &c) in counts.iter().enumerate() {
-            let p = (mean.powi(k as i32) * (-mean).exp()) / (1..=k).product::<usize>().max(1) as f64;
+            let p =
+                (mean.powi(k as i32) * (-mean).exp()) / (1..=k).product::<usize>().max(1) as f64;
             let expected = p * n as f64;
             chi2 += (c as f64 - expected).powi(2) / expected;
         }

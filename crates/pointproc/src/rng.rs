@@ -5,7 +5,7 @@
 //! [`wsn_geom::hash::derive_seed`], so outputs are schedule-independent.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use wsn_geom::{Aabb, Point};
 
 /// The simulation RNG. `SmallRng` (xoshiro-family) is fast, has good
@@ -51,7 +51,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = rng_from_seed(1);
         let mut b = rng_from_seed(2);
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -68,7 +68,10 @@ mod tests {
             .collect();
         let g = build_knn(&pts, 1);
         assert!(g.has_edge(0, 1));
-        assert!(g.has_edge(1, 2), "2's nearest is 1 even though 1's nearest is 0");
+        assert!(
+            g.has_edge(1, 2),
+            "2's nearest is 1 even though 1's nearest is 0"
+        );
         assert!(g.has_edge(2, 3), "3's nearest is 2");
         assert_eq!(g.m(), 3);
     }
@@ -153,17 +156,11 @@ mod theory_tests {
     #[test]
     fn undirected_degree_is_linearly_bounded_in_k() {
         for k in [1usize, 3, 6] {
-            let pts = sample_binomial_window(
-                &mut rng_from_seed(k as u64),
-                600,
-                &Aabb::square(10.0),
-            );
+            let pts =
+                sample_binomial_window(&mut rng_from_seed(k as u64), 600, &Aabb::square(10.0));
             let g = build_knn(&pts, k);
             let max_deg = (0..g.n() as u32).map(|u| g.degree(u)).max().unwrap();
-            assert!(
-                max_deg <= 7 * k,
-                "k = {k}: max degree {max_deg} exceeds 7k"
-            );
+            assert!(max_deg <= 7 * k, "k = {k}: max degree {max_deg} exceeds 7k");
         }
     }
 

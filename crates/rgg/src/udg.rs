@@ -30,7 +30,10 @@ pub fn build_udg(points: &PointSet, radius: f64) -> Csr {
 /// Implementation: a point near the boundary also queries the 8 shifted
 /// copies of the window; the torus distance condition is checked explicitly.
 pub fn build_udg_torus(points: &PointSet, radius: f64, side: f64) -> Csr {
-    assert!(radius > 0.0 && side > 2.0 * radius, "window too small for torus UDG");
+    assert!(
+        radius > 0.0 && side > 2.0 * radius,
+        "window too small for torus UDG"
+    );
     if points.is_empty() {
         return Csr::empty(0);
     }

@@ -28,7 +28,9 @@ pub fn build_yao(points: &PointSet, radius: f64, cones: usize) -> Csr {
             if v == u {
                 return;
             }
-            let angle = (q.y - p.y).atan2(q.x - p.x).rem_euclid(std::f64::consts::TAU);
+            let angle = (q.y - p.y)
+                .atan2(q.x - p.x)
+                .rem_euclid(std::f64::consts::TAU);
             let cone = ((angle / sector) as usize).min(cones - 1);
             let d = p.dist(q);
             // Deterministic tie-break by id keeps the build reproducible.
@@ -76,11 +78,10 @@ mod tests {
         let yao1 = build_yao(&pts, 2.0, 1);
         // With one cone each node keeps exactly its nearest UDG neighbour.
         for u in 0..pts.len() as u32 {
-            let udg_nbrs: Vec<u32> =
-                wsn_spatial::bruteforce::in_disk(&pts, pts.get(u), 2.0)
-                    .into_iter()
-                    .filter(|&v| v != u)
-                    .collect();
+            let udg_nbrs: Vec<u32> = wsn_spatial::bruteforce::in_disk(&pts, pts.get(u), 2.0)
+                .into_iter()
+                .filter(|&v| v != u)
+                .collect();
             if udg_nbrs.is_empty() {
                 continue;
             }
@@ -94,7 +95,10 @@ mod tests {
                         .then(a.cmp(&b))
                 })
                 .unwrap();
-            assert!(yao1.has_edge(u, nearest), "node {u} must keep nearest {nearest}");
+            assert!(
+                yao1.has_edge(u, nearest),
+                "node {u} must keep nearest {nearest}"
+            );
         }
     }
 

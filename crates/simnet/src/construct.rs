@@ -63,7 +63,11 @@ pub struct DistributedBuild {
 fn merge(into: &mut MsgStats, other: &MsgStats) {
     into.sent += other.sent;
     into.rounds += other.rounds;
-    for (a, b) in into.per_node_sent.iter_mut().zip(other.per_node_sent.iter()) {
+    for (a, b) in into
+        .per_node_sent
+        .iter_mut()
+        .zip(other.per_node_sent.iter())
+    {
         *a += b;
     }
 }
@@ -97,7 +101,10 @@ pub fn distributed_build_udg(
         }
         for d in Dir::ALL {
             if mask & relay_bit(d) != 0 {
-                groups.entry((lin, d.index() as u8 + 1)).or_default().push(id);
+                groups
+                    .entry((lin, d.index() as u8 + 1))
+                    .or_default()
+                    .push(id);
             }
         }
     }
@@ -118,20 +125,13 @@ pub fn distributed_build_udg(
     for (&(lin, region), &leader) in &leaders {
         tile_leaders[lin as usize][region as usize] = Some(leader);
     }
-    let good =
-        |lin: usize| -> bool { tile_leaders[lin].iter().all(Option::is_some) };
+    let good = |lin: usize| -> bool { tile_leaders[lin].iter().all(Option::is_some) };
 
     // ---- Step 3: announce ---------------------------------------------
     let mut link_engine: Engine<LinkMsg> = Engine::new(&radio);
     for (&(lin, region), &leader) in &leaders {
         if good(lin as usize) {
-            link_engine.broadcast(
-                leader,
-                LinkMsg::Leader {
-                    tile: lin,
-                    region,
-                },
-            );
+            link_engine.broadcast(leader, LinkMsg::Leader { tile: lin, region });
         }
     }
     link_engine.deliver_round();
@@ -163,10 +163,7 @@ pub fn distributed_build_udg(
                 if matches!(d, Dir::Right | Dir::Top) {
                     let nb = d.neighbor_of(grid.tile_of_site(my_site));
                     if let Some(nb_site) = grid.site_of_tile(nb) {
-                        let expect = (
-                            grid.linear(nb_site) as u32,
-                            d.opposite().index() as u8 + 1,
-                        );
+                        let expect = (grid.linear(nb_site) as u32, d.opposite().index() as u8 + 1);
                         if (*tile, *r2) == expect && *from != leader {
                             connect_requests.push((leader, *from));
                         }

@@ -15,14 +15,12 @@ use wsn_pointproc::{rng_from_seed, PointSet};
 
 /// Kill each node independently with probability `p_fail`. Returns the
 /// surviving deployment and the old→new id map (`u32::MAX` = dead).
-pub fn random_failures(
-    points: &PointSet,
-    p_fail: f64,
-    seed: u64,
-) -> (PointSet, Vec<u32>) {
+pub fn random_failures(points: &PointSet, p_fail: f64, seed: u64) -> (PointSet, Vec<u32>) {
     assert!((0.0..=1.0).contains(&p_fail));
     let mut rng = rng_from_seed(seed);
-    let alive: Vec<bool> = (0..points.len()).map(|_| rng.random::<f64>() >= p_fail).collect();
+    let alive: Vec<bool> = (0..points.len())
+        .map(|_| rng.random::<f64>() >= p_fail)
+        .collect();
     let mut survivors = points.clone();
     let map = survivors.retain_with_map(|i, _| alive[i as usize]);
     (survivors, map)
@@ -43,8 +41,7 @@ pub fn delivery_rate(net: &SensNetwork, pairs: usize, seed: u64) -> f64 {
         .lattice
         .sites()
         .filter(|&s| {
-            net.lattice.is_open(s)
-                && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
+            net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
         })
         .collect();
     if cores.len() < 2 {

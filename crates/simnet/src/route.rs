@@ -142,11 +142,7 @@ mod tests {
             .lattice
             .sites()
             .filter(|&s| {
-                net.lattice.is_open(s)
-                    && net
-                        .rep_of(s)
-                        .map(|r| net.is_member(r))
-                        .unwrap_or(false)
+                net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
             })
             .collect();
         assert!(members.len() > 10);

@@ -41,9 +41,7 @@ impl<'p> GridIndex<'p> {
     /// nothing.
     pub fn build(points: &'p PointSet, cell: f64) -> Self {
         assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
-        let bounds = points
-            .bounding_box()
-            .unwrap_or_else(|| Aabb::square(cell));
+        let bounds = points.bounding_box().unwrap_or_else(|| Aabb::square(cell));
         // Guard against degenerate (single-point / colinear) extents.
         let cols = ((bounds.width() / cell).ceil() as usize).max(1);
         let rows = ((bounds.height() / cell).ceil() as usize).max(1);
@@ -212,10 +210,7 @@ impl<'p> GridIndex<'p> {
                 }
             }
         }
-        let mut out: Vec<(u32, f64)> = heap
-            .into_iter()
-            .map(|(d2, id)| (id, d2.0.sqrt()))
-            .collect();
+        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d2, id)| (id, d2.0.sqrt())).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -253,7 +248,10 @@ mod tests {
     fn single_point() {
         let pts: PointSet = vec![Point::new(5.0, 5.0)].into_iter().collect();
         let idx = GridIndex::build(&pts, 1.0);
-        assert_eq!(idx.nearest(Point::new(0.0, 0.0), None), Some((0, 50.0_f64.sqrt())));
+        assert_eq!(
+            idx.nearest(Point::new(0.0, 0.0), None),
+            Some((0, 50.0_f64.sqrt()))
+        );
         assert!(idx.nearest(Point::new(0.0, 0.0), Some(0)).is_none());
         assert_eq!(idx.count_in_disk(Point::new(5.0, 5.0), 0.1), 1);
     }
@@ -263,7 +261,12 @@ mod tests {
         let pts = sample_points(500, 1);
         let idx = GridIndex::build(&pts, 1.0);
         let mut fast = Vec::new();
-        for &(cx, cy, r) in &[(5.0, 5.0, 1.0), (0.0, 0.0, 2.5), (10.0, 10.0, 0.5), (3.3, 7.7, 4.0)] {
+        for &(cx, cy, r) in &[
+            (5.0, 5.0, 1.0),
+            (0.0, 0.0, 2.5),
+            (10.0, 10.0, 0.5),
+            (3.3, 7.7, 4.0),
+        ] {
             let c = Point::new(cx, cy);
             idx.in_disk(c, r, &mut fast);
             fast.sort_unstable();

@@ -1,0 +1,73 @@
+//! Cross-module smoke tests for the spatial index: the grid must agree
+//! with the O(n) bruteforce oracle on realistic Poisson deployments, at a
+//! scale the per-module unit tests don't reach.
+
+use wsn_geom::{Aabb, Point};
+use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+use wsn_spatial::{bruteforce, GridIndex};
+
+fn deployment(seed: u64) -> wsn_pointproc::PointSet {
+    sample_poisson_window(&mut rng_from_seed(seed), 20.0, &Aabb::square(15.0))
+}
+
+#[test]
+fn grid_knn_agrees_with_bruteforce_on_poisson_deployment() {
+    let pts = deployment(11);
+    assert!(pts.len() > 1000, "deployment too small: {}", pts.len());
+    let idx = GridIndex::build(&pts, 1.0);
+    for (qi, q) in [
+        Point::new(7.5, 7.5),
+        Point::new(0.1, 0.1),
+        Point::new(14.9, 0.3),
+        Point::new(3.2, 12.8),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for k in [1, 4, 16, 64] {
+            let fast = idx.knn(q, k, None);
+            let slow = bruteforce::knn(&pts, q, k, None);
+            assert_eq!(fast.len(), slow.len(), "query {qi}, k={k}");
+            // Compare distances (ids may differ between equidistant points,
+            // which a Poisson sample makes measure-zero anyway).
+            for (f, s) in fast.iter().zip(slow.iter()) {
+                assert_eq!(f.0, s.0, "query {qi}, k={k}");
+                assert!((f.1 - s.1).abs() < 1e-12, "query {qi}, k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_disk_queries_agree_with_bruteforce_on_poisson_deployment() {
+    let pts = deployment(23);
+    let idx = GridIndex::build(&pts, 1.0);
+    for q in [
+        Point::new(5.0, 5.0),
+        Point::new(14.5, 14.5),
+        Point::new(-1.0, 7.0),
+    ] {
+        for r in [0.25, 1.0, 3.0] {
+            let mut fast = Vec::new();
+            idx.in_disk(q, r, &mut fast);
+            fast.sort_unstable();
+            let mut slow = bruteforce::in_disk(&pts, q, r);
+            slow.sort_unstable();
+            assert_eq!(fast, slow, "disk ({q:?}, r={r})");
+            assert_eq!(idx.count_in_disk(q, r), slow.len());
+        }
+    }
+}
+
+#[test]
+fn knn_skip_excludes_self() {
+    let pts = deployment(31);
+    let idx = GridIndex::build(&pts, 1.0);
+    let probe = 17u32;
+    let q = pts.get(probe);
+    let with_self = idx.knn(q, 3, None);
+    let without = idx.knn(q, 3, Some(probe));
+    assert_eq!(with_self[0].0, probe);
+    assert!(without.iter().all(|&(id, _)| id != probe));
+    assert_eq!(bruteforce::knn(&pts, q, 3, Some(probe)), without);
+}

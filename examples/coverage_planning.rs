@@ -23,7 +23,10 @@ fn main() {
     let sla = 0.01; // with miss probability < 1%
 
     println!("target: P[2x2 patch uncovered] < {sla}");
-    println!("{:>6} {:>10} {:>12} {:>10}", "λ", "good tiles", "P[uncovered]", "verdict");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10}",
+        "λ", "good tiles", "P[uncovered]", "verdict"
+    );
 
     let mut chosen = None;
     for lambda in [16.0, 20.0, 24.0, 28.0, 32.0, 40.0] {
@@ -43,7 +46,9 @@ fn main() {
         }
     }
     match chosen {
-        Some(l) => println!("\nplan: deploy at density λ = {l} (Theorem 3.3: higher λ ⇒ sharper decay)"),
+        Some(l) => {
+            println!("\nplan: deploy at density λ = {l} (Theorem 3.3: higher λ ⇒ sharper decay)")
+        }
         None => println!("\nno density in the scanned range met the SLA; extend the sweep"),
     }
 }

@@ -34,7 +34,10 @@ fn main() {
     save("fig2_lattice", &render::render_lattice(&net));
     // Figure 3: UDG tile regions (strict mode) and the paper-mode lens.
     let strict_geom = UdgTileGeometry::new(params).unwrap();
-    save("fig3_udg_tile_strict", &render::render_udg_tile(&strict_geom));
+    save(
+        "fig3_udg_tile_strict",
+        &render::render_udg_tile(&strict_geom),
+    );
     let paper_geom = UdgTileGeometry::new(UdgSensParams::paper()).unwrap();
     save("fig3_udg_tile_paper", &render::render_udg_tile(&paper_geom));
 
@@ -82,7 +85,9 @@ fn main() {
     let cores: Vec<_> = net
         .lattice
         .sites()
-        .filter(|&s| net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false))
+        .filter(|&s| {
+            net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
+        })
         .collect();
     save(
         "fig8_route",

@@ -38,7 +38,9 @@ fn main() {
     let cores: Vec<_> = net
         .lattice
         .sites()
-        .filter(|&s| net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false))
+        .filter(|&s| {
+            net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
+        })
         .collect();
     let (src, dst) = (cores[0], *cores.last().unwrap());
     let r = route_packet(&net, src, dst);

@@ -41,7 +41,9 @@ fn main() {
     let cores: Vec<_> = net
         .lattice
         .sites()
-        .filter(|&s| net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false))
+        .filter(|&s| {
+            net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
+        })
         .collect();
     let mut delivered = 0;
     let mut msgs = 0u64;

@@ -24,7 +24,11 @@ fn rep_connectivity_equals_cluster_connectivity() {
     let (net, _) = build(1, 19.0);
     let clusters = label_clusters(&net.lattice);
     let comps = wsn::graph::components::connected_components(&net.graph);
-    let good: Vec<_> = net.lattice.sites().filter(|&s| net.lattice.is_open(s)).collect();
+    let good: Vec<_> = net
+        .lattice
+        .sites()
+        .filter(|&s| net.lattice.is_open(s))
+        .collect();
     assert!(good.len() > 10);
     for &a in &good {
         for &b in &good {
@@ -58,7 +62,11 @@ fn core_is_exactly_the_largest_cluster_population() {
 fn routing_delivers_iff_same_cluster() {
     let (net, _) = build(3, 19.5);
     let clusters = label_clusters(&net.lattice);
-    let good: Vec<_> = net.lattice.sites().filter(|&s| net.lattice.is_open(s)).collect();
+    let good: Vec<_> = net
+        .lattice
+        .sites()
+        .filter(|&s| net.lattice.is_open(s))
+        .collect();
     let mut cross = 0;
     for i in 0..good.len().min(15) {
         for j in (i + 1)..good.len().min(15) {
@@ -74,7 +82,10 @@ fn routing_delivers_iff_same_cluster() {
             }
         }
     }
-    assert!(cross > 0, "marginal density should produce cross-cluster pairs");
+    assert!(
+        cross > 0,
+        "marginal density should produce cross-cluster pairs"
+    );
 }
 
 #[test]

@@ -57,11 +57,7 @@ fn nn_goodness_depends_on_k_through_count_bound() {
 fn density_invariance_of_the_nn_model() {
     // NN(2, k) is scale-free: scaling all positions by c changes no
     // adjacency. Build at two scales and compare edge sets.
-    let pts1 = sample_poisson_window(
-        &mut rng_from_seed(3),
-        1.0,
-        &wsn::geom::Aabb::square(30.0),
-    );
+    let pts1 = sample_poisson_window(&mut rng_from_seed(3), 1.0, &wsn::geom::Aabb::square(30.0));
     let scaled: wsn::pointproc::PointSet = pts1.iter().map(|p| p * 3.7).collect();
     let g1 = build_knn(&pts1, 12);
     let g2 = build_knn(&scaled, 12);

@@ -40,7 +40,9 @@ fn full_pipeline_strict_mode() {
     let cores: Vec<_> = net
         .lattice
         .sites()
-        .filter(|&s| net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false))
+        .filter(|&s| {
+            net.lattice.is_open(s) && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
+        })
         .collect();
     let (a, b) = (cores[0], *cores.last().unwrap());
     let (outcome, path) = net.route(a, b);
@@ -62,7 +64,10 @@ fn full_pipeline_paper_mode() {
     let pts = sample_poisson_window(&mut rng_from_seed(2), 12.0, &window);
     let net = build_udg_sens(&pts, params, grid).unwrap();
 
-    assert!(net.lattice.open_count() > 0, "λ = 12 should produce good tiles");
+    assert!(
+        net.lattice.open_count() > 0,
+        "λ = 12 should produce good tiles"
+    );
     assert!(net.degree_stats().max <= 4);
 
     // All intra-tile edges respect the radio range even in paper mode.

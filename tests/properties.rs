@@ -7,7 +7,11 @@ use wsn::core::tilegrid::TileGrid;
 use wsn::core::udg::build_udg_sens;
 use wsn::pointproc::{rng_from_seed, sample_poisson_window};
 
-fn build(seed: u64, lambda: f64, side: f64) -> (wsn::core::subgraph::SensNetwork, wsn::pointproc::PointSet) {
+fn build(
+    seed: u64,
+    lambda: f64,
+    side: f64,
+) -> (wsn::core::subgraph::SensNetwork, wsn::pointproc::PointSet) {
     let params = UdgSensParams::strict_default();
     let grid = TileGrid::fit(side, params.tile_side);
     let window = grid.covered_area();

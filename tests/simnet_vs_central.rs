@@ -16,8 +16,14 @@ fn check_equality(seed: u64, side: f64, lambda: f64) {
     let central = build_udg_sens(&pts, params, grid.clone()).unwrap();
     let dist = distributed_build_udg(&pts, params, grid).unwrap();
 
-    assert_eq!(central.lattice, dist.network.lattice, "seed {seed}: goodness");
-    assert_eq!(central.reps, dist.network.reps, "seed {seed}: representatives");
+    assert_eq!(
+        central.lattice, dist.network.lattice,
+        "seed {seed}: goodness"
+    );
+    assert_eq!(
+        central.reps, dist.network.reps,
+        "seed {seed}: representatives"
+    );
     assert_eq!(central.roles, dist.network.roles, "seed {seed}: roles");
     let mut e1: Vec<_> = central.graph.edges().collect();
     let mut e2: Vec<_> = dist.network.graph.edges().collect();

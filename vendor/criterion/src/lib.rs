@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's three bench targets compiling and runnable with
+//! `cargo bench` without crates.io access. Measurement is intentionally
+//! simple — warm-up, then timed batches around `std::time::Instant`, with
+//! median-of-batches ns/iter printed per benchmark — no statistics engine,
+//! HTML reports, or regression baselines. Honours `WSN_QUICK=1` by cutting
+//! measuring time ~10×, like the workspace's experiment binaries.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("WSN_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Run one benchmark closure and report its per-iteration time.
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = if quick() {
+            Duration::from_millis(30)
+        } else {
+            Duration::from_millis(300)
+        };
+        // Warm-up and per-iteration estimate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (budget.as_nanos() / 10 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut best: Option<Duration> = None;
+        let mut iters = 0u64;
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed() / batch as u32;
+            iters += batch;
+            best = Some(match best {
+                Some(b) => b.min(per_iter),
+                None => per_iter,
+            });
+        }
+        self.measured = best;
+        self.iters_done = iters;
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    match b.measured {
+        Some(t) => println!(
+            "bench: {id:<48} {:>12.1} ns/iter ({} iters)",
+            t.as_nanos() as f64,
+            b.iters_done
+        ),
+        None => println!("bench: {id:<48} (no measurement — iter() never called)"),
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        measured: None,
+        iters_done: 0,
+    };
+    f(&mut b);
+    report(id, &b);
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim sizes batches by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().id), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        std::env::set_var("WSN_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).id, "f/12");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

@@ -1,0 +1,347 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property suite uses: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! numeric [`Strategy`] ranges (`0u64..500`, `5.0f64..45.0`), and the
+//! `prop_assert!` / `prop_assert_eq!` family.
+//!
+//! Unlike upstream proptest this shim is **fully deterministic**: case `i`
+//! of a test is generated from an RNG seeded by `(BASE_SEED, test name,
+//! i)`, so a reported failing case reproduces exactly on re-run with no
+//! persistence files. There is no shrinking — the failure report instead
+//! carries the concrete generated inputs, which the deterministic seeding
+//! makes stable.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fixed base seed for case generation (change to explore a different
+/// deterministic sample of the input space).
+pub const BASE_SEED: u64 = 0x5EED_CAFE_F00D;
+
+/// Subset of proptest's run configuration: the number of generated cases.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Deliberately lower than upstream's 256: the workspace caps property
+    /// suites so `cargo test -q` stays in the seconds range.
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property-level assertion, or a `prop_assume!` rejection.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    pub message: String,
+    pub rejected: bool,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: false,
+        }
+    }
+
+    /// `prop_assume!` failed: skip this case rather than fail the test.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            rejected: true,
+        }
+    }
+}
+
+/// Input generators. Only what the suite needs: uniform draws from
+/// half-open and inclusive numeric ranges, plus `Just`.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{SmallRng, Strategy};
+    use rand::RngExt;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A constant "strategy".
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// FNV-1a over the test name, mixed with the base seed and case index, so
+/// each (test, case) pair has an independent deterministic stream.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(BASE_SEED ^ h ^ ((case as u64) << 32))
+}
+
+/// Drive one property: run `body` for each generated case, panicking (the
+/// test failure) on the first case whose assertions fail.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut SmallRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let mut rejected = 0u32;
+    for case in 0..config.cases {
+        let mut rng = case_rng(test_name, case);
+        let mut inputs = String::new();
+        if let Err(e) = body(&mut rng, &mut inputs) {
+            if e.rejected {
+                rejected += 1;
+                continue;
+            }
+            panic!(
+                "property `{test_name}` failed at case {case}/{} with inputs [{inputs}]: {}\n\
+                 (deterministic: re-running reproduces this case)",
+                config.cases, e.message
+            );
+        }
+    }
+    // A property whose every case was rejected by prop_assume! asserted
+    // nothing; passing silently would hide lost coverage (upstream
+    // proptest aborts on too many rejects for the same reason).
+    assert!(
+        config.cases == 0 || rejected < config.cases,
+        "property `{test_name}`: all {rejected} generated cases were rejected by prop_assume!; \
+         the test exercised nothing — widen the strategy or the assumption"
+    );
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&__config, stringify!($name), |__rng, __inputs| {
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), __rng);
+                        if !__inputs.is_empty() { __inputs.push_str(", "); }
+                        __inputs.push_str(&format!("{} = {:?}", stringify!($arg), $arg));
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { #![proptest_config($crate::ProptestConfig::default())] $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{} != {}` (both: `{:?}`): {}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Generated values respect their range bounds.
+        #[test]
+        fn ranges_respected(x in 0u64..100, y in 1.5f64..2.5) {
+            prop_assert!(x < 100);
+            prop_assert!((1.5..2.5).contains(&y));
+        }
+    }
+
+    proptest! {
+        /// Default config path (no header) also compiles and runs.
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert!(x < 10, "x was {}", x);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let a: u64 = {
+            let mut rng = crate::case_rng("some_test", 3);
+            Strategy::generate(&(0u64..1000), &mut rng)
+        };
+        let b: u64 = {
+            let mut rng = crate::case_rng("some_test", 3);
+            Strategy::generate(&(0u64..1000), &mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed at case 0")]
+    fn failure_reports_case_and_inputs() {
+        let cfg = ProptestConfig::with_cases(4);
+        crate::run_cases(&cfg, "failing", |_rng, inputs| {
+            inputs.push_str("x = 1");
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace's parallel call sites are all embarrassingly parallel
+//! Monte-Carlo replicate sweeps of the form
+//! `(0..reps).into_par_iter().map(f).sum()` / `.collect()` /
+//! `.flat_map_iter(f).collect()`, with per-replicate RNG seeds derived from
+//! the item index — so results are schedule-independent by construction.
+//!
+//! This shim reproduces exactly that surface. Work is fanned out over
+//! `std::thread::scope` in contiguous chunks (one per worker), and chunk
+//! outputs are concatenated in input order, so `collect` preserves the
+//! sequential ordering and every reduction is deterministic.
+
+use std::iter::Sum;
+use std::thread;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of workers: the machine's available parallelism, bounded so that
+/// tiny sweeps don't pay thread spawn cost for nothing.
+fn workers(n_items: usize) -> usize {
+    let hw = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(n_items).max(1)
+}
+
+/// Run `f` over `items` on a scoped thread pool, preserving input order in
+/// the concatenated output.
+fn run_chunked<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let nw = workers(n);
+    if nw <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(nw);
+    let mut slots: Vec<Vec<U>> = Vec::with_capacity(nw);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nw);
+        let mut items = items;
+        // Peel chunks off the back so each thread owns its slice; reverse at
+        // the end to restore order.
+        let mut chunks_rev: Vec<Vec<T>> = Vec::with_capacity(nw);
+        while !items.is_empty() {
+            let at = items.len().saturating_sub(chunk);
+            chunks_rev.push(items.split_off(at));
+        }
+        for part in chunks_rev.into_iter().rev() {
+            let f = &f;
+            handles.push(scope.spawn(move || part.into_iter().map(f).collect::<Vec<U>>()));
+        }
+        for h in handles {
+            slots.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
+/// Conversion into a "parallel" iterator, mirroring rayon's entry point.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// The adaptor/terminal surface shared by all pipeline stages.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Materialise the pipeline, running stages on the worker pool.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// rayon's `flat_map_iter`: the per-item expansion runs sequentially
+    /// inside the owning worker.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, f: F) -> Filter<Self, F> {
+        Filter { base: self, f }
+    }
+
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        self.run().into_iter().for_each(f);
+    }
+
+    fn sum<S: Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        self.run().len()
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Source stage: an owned list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// `map` stage.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        run_chunked(self.base.run(), self.f)
+    }
+}
+
+/// `flat_map_iter` stage.
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U::Item;
+    fn run(self) -> Vec<U::Item> {
+        run_chunked(self.base.run(), |x| {
+            (self.f)(x).into_iter().collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// `filter` stage.
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+    fn run(self) -> Vec<P::Item> {
+        run_chunked(
+            self.base.run(),
+            |x| if (self.f)(&x) { Some(x) } else { None },
+        )
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_sum_matches_sequential() {
+        let par: u64 = (0u64..10_000).into_par_iter().map(|x| x % 7).sum();
+        let seq: u64 = (0u64..10_000).map(|x| x % 7).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let out: Vec<u64> = (0u64..100)
+            .into_par_iter()
+            .flat_map_iter(|x| vec![x, x + 1000])
+            .collect();
+        let seq: Vec<u64> = (0u64..100).flat_map(|x| vec![x, x + 1000]).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let n = (0u64..1000).into_par_iter().filter(|x| x % 3 == 0).count();
+        assert_eq!(n, 334);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = (0u64..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! The self-describing tree both shim traits serialise through — the shape
+//! of a JSON document.
+
+use std::ops::Index;
+
+/// A JSON-shaped number. Integers keep full 64-bit fidelity rather than
+/// round-tripping through f64 (experiment seeds are u64).
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+/// Numeric equality: `U(5) == I(5)` (the parser maps every non-negative
+/// integer to `U`, so round-tripped `I` values must still compare equal),
+/// while floats stay a distinct class, as in serde_json (`5.0 != 5`).
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::F(a), Number::F(b)) => a == b,
+            (Number::F(_), _) | (_, Number::F(_)) => false,
+            (a, b) => a.as_i128() == b.as_i128(),
+        }
+    }
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+
+    pub(crate) fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::U(u) => Some(u as i128),
+            Number::I(i) => Some(i as i128),
+            Number::F(f) if f.fract() == 0.0 => Some(f as i128),
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// A JSON document. Objects are ordered field lists (insertion order is the
+/// struct's declaration order), matching what the derive macro emits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` for missing fields or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// serde_json-style indexing: missing keys yield `Null` rather than
+    /// panicking.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}

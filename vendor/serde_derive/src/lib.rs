@@ -1,0 +1,265 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable (no crates.io access), so this macro walks
+//! the raw `proc_macro` token trees itself. It supports exactly the shapes
+//! the workspace derives on — named-field structs and unit-variant enums,
+//! no generics — and emits a `compile_error!` for anything else, so an
+//! unsupported use fails loudly at the derive site instead of misbehaving
+//! at run time.
+//!
+//! Generated impls target the `serde` shim's [`Value`]-tree data model:
+//! structs become ordered JSON objects (declaration order), unit enum
+//! variants become their name as a JSON string — matching real serde's
+//! default representation for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: `(field_name, type_tokens)` in declaration order.
+    Struct(Vec<(String, String)>),
+    /// Unit-variant enum: variant names in declaration order.
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => render(&name, &shape, mode).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Skip leading attributes (`#[...]`, including desugared doc comments).
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim: expected a type name".into()),
+    };
+    i += 1;
+
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported"
+        ));
+    }
+
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+            "serde shim: `{name}` must be a braced struct or enum (tuple/unit shapes unsupported)"
+        ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => parse_struct_fields(&name, &body).map(|f| (name, Shape::Struct(f))),
+        "enum" => parse_enum_variants(&name, &body).map(|v| (name, Shape::Enum(v))),
+        other => Err(format!("serde shim: cannot derive for `{other}`")),
+    }
+}
+
+fn parse_struct_fields(name: &str, body: &[TokenTree]) -> Result<Vec<(String, String)>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_vis(body, skip_attrs(body, i));
+        if i >= body.len() {
+            break;
+        }
+        let field = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => return Err(format!("serde shim: unexpected token `{t}` in `{name}`")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde shim: `{name}` must use named fields")),
+        }
+        // Collect type tokens up to the next top-level comma (tracking
+        // angle-bracket depth so `Foo<A, B>` stays intact).
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while i < body.len() {
+            if let TokenTree::Punct(p) = &body[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&body[i].to_string());
+            i += 1;
+        }
+        fields.push((field, ty));
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(name: &str, body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let variant = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => {
+                return Err(format!(
+                    "serde shim: unexpected token `{t}` in enum `{name}`"
+                ))
+            }
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(_) => {
+                return Err(format!(
+                    "serde shim: enum `{name}` has a non-unit variant `{variant}` (unsupported)"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn render(name: &str, shape: &Shape, mode: Mode) -> String {
+    match (shape, mode) {
+        (Shape::Struct(fields), Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Struct(fields), Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|(f, ty)| {
+                    format!(
+                        "{f}: <{ty} as ::serde::Deserialize>::from_value(\
+                             __v.get({f:?}).ok_or_else(|| ::serde::Error::new(\
+                                 concat!(\"missing field `\", {f:?}, \"` in \", {name:?})))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::new(\
+                                     format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::Error::new(\
+                                 format!(\"expected string for {name}, found {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
