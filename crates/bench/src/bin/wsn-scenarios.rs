@@ -1,0 +1,229 @@
+//! `wsn-scenarios` — the unified experiment driver.
+//!
+//! One binary replaces the fifteen `exp_*` binaries that used to live in
+//! this directory: every paper claim is a named preset of the
+//! `wsn-scenario` crate, run over the declarative scenario matrix with
+//! deterministic per-replication seeds.
+//!
+//! ```text
+//! wsn-scenarios list                      # the preset catalogue
+//! wsn-scenarios run --all                 # full-profile run, aligned tables
+//! wsn-scenarios run sparsity coverage     # a subset
+//! wsn-scenarios run --quick --out DIR     # quick profile + JSON reports
+//! wsn-scenarios check --all               # quick run vs tests/golden (CI)
+//! wsn-scenarios bless --all               # regenerate tests/golden
+//! ```
+//!
+//! `check` and `bless` always use the quick profile and the default seed:
+//! that is the configuration the golden files pin. Byte-identical output at
+//! any `RAYON_NUM_THREADS` is part of the contract `check` verifies.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wsn_bench::table::{f, Table};
+use wsn_scenario::{all_presets, find_preset, golden, run_preset, Profile, Report};
+
+/// Default seed (override with `--seed` for `run`; pinned for goldens).
+const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+fn default_golden_dir() -> PathBuf {
+    // crates/bench → workspace root → tests/golden.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+struct Args {
+    command: String,
+    presets: Vec<String>,
+    all: bool,
+    quick: bool,
+    seed: Option<u64>,
+    out_dir: Option<PathBuf>,
+    golden_dir: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wsn-scenarios <list | run | check | bless> [PRESET...] [options]\n\
+         \n\
+         commands:\n\
+         \x20 list            show the preset catalogue\n\
+         \x20 run             run presets and print aligned result tables\n\
+         \x20 check           quick-profile run, byte-compare against golden files\n\
+         \x20 bless           quick-profile run, rewrite the golden files\n\
+         \n\
+         options:\n\
+         \x20 --all           select every preset\n\
+         \x20 --quick         run the quick (smoke) profile           [run only]\n\
+         \x20 --seed N        base seed, default 0xC0FFEE             [run only]\n\
+         \x20 --out DIR       also write one JSON report per preset   [run only]\n\
+         \x20 --golden-dir D  golden directory, default tests/golden"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    let Some(command) = it.next() else { usage() };
+    let mut args = Args {
+        command,
+        presets: Vec::new(),
+        all: false,
+        quick: false,
+        seed: None,
+        out_dir: None,
+        golden_dir: default_golden_dir(),
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => args.all = true,
+            "--quick" => args.quick = true,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.seed = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--out" => args.out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--golden-dir" => args.golden_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            name if !name.starts_with('-') => args.presets.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+    // The goldens pin the quick profile at the default seed: rejecting the
+    // run-only flags here keeps `bless --seed 42` from silently rewriting
+    // them at a seed the user did not get.
+    if matches!(args.command.as_str(), "check" | "bless")
+        && (args.quick || args.seed.is_some() || args.out_dir.is_some())
+    {
+        eprintln!(
+            "--quick/--seed/--out apply to `run` only; `{}` always uses the \
+             quick profile at the default seed",
+            args.command
+        );
+        std::process::exit(2);
+    }
+    args
+}
+
+fn selected(args: &Args) -> Vec<&'static str> {
+    if args.all {
+        return all_presets().iter().map(|p| p.name).collect();
+    }
+    if args.presets.is_empty() {
+        // Guard against accidentally launching the whole full-profile
+        // catalogue (minutes of compute) on a bare `run`.
+        eprintln!("no presets selected: name them explicitly or pass --all");
+        std::process::exit(2);
+    }
+    let mut out = Vec::new();
+    for name in &args.presets {
+        match find_preset(name) {
+            Some(p) => out.push(p.name),
+            None => {
+                eprintln!("unknown preset `{name}` (see `wsn-scenarios list`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn cmd_list() -> ExitCode {
+    let mut t = Table::new("wsn-scenarios presets", &["preset", "replaces", "title"]);
+    for p in all_presets() {
+        let replaces = if p.replaces.is_empty() {
+            "(new)".to_string()
+        } else {
+            p.replaces.join(", ")
+        };
+        t.row(&[p.name.to_string(), replaces, p.title.to_string()]);
+    }
+    t.print();
+    ExitCode::SUCCESS
+}
+
+/// Aligned per-cell metric tables for human consumption.
+fn print_report(report: &Report) {
+    println!("== preset `{}` ({}) ==", report.name, report.title);
+    for cell in &report.scenarios {
+        let mut t = Table::new(&cell.label, &["metric", "n", "mean", "min", "max"]);
+        for (name, agg) in &cell.metrics.0 {
+            t.row(&[
+                name.clone(),
+                agg.n.to_string(),
+                f(agg.mean, 4),
+                f(agg.min, 4),
+                f(agg.max, 4),
+            ]);
+        }
+        t.print();
+    }
+    if let Some(substrate) = &report.substrate {
+        // Substrate payloads are structured tables already; print the JSON.
+        println!(
+            "substrate payload:\n{}",
+            serde_json::to_string_pretty(substrate).unwrap()
+        );
+    }
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let profile = if args.quick {
+        Profile::Quick
+    } else {
+        Profile::Full
+    };
+    let seed = args.seed.unwrap_or(DEFAULT_SEED);
+    for name in selected(args) {
+        let report = run_preset(name, profile, seed).expect("preset name pre-validated");
+        print_report(&report);
+        if let Some(dir) = &args.out_dir {
+            let path = dir.join(format!("{name}.json"));
+            std::fs::create_dir_all(dir).expect("create --out dir");
+            std::fs::write(&path, report.canonical_json()).expect("write report");
+            println!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_goldens(args: &Args, bless: bool) -> ExitCode {
+    let mut failures = 0usize;
+    for name in selected(args) {
+        let report = run_preset(name, Profile::Quick, DEFAULT_SEED).expect("pre-validated");
+        if bless {
+            let path = golden::bless(&args.golden_dir, &report).expect("write golden");
+            println!("blessed {}", path.display());
+            continue;
+        }
+        match golden::check(&args.golden_dir, &report) {
+            golden::GoldenOutcome::Match => println!("OK    {name}"),
+            golden::GoldenOutcome::Diff { detail } => {
+                failures += 1;
+                eprintln!("DIFF  {name}: {detail}");
+            }
+            golden::GoldenOutcome::Missing { detail } => {
+                failures += 1;
+                eprintln!("MISS  {name}: {detail}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures} preset(s) diverged from the goldens; \
+             run `wsn-scenarios bless` if the change is intentional"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.command.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&args),
+        "check" => cmd_goldens(&args, false),
+        "bless" => cmd_goldens(&args, true),
+        _ => usage(),
+    }
+}

@@ -1,20 +1,24 @@
 //! # wsn-bench
 //!
-//! The experiment harness: every theorem, claim and algorithm figure of the
-//! paper has a binary target here that regenerates the corresponding
-//! numbers (see DESIGN.md §5 for the index and EXPERIMENTS.md for recorded
-//! paper-vs-measured results).
-//!
-//! Run an experiment with
+//! The experiment harness. Every theorem, claim and algorithm figure of the
+//! paper is a *named preset* of the `wsn-scenario` crate, driven by the one
+//! `wsn-scenarios` binary in this crate (which replaced the fifteen
+//! historical `exp_*` binaries):
 //!
 //! ```text
-//! cargo run -p wsn-bench --release --bin exp_udg_threshold
+//! cargo run -p wsn-bench --release --bin wsn-scenarios -- list
+//! cargo run -p wsn-bench --release --bin wsn-scenarios -- run sparsity
+//! cargo run -p wsn-bench --release --bin wsn-scenarios -- run --all --quick
+//! cargo run -p wsn-bench --release --bin wsn-scenarios -- check --all
 //! ```
 //!
-//! Every binary honours the `WSN_QUICK=1` environment variable, which
-//! scales replicate counts down ~10× for smoke runs (the integration tests
-//! use it). Results are printed as aligned tables and, when `WSN_JSON_DIR`
-//! is set, also written as JSON for archival.
+//! The quick profile of every preset is pinned by the golden-file suite
+//! (`tests/scenarios_golden.rs` against `tests/golden/*.json`); `check`
+//! re-runs it and fails on any byte difference.
+//!
+//! The criterion microbenches for the hot paths live under `benches/`.
+//! This library keeps small shared helpers: `WSN_QUICK` / `WSN_SEED`
+//! handling for ad-hoc tooling, aligned-table rendering, and JSON dumps.
 
 pub mod table;
 

@@ -13,6 +13,24 @@ use wsn_pointproc::{rng_from_seed, PointSet};
 
 use crate::subgraph::SensNetwork;
 
+/// Uniformly sample up to `count` ordered pairs of distinct ids from a
+/// candidate pool (coincident draws are dropped, so fewer than `count`
+/// pairs may return). Shared by the representative sampler below and the
+/// scenario harness's plain-topology samplers.
+pub fn sample_id_pairs(ids: &[u32], count: usize, seed: u64) -> Vec<(u32, u32)> {
+    if ids.len() < 2 {
+        return Vec::new();
+    }
+    let mut rng = rng_from_seed(derive_seed(seed, 0xAB));
+    (0..count)
+        .filter_map(|_| {
+            let a = ids[rng.random_range(0..ids.len())];
+            let b = ids[rng.random_range(0..ids.len())];
+            (a != b).then_some((a, b))
+        })
+        .collect()
+}
+
 /// Uniformly sample `count` distinct ordered pairs of representatives that
 /// belong to the SENS core.
 pub fn sample_rep_pairs(net: &SensNetwork, count: usize, seed: u64) -> Vec<(u32, u32)> {
@@ -22,17 +40,7 @@ pub fn sample_rep_pairs(net: &SensNetwork, count: usize, seed: u64) -> Vec<(u32,
         .copied()
         .filter(|&r| r != u32::MAX && net.is_member(r))
         .collect();
-    if reps.len() < 2 {
-        return Vec::new();
-    }
-    let mut rng = rng_from_seed(derive_seed(seed, 0xAB));
-    (0..count)
-        .filter_map(|_| {
-            let a = reps[rng.random_range(0..reps.len())];
-            let b = reps[rng.random_range(0..reps.len())];
-            (a != b).then_some((a, b))
-        })
-        .collect()
+    sample_id_pairs(&reps, count, seed)
 }
 
 /// Measure Euclidean-weighted stretch of the given pairs on the SENS graph.

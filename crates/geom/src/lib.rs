@@ -21,12 +21,15 @@
 //! * [`tile`] — the square tiling of R² that both SENS constructions use.
 //! * [`hash`] — SplitMix64 seed derivation for deterministic parallel
 //!   experiments.
+//! * [`ordf64`] — the [`OrdF64`] total-order wrapper shared by every heap
+//!   or sort keyed on distances.
 //! * [`svg`] — a minimal SVG writer used to regenerate the paper's figures.
 
 pub mod aabb;
 pub mod disk;
 pub mod hash;
 pub mod lens;
+pub mod ordf64;
 pub mod point;
 pub mod region;
 pub mod svg;
@@ -35,6 +38,7 @@ pub mod tile;
 pub use aabb::Aabb;
 pub use disk::Disk;
 pub use lens::Lens;
+pub use ordf64::OrdF64;
 pub use point::Point;
 pub use region::Region;
 pub use tile::{TileIndex, Tiling};

@@ -8,20 +8,7 @@
 use crate::csr::Csr;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-#[derive(Clone, Copy, PartialEq, Debug)]
-struct OrdF64(f64);
-impl Eq for OrdF64 {}
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
+use wsn_geom::OrdF64;
 
 /// Weighted distance from `src` to all nodes (`f64::INFINITY` when
 /// unreachable). `weight(u, v)` must be ≥ 0 and symmetric.

@@ -1,0 +1,121 @@
+//! Golden-file comparison and regeneration.
+//!
+//! One implementation shared by the `wsn-scenarios` driver (`check` /
+//! `bless`) and the `scenarios_golden` integration suite, so the byte
+//! contract and the diff rendering cannot drift between CI's two paths.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::report::Report;
+
+/// Outcome of comparing one report against its golden file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GoldenOutcome {
+    /// Byte-identical.
+    Match,
+    /// Exists but differs; `detail` holds a one-line size summary plus the
+    /// first differing line.
+    Diff { detail: String },
+    /// Golden file absent or unreadable.
+    Missing { detail: String },
+}
+
+impl GoldenOutcome {
+    pub fn is_match(&self) -> bool {
+        matches!(self, GoldenOutcome::Match)
+    }
+}
+
+/// Where the golden file of a preset lives.
+pub fn golden_path(dir: &Path, preset_name: &str) -> PathBuf {
+    dir.join(format!("{preset_name}.json"))
+}
+
+/// Byte-compare a report's canonical JSON against its golden file.
+pub fn check(dir: &Path, report: &Report) -> GoldenOutcome {
+    let json = report.canonical_json();
+    let path = golden_path(dir, &report.name);
+    match std::fs::read_to_string(&path) {
+        Ok(golden) if golden == json => GoldenOutcome::Match,
+        Ok(golden) => GoldenOutcome::Diff {
+            detail: format!(
+                "{} vs {} bytes; first differing line:\n{}",
+                golden.len(),
+                json.len(),
+                first_diff(&golden, &json)
+            ),
+        },
+        Err(e) => GoldenOutcome::Missing {
+            detail: format!("cannot read {}: {e}", path.display()),
+        },
+    }
+}
+
+/// (Re)write a report's golden file; returns the path written.
+pub fn bless(dir: &Path, report: &Report) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = golden_path(dir, &report.name);
+    std::fs::write(&path, report.canonical_json())?;
+    Ok(path)
+}
+
+/// First differing line, with context, for actionable failure output.
+fn first_diff(golden: &str, got: &str) -> String {
+    for (i, (g, n)) in golden.lines().zip(got.lines()).enumerate() {
+        if g != n {
+            return format!("  line {}:\n  - {g}\n  + {n}", i + 1);
+        }
+    }
+    "  (one document is a prefix of the other)".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report(name: &str) -> Report {
+        Report {
+            name: name.into(),
+            title: "t".into(),
+            replaces: Vec::new(),
+            profile: "quick".into(),
+            seed: 1,
+            scenarios: Vec::new(),
+            substrate: None,
+        }
+    }
+
+    #[test]
+    fn bless_then_check_round_trips() {
+        // Per-process dir: concurrent test runs must not race on the path.
+        let dir = std::env::temp_dir().join(format!("wsn-golden-roundtrip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = tiny_report("demo");
+        assert!(matches!(
+            check(&dir, &report),
+            GoldenOutcome::Missing { .. }
+        ));
+        let path = bless(&dir, &report).unwrap();
+        assert_eq!(path, golden_path(&dir, "demo"));
+        assert!(check(&dir, &report).is_match());
+        // A different report against the same golden diffs with context.
+        let mut other = tiny_report("demo");
+        other.seed = 2;
+        match check(&dir, &other) {
+            GoldenOutcome::Diff { detail } => {
+                assert!(detail.contains("first differing line"), "{detail}")
+            }
+            o => panic!("expected diff, got {o:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn first_diff_reports_the_line() {
+        let d = first_diff("a\nb\nc", "a\nX\nc");
+        assert!(d.contains("line 2"));
+        assert!(d.contains("- b") && d.contains("+ X"));
+        assert!(first_diff("a\nb", "a\nb\nc").contains("prefix"));
+    }
+}

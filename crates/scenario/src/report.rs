@@ -1,0 +1,113 @@
+//! The canonical JSON report envelope.
+//!
+//! One report per preset run. Serialisation is *canonical*: field order is
+//! declaration order (the serde shim's `Value` object preserves insertion
+//! order), floats render via Rust's shortest round-trip formatting, and the
+//! document ends with exactly one newline — so golden comparison is plain
+//! byte equality.
+
+use serde::value::Value;
+use serde::Serialize;
+
+use crate::runner::ScenarioResult;
+
+/// A complete preset run: matrix scenarios and/or a substrate experiment.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Preset name (also the golden file stem).
+    pub name: String,
+    /// One-line description of what the preset pins.
+    pub title: String,
+    /// The `exp_*` binaries this preset replaced.
+    pub replaces: Vec<String>,
+    /// Profile the run used (`quick` or `full`).
+    pub profile: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Aggregated matrix cells (empty for pure substrate presets).
+    pub scenarios: Vec<ScenarioResult>,
+    /// Substrate experiment payload (percolation / threshold runs).
+    pub substrate: Option<Value>,
+}
+
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("title".to_string(), self.title.to_value()),
+            ("replaces".to_string(), self.replaces.to_value()),
+            ("profile".to_string(), self.profile.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("scenarios".to_string(), self.scenarios.to_value()),
+        ];
+        if let Some(sub) = &self.substrate {
+            fields.push(("substrate".to_string(), sub.clone()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Report {
+    /// Canonical pretty JSON: byte-stable for identical runs, terminated by
+    /// one newline.
+    pub fn canonical_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serialisation is total");
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Agg, ChannelAggregates};
+
+    fn sample() -> Report {
+        Report {
+            name: "demo".into(),
+            title: "demo preset".into(),
+            replaces: vec!["exp_demo".into()],
+            profile: "quick".into(),
+            seed: 7,
+            scenarios: vec![ScenarioResult {
+                label: "cell".into(),
+                side: 8.0,
+                deployment: "poisson(lambda=20)".into(),
+                topology: "udg-sens".into(),
+                fault: "none".into(),
+                replications: 2,
+                metrics: ChannelAggregates(vec![(
+                    "degree.max".into(),
+                    Agg {
+                        n: 2,
+                        mean: 3.5,
+                        min: 3.0,
+                        max: 4.0,
+                    },
+                )]),
+            }],
+            substrate: None,
+        }
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_newline_terminated() {
+        let r = sample();
+        let a = r.canonical_json();
+        let b = r.canonical_json();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n') && !a.ends_with("\n\n"));
+        assert!(a.starts_with("{\n  \"name\": \"demo\""));
+    }
+
+    #[test]
+    fn report_round_trips_through_the_json_parser() {
+        let json = sample().canonical_json();
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            v["scenarios"][0]["metrics"]["degree.max"]["n"].as_u64(),
+            Some(2)
+        );
+        assert_eq!(v["seed"].as_u64(), Some(7));
+    }
+}

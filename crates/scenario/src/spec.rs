@@ -1,0 +1,284 @@
+//! Declarative scenario descriptions.
+//!
+//! A scenario is data, not code: the runner interprets these specs, so a
+//! new experiment is a new value (usually a new preset), not a new binary.
+
+use wsn_core::params::{NnSensParams, UdgSensParams};
+
+/// How sensors are deployed in the window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeploymentSpec {
+    /// Homogeneous Poisson process of intensity `lambda`.
+    Poisson { lambda: f64 },
+    /// Matérn type-II hard-core process with *retained* intensity `lambda`
+    /// and hard-core radius `hard_core`; the parent intensity is recovered
+    /// by inverting the retention formula, so densities are comparable with
+    /// the Poisson axis value.
+    Matern { lambda: f64, hard_core: f64 },
+}
+
+impl DeploymentSpec {
+    /// Human-readable label used in reports (stable: goldens pin it).
+    pub fn label(&self) -> String {
+        match *self {
+            DeploymentSpec::Poisson { lambda } => format!("poisson(lambda={lambda})"),
+            DeploymentSpec::Matern { lambda, hard_core } => {
+                format!("matern2(lambda={lambda},r={hard_core})")
+            }
+        }
+    }
+}
+
+/// Which topology is constructed over the deployment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's UDG-SENS construction (strict default geometry).
+    UdgSens,
+    /// The paper's NN-SENS construction with tile scale `a` and neighbour
+    /// count `k`.
+    NnSens { a: f64, k: usize },
+    /// The base unit-disk graph.
+    Udg { radius: f64 },
+    /// The undirected k-nearest-neighbour graph `NN(2, k)`.
+    Knn { k: usize },
+    /// Gabriel graph restricted to UDG edges.
+    Gabriel { radius: f64 },
+    /// Relative neighbourhood graph restricted to UDG edges.
+    Rng { radius: f64 },
+    /// Yao graph with `cones` cones restricted to UDG edges.
+    Yao { radius: f64, cones: usize },
+}
+
+impl TopologySpec {
+    /// Human-readable label used in reports (stable: goldens pin it).
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::UdgSens => "udg-sens".into(),
+            TopologySpec::NnSens { a, k } => format!("nn-sens(a={a},k={k})"),
+            TopologySpec::Udg { radius } => format!("udg(r={radius})"),
+            TopologySpec::Knn { k } => format!("knn(k={k})"),
+            TopologySpec::Gabriel { radius } => format!("gabriel(r={radius})"),
+            TopologySpec::Rng { radius } => format!("rng(r={radius})"),
+            TopologySpec::Yao { radius, cones } => format!("yao(r={radius},c={cones})"),
+        }
+    }
+
+    /// The SENS constructions need a tile grid; baselines only a window.
+    pub fn is_sens(&self) -> bool {
+        matches!(self, TopologySpec::UdgSens | TopologySpec::NnSens { .. })
+    }
+
+    /// Tile side of the SENS grid for this topology, if any.
+    pub fn tile_side(&self) -> Option<f64> {
+        match *self {
+            TopologySpec::UdgSens => Some(UdgSensParams::strict_default().tile_side),
+            TopologySpec::NnSens { a, k } => Some(NnSensParams { a, k }.tile_side()),
+            _ => None,
+        }
+    }
+}
+
+/// Mid-construction fault injection: each node dies independently with
+/// probability `p_fail` after deployment but before the (re)build epoch —
+/// the construction must cope with the surviving density.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    pub p_fail: f64,
+}
+
+impl FaultSpec {
+    pub fn label(&self) -> String {
+        format!("fail(p={})", self.p_fail)
+    }
+}
+
+/// Euclidean-stretch sampling (property P2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StretchSpec {
+    /// Ordered node pairs sampled per replication.
+    pub pairs: usize,
+    /// Tail threshold α for `P[stretch > α]`.
+    pub alpha: f64,
+}
+
+/// Empty-box coverage estimation (property P3 / Theorem 3.3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoverageSpec {
+    /// Box sides ℓ to probe.
+    pub ells: Vec<f64>,
+    /// Boxes dropped per ℓ.
+    pub samples: usize,
+    /// Corollary 3.4 targets: report the smallest ℓ with
+    /// `P[B(ℓ) empty] < 1/n` for each `n`.
+    pub logn_targets: Vec<f64>,
+}
+
+/// Power-stretch comparison against the base UDG optimum.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerSpec {
+    /// Path-loss exponents β to evaluate.
+    pub betas: Vec<f64>,
+    /// Node pairs sampled per replication.
+    pub pairs: usize,
+}
+
+/// Fig. 9 routing with message-level accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutingSpec {
+    /// Packets routed per replication.
+    pub routes: usize,
+    /// Also account radio energy (free-space model) per delivered packet.
+    pub energy: bool,
+}
+
+/// Which metrics a scenario computes. Every field is optional so a preset
+/// pays only for what it pins.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricSuite {
+    /// Degree statistics of the built graph (property P1).
+    pub degree: bool,
+    /// SENS summary counters: good-tile fraction, elected, core size,
+    /// missing links (SENS topologies only).
+    pub sens_summary: bool,
+    /// Euclidean stretch over sampled pairs (property P2).
+    pub stretch: Option<StretchSpec>,
+    /// Empty-box coverage curve (property P3).
+    pub coverage: Option<CoverageSpec>,
+    /// Power stretch vs the base UDG (the power-efficiency headline).
+    pub power: Option<PowerSpec>,
+    /// Fig. 9 routing overhead and delivery.
+    pub routing: Option<RoutingSpec>,
+    /// Fig. 7 distributed-construction cost: rounds and per-node messages
+    /// (property P4; UDG-SENS only).
+    pub construction: bool,
+    /// Claim 2.1 / 2.3 relay-path audit on adjacent good tiles.
+    pub claim_paths: bool,
+}
+
+/// One fully-specified scenario cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Window side (SENS grids are fitted to it; baselines use it exactly).
+    pub side: f64,
+    pub deployment: DeploymentSpec,
+    pub topology: TopologySpec,
+    pub fault: Option<FaultSpec>,
+    pub metrics: MetricSuite,
+    /// Independent replications (each with its own derived seed).
+    pub replications: usize,
+}
+
+impl ScenarioSpec {
+    /// Stable cell label: `side=…/deployment/topology/fault`.
+    pub fn label(&self) -> String {
+        let fault = self
+            .fault
+            .map(|f| f.label())
+            .unwrap_or_else(|| "none".into());
+        format!(
+            "side={}/{}/{}/{}",
+            self.side,
+            self.deployment.label(),
+            self.topology.label(),
+            fault
+        )
+    }
+}
+
+/// A cross product of axis values sharing one metric suite.
+///
+/// `expand` enumerates cells in a fixed, documented order (side-major, then
+/// deployment, topology, fault), which the runner's seed derivation and the
+/// golden files both rely on.
+#[derive(Clone, Debug)]
+pub struct ScenarioMatrix {
+    pub sides: Vec<f64>,
+    pub deployments: Vec<DeploymentSpec>,
+    pub topologies: Vec<TopologySpec>,
+    /// Fault axis; use `vec![None]` for no fault modelling.
+    pub faults: Vec<Option<FaultSpec>>,
+    pub metrics: MetricSuite,
+    pub replications: usize,
+}
+
+impl ScenarioMatrix {
+    /// All cells of the matrix, in deterministic order.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::with_capacity(
+            self.sides.len() * self.deployments.len() * self.topologies.len() * self.faults.len(),
+        );
+        for &side in &self.sides {
+            for &deployment in &self.deployments {
+                for &topology in &self.topologies {
+                    for &fault in &self.faults {
+                        out.push(ScenarioSpec {
+                            side,
+                            deployment,
+                            topology,
+                            fault,
+                            metrics: self.metrics.clone(),
+                            replications: self.replications,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_order_is_side_major() {
+        let m = ScenarioMatrix {
+            sides: vec![8.0, 10.0],
+            deployments: vec![DeploymentSpec::Poisson { lambda: 20.0 }],
+            topologies: vec![TopologySpec::UdgSens, TopologySpec::Udg { radius: 1.0 }],
+            faults: vec![None, Some(FaultSpec { p_fail: 0.2 })],
+            metrics: MetricSuite::default(),
+            replications: 2,
+        };
+        let cells = m.expand();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].side, 8.0);
+        assert_eq!(cells[0].topology, TopologySpec::UdgSens);
+        assert_eq!(cells[0].fault, None);
+        assert_eq!(cells[1].fault, Some(FaultSpec { p_fail: 0.2 }));
+        assert_eq!(cells[2].topology, TopologySpec::Udg { radius: 1.0 });
+        assert_eq!(cells[4].side, 10.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let s = ScenarioSpec {
+            side: 12.0,
+            deployment: DeploymentSpec::Matern {
+                lambda: 20.0,
+                hard_core: 0.1,
+            },
+            topology: TopologySpec::Yao {
+                radius: 1.0,
+                cones: 6,
+            },
+            fault: Some(FaultSpec { p_fail: 0.25 }),
+            metrics: MetricSuite::default(),
+            replications: 1,
+        };
+        assert_eq!(
+            s.label(),
+            "side=12/matern2(lambda=20,r=0.1)/yao(r=1,c=6)/fail(p=0.25)"
+        );
+    }
+
+    #[test]
+    fn sens_topologies_have_tile_sides() {
+        assert!(TopologySpec::UdgSens.tile_side().is_some());
+        assert!(TopologySpec::NnSens { a: 1.2, k: 400 }
+            .tile_side()
+            .is_some());
+        assert!(TopologySpec::Gabriel { radius: 1.0 }.tile_side().is_none());
+    }
+}

@@ -1,0 +1,401 @@
+//! Substrate experiments: scenarios with no sensor deployment.
+//!
+//! The percolation checks (p_c, chemical distance, routing ablation) and
+//! the λ_s / k_s threshold calculations operate on lattices or single
+//! tiles, not on deployed networks, so they bypass the matrix runner and
+//! produce their own typed payloads — funneled into the same [`Report`]
+//! envelope (`substrate` field) and pinned by the same golden files.
+//!
+//! [`Report`]: crate::report::Report
+
+use rand::RngExt;
+use serde::Serialize;
+use std::collections::VecDeque;
+use wsn_geom::hash::derive_seed;
+use wsn_perc::chemical::{chemical_distance, sample_ratios};
+use wsn_perc::cluster::label_clusters;
+use wsn_perc::critical::{estimate_pc, sweep};
+use wsn_perc::sample::bernoulli_lattice;
+use wsn_perc::{route_xy, Lattice, Site};
+use wsn_pointproc::rng_from_seed;
+
+use wsn_core::optimize::{lambda_s_analytic, optimize_udg_geometry};
+use wsn_core::params::UdgSensParams;
+use wsn_core::threshold::{
+    k_s_for_scale, lambda_s_udg, nn_tile_samples, p_good_nn_from_samples, p_good_udg,
+    p_good_udg_analytic, GOODNESS_TARGET,
+};
+
+use crate::runner::Profile;
+
+// ---------------------------------------------------------------------
+// EXP-PC — site-percolation substrate: θ(p), crossing probability, p_c.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct PercolationPoint {
+    pub p: f64,
+    pub theta: f64,
+    pub crossing: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct PercolationReport {
+    pub l_size: usize,
+    pub reps: usize,
+    pub points: Vec<PercolationPoint>,
+    /// Crossing-probability bisection estimate; paper bracket
+    /// [0.592, 0.593], literature 0.592746.
+    pub pc_estimate: f64,
+}
+
+pub fn run_percolation(profile: Profile, seed: u64) -> PercolationReport {
+    let l_size = profile.pick(128, 32);
+    let reps = profile.pick(200, 40);
+    let ps: Vec<f64> = (0..=12).map(|i| 0.53 + 0.01 * i as f64).collect();
+    let points = sweep(&ps, l_size, reps, seed)
+        .into_iter()
+        .map(|pt| PercolationPoint {
+            p: pt.p,
+            theta: pt.theta,
+            crossing: pt.crossing,
+        })
+        .collect();
+    let pc_estimate = estimate_pc(l_size, reps, profile.pick(14, 10), seed);
+    PercolationReport {
+        l_size,
+        reps,
+        points,
+        pc_estimate,
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXP-AP — chemical distance concentration (Antal–Pisztora, Lemma 1.1).
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct ChemicalRow {
+    pub p: f64,
+    pub samples: usize,
+    pub mean_ratio: f64,
+    pub p95_ratio: f64,
+    pub max_ratio: f64,
+    pub tail_prob: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct ChemicalReport {
+    pub l_size: usize,
+    pub min_l1: u32,
+    pub rows: Vec<ChemicalRow>,
+}
+
+pub fn run_chemical(profile: Profile, seed: u64) -> ChemicalReport {
+    let l_size = profile.pick(96, 40);
+    let reps = profile.pick(60, 8);
+    let pairs_per_rep = profile.pick(40, 20);
+    let min_l1 = 8;
+    let mut rows = Vec::new();
+    for p in [0.65, 0.75, 0.85, 0.95] {
+        let mut samples = sample_ratios(p, l_size, reps, pairs_per_rep, seed);
+        // Long-range pairs only: the theorem is asymptotic in the distance.
+        samples.retain(|s| s.l1 >= min_l1);
+        let mut ratios: Vec<f64> = samples.iter().map(|s| s.ratio()).collect();
+        ratios.sort_by(f64::total_cmp);
+        let n = ratios.len();
+        if n == 0 {
+            continue;
+        }
+        rows.push(ChemicalRow {
+            p,
+            samples: n,
+            mean_ratio: ratios.iter().sum::<f64>() / n as f64,
+            p95_ratio: ratios[(n as f64 * 0.95) as usize],
+            max_ratio: *ratios.last().unwrap(),
+            tail_prob: ratios.iter().filter(|&&r| r > 1.5).count() as f64 / n as f64,
+        });
+    }
+    ChemicalReport {
+        l_size,
+        min_l1,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXP-ABL-R — routing ablation: Fig. 9 x–y + repair vs full flooding.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationRow {
+    pub l_size: usize,
+    pub pairs: usize,
+    pub mean_chemical_dist: f64,
+    pub mean_fig9_probes: f64,
+    pub mean_flood_probes: f64,
+    pub fig9_per_dist: f64,
+    pub flood_per_dist: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationReport {
+    pub p: f64,
+    pub rows: Vec<AblationRow>,
+}
+
+/// Distributed flood: BFS from `src` until `dst` is dequeued; every
+/// expanded site is one probe.
+fn flood_probes(lat: &Lattice, src: Site, dst: Site) -> Option<u64> {
+    let mut seen = vec![false; lat.len()];
+    let mut queue = VecDeque::new();
+    seen[lat.id(src) as usize] = true;
+    queue.push_back(src);
+    let mut probes = 0u64;
+    while let Some(s) = queue.pop_front() {
+        probes += 1;
+        if s == dst {
+            return Some(probes);
+        }
+        for nb in lat.neighbors(s) {
+            if lat.is_open(nb) && !seen[lat.id(nb) as usize] {
+                seen[lat.id(nb) as usize] = true;
+                queue.push_back(nb);
+            }
+        }
+    }
+    None
+}
+
+pub fn run_ablation(profile: Profile, seed: u64) -> AblationReport {
+    let p = 0.72;
+    let pairs_per_size = profile.pick(300, 30);
+    let sizes: &[usize] = profile.pick(&[32, 64, 128, 256][..], &[24, 48][..]);
+    let mut rows = Vec::new();
+    for &l in sizes {
+        let lat = bernoulli_lattice(&mut rng_from_seed(derive_seed(seed, l as u64)), l, l, p);
+        let clusters = label_clusters(&lat);
+        let members: Vec<Site> = lat
+            .sites()
+            .filter(|&s| clusters.in_largest(&lat, s))
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        let mut rng = rng_from_seed(derive_seed(seed ^ 0xAB1, l as u64));
+        let mut n = 0usize;
+        let (mut sum_d, mut sum_fig9, mut sum_flood) = (0u64, 0u64, 0u64);
+        for _ in 0..pairs_per_size {
+            let a = members[rng.random_range(0..members.len())];
+            let b = members[rng.random_range(0..members.len())];
+            if Lattice::dist_l1(a, b) < (l / 4) as u32 {
+                continue;
+            }
+            let r = route_xy(&lat, a, b);
+            debug_assert!(r.delivered, "same-cluster pair must deliver");
+            let fl = flood_probes(&lat, a, b).expect("same cluster");
+            let d = chemical_distance(&lat, a, b).expect("same cluster") as u64;
+            n += 1;
+            sum_d += d;
+            sum_fig9 += r.probes as u64;
+            sum_flood += fl;
+        }
+        if n == 0 {
+            continue;
+        }
+        let (d, f9, fl) = (
+            sum_d as f64 / n as f64,
+            sum_fig9 as f64 / n as f64,
+            sum_flood as f64 / n as f64,
+        );
+        rows.push(AblationRow {
+            l_size: l,
+            pairs: n,
+            mean_chemical_dist: d,
+            mean_fig9_probes: f9,
+            mean_flood_probes: fl,
+            fig9_per_dist: f9 / d,
+            flood_per_dist: fl / d,
+        });
+    }
+    AblationReport { p, rows }
+}
+
+// ---------------------------------------------------------------------
+// EXP-T22 — UDG-SENS goodness threshold λ_s.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct UdgGoodnessRow {
+    pub config: String,
+    pub lambda: f64,
+    pub p_good_mc: f64,
+    pub p_good_analytic: Option<f64>,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct UdgLambdaRow {
+    pub config: String,
+    pub lambda_s_measured: f64,
+    pub lambda_s_analytic: Option<f64>,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct UdgThresholdReport {
+    pub reps: usize,
+    pub goodness_target: f64,
+    pub sweep: Vec<UdgGoodnessRow>,
+    pub lambda_s: Vec<UdgLambdaRow>,
+}
+
+pub fn run_udg_threshold(profile: Profile, seed: u64) -> UdgThresholdReport {
+    let reps = profile.pick(20_000, 800);
+    let configs: Vec<(&str, UdgSensParams)> = vec![
+        ("strict-default", UdgSensParams::strict_default()),
+        (
+            "strict-optimized",
+            optimize_udg_geometry(profile.pick(24, 8)).params,
+        ),
+        ("paper-geometry", UdgSensParams::paper()),
+    ];
+    let lambdas: Vec<f64> = profile.pick(
+        vec![1.0, 1.568, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 32.0],
+        vec![1.0, 1.568, 4.0, 12.0, 24.0],
+    );
+    let mut sweep_rows = Vec::new();
+    let mut lambda_rows = Vec::new();
+    for (name, params) in &configs {
+        for &l in &lambdas {
+            sweep_rows.push(UdgGoodnessRow {
+                config: name.to_string(),
+                lambda: l,
+                p_good_mc: p_good_udg(*params, l, reps, seed),
+                p_good_analytic: p_good_udg_analytic(*params, l),
+            });
+        }
+        lambda_rows.push(UdgLambdaRow {
+            config: name.to_string(),
+            lambda_s_measured: lambda_s_udg(
+                *params,
+                GOODNESS_TARGET,
+                reps / 4,
+                profile.pick(18, 12),
+                seed,
+            ),
+            lambda_s_analytic: lambda_s_analytic(*params, GOODNESS_TARGET),
+        });
+    }
+    UdgThresholdReport {
+        reps,
+        goodness_target: GOODNESS_TARGET,
+        sweep: sweep_rows,
+        lambda_s: lambda_rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXP-T24 — NN-SENS critical neighbour count k_s.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, Serialize)]
+pub struct NnScaleRow {
+    pub a: f64,
+    pub p_regions_occupied: f64,
+    pub k_s: Option<usize>,
+    pub p_good_at_k_s: Option<f64>,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct NnThresholdReport {
+    pub reps: usize,
+    pub goodness_target: f64,
+    pub rows: Vec<NnScaleRow>,
+    pub best_a: Option<f64>,
+    pub best_k_s: Option<usize>,
+}
+
+pub fn run_nn_threshold(profile: Profile, seed: u64) -> NnThresholdReport {
+    let reps = profile.pick(4000, 400);
+    let scales: Vec<f64> = profile.pick(
+        (0..14).map(|i| 0.5 + 0.1 * i as f64).collect(),
+        (0..7).map(|i| 0.6 + 0.1 * i as f64).collect(),
+    );
+    let mut rows = Vec::new();
+    let mut best: Option<(f64, usize)> = None;
+    for &a in &scales {
+        let samples = nn_tile_samples(a, reps, seed);
+        let p_regions =
+            samples.iter().filter(|s| s.regions_ok).count() as f64 / samples.len() as f64;
+        let ks = k_s_for_scale(a, GOODNESS_TARGET, reps, seed);
+        rows.push(NnScaleRow {
+            a,
+            p_regions_occupied: p_regions,
+            k_s: ks,
+            p_good_at_k_s: ks.map(|k| p_good_nn_from_samples(&samples, k)),
+        });
+        if let Some(k) = ks {
+            if best.is_none_or(|(_, bk)| k < bk) {
+                best = Some((a, k));
+            }
+        }
+    }
+    NnThresholdReport {
+        reps,
+        goodness_target: GOODNESS_TARGET,
+        rows,
+        best_a: best.map(|(a, _)| a),
+        best_k_s: best.map(|(_, k)| k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percolation_quick_lands_near_the_literature_pc() {
+        let r = run_percolation(Profile::Quick, 9);
+        assert_eq!(r.points.len(), 13);
+        // Finite-size estimate: generous band around 0.5927.
+        assert!(
+            (r.pc_estimate - 0.5927).abs() < 0.05,
+            "pc {}",
+            r.pc_estimate
+        );
+    }
+
+    #[test]
+    fn chemical_ratios_are_at_least_one() {
+        let r = run_chemical(Profile::Quick, 4);
+        assert!(!r.rows.is_empty());
+        for row in &r.rows {
+            assert!(
+                row.mean_ratio >= 1.0,
+                "ratio {} at p {}",
+                row.mean_ratio,
+                row.p
+            );
+            assert!(row.max_ratio >= row.p95_ratio);
+        }
+    }
+
+    #[test]
+    fn ablation_flooding_costs_more_than_fig9() {
+        let r = run_ablation(Profile::Quick, 12);
+        assert!(!r.rows.is_empty());
+        for row in &r.rows {
+            assert!(
+                row.mean_flood_probes > row.mean_fig9_probes,
+                "flooding must visit more sites (L = {})",
+                row.l_size
+            );
+        }
+    }
+
+    #[test]
+    fn substrate_reports_serialize() {
+        let r = run_ablation(Profile::Quick, 12);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("fig9_per_dist"));
+    }
+}

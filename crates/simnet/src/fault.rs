@@ -137,6 +137,55 @@ mod tests {
         assert!(rate > 0.95, "delivery rate {rate}");
     }
 
+    /// P1 audit across the failure spectrum: whatever fraction of nodes
+    /// dies mid-construction, the epoch rebuild on the survivors is still a
+    /// SENS network — max degree ≤ 4, every required link present, and the
+    /// elected subgraph a subgraph of the survivors' UDG.
+    #[test]
+    fn mid_construction_failures_preserve_p1_degree_audit() {
+        let (pts, grid, params) = deployment(6, 14.0, 35.0);
+        for (i, p_fail) in [0.05, 0.25, 0.5, 0.75, 0.95].into_iter().enumerate() {
+            let (survivors, _) = random_failures(&pts, p_fail, 100 + i as u64);
+            let net = rebuild_after_failures(&survivors, params, grid.clone());
+            let stats = net.degree_stats();
+            assert!(
+                stats.max <= 4,
+                "P1 violated at p_fail {p_fail}: max degree {}",
+                stats.max
+            );
+            assert_eq!(
+                net.missing_links, 0,
+                "strict geometry must always link (p_fail {p_fail})"
+            );
+            let udg = wsn_rgg::build_udg(&survivors, params.radius);
+            for (u, v) in net.graph.edges() {
+                assert!(
+                    udg.has_edge(u, v),
+                    "edge ({u},{v}) not in the survivors' UDG at p_fail {p_fail}"
+                );
+            }
+        }
+    }
+
+    /// The audit holds per epoch under repeated partial failures — the
+    /// maintenance story: kill, rebuild, kill again, rebuild again.
+    #[test]
+    fn repeated_failure_epochs_keep_the_audit() {
+        let (pts, grid, params) = deployment(7, 12.0, 40.0);
+        let mut alive = pts;
+        for epoch in 0..3u64 {
+            let (survivors, _) = random_failures(&alive, 0.3, 200 + epoch);
+            let net = rebuild_after_failures(&survivors, params, grid.clone());
+            assert!(net.degree_stats().max <= 4, "epoch {epoch}");
+            assert_eq!(net.missing_links, 0, "epoch {epoch}");
+            alive = survivors;
+        }
+        // Three rounds of 30% loss: density λ·0.7³ ≈ 13.7 < λ_s — the
+        // lattice must have visibly degraded even though P1 held.
+        let final_net = rebuild_after_failures(&alive, params, grid);
+        assert!(final_net.lattice.open_fraction() < 0.6);
+    }
+
     #[test]
     fn heavy_failures_break_delivery() {
         let (pts, grid, params) = deployment(5, 18.0, 25.0);

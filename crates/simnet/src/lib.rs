@@ -32,4 +32,4 @@ pub mod route;
 
 pub use construct::{distributed_build_udg, DistributedBuild};
 pub use engine::{Engine, MsgStats};
-pub use route::{route_packet, SimRouteOutcome};
+pub use route::{route_packet, route_packet_with_path, SimRouteOutcome};

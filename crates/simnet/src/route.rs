@@ -42,9 +42,20 @@ impl SimRouteOutcome {
 /// Route a packet between the representatives of two tiles and account for
 /// every message.
 pub fn route_packet(net: &SensNetwork, src: Site, dst: Site) -> SimRouteOutcome {
+    route_packet_with_path(net, src, dst).0
+}
+
+/// [`route_packet`], additionally returning the expanded node path when the
+/// packet delivers — for callers that also want per-hop accounting (e.g.
+/// radio energy) without routing twice.
+pub fn route_packet_with_path(
+    net: &SensNetwork,
+    src: Site,
+    dst: Site,
+) -> (SimRouteOutcome, Option<Vec<u32>>) {
     let (outcome, node_path) = net.route(src, dst);
     let l1 = wsn_perc::Lattice::dist_l1(src, dst);
-    match node_path {
+    let sim = match &node_path {
         Some(path) => SimRouteOutcome {
             delivered: true,
             l1_distance: l1,
@@ -59,7 +70,8 @@ pub fn route_packet(net: &SensNetwork, src: Site, dst: Site) -> SimRouteOutcome 
             probe_msgs: 2 * outcome.probes as u64,
             repairs: outcome.repairs,
         },
-    }
+    };
+    (sim, node_path)
 }
 
 #[cfg(test)]

@@ -1,23 +1,7 @@
 //! The grid-bucket index.
 
-use wsn_geom::{Aabb, Point};
+use wsn_geom::{Aabb, OrdF64, Point};
 use wsn_pointproc::PointSet;
-
-/// `f64` wrapper ordered by `total_cmp`, for heaps of distances.
-#[derive(Clone, Copy, PartialEq, Debug)]
-struct OrdF64(f64);
-
-impl Eq for OrdF64 {}
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// A uniform-grid spatial index borrowing its point set.
 ///

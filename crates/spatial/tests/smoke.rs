@@ -3,10 +3,11 @@
 //! scale the per-module unit tests don't reach.
 
 use wsn_geom::{Aabb, Point};
-use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+use wsn_pointproc::matern::sample_matern_ii;
+use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
 use wsn_spatial::{bruteforce, GridIndex};
 
-fn deployment(seed: u64) -> wsn_pointproc::PointSet {
+fn deployment(seed: u64) -> PointSet {
     sample_poisson_window(&mut rng_from_seed(seed), 20.0, &Aabb::square(15.0))
 }
 
@@ -57,6 +58,83 @@ fn grid_disk_queries_agree_with_bruteforce_on_poisson_deployment() {
             assert_eq!(idx.count_in_disk(q, r), slow.len());
         }
     }
+}
+
+/// Differential check on a *dependent* point process: Matérn-II hard-core
+/// thinning produces near-regular spacing (many equidistant-ish
+/// neighbours), a regime the Poisson smoke tests never visit. The grid
+/// index must still agree exactly with the O(n) oracle, including the
+/// deterministic (distance, id) tie-break.
+#[test]
+fn grid_knn_agrees_with_bruteforce_on_matern_deployment() {
+    let window = Aabb::square(12.0);
+    let pts = sample_matern_ii(&mut rng_from_seed(47), 60.0, 0.25, &window);
+    assert!(
+        pts.len() > 500,
+        "thinned deployment too small: {}",
+        pts.len()
+    );
+    for cell in [0.25, 1.0, 4.0] {
+        let idx = GridIndex::build(&pts, cell);
+        for qi in [0u32, 13, 101, pts.len() as u32 - 1] {
+            let q = pts.get(qi);
+            for k in [1, 6, 32, pts.len()] {
+                let fast = idx.knn(q, k, Some(qi));
+                let slow = bruteforce::knn(&pts, q, k, Some(qi));
+                assert_eq!(fast.len(), slow.len(), "cell={cell} query {qi} k={k}");
+                for (f, s) in fast.iter().zip(slow.iter()) {
+                    assert_eq!(f.0, s.0, "cell={cell} query {qi} k={k}");
+                    assert!((f.1 - s.1).abs() < 1e-12);
+                }
+            }
+        }
+        // Disk queries agree too (hard-core radius is a natural probe).
+        for qi in [7u32, 200] {
+            let mut fast = Vec::new();
+            idx.in_disk(pts.get(qi), 0.25, &mut fast);
+            fast.sort_unstable();
+            assert_eq!(fast, bruteforce::in_disk(&pts, pts.get(qi), 0.25));
+        }
+    }
+}
+
+/// The empty window: Matérn thinning of an empty primary process yields an
+/// empty set, and every query on it must return nothing (not panic).
+#[test]
+fn matern_empty_window_queries_are_empty() {
+    let window = Aabb::square(5.0);
+    // Primary intensity 0 ⇒ no points survive thinning.
+    let pts = sample_matern_ii(&mut rng_from_seed(3), 0.0, 0.3, &window);
+    assert!(pts.is_empty());
+    let idx = GridIndex::build(&pts, 1.0);
+    assert!(idx.knn(Point::new(2.0, 2.0), 5, None).is_empty());
+    assert!(idx.nearest(Point::new(2.0, 2.0), None).is_none());
+    let mut out = Vec::new();
+    idx.in_disk(Point::new(2.0, 2.0), 10.0, &mut out);
+    assert!(out.is_empty());
+    assert_eq!(bruteforce::knn(&pts, Point::new(2.0, 2.0), 5, None), vec![]);
+}
+
+/// A single surviving point: with a hard core wider than the window the
+/// thinning keeps exactly the minimal-mark point, and k-NN must handle the
+/// one-point index (self-exclusion included).
+#[test]
+fn matern_single_point_edge_case() {
+    let window = Aabb::square(1.0);
+    // Hard core larger than the window diagonal: at most one point remains
+    // (the smallest mark kills every other).
+    let pts = sample_matern_ii(&mut rng_from_seed(8), 5.0, 2.0, &window);
+    assert_eq!(pts.len(), 1, "hard core spans the window");
+    let idx = GridIndex::build(&pts, 0.5);
+    let q = Point::new(0.0, 0.0);
+    assert_eq!(idx.knn(q, 3, None).len(), 1);
+    assert_eq!(
+        idx.knn(q, 3, None)[0].0,
+        bruteforce::knn(&pts, q, 3, None)[0].0
+    );
+    // Excluding the only point leaves nothing.
+    assert!(idx.knn(pts.get(0), 1, Some(0)).is_empty());
+    assert!(idx.nearest(pts.get(0), Some(0)).is_none());
 }
 
 #[test]

@@ -39,6 +39,7 @@
 //! | [`rgg`] | `wsn-rgg` | UDG, k-NN graphs, baseline spanners |
 //! | [`core`] | `wsn-core` | **UDG-SENS / NN-SENS** (the paper) |
 //! | [`simnet`] | `wsn-simnet` | distributed protocols (Fig. 7 / Fig. 9) |
+//! | [`scenario`] | `wsn-scenario` | scenario matrix, presets, golden reports |
 
 pub use wsn_core as core;
 pub use wsn_geom as geom;
@@ -46,6 +47,7 @@ pub use wsn_graph as graph;
 pub use wsn_perc as perc;
 pub use wsn_pointproc as pointproc;
 pub use wsn_rgg as rgg;
+pub use wsn_scenario as scenario;
 pub use wsn_simnet as simnet;
 pub use wsn_spatial as spatial;
 

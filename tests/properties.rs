@@ -20,7 +20,7 @@ fn build(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// P1 (sparsity) holds for every seed and density.
     #[test]
@@ -68,6 +68,59 @@ proptest! {
         prop_assert_eq!(a.lattice, b.lattice);
         prop_assert_eq!(a.reps, b.reps);
         prop_assert_eq!(a.graph.m(), b.graph.m());
+    }
+
+    /// Dijkstra under unit weights must agree with BFS hop counts on every
+    /// random geometric graph (same frontier, different priority queue).
+    #[test]
+    fn prop_dijkstra_unit_weights_equal_bfs(seed in 0u64..400, lambda in 5.0f64..35.0) {
+        let params = UdgSensParams::strict_default();
+        let grid = TileGrid::fit(6.0, params.tile_side);
+        let pts = sample_poisson_window(
+            &mut rng_from_seed(seed),
+            lambda,
+            &grid.covered_area(),
+        );
+        prop_assume!(!pts.is_empty());
+        let g = wsn::rgg::build_udg(&pts, 1.0);
+        let src = (seed % pts.len() as u64) as u32;
+        let weighted = wsn::graph::dijkstra::distances(&g, src, |_, _| 1.0);
+        let hops = wsn::graph::bfs::distances(&g, src);
+        for v in 0..g.n() {
+            if hops[v] == wsn::graph::UNREACHABLE {
+                prop_assert!(weighted[v].is_infinite());
+            } else {
+                prop_assert_eq!(weighted[v] as u32, hops[v], "node {}", v);
+            }
+        }
+    }
+
+    /// CSR structural invariants on random geometric graphs: adjacency is
+    /// symmetric, neighbour lists are strictly sorted (deduped, no self
+    /// loops), and degrees sum to 2m.
+    #[test]
+    fn prop_csr_adjacency_symmetry(seed in 0u64..400, lambda in 5.0f64..35.0) {
+        let params = UdgSensParams::strict_default();
+        let grid = TileGrid::fit(6.0, params.tile_side);
+        let pts = sample_poisson_window(
+            &mut rng_from_seed(seed),
+            lambda,
+            &grid.covered_area(),
+        );
+        let g = wsn::rgg::build_udg(&pts, 1.0);
+        let mut degree_sum = 0usize;
+        for u in 0..g.n() as u32 {
+            let nbrs = g.neighbors(u);
+            degree_sum += nbrs.len();
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1], "neighbours of {} not strictly sorted", u);
+            }
+            for &v in nbrs {
+                prop_assert!(v != u, "self loop at {}", u);
+                prop_assert!(g.has_edge(v, u), "asymmetric edge ({}, {})", u, v);
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.m());
     }
 
     /// P4 witness: tile membership is computable from a point's own

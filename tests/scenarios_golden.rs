@@ -1,0 +1,116 @@
+//! Golden-file regression suite for the scenario harness.
+//!
+//! Every preset's quick profile is re-run here and byte-compared against
+//! the checked-in report in `tests/golden/<preset>.json` — any drift in a
+//! paper claim (P1–P4, the thresholds, the substrate checks) fails tier-1
+//! instead of shipping silently. The run is repeated at several
+//! `RAYON_NUM_THREADS` values to pin the determinism contract: reports are
+//! a pure function of `(preset, profile, seed)`, never of the schedule.
+//!
+//! Intentional changes: regenerate with
+//!
+//! ```text
+//! cargo run -p wsn-bench --release --bin wsn-scenarios -- bless --all
+//! ```
+//!
+//! (or `WSN_BLESS=1 cargo test -q --test scenarios_golden`) and commit the
+//! diff. See `tests/README.md` for the full workflow.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use wsn_scenario::{all_presets, golden, run_preset, GoldenOutcome, Profile};
+
+/// The seed the goldens are pinned at (the driver's default).
+const GOLDEN_SEED: u64 = 0xC0FFEE;
+
+/// Serialises every test in this binary: one test mutates
+/// `RAYON_NUM_THREADS` while the others trigger reads of it inside the
+/// rayon shim, and concurrent `setenv`/`getenv` is undefined behaviour.
+/// Taking the lock in each test body keeps the whole binary race-free.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn golden_dir() -> PathBuf {
+    // crates/wsn → workspace root → tests/golden.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn bless_requested() -> bool {
+    std::env::var("WSN_BLESS")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// One pass over the whole catalogue: render every preset's quick report
+/// and compare (or, under `WSN_BLESS=1`, rewrite) the golden files.
+fn check_all(context: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    for preset in all_presets() {
+        let report = run_preset(preset.name, Profile::Quick, GOLDEN_SEED)
+            .expect("catalogue names are valid");
+        if bless_requested() {
+            golden::bless(&golden_dir(), &report).unwrap();
+            continue;
+        }
+        match golden::check(&golden_dir(), &report) {
+            GoldenOutcome::Match => {}
+            GoldenOutcome::Diff { detail } => failures.push(format!(
+                "{context}: `{}` diverged from its golden file: {detail}",
+                preset.name
+            )),
+            GoldenOutcome::Missing { detail } => failures.push(format!(
+                "{context}: `{}` golden file missing: {detail}",
+                preset.name
+            )),
+        }
+    }
+    failures
+}
+
+/// The headline test: the full preset matrix matches the goldens, and the
+/// bytes do not depend on the worker-thread count.
+#[test]
+fn quick_matrix_matches_goldens_at_every_thread_count() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut failures = Vec::new();
+    for threads in ["1", "5"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        failures.extend(check_all(&format!("threads={threads}")));
+        if bless_requested() {
+            break; // one bless pass is enough
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert!(
+        failures.is_empty(),
+        "golden mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// A different seed must change the numbers — i.e. the goldens pin real
+/// measurements, not constants baked into the harness.
+#[test]
+fn goldens_are_seed_sensitive() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let a = run_preset("sparsity", Profile::Quick, GOLDEN_SEED).unwrap();
+    let b = run_preset("sparsity", Profile::Quick, GOLDEN_SEED ^ 1).unwrap();
+    assert_ne!(a.canonical_json(), b.canonical_json());
+}
+
+/// The catalogue must keep covering all fifteen retired `exp_*` binaries.
+#[test]
+fn catalogue_replaces_the_fifteen_exp_binaries() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let replaced: usize = all_presets().iter().map(|p| p.replaces.len()).sum();
+    assert_eq!(replaced, 15, "a retired exp_* binary lost its preset");
+    // And every golden file on disk corresponds to a preset.
+    for entry in std::fs::read_dir(golden_dir()).unwrap() {
+        let name = entry.unwrap().file_name();
+        let name = name.to_string_lossy();
+        let stem = name.strip_suffix(".json").unwrap_or(&name);
+        assert!(
+            all_presets().iter().any(|p| p.name == stem),
+            "orphan golden file {name}"
+        );
+    }
+}

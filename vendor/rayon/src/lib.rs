@@ -18,12 +18,22 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
-/// Number of workers: the machine's available parallelism, bounded so that
-/// tiny sweeps don't pay thread spawn cost for nothing.
+/// Number of workers: `RAYON_NUM_THREADS` when set (like real rayon's
+/// global pool), otherwise the machine's available parallelism — bounded so
+/// that tiny sweeps don't pay thread spawn cost for nothing.
+///
+/// The variable is re-read on every fan-out, so tests can vary the thread
+/// count within one process to assert schedule independence.
 fn workers(n_items: usize) -> usize {
-    let hw = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
     hw.min(n_items).max(1)
 }
 
