@@ -44,19 +44,22 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wsn-scenarios <list | run | check | bless> [PRESET...] [options]\n\
+        "usage: wsn-scenarios <list | run | check | bless | bench> [PRESET...] [options]\n\
          \n\
          commands:\n\
          \x20 list            show the preset catalogue\n\
          \x20 run             run presets and print aligned result tables\n\
          \x20 check           quick-profile run, byte-compare against golden files\n\
          \x20 bless           quick-profile run, rewrite the golden files\n\
+         \x20 bench           sharded-vs-monolithic construction pipeline bench,\n\
+         \x20                 writes BENCH_pipeline.json (nodes/sec, phases, RSS)\n\
          \n\
          options:\n\
          \x20 --all           select every preset\n\
-         \x20 --quick         run the quick (smoke) profile           [run only]\n\
-         \x20 --seed N        base seed, default 0xC0FFEE             [run only]\n\
-         \x20 --out DIR       also write one JSON report per preset   [run only]\n\
+         \x20 --quick         run the quick (smoke) profile      [run, bench]\n\
+         \x20 --seed N        base seed, default 0xC0FFEE        [run, bench]\n\
+         \x20 --out PATH      JSON output: report dir for `run`,\n\
+         \x20                 output file for `bench`            [run, bench]\n\
          \x20 --golden-dir D  golden directory, default tests/golden"
     );
     std::process::exit(2);
@@ -217,6 +220,26 @@ fn cmd_goldens(args: &Args, bless: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `bench`: measure the sharded pipeline against the monolithic builders
+/// and write the machine-readable baseline.
+fn cmd_bench(args: &Args) -> ExitCode {
+    if !args.presets.is_empty() || args.all {
+        eprintln!("`bench` takes no presets (it has its own topology × size grid)");
+        return ExitCode::from(2);
+    }
+    let seed = args.seed.unwrap_or(DEFAULT_SEED);
+    let report = wsn_bench::pipeline::run_pipeline_bench(args.quick, seed);
+    let path = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json"));
+    let mut json = serde_json::to_string_pretty(&report).expect("bench serialisation is total");
+    json.push('\n');
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     match args.command.as_str() {
@@ -224,6 +247,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "check" => cmd_goldens(&args, false),
         "bless" => cmd_goldens(&args, true),
+        "bench" => cmd_bench(&args),
         _ => usage(),
     }
 }

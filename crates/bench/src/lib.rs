@@ -20,6 +20,7 @@
 //! This library keeps small shared helpers: `WSN_QUICK` / `WSN_SEED`
 //! handling for ad-hoc tooling, aligned-table rendering, and JSON dumps.
 
+pub mod pipeline;
 pub mod table;
 
 use serde::Serialize;

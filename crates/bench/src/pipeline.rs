@@ -1,0 +1,472 @@
+//! The `wsn-scenarios bench` emitter: the repo's recorded performance
+//! trajectory for the tile-sharded construction pipeline.
+//!
+//! For each topology × deployment size the harness runs the *sharded*
+//! pipeline and the *monolithic* reference builder on the same deployment,
+//! verifies they are edge-identical (a bench that silently benchmarks a
+//! wrong graph is worthless), and records wall-clock per phase, throughput
+//! in nodes/second, and a peak-RSS proxy read from `/proc/self/status`.
+//! The machine-readable result (`BENCH_pipeline.json`) is the baseline
+//! future scaling PRs diff against.
+//!
+//! Methodology notes, so numbers stay comparable across machines:
+//!
+//! * The sharded build runs *first*, then the monolithic one — `VmHWM` is a
+//!   high-water mark, so this order lets the sharded peak be observed
+//!   before the (larger) monolithic allocations raise the mark.
+//! * `threads` records the effective rayon worker count; on a single-core
+//!   host any speedup is purely algorithmic (no global edge sort,
+//!   early-exit emptiness probes, cache-dense shard-local indexes).
+//! * Every row re-samples its deployment from `(seed, topology, n)`, so
+//!   rows are independent and reproducible.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use wsn_core::nn::{build_nn_sens, build_nn_sens_parallel};
+use wsn_core::params::{NnSensParams, UdgSensParams};
+use wsn_core::tilegrid::TileGrid;
+use wsn_core::udg::{build_udg_sens, build_udg_sens_parallel};
+use wsn_geom::hash::derive_seed2;
+use wsn_geom::{Aabb, ShardGrid};
+use wsn_graph::Csr;
+use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
+use wsn_rgg::{
+    build_gabriel, build_gabriel_sharded, build_knn, build_knn_sharded, build_rng,
+    build_rng_sharded, build_udg, build_udg_sharded, build_yao, build_yao_sharded,
+};
+use wsn_simnet::{distributed_build_udg, ShardAccounting};
+use wsn_spatial::GridIndex;
+
+/// Shard side (in topology tiles) used by every benchmarked sharded build.
+const SHARD_TILES: usize = 16;
+
+/// One topology × size measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRow {
+    pub topology: String,
+    /// Expected node count (the Poisson intensity × window area).
+    pub n_target: u64,
+    /// Realised node count of the sampled deployment.
+    pub nodes: u64,
+    pub edges: u64,
+    pub lambda: f64,
+    pub side: f64,
+    pub shard_tiles: usize,
+    pub shards: usize,
+    /// Phase timings of the benchmarked path, seconds.
+    pub deploy_secs: f64,
+    /// Building the shared gather index (the halo-exchange substrate).
+    pub gather_index_secs: f64,
+    pub sharded_secs: f64,
+    pub monolithic_secs: f64,
+    /// Verifying the stitched CSR equals the monolithic one.
+    pub verify_secs: f64,
+    pub speedup: f64,
+    pub sharded_nodes_per_sec: f64,
+    pub monolithic_nodes_per_sec: f64,
+    pub edge_identical: bool,
+    /// `VmRSS` after the sharded build, kB (0 when unavailable).
+    pub rss_after_sharded_kb: u64,
+    /// `VmRSS` after the monolithic build, kB.
+    pub rss_after_monolithic_kb: u64,
+}
+
+/// Per-shard message accounting of one distributed Fig. 7 build.
+#[derive(Clone, Debug, Serialize)]
+pub struct DistributedRow {
+    pub nodes: u64,
+    pub rounds: u64,
+    pub msgs_total: u64,
+    pub build_secs: f64,
+    pub accounting: ShardAccounting,
+}
+
+/// The whole `BENCH_pipeline.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    pub schema: &'static str,
+    pub quick: bool,
+    pub seed: u64,
+    /// Effective rayon worker count (`RAYON_NUM_THREADS` or the host's
+    /// available parallelism).
+    pub threads: usize,
+    /// `VmHWM` at the end of the run, kB — the whole-process peak.
+    pub vm_hwm_kb: u64,
+    pub rows: Vec<BenchRow>,
+    pub distributed: Vec<DistributedRow>,
+}
+
+/// Read a `VmRSS:`/`VmHWM:` style field from `/proc/self/status`, in kB.
+fn proc_status_kb(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn effective_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The benchmarked construction kinds (a subset of `TopologySpec` with the
+/// bench's fixed parameters baked in).
+#[derive(Clone, Copy)]
+enum Kind {
+    Udg,
+    Knn { k: usize },
+    Gabriel,
+    Rng,
+    Yao { cones: usize },
+    UdgSens,
+    NnSens { a: f64, k: usize },
+}
+
+struct Cell {
+    label: &'static str,
+    kind: Kind,
+    lambda: f64,
+    /// Largest n this kind runs at (NN-SENS's k-NN base with the paper-scale
+    /// k dominates everything else; capping it keeps the suite bounded).
+    max_n: u64,
+}
+
+const CELLS: &[Cell] = &[
+    Cell {
+        label: "udg(r=1)",
+        kind: Kind::Udg,
+        lambda: 10.0,
+        max_n: u64::MAX,
+    },
+    Cell {
+        label: "knn(k=8)",
+        kind: Kind::Knn { k: 8 },
+        lambda: 10.0,
+        max_n: u64::MAX,
+    },
+    Cell {
+        label: "gabriel(r=1)",
+        kind: Kind::Gabriel,
+        lambda: 10.0,
+        max_n: u64::MAX,
+    },
+    Cell {
+        label: "rng(r=1)",
+        kind: Kind::Rng,
+        lambda: 10.0,
+        max_n: u64::MAX,
+    },
+    Cell {
+        label: "yao(r=1,c=6)",
+        kind: Kind::Yao { cones: 6 },
+        lambda: 10.0,
+        max_n: u64::MAX,
+    },
+    Cell {
+        label: "udg-sens",
+        kind: Kind::UdgSens,
+        lambda: 10.0,
+        max_n: u64::MAX,
+    },
+    Cell {
+        label: "nn-sens(a=1.2,k=400)",
+        kind: Kind::NnSens { a: 1.2, k: 400 },
+        lambda: 1.0,
+        max_n: 100_000,
+    },
+];
+
+/// Window for an expected `n` nodes at intensity `lambda`, fitted to whole
+/// SENS tiles when the construction needs a grid.
+fn window_for(kind: Kind, lambda: f64, n: u64) -> (f64, Option<TileGrid>) {
+    let side = ((n as f64) / lambda).sqrt();
+    match kind {
+        Kind::UdgSens => {
+            let grid = TileGrid::fit(side, UdgSensParams::strict_default().tile_side);
+            (side, Some(grid))
+        }
+        Kind::NnSens { a, k } => {
+            let grid = TileGrid::fit(side, NnSensParams { a, k }.tile_side());
+            (side, Some(grid))
+        }
+        _ => (side, None),
+    }
+}
+
+/// Edge count + node count of whichever representation a kind builds.
+fn graph_dims(g: &Csr) -> (u64, u64) {
+    (g.n() as u64, g.m() as u64)
+}
+
+/// The plan tile side each kind actually shards with: the query radius for
+/// the radius-bounded graphs, the k-NN halo for `Knn`.
+fn plan_tile_for(kind: Kind, points: &PointSet) -> f64 {
+    match kind {
+        Kind::Knn { k } => wsn_rgg::knn_halo(points, k),
+        _ => 1.0,
+    }
+}
+
+fn shard_count_for(points: &PointSet, kind: Kind, grid: Option<&TileGrid>) -> usize {
+    match grid {
+        // SENS constructions shard by tile rows.
+        Some(g) => g.rows(),
+        None => points
+            .bounding_box()
+            .map(|bb| ShardGrid::new(&bb, plan_tile_for(kind, points), SHARD_TILES).shard_count())
+            .unwrap_or(0),
+    }
+}
+
+fn bench_cell(cell: &Cell, n: u64, seed: u64) -> BenchRow {
+    let (side, grid) = window_for(cell.kind, cell.lambda, n);
+    let window = grid
+        .as_ref()
+        .map(|g| g.covered_area())
+        .unwrap_or_else(|| Aabb::square(side));
+
+    let t = Instant::now();
+    let points = sample_poisson_window(&mut rng_from_seed(seed), cell.lambda, &window);
+    let deploy_secs = t.elapsed().as_secs_f64();
+
+    // The shared gather index is the pipeline's halo-exchange substrate;
+    // time one build of it explicitly so the phase is visible (the sharded
+    // timings below include their own, identical, build). The cell matches
+    // what the kind's builder actually uses: the k-NN kinds index at their
+    // expected k-point radius, everything else at the query radius.
+    let gather_cell = match cell.kind {
+        Kind::Knn { k } | Kind::NnSens { k, .. } => wsn_rgg::knn_halo(&points, k) / 3.0,
+        _ => 1.0,
+    };
+    let t = Instant::now();
+    let gather = GridIndex::build(&points, gather_cell);
+    let gather_index_secs = t.elapsed().as_secs_f64();
+    drop(gather);
+
+    // Sharded first (see module docs for the VmHWM rationale).
+    let t = Instant::now();
+    let sharded: Box<dyn EdgeView> = build(cell.kind, &points, grid.clone(), true);
+    let sharded_secs = t.elapsed().as_secs_f64();
+    let rss_after_sharded_kb = proc_status_kb("VmRSS");
+
+    let t = Instant::now();
+    let mono: Box<dyn EdgeView> = build(cell.kind, &points, grid.clone(), false);
+    let monolithic_secs = t.elapsed().as_secs_f64();
+    let rss_after_monolithic_kb = proc_status_kb("VmRSS");
+
+    let t = Instant::now();
+    let edge_identical = sharded.graph() == mono.graph();
+    let verify_secs = t.elapsed().as_secs_f64();
+    assert!(edge_identical, "{}: sharded != monolithic", cell.label);
+
+    let (nodes, edges) = graph_dims(sharded.graph());
+    BenchRow {
+        topology: cell.label.to_string(),
+        n_target: n,
+        nodes,
+        edges,
+        lambda: cell.lambda,
+        side,
+        shard_tiles: SHARD_TILES,
+        shards: shard_count_for(&points, cell.kind, grid.as_ref()),
+        deploy_secs,
+        gather_index_secs,
+        sharded_secs,
+        monolithic_secs,
+        verify_secs,
+        speedup: monolithic_secs / sharded_secs.max(1e-12),
+        sharded_nodes_per_sec: nodes as f64 / sharded_secs.max(1e-12),
+        monolithic_nodes_per_sec: nodes as f64 / monolithic_secs.max(1e-12),
+        edge_identical,
+        rss_after_sharded_kb,
+        rss_after_monolithic_kb,
+    }
+}
+
+/// Uniform view over `Csr` and `SensNetwork` results.
+trait EdgeView {
+    fn graph(&self) -> &Csr;
+}
+impl EdgeView for Csr {
+    fn graph(&self) -> &Csr {
+        self
+    }
+}
+impl EdgeView for wsn_core::subgraph::SensNetwork {
+    fn graph(&self) -> &Csr {
+        &self.graph
+    }
+}
+
+fn build(
+    kind: Kind,
+    points: &PointSet,
+    grid: Option<TileGrid>,
+    sharded: bool,
+) -> Box<dyn EdgeView> {
+    match kind {
+        Kind::Udg => Box::new(if sharded {
+            build_udg_sharded(points, 1.0, SHARD_TILES)
+        } else {
+            build_udg(points, 1.0)
+        }),
+        Kind::Knn { k } => Box::new(if sharded {
+            build_knn_sharded(points, k, SHARD_TILES)
+        } else {
+            build_knn(points, k)
+        }),
+        Kind::Gabriel => Box::new(if sharded {
+            build_gabriel_sharded(points, 1.0, SHARD_TILES)
+        } else {
+            build_gabriel(points, 1.0)
+        }),
+        Kind::Rng => Box::new(if sharded {
+            build_rng_sharded(points, 1.0, SHARD_TILES)
+        } else {
+            build_rng(points, 1.0)
+        }),
+        Kind::Yao { cones } => Box::new(if sharded {
+            build_yao_sharded(points, 1.0, cones, SHARD_TILES)
+        } else {
+            build_yao(points, 1.0, cones)
+        }),
+        Kind::UdgSens => {
+            let params = UdgSensParams::strict_default();
+            let grid = grid.expect("SENS grid");
+            Box::new(
+                if sharded {
+                    build_udg_sens_parallel(points, params, grid)
+                } else {
+                    build_udg_sens(points, params, grid)
+                }
+                .expect("strict defaults valid"),
+            )
+        }
+        Kind::NnSens { a, k } => {
+            let params = NnSensParams { a, k };
+            let grid = grid.expect("SENS grid");
+            Box::new(
+                if sharded {
+                    let base = build_knn_sharded(points, k, SHARD_TILES);
+                    build_nn_sens_parallel(points, &base, params, grid)
+                } else {
+                    let base = build_knn(points, k);
+                    build_nn_sens(points, &base, params, grid)
+                }
+                .expect("bench NN-SENS params valid"),
+            )
+        }
+    }
+}
+
+/// Distributed Fig. 7 construction with per-shard message accounting (the
+/// protocol engine is message-granular, so this runs at a smaller n).
+fn bench_distributed(n: u64, seed: u64) -> DistributedRow {
+    let params = UdgSensParams::strict_default();
+    let lambda = 10.0;
+    let side = ((n as f64) / lambda).sqrt();
+    let grid = TileGrid::fit(side, params.tile_side);
+    let window = grid.covered_area();
+    let points = sample_poisson_window(&mut rng_from_seed(seed), lambda, &window);
+    let t = Instant::now();
+    let build = distributed_build_udg(&points, params, grid).expect("strict defaults valid");
+    let build_secs = t.elapsed().as_secs_f64();
+    DistributedRow {
+        nodes: points.len() as u64,
+        rounds: build.rounds,
+        msgs_total: build.stats.sent,
+        build_secs,
+        accounting: ShardAccounting::of(&build, SHARD_TILES),
+    }
+}
+
+/// Run the full pipeline bench and return the report.
+///
+/// `quick` keeps every size at 10⁴ (the CI smoke configuration); the full
+/// profile runs n ∈ {10⁴, 10⁵, 10⁶} per topology (subject to each cell's
+/// `max_n` cap).
+pub fn run_pipeline_bench(quick: bool, seed: u64) -> BenchReport {
+    let sizes: &[u64] = if quick {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let mut rows = Vec::new();
+    for (ci, cell) in CELLS.iter().enumerate() {
+        for (si, &n) in sizes.iter().enumerate() {
+            if n > cell.max_n {
+                eprintln!(
+                    "bench: skipping {} at n={n} (capped at {})",
+                    cell.label, cell.max_n
+                );
+                continue;
+            }
+            let row_seed = derive_seed2(seed, ci as u64, si as u64);
+            eprintln!("bench: {} n={n} ...", cell.label);
+            let row = bench_cell(cell, n, row_seed);
+            eprintln!(
+                "bench: {} n={} sharded {:.3}s mono {:.3}s speedup {:.2}x",
+                cell.label, row.nodes, row.sharded_secs, row.monolithic_secs, row.speedup
+            );
+            rows.push(row);
+        }
+    }
+    let distributed = vec![bench_distributed(
+        if quick { 5_000 } else { 20_000 },
+        derive_seed2(seed, 0xD15C0, 0),
+    )];
+    BenchReport {
+        schema: "wsn-bench-pipeline/1",
+        quick,
+        seed,
+        threads: effective_threads(),
+        vm_hwm_kb: proc_status_kb("VmHWM"),
+        rows,
+        distributed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_serialises() {
+        // A miniature pass through every cell at a tiny n exercises the full
+        // emitter path (including the edge-identity assertion) in ~a second.
+        let mut rows = Vec::new();
+        for (ci, cell) in CELLS.iter().enumerate() {
+            rows.push(bench_cell(cell, 2_000, derive_seed2(7, ci as u64, 0)));
+        }
+        let report = BenchReport {
+            schema: "wsn-bench-pipeline/1",
+            quick: true,
+            seed: 7,
+            threads: effective_threads(),
+            vm_hwm_kb: proc_status_kb("VmHWM"),
+            rows,
+            distributed: vec![bench_distributed(2_000, 3)],
+        };
+        for row in &report.rows {
+            assert!(row.edge_identical, "{}", row.topology);
+            assert!(row.sharded_secs > 0.0 && row.monolithic_secs > 0.0);
+            assert!(row.nodes > 0);
+        }
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"schema\": \"wsn-bench-pipeline/1\""));
+        assert!(json.contains("msgs_per_shard"));
+    }
+}

@@ -18,7 +18,8 @@
 //!   UDG relay regions in "paper" mode).
 //! * [`region`] — the [`region::Region`] trait uniting all shapes,
 //!   plus boolean combinators and quadrature-based area estimation.
-//! * [`tile`] — the square tiling of R² that both SENS constructions use.
+//! * [`tile`] — the square tiling of R² that both SENS constructions use,
+//!   plus the [`ShardGrid`] decomposition driving the parallel pipeline.
 //! * [`hash`] — SplitMix64 seed derivation for deterministic parallel
 //!   experiments.
 //! * [`ordf64`] — the [`OrdF64`] total-order wrapper shared by every heap
@@ -41,4 +42,4 @@ pub use lens::Lens;
 pub use ordf64::OrdF64;
 pub use point::Point;
 pub use region::Region;
-pub use tile::{TileIndex, Tiling};
+pub use tile::{ShardGrid, TileIndex, Tiling};

@@ -195,6 +195,118 @@ impl Tiling {
     }
 }
 
+/// A decomposition of a deployment window into rectangular *shards*, each a
+/// block of `tiles_per_shard × tiles_per_shard` tiles of side `tile_side`.
+///
+/// This is the unit of work of the parallel construction pipeline: every
+/// point has exactly one *owner* shard (half-open partition, so points
+/// exactly on an interior shard boundary belong to the shard on their
+/// right/top), and a shard processes its owned points against the points of
+/// its *ghost-padded* extent — the shard block inflated by the topology's
+/// halo radius. Edge shards extend to infinity on their outward sides, so
+/// the owner map is total even for points outside the nominal window and
+/// `ball(p, halo) ⊆ padded(owner(p))` holds unconditionally.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardGrid {
+    origin: Point,
+    shard_side: f64,
+    cols: usize,
+    rows: usize,
+}
+
+impl ShardGrid {
+    /// Cover `window` with shards of side `tile_side · tiles_per_shard`.
+    /// Saturates to a single whole-window shard when the shard side exceeds
+    /// the window (pass `usize::MAX` for an explicit whole-window plan).
+    pub fn new(window: &Aabb, tile_side: f64, tiles_per_shard: usize) -> Self {
+        assert!(
+            tile_side > 0.0 && tile_side.is_finite(),
+            "tile side must be positive"
+        );
+        assert!(tiles_per_shard >= 1, "need at least one tile per shard");
+        let shard_side = tile_side * tiles_per_shard as f64;
+        let cols = ((window.width() / shard_side).ceil() as usize).clamp(1, u32::MAX as usize);
+        let rows = ((window.height() / shard_side).ceil() as usize).clamp(1, u32::MAX as usize);
+        ShardGrid {
+            origin: window.min,
+            shard_side,
+            cols,
+            rows,
+        }
+    }
+
+    /// The trivial plan: one shard covering everything.
+    pub fn whole(window: &Aabb) -> Self {
+        ShardGrid {
+            origin: window.min,
+            shard_side: (window.width().max(window.height()) * 2.0).max(1.0),
+            cols: 1,
+            rows: 1,
+        }
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    #[inline]
+    fn coords(&self, s: usize) -> (usize, usize) {
+        (s % self.cols, s / self.cols)
+    }
+
+    /// The owner shard of `p` (row-major linear index). Half-open partition
+    /// clamped at the window edges, so the map is total.
+    #[inline]
+    pub fn owner_of(&self, p: Point) -> usize {
+        let i = (((p.x - self.origin.x) / self.shard_side).floor() as i64)
+            .clamp(0, self.cols as i64 - 1) as usize;
+        let j = (((p.y - self.origin.y) / self.shard_side).floor() as i64)
+            .clamp(0, self.rows as i64 - 1) as usize;
+        j * self.cols + i
+    }
+
+    /// The ghost-padded extent of shard `s`: its core block inflated by
+    /// `halo`, with edge shards extended to infinity on their outward sides
+    /// (their ownership is already unbounded there, see [`Self::owner_of`]).
+    pub fn padded(&self, s: usize, halo: f64) -> Aabb {
+        assert!(halo >= 0.0, "halo must be non-negative");
+        let (i, j) = self.coords(s);
+        let x0 = if i == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.origin.x + i as f64 * self.shard_side - halo
+        };
+        let x1 = if i + 1 == self.cols {
+            f64::INFINITY
+        } else {
+            self.origin.x + (i + 1) as f64 * self.shard_side + halo
+        };
+        let y0 = if j == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.origin.y + j as f64 * self.shard_side - halo
+        };
+        let y1 = if j + 1 == self.rows {
+            f64::INFINITY
+        } else {
+            self.origin.y + (j + 1) as f64 * self.shard_side + halo
+        };
+        Aabb::from_coords(x0, y0, x1, y1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +400,59 @@ mod tests {
         let t = Tiling::new(4.0 / 3.0);
         assert_eq!(t.tiles_across(4.0), 3);
         assert_eq!(t.tiles_across(3.9), 2);
+    }
+
+    #[test]
+    fn shard_grid_partitions_the_window() {
+        let w = Aabb::square(8.0);
+        let g = ShardGrid::new(&w, 1.0, 2); // 4 × 4 shards of side 2
+        assert_eq!((g.cols(), g.rows()), (4, 4));
+        assert_eq!(g.shard_count(), 16);
+        assert_eq!(g.owner_of(Point::new(0.5, 0.5)), 0);
+        assert_eq!(g.owner_of(Point::new(7.9, 7.9)), 15);
+        // Half-open interior boundaries: x = 2 belongs to the right shard.
+        assert_eq!(g.owner_of(Point::new(2.0, 0.5)), 1);
+        // The outer window edge (and beyond) clamps to the edge shard.
+        assert_eq!(g.owner_of(Point::new(8.0, 8.0)), 15);
+        assert_eq!(g.owner_of(Point::new(-3.0, 9.0)), 12);
+    }
+
+    #[test]
+    fn shard_padding_covers_owned_halo_balls() {
+        let w = Aabb::square(8.0);
+        let g = ShardGrid::new(&w, 1.0, 2);
+        let halo = 0.75;
+        for (p, probes) in [
+            (Point::new(2.0, 2.0), 4),
+            (Point::new(0.0, 0.0), 4),
+            (Point::new(8.0, 5.1), 4),
+            (Point::new(-1.0, 3.0), 4),
+        ] {
+            let padded = g.padded(g.owner_of(p), halo);
+            for k in 0..probes {
+                let theta = std::f64::consts::TAU * k as f64 / probes as f64;
+                let q = p + Point::unit(theta) * halo;
+                assert!(padded.contains(q), "ball({p:?}, {halo}) escapes {padded:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_window_plan_is_one_unbounded_shard() {
+        let w = Aabb::square(5.0);
+        for g in [ShardGrid::whole(&w), ShardGrid::new(&w, 1.0, usize::MAX)] {
+            assert_eq!(g.shard_count(), 1);
+            let padded = g.padded(0, 0.0);
+            assert!(padded.contains(Point::new(-1e12, 1e12)));
+            assert_eq!(g.owner_of(Point::new(1e9, -1e9)), 0);
+        }
+    }
+
+    #[test]
+    fn interior_padding_is_exactly_core_plus_halo() {
+        let w = Aabb::square(9.0);
+        let g = ShardGrid::new(&w, 1.0, 3); // 3 × 3 shards of side 3
+        let padded = g.padded(4, 0.5); // centre shard
+        assert_eq!(padded, Aabb::from_coords(2.5, 2.5, 6.5, 6.5));
     }
 }

@@ -17,15 +17,25 @@
 //!
 //! All builders return [`wsn_graph::Csr`] over the ids of the input
 //! [`wsn_pointproc::PointSet`].
+//!
+//! Every topology also has a tile-sharded, rayon-parallel builder in
+//! [`sharded`] that streams the deployment as ghost-padded shards and is
+//! proven edge-identical to the monolithic builder — the construction
+//! pipeline behind million-node experiments.
 
 pub mod gabriel;
 pub mod knn;
 pub mod rng_graph;
+pub mod sharded;
 pub mod udg;
 pub mod yao;
 
 pub use gabriel::build_gabriel;
 pub use knn::{build_knn, knn_lists};
 pub use rng_graph::build_rng;
+pub use sharded::{
+    build_gabriel_sharded, build_knn_sharded, build_rng_sharded, build_udg_sharded,
+    build_yao_sharded, knn_halo, knn_lists_sharded, WHOLE_WINDOW,
+};
 pub use udg::{build_udg, build_udg_torus};
-pub use yao::build_yao;
+pub use yao::{build_yao, yao_out_lists};

@@ -1,0 +1,482 @@
+//! Tile-sharded, rayon-parallel construction of every plain topology.
+//!
+//! The paper's structures are all *locally constructible*: whether an edge
+//! exists depends only on points within a constant radius of its endpoints.
+//! The pipeline exploits exactly that. A deployment is decomposed by a
+//! [`wsn_geom::ShardGrid`] into rectangular shards; each shard
+//!
+//! 1. **gathers** its ghost-padded working set (core block inflated by the
+//!    topology's halo radius) from one shared read-only [`GridIndex`] — the
+//!    halo exchange,
+//! 2. **constructs** its owned nodes' edges against a shard-local index
+//!    whose coordinates all fit in cache, and
+//! 3. hands its edge slice back for the **stitch** into the global CSR.
+//!
+//! Shards fan out over the rayon pool and are collected in shard order, so
+//! the result is bit-identical at any `RAYON_NUM_THREADS` — and, more
+//! importantly, *edge-identical to the monolithic builders* in this crate
+//! (`tests/sharded_vs_monolithic.rs` pins all seven topology kinds).
+//!
+//! ## Why the stitched CSR is exactly the monolithic one
+//!
+//! * Every point has exactly one owner shard, and `ball(p, halo)` is
+//!   contained in the owner's padded extent, so an owned node sees exactly
+//!   the candidate set the monolithic builder saw (the predicates never
+//!   look farther than the halo: UDG/Yao query `radius`; Gabriel blockers
+//!   and RNG witnesses lie within `radius` of the nearer endpoint).
+//! * Local ids are assigned in ascending global-id order, so every id
+//!   tie-break (k-NN heap keys, Yao per-cone minima) orders candidates the
+//!   same way.
+//! * Predicates are evaluated with the same operand order as the monolithic
+//!   code (smaller global id first), so float results are identical — not
+//!   merely equivalent.
+//! * k-NN, whose halo is probabilistic rather than certain, verifies per
+//!   node that its k-th neighbour distance fits inside the halo and falls
+//!   back to the shared global index otherwise (exact in both cases since
+//!   k-NN results are index-independent).
+
+use rayon::prelude::*;
+use wsn_geom::{Point, ShardGrid};
+use wsn_graph::{Csr, EdgeList};
+use wsn_pointproc::PointSet;
+use wsn_spatial::GridIndex;
+
+/// Pass as `tiles_per_shard` for an explicit single-shard (whole-window)
+/// plan — useful as the degenerate case of differential tests.
+pub const WHOLE_WINDOW: usize = usize::MAX;
+
+/// A shard's materialised working set: the ghost-padded points in local id
+/// space, the monotone local→global id map, and the ownership mask.
+struct Shard {
+    pts: PointSet,
+    ids: Vec<u32>,
+    owned: Vec<bool>,
+}
+
+impl Shard {
+    fn gather(
+        points: &PointSet,
+        gather: &GridIndex,
+        grid: &ShardGrid,
+        s: usize,
+        halo: f64,
+    ) -> Shard {
+        let mut ids = Vec::new();
+        gather.gather_sorted(&grid.padded(s, halo), &mut ids);
+        let mut pts = PointSet::with_capacity(ids.len());
+        let mut owned = Vec::with_capacity(ids.len());
+        for &g in &ids {
+            let p = points.get(g);
+            pts.push(p);
+            owned.push(grid.owner_of(p) == s);
+        }
+        Shard { pts, ids, owned }
+    }
+}
+
+/// Shard plan over the deployment's bounding box with shards of
+/// `tiles_per_shard` tiles (of side `tile`) per side.
+fn plan(points: &PointSet, tile: f64, tiles_per_shard: usize) -> ShardGrid {
+    let bbox = points.bounding_box().expect("caller guards empty sets");
+    if tiles_per_shard == WHOLE_WINDOW {
+        ShardGrid::whole(&bbox)
+    } else {
+        ShardGrid::new(&bbox, tile, tiles_per_shard)
+    }
+}
+
+/// Fan `build_shard` out over all shards and concatenate in shard order.
+fn fan_out<F>(grid: &ShardGrid, build_shard: F) -> Vec<(u32, u32)>
+where
+    F: Fn(usize) -> Vec<(u32, u32)> + Sync,
+{
+    let per_shard: Vec<Vec<(u32, u32)>> = (0..grid.shard_count())
+        .into_par_iter()
+        .map(build_shard)
+        .collect();
+    let total = per_shard.iter().map(Vec::len).sum();
+    let mut all = Vec::with_capacity(total);
+    for mut chunk in per_shard {
+        all.append(&mut chunk);
+    }
+    all
+}
+
+/// Sharded `UDG(points, radius)` — edge-identical to
+/// [`crate::udg::build_udg`].
+pub fn build_udg_sharded(points: &PointSet, radius: f64, tiles_per_shard: usize) -> Csr {
+    assert!(radius > 0.0, "radius must be positive");
+    if points.is_empty() {
+        return Csr::empty(0);
+    }
+    let gather = GridIndex::build(points, radius);
+    let grid = plan(points, radius, tiles_per_shard);
+    let edges = fan_out(&grid, |s| {
+        let shard = Shard::gather(points, &gather, &grid, s, radius);
+        let mut out = Vec::new();
+        if shard.pts.is_empty() {
+            return out;
+        }
+        let index = GridIndex::build(&shard.pts, radius);
+        for (u, p) in shard.pts.iter_enumerated() {
+            if !shard.owned[u as usize] {
+                continue;
+            }
+            let gu = shard.ids[u as usize];
+            index.for_each_in_disk(p, radius, |v, _| {
+                let gv = shard.ids[v as usize];
+                if gv > gu {
+                    out.push((gu, gv));
+                }
+            });
+        }
+        out
+    });
+    // Each canonical edge is emitted exactly once (by the owner of its
+    // smaller endpoint), so the CSR builds without a global sort.
+    Csr::from_canonical_edges(points.len(), &edges)
+}
+
+/// Sharded Gabriel subgraph of `UDG(points, radius)` — edge-identical to
+/// [`crate::gabriel::build_gabriel`].
+///
+/// Unlike the monolithic builder this never materialises the intermediate
+/// UDG, and the diameter-disk emptiness test short-circuits on the first
+/// blocker instead of scanning the whole disk.
+pub fn build_gabriel_sharded(points: &PointSet, radius: f64, tiles_per_shard: usize) -> Csr {
+    assert!(radius > 0.0, "radius must be positive");
+    if points.is_empty() {
+        return Csr::empty(0);
+    }
+    let gather = GridIndex::build(points, radius);
+    let grid = plan(points, radius, tiles_per_shard);
+    let edges = fan_out(&grid, |s| {
+        let shard = Shard::gather(points, &gather, &grid, s, radius);
+        let mut out = Vec::new();
+        if shard.pts.is_empty() {
+            return out;
+        }
+        let index = GridIndex::build(&shard.pts, radius);
+        // Every blocker of an edge `uv` (inside the diameter disk) is
+        // within `|uv| ≤ radius` of `u`, i.e. already in `u`'s neighbour
+        // list — so the emptiness test scans that list (sorted by distance:
+        // likely blockers first, early exit) instead of probing grid cells
+        // per edge.
+        let mut nbrs: Vec<(u32, Point, f64)> = Vec::new();
+        for (u, pu) in shard.pts.iter_enumerated() {
+            if !shard.owned[u as usize] {
+                continue;
+            }
+            let gu = shard.ids[u as usize];
+            nbrs.clear();
+            index.for_each_in_disk(pu, radius, |v, q| {
+                if v != u {
+                    nbrs.push((v, q, pu.dist(q)));
+                }
+            });
+            nbrs.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+            for &(v, pv, _) in &nbrs {
+                let gv = shard.ids[v as usize];
+                if gv <= gu {
+                    continue;
+                }
+                let mid = pu.midpoint(pv);
+                let r = pu.dist(pv) * 0.5;
+                let r2 = r * r - 1e-12;
+                let blocked = nbrs.iter().any(|&(w, q, _)| w != v && q.dist_sq(mid) < r2);
+                if !blocked {
+                    out.push((gu, gv));
+                }
+            }
+        }
+        out
+    });
+    Csr::from_canonical_edges(points.len(), &edges)
+}
+
+/// Sharded relative neighbourhood subgraph of `UDG(points, radius)` —
+/// edge-identical to [`crate::rng_graph::build_rng`].
+pub fn build_rng_sharded(points: &PointSet, radius: f64, tiles_per_shard: usize) -> Csr {
+    assert!(radius > 0.0, "radius must be positive");
+    if points.is_empty() {
+        return Csr::empty(0);
+    }
+    let gather = GridIndex::build(points, radius);
+    let grid = plan(points, radius, tiles_per_shard);
+    let edges = fan_out(&grid, |s| {
+        let shard = Shard::gather(points, &gather, &grid, s, radius);
+        let mut out = Vec::new();
+        if shard.pts.is_empty() {
+            return out;
+        }
+        let index = GridIndex::build(&shard.pts, radius);
+        // A lune witness of `uv` is closer than `|uv| ≤ radius` to *both*
+        // endpoints, so it is in `u`'s neighbour list. Sorting that list by
+        // distance-to-`u` makes the witness scan a prefix scan: entries at
+        // `d(w, u) ≥ |uv|` can never block and terminate the loop.
+        let mut nbrs: Vec<(u32, Point, f64)> = Vec::new();
+        for (u, pu) in shard.pts.iter_enumerated() {
+            if !shard.owned[u as usize] {
+                continue;
+            }
+            let gu = shard.ids[u as usize];
+            nbrs.clear();
+            index.for_each_in_disk(pu, radius, |v, q| {
+                if v != u {
+                    nbrs.push((v, q, pu.dist(q)));
+                }
+            });
+            nbrs.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+            for &(v, pv, d) in &nbrs {
+                let gv = shard.ids[v as usize];
+                if gv <= gu {
+                    continue;
+                }
+                let strict = d - 1e-12;
+                let mut blocked = false;
+                for &(w, q, dwu) in &nbrs {
+                    if dwu >= strict {
+                        break; // sorted: no later entry can block
+                    }
+                    if w != v && q.dist(pv) < strict {
+                        blocked = true;
+                        break;
+                    }
+                }
+                if !blocked {
+                    out.push((gu, gv));
+                }
+            }
+        }
+        out
+    });
+    Csr::from_canonical_edges(points.len(), &edges)
+}
+
+/// Sharded Yao subgraph of `UDG(points, radius)` with `cones` sectors —
+/// edge-identical to [`crate::yao::build_yao`].
+pub fn build_yao_sharded(
+    points: &PointSet,
+    radius: f64,
+    cones: usize,
+    tiles_per_shard: usize,
+) -> Csr {
+    assert!(cones >= 1, "need at least one cone");
+    if points.is_empty() {
+        return Csr::empty(0);
+    }
+    let gather = GridIndex::build(points, radius);
+    let grid = plan(points, radius, tiles_per_shard);
+    let sector = std::f64::consts::TAU / cones as f64;
+    let edges = fan_out(&grid, |s| {
+        let shard = Shard::gather(points, &gather, &grid, s, radius);
+        let mut out = Vec::new();
+        if shard.pts.is_empty() {
+            return out;
+        }
+        let index = GridIndex::build(&shard.pts, radius);
+        // best[c] = (dist, global id) of the nearest neighbour in cone c —
+        // keyed on global ids so ties break exactly as in the monolithic
+        // builder.
+        let mut best: Vec<Option<(f64, u32)>> = vec![None; cones];
+        for (u, p) in shard.pts.iter_enumerated() {
+            if !shard.owned[u as usize] {
+                continue;
+            }
+            let gu = shard.ids[u as usize];
+            best.iter_mut().for_each(|b| *b = None);
+            index.for_each_in_disk(p, radius, |v, q| {
+                if v == u {
+                    return;
+                }
+                let angle = (q.y - p.y)
+                    .atan2(q.x - p.x)
+                    .rem_euclid(std::f64::consts::TAU);
+                let cone = ((angle / sector) as usize).min(cones - 1);
+                let cand = (p.dist(q), shard.ids[v as usize]);
+                if best[cone].is_none_or(|cur| cand < cur) {
+                    best[cone] = Some(cand);
+                }
+            });
+            for b in best.iter().flatten() {
+                out.push((gu.min(b.1), gu.max(b.1)));
+            }
+        }
+        out
+    });
+    // Directed selections can coincide from both endpoints (possibly in
+    // different shards); symmetrise through the deduplicating edge-list
+    // path like the monolithic builder does.
+    let mut el = EdgeList::with_capacity(points.len(), edges.len());
+    for (u, v) in edges {
+        el.add(u, v);
+    }
+    Csr::from_edge_list(el)
+}
+
+/// Grid cell size for k-NN searches (same heuristic as the monolithic
+/// builder: roughly the radius expected to contain k points).
+fn knn_cell_size(points: &PointSet, k: usize) -> f64 {
+    let bb = points.bounding_box().unwrap();
+    let area = bb.area().max(1e-9);
+    let density = points.len() as f64 / area;
+    ((k as f64 + 1.0) / (std::f64::consts::PI * density.max(1e-9)))
+        .sqrt()
+        .clamp(1e-3, bb.width().max(bb.height()).max(1e-3))
+}
+
+/// The halo radius the sharded k-NN builder pads shards with (3× the
+/// expected k-point radius at the set's mean density) — also the tile side
+/// of its [`ShardGrid`] plan. Exposed so external tooling (the pipeline
+/// bench) can reconstruct the exact shard decomposition.
+pub fn knn_halo(points: &PointSet, k: usize) -> f64 {
+    3.0 * knn_cell_size(points, k)
+}
+
+/// The sharded directed k-NN lists — identical to
+/// [`crate::knn::knn_lists`].
+///
+/// The halo is sized so that a node's k nearest almost surely fit inside
+/// it (3× the expected k-point radius); each node *verifies* that bound
+/// (`k` results, all within the halo) and the rare stragglers fall back to
+/// an exact query on the shared global index.
+pub fn knn_lists_sharded(points: &PointSet, k: usize, tiles_per_shard: usize) -> Vec<Vec<u32>> {
+    if points.is_empty() || k == 0 {
+        return vec![Vec::new(); points.len()];
+    }
+    let halo = knn_halo(points, k);
+    let gather = GridIndex::build(points, knn_cell_size(points, k));
+    let grid = plan(points, halo, tiles_per_shard);
+    let bbox = points.bounding_box().unwrap();
+    let per_shard: Vec<Vec<(u32, Vec<u32>)>> = (0..grid.shard_count())
+        .into_par_iter()
+        .map(|s| {
+            let shard = Shard::gather(points, &gather, &grid, s, halo);
+            let mut out = Vec::new();
+            if shard.pts.is_empty() {
+                return out;
+            }
+            let covers_all = grid.padded(s, halo).contains_aabb(&bbox);
+            let index = GridIndex::build(&shard.pts, knn_cell_size(&shard.pts, k));
+            for (u, p) in shard.pts.iter_enumerated() {
+                if !shard.owned[u as usize] {
+                    continue;
+                }
+                let gu = shard.ids[u as usize];
+                let local = index.knn(p, k, Some(u));
+                let certain = covers_all
+                    || (local.len() == k && local.last().is_none_or(|&(_, d)| d <= halo));
+                let list: Vec<u32> = if certain {
+                    local
+                        .into_iter()
+                        .map(|(v, _)| shard.ids[v as usize])
+                        .collect()
+                } else {
+                    // Halo miss: resolve exactly against the global index
+                    // (k-NN results are index-independent).
+                    gather
+                        .knn(p, k, Some(gu))
+                        .into_iter()
+                        .map(|(v, _)| v)
+                        .collect()
+                };
+                out.push((gu, list));
+            }
+            out
+        })
+        .collect();
+    let mut lists = vec![Vec::new(); points.len()];
+    for chunk in per_shard {
+        for (gu, list) in chunk {
+            lists[gu as usize] = list;
+        }
+    }
+    lists
+}
+
+/// Sharded undirected `NN(points, k)` — edge-identical to
+/// [`crate::knn::build_knn`].
+pub fn build_knn_sharded(points: &PointSet, k: usize, tiles_per_shard: usize) -> Csr {
+    let lists = knn_lists_sharded(points, k, tiles_per_shard);
+    let mut el = EdgeList::with_capacity(points.len(), points.len() * k);
+    for (u, nbrs) in lists.iter().enumerate() {
+        for &v in nbrs {
+            el.add(u as u32, v);
+        }
+    }
+    Csr::from_edge_list(el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_gabriel, build_knn, build_rng, build_udg, build_yao, knn_lists};
+    use wsn_geom::Aabb;
+    use wsn_pointproc::{rng_from_seed, sample_binomial_window};
+
+    fn pts(n: usize, seed: u64, side: f64) -> PointSet {
+        sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(side))
+    }
+
+    #[test]
+    fn udg_matches_monolithic_across_shard_sizes() {
+        let p = pts(400, 1, 10.0);
+        let mono = build_udg(&p, 1.0);
+        for tiles in [1, 3, WHOLE_WINDOW] {
+            assert_eq!(build_udg_sharded(&p, 1.0, tiles), mono, "tiles = {tiles}");
+        }
+    }
+
+    #[test]
+    fn gabriel_and_rng_match_monolithic() {
+        let p = pts(300, 2, 8.0);
+        assert_eq!(build_gabriel_sharded(&p, 1.2, 2), build_gabriel(&p, 1.2));
+        assert_eq!(build_rng_sharded(&p, 1.2, 2), build_rng(&p, 1.2));
+    }
+
+    #[test]
+    fn yao_matches_monolithic() {
+        let p = pts(300, 3, 8.0);
+        for cones in [1, 4, 6] {
+            assert_eq!(
+                build_yao_sharded(&p, 1.0, cones, 2),
+                build_yao(&p, 1.0, cones),
+                "cones = {cones}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_lists_and_graph_match_monolithic() {
+        let p = pts(250, 4, 6.0);
+        for k in [1, 4, 9] {
+            assert_eq!(knn_lists_sharded(&p, k, 2), knn_lists(&p, k), "k = {k}");
+            assert_eq!(build_knn_sharded(&p, k, 2), build_knn(&p, k));
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let empty = PointSet::new();
+        assert_eq!(build_udg_sharded(&empty, 1.0, 4).n(), 0);
+        assert_eq!(build_knn_sharded(&empty, 3, 4).n(), 0);
+        let two: PointSet = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(build_udg_sharded(&two, 1.0, 1), build_udg(&two, 1.0));
+        assert_eq!(build_knn_sharded(&two, 5, 1), build_knn(&two, 5));
+        assert_eq!(build_knn_sharded(&two, 0, 1).m(), 0);
+    }
+
+    #[test]
+    fn clustered_deployment_with_empty_shards() {
+        // Two far-apart dense clusters leave most interior shards empty.
+        let mut p = PointSet::new();
+        for (i, q) in pts(120, 5, 2.0).iter().enumerate() {
+            let off = if i % 2 == 0 { 0.0 } else { 30.0 };
+            p.push(Point::new(q.x + off, q.y + off));
+        }
+        assert_eq!(build_udg_sharded(&p, 1.0, 2), build_udg(&p, 1.0));
+        assert_eq!(build_gabriel_sharded(&p, 1.0, 2), build_gabriel(&p, 1.0));
+    }
+}

@@ -11,17 +11,16 @@ use wsn_graph::{Csr, EdgeList};
 use wsn_pointproc::PointSet;
 use wsn_spatial::GridIndex;
 
-/// Build the Yao subgraph of `UDG(points, radius)` with `cones` sectors.
-pub fn build_yao(points: &PointSet, radius: f64, cones: usize) -> Csr {
+/// The directed Yao selections: `lists[u]` = the nearest UDG neighbour of
+/// `u` in each non-empty cone, in cone order. At most `cones` entries per
+/// node — the degree-bound witness the property tests pin.
+pub fn yao_out_lists(points: &PointSet, radius: f64, cones: usize) -> Vec<Vec<u32>> {
     assert!(cones >= 1, "need at least one cone");
-    if points.is_empty() {
-        return build_udg(points, radius);
-    }
     let index = GridIndex::build(points, radius);
     let sector = std::f64::consts::TAU / cones as f64;
-    let mut el = EdgeList::new(points.len());
     // best[c] = (dist, id) of the nearest neighbour in cone c.
     let mut best: Vec<Option<(f64, u32)>> = vec![None; cones];
+    let mut lists = Vec::with_capacity(points.len());
     for (u, p) in points.iter_enumerated() {
         best.iter_mut().for_each(|b| *b = None);
         index.for_each_in_disk(p, radius, |v, q| {
@@ -39,8 +38,21 @@ pub fn build_yao(points: &PointSet, radius: f64, cones: usize) -> Csr {
                 best[cone] = Some(cand);
             }
         });
-        for b in best.iter().flatten() {
-            el.add(u, b.1);
+        lists.push(best.iter().flatten().map(|b| b.1).collect());
+    }
+    lists
+}
+
+/// Build the Yao subgraph of `UDG(points, radius)` with `cones` sectors.
+pub fn build_yao(points: &PointSet, radius: f64, cones: usize) -> Csr {
+    assert!(cones >= 1, "need at least one cone");
+    if points.is_empty() {
+        return build_udg(points, radius);
+    }
+    let mut el = EdgeList::new(points.len());
+    for (u, targets) in yao_out_lists(points, radius, cones).iter().enumerate() {
+        for &v in targets {
+            el.add(u as u32, v);
         }
     }
     Csr::from_edge_list(el)

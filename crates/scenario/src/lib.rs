@@ -54,5 +54,5 @@ pub use presets::{all_presets, find_preset, run_preset, Preset};
 pub use report::Report;
 pub use runner::{run_matrix, Profile};
 pub use spec::{
-    DeploymentSpec, FaultSpec, MetricSuite, ScenarioMatrix, ScenarioSpec, TopologySpec,
+    DeploymentSpec, ExecSpec, FaultSpec, MetricSuite, ScenarioMatrix, ScenarioSpec, TopologySpec,
 };

@@ -13,18 +13,21 @@ use wsn_graph::stats::degree_stats;
 use wsn_graph::Csr;
 use wsn_pointproc::matern::sample_matern_ii;
 use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
-use wsn_rgg::{build_gabriel, build_knn, build_rng, build_udg, build_yao};
+use wsn_rgg::{
+    build_gabriel, build_gabriel_sharded, build_knn, build_knn_sharded, build_rng,
+    build_rng_sharded, build_udg, build_udg_sharded, build_yao, build_yao_sharded,
+};
 use wsn_simnet::energy::{path_energy, EnergyModel};
 use wsn_simnet::fault::random_failures;
 use wsn_simnet::{distributed_build_udg, route_packet_with_path};
 
 use wsn_core::coverage::{ell_for_target, empty_box_curve};
-use wsn_core::nn::build_nn_sens;
+use wsn_core::nn::{build_nn_sens, build_nn_sens_parallel};
 use wsn_core::params::{NnSensParams, UdgSensParams};
 use wsn_core::stretch::{measure_sens_stretch, sample_id_pairs, sample_rep_pairs};
 use wsn_core::subgraph::SensNetwork;
 use wsn_core::tilegrid::TileGrid;
-use wsn_core::udg::build_udg_sens;
+use wsn_core::udg::{build_udg_sens, build_udg_sens_parallel};
 
 use crate::spec::{DeploymentSpec, ScenarioSpec, TopologySpec};
 
@@ -122,25 +125,59 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
     push(&mut ch, "nodes.surviving", points.len() as f64);
 
     // ---- topology construction --------------------------------------
+    // The sharded pipeline is edge-identical to the monolithic builders,
+    // so `spec.exec` can never change a metric value — only how fast (and
+    // in how many parallel shards) the graph appears.
     let udg_params = UdgSensParams::strict_default();
+    let shard_tiles = spec.exec.shard_tiles;
+    let parallel = spec.exec.parallel;
     let built = match spec.topology {
-        TopologySpec::UdgSens => Built::Sens(
-            build_udg_sens(&points, udg_params, grid.clone().expect("SENS grid"))
-                .expect("strict default params are valid"),
-        ),
+        TopologySpec::UdgSens => {
+            let g = grid.clone().expect("SENS grid");
+            let net = if parallel {
+                build_udg_sens_parallel(&points, udg_params, g)
+            } else {
+                build_udg_sens(&points, udg_params, g)
+            };
+            Built::Sens(net.expect("strict default params are valid"))
+        }
         TopologySpec::NnSens { a, k } => {
             let params = NnSensParams { a, k };
-            let base = build_knn(&points, k);
-            Built::Sens(
-                build_nn_sens(&points, &base, params, grid.clone().expect("SENS grid"))
-                    .expect("NN-SENS params validated by preset"),
-            )
+            let g = grid.clone().expect("SENS grid");
+            let net = if parallel {
+                let base = build_knn_sharded(&points, k, shard_tiles);
+                build_nn_sens_parallel(&points, &base, params, g)
+            } else {
+                let base = build_knn(&points, k);
+                build_nn_sens(&points, &base, params, g)
+            };
+            Built::Sens(net.expect("NN-SENS params validated by preset"))
         }
-        TopologySpec::Udg { radius } => Built::Plain(build_udg(&points, radius)),
-        TopologySpec::Knn { k } => Built::Plain(build_knn(&points, k)),
-        TopologySpec::Gabriel { radius } => Built::Plain(build_gabriel(&points, radius)),
-        TopologySpec::Rng { radius } => Built::Plain(build_rng(&points, radius)),
-        TopologySpec::Yao { radius, cones } => Built::Plain(build_yao(&points, radius, cones)),
+        TopologySpec::Udg { radius } => Built::Plain(if parallel {
+            build_udg_sharded(&points, radius, shard_tiles)
+        } else {
+            build_udg(&points, radius)
+        }),
+        TopologySpec::Knn { k } => Built::Plain(if parallel {
+            build_knn_sharded(&points, k, shard_tiles)
+        } else {
+            build_knn(&points, k)
+        }),
+        TopologySpec::Gabriel { radius } => Built::Plain(if parallel {
+            build_gabriel_sharded(&points, radius, shard_tiles)
+        } else {
+            build_gabriel(&points, radius)
+        }),
+        TopologySpec::Rng { radius } => Built::Plain(if parallel {
+            build_rng_sharded(&points, radius, shard_tiles)
+        } else {
+            build_rng(&points, radius)
+        }),
+        TopologySpec::Yao { radius, cones } => Built::Plain(if parallel {
+            build_yao_sharded(&points, radius, cones, shard_tiles)
+        } else {
+            build_yao(&points, radius, cones)
+        }),
     };
 
     // ---- metric: degree (P1) ----------------------------------------
@@ -444,7 +481,7 @@ fn run_claim_audit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{FaultSpec, MetricSuite, StretchSpec};
+    use crate::spec::{ExecSpec, FaultSpec, MetricSuite, StretchSpec};
 
     fn base_spec() -> ScenarioSpec {
         ScenarioSpec {
@@ -457,6 +494,7 @@ mod tests {
                 sens_summary: true,
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 1,
         }
     }
@@ -513,6 +551,46 @@ mod tests {
             .map(|(_, v)| *v)
             .unwrap();
         assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn parallel_exec_changes_no_channel_byte() {
+        for topology in [
+            TopologySpec::UdgSens,
+            TopologySpec::Udg { radius: 1.0 },
+            TopologySpec::Knn { k: 5 },
+            TopologySpec::Gabriel { radius: 1.0 },
+            TopologySpec::Rng { radius: 1.0 },
+            TopologySpec::Yao {
+                radius: 1.0,
+                cones: 6,
+            },
+        ] {
+            let mut spec = base_spec();
+            spec.topology = topology;
+            spec.metrics = MetricSuite {
+                degree: true,
+                sens_summary: true,
+                stretch: Some(StretchSpec {
+                    pairs: 12,
+                    alpha: 2.5,
+                }),
+                ..MetricSuite::default()
+            };
+            let mono = run_replication(&spec, 31);
+            for shard_tiles in [1usize, 4, usize::MAX] {
+                spec.exec = ExecSpec {
+                    parallel: true,
+                    shard_tiles,
+                };
+                assert_eq!(
+                    run_replication(&spec, 31),
+                    mono,
+                    "{:?} shard_tiles={shard_tiles}",
+                    spec.topology
+                );
+            }
+        }
     }
 
     #[test]

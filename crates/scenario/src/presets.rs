@@ -10,8 +10,8 @@ use serde::Serialize;
 use crate::report::Report;
 use crate::runner::{run_matrix, Profile};
 use crate::spec::{
-    CoverageSpec, DeploymentSpec, FaultSpec, MetricSuite, PowerSpec, RoutingSpec, ScenarioMatrix,
-    StretchSpec, TopologySpec,
+    CoverageSpec, DeploymentSpec, ExecSpec, FaultSpec, MetricSuite, PowerSpec, RoutingSpec,
+    ScenarioMatrix, StretchSpec, TopologySpec,
 };
 use crate::substrate;
 
@@ -146,6 +146,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 sens_summary: true,
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 2,
         },
         "stretch" => ScenarioMatrix {
@@ -160,6 +161,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 }),
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 2,
         },
         "coverage" => ScenarioMatrix {
@@ -178,6 +180,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 }),
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 2,
         },
         "coverage-logn" => ScenarioMatrix {
@@ -194,6 +197,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 }),
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 2,
         },
         "power" => ScenarioMatrix {
@@ -217,6 +221,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 }),
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 2,
         },
         "matern" => ScenarioMatrix {
@@ -245,6 +250,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 }),
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 2,
         },
         "claim-udg" => ScenarioMatrix {
@@ -256,6 +262,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 claim_paths: true,
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: profile.pick(8, 3),
         },
         "claim-nn" => ScenarioMatrix {
@@ -270,6 +277,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 claim_paths: true,
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: profile.pick(6, 2),
         },
         "routing" => ScenarioMatrix {
@@ -286,6 +294,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 }),
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 2,
         },
         "construct-cost" => ScenarioMatrix {
@@ -297,6 +306,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 construction: true,
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: profile.pick(2, 1),
         },
         "fault-resilience" => ScenarioMatrix {
@@ -317,6 +327,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 }),
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 2,
         },
         _ => return None,

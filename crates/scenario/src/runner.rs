@@ -164,7 +164,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, base_seed: u64) -> Vec<ScenarioResult
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{DeploymentSpec, MetricSuite, TopologySpec};
+    use crate::spec::{DeploymentSpec, ExecSpec, MetricSuite, TopologySpec};
 
     fn tiny_matrix() -> ScenarioMatrix {
         ScenarioMatrix {
@@ -176,6 +176,7 @@ mod tests {
                 degree: true,
                 ..MetricSuite::default()
             },
+            exec: ExecSpec::monolithic(),
             replications: 3,
         }
     }

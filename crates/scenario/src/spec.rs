@@ -78,6 +78,47 @@ impl TopologySpec {
     }
 }
 
+/// How the topology is constructed: monolithically (the reference
+/// builders) or through the tile-sharded parallel pipeline.
+///
+/// The pipeline is proven edge-identical to the monolithic builders
+/// (`tests/sharded_vs_monolithic.rs`), so this knob changes wall-clock and
+/// memory shape, **never** a single metric byte — which is why it is not
+/// part of the cell label and not a matrix axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecSpec {
+    /// Use the sharded rayon-parallel pipeline.
+    pub parallel: bool,
+    /// Shard side in topology tiles (query radius for the plain graphs,
+    /// the k-NN halo for `Knn`; SENS constructions shard by their own
+    /// tiles). `usize::MAX` means one whole-window shard.
+    pub shard_tiles: usize,
+}
+
+impl ExecSpec {
+    /// The reference single-shard execution (the default).
+    pub const fn monolithic() -> Self {
+        ExecSpec {
+            parallel: false,
+            shard_tiles: 16,
+        }
+    }
+
+    /// The sharded pipeline with the default shard size.
+    pub const fn sharded() -> Self {
+        ExecSpec {
+            parallel: true,
+            shard_tiles: 16,
+        }
+    }
+}
+
+impl Default for ExecSpec {
+    fn default() -> Self {
+        ExecSpec::monolithic()
+    }
+}
+
 /// Mid-construction fault injection: each node dies independently with
 /// probability `p_fail` after deployment but before the (re)build epoch —
 /// the construction must cope with the surviving density.
@@ -164,6 +205,8 @@ pub struct ScenarioSpec {
     pub topology: TopologySpec,
     pub fault: Option<FaultSpec>,
     pub metrics: MetricSuite,
+    /// Construction execution mode (not an axis; see [`ExecSpec`]).
+    pub exec: ExecSpec,
     /// Independent replications (each with its own derived seed).
     pub replications: usize,
 }
@@ -198,6 +241,8 @@ pub struct ScenarioMatrix {
     /// Fault axis; use `vec![None]` for no fault modelling.
     pub faults: Vec<Option<FaultSpec>>,
     pub metrics: MetricSuite,
+    /// Construction execution mode shared by every cell (not an axis).
+    pub exec: ExecSpec,
     pub replications: usize,
 }
 
@@ -217,6 +262,7 @@ impl ScenarioMatrix {
                             topology,
                             fault,
                             metrics: self.metrics.clone(),
+                            exec: self.exec,
                             replications: self.replications,
                         });
                     }
@@ -239,6 +285,7 @@ mod tests {
             topologies: vec![TopologySpec::UdgSens, TopologySpec::Udg { radius: 1.0 }],
             faults: vec![None, Some(FaultSpec { p_fail: 0.2 })],
             metrics: MetricSuite::default(),
+            exec: ExecSpec::monolithic(),
             replications: 2,
         };
         let cells = m.expand();
@@ -265,6 +312,7 @@ mod tests {
             },
             fault: Some(FaultSpec { p_fail: 0.25 }),
             metrics: MetricSuite::default(),
+            exec: ExecSpec::monolithic(),
             replications: 1,
         };
         assert_eq!(

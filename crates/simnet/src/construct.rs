@@ -24,6 +24,7 @@
 
 use std::collections::HashMap;
 
+use serde::Serialize;
 use wsn_core::params::{UdgGeometryMode, UdgSensParams};
 use wsn_core::subgraph::{relay_bit, SensNetwork, ROLE_REP};
 use wsn_core::tilegrid::{TileAssignment, TileGrid};
@@ -228,6 +229,93 @@ pub fn distributed_build_udg(
     })
 }
 
+/// Per-shard construction message accounting — the halo-exchange cost view
+/// of the Fig. 7 protocol under the tile-sharded pipeline.
+///
+/// Tiles are grouped into shards of `tiles_per_shard × tiles_per_shard`
+/// (the same decomposition as `wsn_geom::ShardGrid` over the grid's covered
+/// area), each node's sent messages are attributed to its tile's shard, and
+/// nodes in *border* tiles — tiles with at least one in-grid lattice
+/// neighbour in a different shard — are counted separately: their messages
+/// are the ones a sharded deployment would exchange across the halo. A
+/// single whole-grid shard therefore has zero border messages.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardAccounting {
+    /// Shard grid dimensions (cols × rows).
+    pub shards: usize,
+    pub tiles_per_shard: usize,
+    /// Messages sent by nodes of each shard (row-major shard order).
+    pub msgs_per_shard: Vec<u64>,
+    /// Messages sent by nodes outside the tile grid (never elected; their
+    /// only cost is election participation).
+    pub msgs_outside: u64,
+    /// Messages sent from border tiles (an in-grid lattice neighbour lies
+    /// in a different shard) — the halo-exchange share.
+    pub msgs_border: u64,
+    /// Highest per-shard total (load-balance measure).
+    pub msgs_max_shard: u64,
+}
+
+impl ShardAccounting {
+    /// Attribute `build`'s per-node message counts to shards of
+    /// `tiles_per_shard × tiles_per_shard` tiles.
+    pub fn of(build: &DistributedBuild, tiles_per_shard: usize) -> ShardAccounting {
+        assert!(tiles_per_shard >= 1, "need at least one tile per shard");
+        let grid = &build.network.grid;
+        let shard_cols = grid.cols().div_ceil(tiles_per_shard);
+        let shard_rows = grid.rows().div_ceil(tiles_per_shard);
+        let mut msgs_per_shard = vec![0u64; shard_cols * shard_rows];
+        let mut msgs_outside = 0u64;
+        let mut msgs_border = 0u64;
+        for (node, &sent) in build.stats.per_node_sent.iter().enumerate() {
+            let tile = build.network.tile_of_node[node];
+            if tile == u32::MAX {
+                msgs_outside += sent;
+                continue;
+            }
+            let site = grid.site_of_linear(tile as usize);
+            let (si, sj) = (site.0 / tiles_per_shard, site.1 / tiles_per_shard);
+            msgs_per_shard[sj * shard_cols + si] += sent;
+            // Border tile: one of its in-grid lattice neighbours lies in a
+            // different shard, so its cross-tile partners can live there.
+            // Window-edge tiles with no neighbour on that side are NOT
+            // border on that side.
+            let mut border = false;
+            for (ni, nj) in [
+                (site.0.wrapping_sub(1), site.1),
+                (site.0 + 1, site.1),
+                (site.0, site.1.wrapping_sub(1)),
+                (site.0, site.1 + 1),
+            ] {
+                if ni < grid.cols()
+                    && nj < grid.rows()
+                    && (ni / tiles_per_shard, nj / tiles_per_shard) != (si, sj)
+                {
+                    border = true;
+                    break;
+                }
+            }
+            if border {
+                msgs_border += sent;
+            }
+        }
+        let msgs_max_shard = msgs_per_shard.iter().copied().max().unwrap_or(0);
+        ShardAccounting {
+            shards: msgs_per_shard.len(),
+            tiles_per_shard,
+            msgs_per_shard,
+            msgs_outside,
+            msgs_border,
+            msgs_max_shard,
+        }
+    }
+
+    /// Total messages attributed to shards (excludes out-of-grid nodes).
+    pub fn msgs_in_shards(&self) -> u64 {
+        self.msgs_per_shard.iter().sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +378,36 @@ mod tests {
     fn paper_mode_is_rejected() {
         let (pts, grid, _) = deployment(18, 8.0, 5.0);
         let _ = distributed_build_udg(&pts, UdgSensParams::paper(), grid);
+    }
+
+    #[test]
+    fn shard_accounting_partitions_all_messages() {
+        let (pts, grid, params) = deployment(21, 14.0, 30.0);
+        let build = distributed_build_udg(&pts, params, grid).unwrap();
+        for tiles_per_shard in [1usize, 3, 100] {
+            let acc = ShardAccounting::of(&build, tiles_per_shard);
+            assert_eq!(
+                acc.msgs_in_shards() + acc.msgs_outside,
+                build.stats.sent,
+                "tiles_per_shard = {tiles_per_shard}"
+            );
+            assert!(acc.msgs_max_shard <= acc.msgs_in_shards());
+            assert!(acc.msgs_border <= acc.msgs_in_shards());
+        }
+        // One whole-grid shard: no shard boundaries exist, so nothing is a
+        // halo exchange, and the single shard carries every in-grid message.
+        let whole = ShardAccounting::of(&build, 100);
+        assert_eq!(whole.shards, 1);
+        assert_eq!(whole.msgs_per_shard[0], whole.msgs_in_shards());
+        assert_eq!(whole.msgs_border, 0, "a single shard has no halo");
+        // 1×1 shards: every tile with an in-grid neighbour is a border tile
+        // (the grid here is ≥ 2×2, so that is every tile).
+        let single = ShardAccounting::of(&build, 1);
+        assert_eq!(single.msgs_border, single.msgs_in_shards());
+        // Interior shards exist at 3 tiles/shard on this grid, so the halo
+        // share must be a strict subset of all in-shard messages.
+        let mid = ShardAccounting::of(&build, 3);
+        assert!(mid.msgs_border < mid.msgs_in_shards());
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod engine;
 pub mod fault;
 pub mod route;
 
-pub use construct::{distributed_build_udg, DistributedBuild};
+pub use construct::{distributed_build_udg, DistributedBuild, ShardAccounting};
 pub use engine::{Engine, MsgStats};
 pub use route::{route_packet, route_packet_with_path, SimRouteOutcome};

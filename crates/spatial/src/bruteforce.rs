@@ -16,14 +16,21 @@ pub fn in_disk(points: &PointSet, center: Point, radius: f64) -> Vec<u32> {
 
 /// The `k` nearest neighbours of `query`, excluding `skip`, sorted by
 /// `(distance, id)`.
+///
+/// Selection is keyed on *squared* distances, exactly like the grid
+/// index's heap: `sqrt` maps distinct squared distances onto the same
+/// float (e.g. `1.0` and `1.0 + 2⁻⁵²` both round to `1.0`), and an oracle
+/// ranking on the rounded value would tie-break by id where the index
+/// correctly prefers the strictly nearer point.
 pub fn knn(points: &PointSet, query: Point, k: usize, skip: Option<u32>) -> Vec<(u32, f64)> {
     let mut all: Vec<(u32, f64)> = points
         .iter_enumerated()
         .filter(|&(i, _)| Some(i) != skip)
-        .map(|(i, p)| (i, p.dist(query)))
+        .map(|(i, p)| (i, p.dist_sq(query)))
         .collect();
     all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     all.truncate(k);
+    all.iter_mut().for_each(|e| e.1 = e.1.sqrt());
     all
 }
 

@@ -110,6 +110,43 @@ impl<'p> GridIndex<'p> {
         self.for_each_in_disk(center, radius, |id, _| out.push(id));
     }
 
+    /// First point (in cell-scan order) within `radius` of `center` that
+    /// satisfies `pred`, or `None`. Unlike [`Self::for_each_in_disk`] this
+    /// stops at the first hit — the primitive for region-emptiness tests
+    /// that should not scan the whole disk once a witness is found.
+    pub fn find_in_disk<F: FnMut(u32, Point) -> bool>(
+        &self,
+        center: Point,
+        radius: f64,
+        mut pred: F,
+    ) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let r2 = radius * radius;
+        let lo = self.cell_coords(Point::new(center.x - radius, center.y - radius));
+        let hi = self.cell_coords(Point::new(center.x + radius, center.y + radius));
+        for j in lo.1..=hi.1 {
+            for i in lo.0..=hi.0 {
+                for &id in self.cell_ids(i, j) {
+                    let p = self.points.get(id);
+                    if p.dist_sq(center) <= r2 && pred(id, p) {
+                        return Some(id);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Ids of all points inside the closed box, sorted ascending — the ghost
+    /// gather of the sharded pipeline (sorted ids keep local→global id maps
+    /// monotone, which preserves every id tie-break downstream).
+    pub fn gather_sorted(&self, b: &Aabb, out: &mut Vec<u32>) {
+        self.in_aabb(b, out);
+        out.sort_unstable();
+    }
+
     /// Ids of all points inside the closed box, appended to `out`.
     pub fn in_aabb(&self, b: &Aabb, out: &mut Vec<u32>) {
         out.clear();
@@ -194,8 +231,13 @@ impl<'p> GridIndex<'p> {
                 }
             }
         }
-        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d2, id)| (id, d2.0.sqrt())).collect();
+        // Order on (d², id) — the same key as the heap — *before* taking
+        // square roots: distinct squared distances can collapse to the same
+        // sqrt, and ordering on the rounded value would tie-break by id
+        // where the true distances differ.
+        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d2, id)| (id, d2.0)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out.iter_mut().for_each(|e| e.1 = e.1.sqrt());
         out
     }
 
@@ -257,6 +299,32 @@ mod tests {
             let slow = bruteforce::in_disk(&pts, c, r);
             assert_eq!(fast, slow, "center ({cx},{cy}) r {r}");
         }
+    }
+
+    #[test]
+    fn find_in_disk_agrees_with_full_scan_and_short_circuits() {
+        let pts = sample_points(400, 9);
+        let idx = GridIndex::build(&pts, 1.0);
+        for &(cx, cy, r) in &[(5.0, 5.0, 1.5), (0.5, 9.5, 2.0), (11.0, 11.0, 1.0)] {
+            let c = Point::new(cx, cy);
+            // Existence must agree with the exhaustive scan for any pred.
+            let pred = |id: u32, _: Point| id.is_multiple_of(3);
+            let mut any = false;
+            idx.for_each_in_disk(c, r, |id, p| any |= pred(id, p));
+            assert_eq!(idx.find_in_disk(c, r, pred).is_some(), any, "({cx},{cy})");
+            // And the hit (when any) genuinely satisfies the predicate +
+            // the ball.
+            if let Some(id) = idx.find_in_disk(c, r, pred) {
+                assert!(id.is_multiple_of(3) && pts.get(id).dist(c) <= r);
+            }
+        }
+        // Short-circuit: the predicate is not called again after a hit.
+        let mut calls = 0usize;
+        let _ = idx.find_in_disk(Point::new(5.0, 5.0), 3.0, |_, _| {
+            calls += 1;
+            true
+        });
+        assert_eq!(calls, 1, "must stop at the first accepted point");
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Edge-on-boundary regressions for the grid index.
+//!
+//! The sharded construction pipeline gathers ghost-padded working sets with
+//! closed-box queries and assigns ownership with half-open tile partitions,
+//! so points that sit *exactly* on cell, tile, or window boundaries are the
+//! class of inputs where a latent off-by-one-cell or tie-break bug would
+//! silently produce non-identical shards. Every case here uses coordinates
+//! that are exact in binary floating point (multiples of 0.25 and 0.5), so
+//! "exactly on the boundary" means exactly.
+//!
+//! The suite also pins the k-NN tie-break contract: selection is keyed on
+//! *squared* distances via `OrdF64`-style total ordering. The bruteforce
+//! oracle originally ranked on `sqrt`-rounded distances, which collapses
+//! distinct squared distances (e.g. `1.0` and `1.0 + 2⁻⁵²` both round to
+//! `1.0`) and then mis-tie-breaks by id — fixed and pinned here.
+
+use wsn_geom::{Aabb, Point, ShardGrid};
+use wsn_pointproc::PointSet;
+use wsn_spatial::{bruteforce, GridIndex};
+
+/// A lattice of points exactly on every cell corner of a unit grid.
+fn corner_lattice(n: usize) -> PointSet {
+    let mut pts = PointSet::new();
+    for j in 0..=n {
+        for i in 0..=n {
+            pts.push(Point::new(i as f64, j as f64));
+        }
+    }
+    pts
+}
+
+#[test]
+fn disk_query_at_exact_cell_corners_matches_bruteforce() {
+    let pts = corner_lattice(6);
+    for cell in [0.25, 0.5, 1.0, 2.0] {
+        let idx = GridIndex::build(&pts, cell);
+        for &(cx, cy, r) in &[
+            (0.0, 0.0, 1.0), // radius reaching exactly the axis neighbours
+            (3.0, 3.0, 1.0), // interior corner, boundary-touching ball
+            (3.0, 3.0, 2.0), // second ring exactly on the boundary
+            (6.0, 6.0, 1.0), // window max corner
+            (2.5, 2.5, 0.5), // cell centre, corners at exact distance
+            (0.0, 3.0, 3.0), // window edge, big ball
+        ] {
+            let c = Point::new(cx, cy);
+            let mut fast = Vec::new();
+            idx.in_disk(c, r, &mut fast);
+            fast.sort_unstable();
+            assert_eq!(
+                fast,
+                bruteforce::in_disk(&pts, c, r),
+                "cell = {cell}, center = ({cx}, {cy}), r = {r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn aabb_query_with_edges_through_points_is_closed() {
+    let pts = corner_lattice(4);
+    let idx = GridIndex::build(&pts, 1.0);
+    // Box edges pass exactly through lattice lines: closed semantics must
+    // include all four boundary rows/columns.
+    let b = Aabb::from_coords(1.0, 1.0, 3.0, 3.0);
+    let mut got = Vec::new();
+    idx.in_aabb(&b, &mut got);
+    assert_eq!(got.len(), 9, "3×3 lattice points lie in the closed box");
+    // A degenerate (zero-area) box exactly on a lattice line still hits the
+    // points on it.
+    let line = Aabb::from_coords(2.0, 0.0, 2.0, 4.0);
+    idx.in_aabb(&line, &mut got);
+    assert_eq!(got.len(), 5);
+}
+
+#[test]
+fn points_exactly_on_the_bbox_max_edge_are_indexed() {
+    // The counting sort clamps the max edge into the last cell; a point
+    // exactly at `bounds.max` must be retrievable by every query kind.
+    let pts: PointSet = vec![
+        Point::new(0.0, 0.0),
+        Point::new(4.0, 4.0), // exactly bounds.max
+        Point::new(4.0, 0.0),
+        Point::new(0.0, 4.0),
+    ]
+    .into_iter()
+    .collect();
+    for cell in [0.5, 1.0, 1.3, 4.0, 8.0] {
+        let idx = GridIndex::build(&pts, cell);
+        assert_eq!(
+            idx.count_in_disk(Point::new(4.0, 4.0), 0.0),
+            1,
+            "cell {cell}"
+        );
+        let mut out = Vec::new();
+        idx.in_aabb(&Aabb::from_coords(4.0, 4.0, 4.0, 4.0), &mut out);
+        assert_eq!(out, vec![1], "cell {cell}");
+        // Ids 2 and 3 tie at distance 4 exactly; the (d², id) order picks 2.
+        assert_eq!(idx.knn(Point::new(4.0, 4.0), 1, Some(1))[0].0, 2);
+    }
+}
+
+#[test]
+fn knn_selection_is_keyed_on_squared_distance_not_rounded_sqrt() {
+    // d²(q, a) = 1.0 and d²(q, b) = 1.0 + 2⁻⁵² are distinct, but both
+    // sqrt-round to exactly 1.0. The index must prefer the strictly nearer
+    // `a` even though `b` has the smaller id — and the bruteforce oracle
+    // must agree (regression: it used to rank on the rounded values and
+    // return `b`).
+    let q = Point::new(0.0, 0.0);
+    let b = Point::new(1.0, 2f64.powi(-26)); // d² = 1 + 2⁻⁵² exactly
+    let a = Point::new(1.0, 0.0); // d² = 1 exactly
+    let pts: PointSet = vec![b, a].into_iter().collect();
+    assert_eq!(pts.get(0).dist_sq(q), 1.0 + 2f64.powi(-52));
+    assert_eq!(pts.get(1).dist_sq(q), 1.0);
+    assert_eq!(
+        pts.get(0).dist(q),
+        pts.get(1).dist(q),
+        "sqrt collapses them"
+    );
+    for cell in [0.5, 1.0, 3.0] {
+        let idx = GridIndex::build(&pts, cell);
+        assert_eq!(
+            idx.knn(q, 1, None)[0].0,
+            1,
+            "index must pick the nearer point"
+        );
+        // Output *order* is keyed on d² too: at k = 2 the nearer point
+        // leads even though both sqrt-distances print as 1.0.
+        let ids: Vec<u32> = idx.knn(q, 2, None).iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![1, 0], "k = 2 order must follow squared distance");
+    }
+    assert_eq!(
+        bruteforce::knn(&pts, q, 1, None)[0].0,
+        1,
+        "oracle must key on squared distance too"
+    );
+    let oracle: Vec<u32> = bruteforce::knn(&pts, q, 2, None)
+        .iter()
+        .map(|&(i, _)| i)
+        .collect();
+    assert_eq!(oracle, vec![1, 0], "oracle order agrees with the index");
+}
+
+#[test]
+fn knn_exact_distance_ties_break_by_id_at_any_cell_size() {
+    // Four points at *exactly* equal distance (axis-aligned unit offsets):
+    // the (d², id) total order must return ascending ids, independent of
+    // the grid layout that discovered them.
+    let q = Point::new(2.0, 2.0);
+    let pts: PointSet = vec![
+        Point::new(3.0, 2.0), // id 0
+        Point::new(1.0, 2.0), // id 1
+        Point::new(2.0, 3.0), // id 2
+        Point::new(2.0, 1.0), // id 3
+    ]
+    .into_iter()
+    .collect();
+    for cell in [0.25, 0.75, 1.0, 2.0, 5.0] {
+        let idx = GridIndex::build(&pts, cell);
+        for k in 1..=4 {
+            let ids: Vec<u32> = idx.knn(q, k, None).iter().map(|&(i, _)| i).collect();
+            assert_eq!(ids, (0..k as u32).collect::<Vec<_>>(), "cell {cell}, k {k}");
+        }
+    }
+}
+
+#[test]
+fn gather_sorted_returns_ascending_ids_and_honours_infinite_halos() {
+    let pts = corner_lattice(4);
+    let idx = GridIndex::build(&pts, 1.0);
+    let mut out = Vec::new();
+    // An unbounded box (the padded extent of an edge shard) gathers the
+    // whole set, ascending.
+    idx.gather_sorted(
+        &Aabb::new(
+            Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            Point::new(f64::INFINITY, f64::INFINITY),
+        ),
+        &mut out,
+    );
+    assert_eq!(out, (0..pts.len() as u32).collect::<Vec<_>>());
+    // A half-bounded box splits exactly on a lattice line (closed).
+    idx.gather_sorted(
+        &Aabb::new(
+            Point::new(2.0, f64::NEG_INFINITY),
+            Point::new(f64::INFINITY, f64::INFINITY),
+        ),
+        &mut out,
+    );
+    assert_eq!(out.len(), 15);
+    for w in out.windows(2) {
+        assert!(w[0] < w[1], "gather must be sorted");
+    }
+}
+
+#[test]
+fn shard_boundary_points_are_owned_once_and_ghosted_everywhere_needed() {
+    // Points exactly on interior shard boundaries: exactly one owner
+    // (half-open partition), but every shard whose padded extent reaches
+    // them sees them as ghosts.
+    let pts = corner_lattice(8); // 81 points on [0,8]²
+    let idx = GridIndex::build(&pts, 1.0);
+    let grid = ShardGrid::new(&Aabb::square(8.0), 1.0, 4); // 2×2 shards, boundary at 4.0
+    let halo = 1.0;
+    let mut owners = vec![0usize; pts.len()];
+    for (i, p) in pts.iter_enumerated() {
+        owners[i as usize] = grid.owner_of(p);
+    }
+    // Every point has exactly one owner by construction; count ghosts.
+    let mut seen = vec![0usize; pts.len()];
+    let mut gathered = Vec::new();
+    for s in 0..grid.shard_count() {
+        idx.gather_sorted(&grid.padded(s, halo), &mut gathered);
+        for &g in &gathered {
+            seen[g as usize] += 1;
+        }
+    }
+    for (i, p) in pts.iter_enumerated() {
+        let i = i as usize;
+        assert!(seen[i] >= 1, "point {i} never gathered");
+        // A point on the interior boundary x = 4 (exact) must be visible to
+        // the shards on both sides: its halo ball crosses the cut.
+        if p.x == 4.0 || p.y == 4.0 {
+            assert!(seen[i] >= 2, "boundary point {i} at {p:?} not ghosted");
+        }
+        // And the owner's padded box always contains the point's halo ball
+        // (spot-check the four axis extremes).
+        let padded = grid.padded(owners[i], halo);
+        for d in [
+            Point::new(halo, 0.0),
+            Point::new(-halo, 0.0),
+            Point::new(0.0, halo),
+            Point::new(0.0, -halo),
+        ] {
+            assert!(padded.contains(p + d), "halo ball of {p:?} escapes owner");
+        }
+    }
+}
+
+#[test]
+fn matern_hard_core_points_on_tile_edges_match_bruteforce() {
+    // Adversarial non-exact coordinates too: multiples of 0.1 are *not*
+    // exact binary floats, so this sweeps the near-boundary ulp region that
+    // real deployments land in.
+    let mut pts = PointSet::new();
+    for j in 0..40 {
+        for i in 0..40 {
+            pts.push(Point::new(i as f64 * 0.1, j as f64 * 0.1));
+        }
+    }
+    let idx = GridIndex::build(&pts, 0.1);
+    let mut fast = Vec::new();
+    for &(cx, cy, r) in &[(0.5, 0.5, 0.1), (1.0, 1.0, 0.2), (3.9, 3.9, 0.3)] {
+        let c = Point::new(cx, cy);
+        idx.in_disk(c, r, &mut fast);
+        fast.sort_unstable();
+        assert_eq!(fast, bruteforce::in_disk(&pts, c, r), "({cx}, {cy}, {r})");
+    }
+}

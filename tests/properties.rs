@@ -137,6 +137,103 @@ proptest! {
             prop_assert_eq!(net.tile_of_node[i as usize], expected);
         }
     }
+
+    /// Yao: the *directed* out-degree is bounded by the cone count — each
+    /// cone keeps at most its nearest neighbour. Holds on any deployment,
+    /// independent of sharding (the sharded builder is edge-identical).
+    #[test]
+    fn prop_yao_out_degree_at_most_cones(
+        seed in 0u64..300,
+        n in 0usize..150,
+        cones in 1usize..9,
+    ) {
+        let pts = sample_binomial(seed, n, 6.0);
+        let lists = wsn::rgg::yao_out_lists(&pts, 1.0, cones);
+        prop_assert_eq!(lists.len(), n);
+        for (u, l) in lists.iter().enumerate() {
+            prop_assert!(l.len() <= cones, "node {} selected {} > {} cones", u, l.len(), cones);
+            // Selections are distinct UDG neighbours.
+            let mut sorted = l.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), l.len(), "duplicate cone target at {}", u);
+            for &v in l {
+                prop_assert!(pts.get(u as u32).dist(pts.get(v)) <= 1.0);
+            }
+        }
+        // The symmetrised graph therefore has at most cones·n edges.
+        let g = wsn::rgg::build_yao(&pts, 1.0, cones);
+        prop_assert!(g.m() <= cones * n);
+    }
+
+    /// Gabriel: every kept edge has an empty open diameter disk — the
+    /// Delaunay-witness property (Gabriel ⊆ Delaunay), checked directly
+    /// against the defining predicate for every point.
+    #[test]
+    fn prop_gabriel_diameter_disk_is_empty(seed in 0u64..300, n in 2usize..120) {
+        let pts = sample_binomial(seed, n, 6.0);
+        let gg = wsn::rgg::build_gabriel(&pts, 1.2);
+        for (u, v) in gg.edges() {
+            let (pu, pv) = (pts.get(u), pts.get(v));
+            let mid = pu.midpoint(pv);
+            let r2 = pu.dist_sq(pv) * 0.25;
+            for (w, q) in pts.iter_enumerated() {
+                if w == u || w == v {
+                    continue;
+                }
+                prop_assert!(
+                    q.dist_sq(mid) >= r2 - 1e-12,
+                    "point {} strictly inside diameter disk of Gabriel edge ({}, {})",
+                    w, u, v
+                );
+            }
+        }
+    }
+
+    /// The containment chain RNG ⊆ Gabriel ⊆ UDG on randomized deployments
+    /// — and the sharded pipeline reproduces each member exactly.
+    #[test]
+    fn prop_rng_gabriel_udg_containment_chain(seed in 0u64..300, n in 2usize..120) {
+        let pts = sample_binomial(seed, n, 6.0);
+        let udg = wsn::rgg::build_udg(&pts, 1.2);
+        let gg = wsn::rgg::build_gabriel(&pts, 1.2);
+        let rng_g = wsn::rgg::build_rng(&pts, 1.2);
+        for (u, v) in rng_g.edges() {
+            prop_assert!(gg.has_edge(u, v), "RNG edge ({}, {}) not in Gabriel", u, v);
+        }
+        for (u, v) in gg.edges() {
+            prop_assert!(udg.has_edge(u, v), "Gabriel edge ({}, {}) not in UDG", u, v);
+        }
+        prop_assert_eq!(&wsn::rgg::build_rng_sharded(&pts, 1.2, 4), &rng_g);
+        prop_assert_eq!(&wsn::rgg::build_gabriel_sharded(&pts, 1.2, 4), &gg);
+        prop_assert_eq!(&wsn::rgg::build_udg_sharded(&pts, 1.2, 4), &udg);
+    }
+
+    /// k-NN: every node's directed list has exactly min(k, n−1) targets, so
+    /// the undirected graph has minimum degree ≥ min(k, n−1).
+    #[test]
+    fn prop_knn_minimum_out_degree(seed in 0u64..300, n in 1usize..120, k in 1usize..8) {
+        let pts = sample_binomial(seed, n, 5.0);
+        let want = k.min(n - 1);
+        let lists = wsn::rgg::knn_lists(&pts, k);
+        for (u, l) in lists.iter().enumerate() {
+            prop_assert_eq!(l.len(), want, "node {} out-degree", u);
+        }
+        let g = wsn::rgg::build_knn(&pts, k);
+        for u in 0..n as u32 {
+            prop_assert!(g.degree(u) >= want);
+        }
+        prop_assert_eq!(&wsn::rgg::knn_lists_sharded(&pts, k, 4), &lists);
+    }
+}
+
+/// Uniform deployment helper for the plain-topology properties.
+fn sample_binomial(seed: u64, n: usize, side: f64) -> wsn::pointproc::PointSet {
+    wsn::pointproc::sample_binomial_window(
+        &mut rng_from_seed(seed),
+        n,
+        &wsn::geom::Aabb::square(side),
+    )
 }
 
 #[test]
