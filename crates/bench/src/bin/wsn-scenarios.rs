@@ -18,9 +18,10 @@
 //! that is the configuration the golden files pin. Byte-identical output at
 //! any `RAYON_NUM_THREADS` is part of the contract `check` verifies.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use wsn_bench::paths::default_output_path;
 use wsn_bench::table::{f, Table};
 use wsn_scenario::{all_presets, find_preset, golden, run_preset, Profile, Report};
 
@@ -28,8 +29,9 @@ use wsn_scenario::{all_presets, find_preset, golden, run_preset, Profile, Report
 const DEFAULT_SEED: u64 = 0xC0FFEE;
 
 fn default_golden_dir() -> PathBuf {
-    // crates/bench → workspace root → tests/golden.
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+    // Resolved at run time relative to the enclosing workspace (a binary
+    // restored from a CI cache must not write to its compile-time path).
+    default_output_path("tests").join("golden")
 }
 
 struct Args {
@@ -40,11 +42,14 @@ struct Args {
     seed: Option<u64>,
     out_dir: Option<PathBuf>,
     golden_dir: PathBuf,
+    baseline: Option<PathBuf>,
+    fresh: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wsn-scenarios <list | run | check | bless | bench> [PRESET...] [options]\n\
+        "usage: wsn-scenarios <list | run | check | bless | bench | bench-lifetime | gate> \
+         [PRESET...] [options]\n\
          \n\
          commands:\n\
          \x20 list            show the preset catalogue\n\
@@ -53,14 +58,20 @@ fn usage() -> ! {
          \x20 bless           quick-profile run, rewrite the golden files\n\
          \x20 bench           sharded-vs-monolithic construction pipeline bench,\n\
          \x20                 writes BENCH_pipeline.json (nodes/sec, phases, RSS)\n\
+         \x20 bench-lifetime  churn-engine incremental-vs-rebuild repair bench,\n\
+         \x20                 writes BENCH_lifetime.json (speedup per topology)\n\
+         \x20 gate            CI perf gate: compare a fresh bench JSON against\n\
+         \x20                 the committed baseline (--baseline/--fresh)\n\
          \n\
          options:\n\
          \x20 --all           select every preset\n\
-         \x20 --quick         run the quick (smoke) profile      [run, bench]\n\
-         \x20 --seed N        base seed, default 0xC0FFEE        [run, bench]\n\
+         \x20 --quick         run the quick (smoke) profile      [run, bench*]\n\
+         \x20 --seed N        base seed, default 0xC0FFEE        [run, bench*]\n\
          \x20 --out PATH      JSON output: report dir for `run`,\n\
-         \x20                 output file for `bench`            [run, bench]\n\
-         \x20 --golden-dir D  golden directory, default tests/golden"
+         \x20                 output file for `bench*`           [run, bench*]\n\
+         \x20 --golden-dir D  golden directory, default tests/golden\n\
+         \x20 --baseline P    committed bench JSON               [gate]\n\
+         \x20 --fresh P       freshly measured bench JSON        [gate]"
     );
     std::process::exit(2);
 }
@@ -76,6 +87,8 @@ fn parse_args() -> Args {
         seed: None,
         out_dir: None,
         golden_dir: default_golden_dir(),
+        baseline: None,
+        fresh: None,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -87,6 +100,10 @@ fn parse_args() -> Args {
             }
             "--out" => args.out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--golden-dir" => args.golden_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--fresh" => args.fresh = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             name if !name.starts_with('-') => args.presets.push(name.to_string()),
             _ => usage(),
         }
@@ -220,6 +237,19 @@ fn cmd_goldens(args: &Args, bless: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Shared tail of the bench emitters: pretty-print to the (runtime-
+/// resolved) default path or the `--out` override.
+fn write_bench_json<T: serde::Serialize>(args: &Args, default_name: &str, report: &T) {
+    let path = args
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| default_output_path(default_name));
+    let mut json = serde_json::to_string_pretty(report).expect("bench serialisation is total");
+    json.push('\n');
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
 /// `bench`: measure the sharded pipeline against the monolithic builders
 /// and write the machine-readable baseline.
 fn cmd_bench(args: &Args) -> ExitCode {
@@ -229,15 +259,51 @@ fn cmd_bench(args: &Args) -> ExitCode {
     }
     let seed = args.seed.unwrap_or(DEFAULT_SEED);
     let report = wsn_bench::pipeline::run_pipeline_bench(args.quick, seed);
-    let path = args
-        .out_dir
-        .clone()
-        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json"));
-    let mut json = serde_json::to_string_pretty(&report).expect("bench serialisation is total");
-    json.push('\n');
-    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
-    println!("wrote {}", path.display());
+    write_bench_json(args, "BENCH_pipeline.json", &report);
     ExitCode::SUCCESS
+}
+
+/// `bench-lifetime`: incremental-vs-rebuild churn repair economics.
+fn cmd_bench_lifetime(args: &Args) -> ExitCode {
+    if !args.presets.is_empty() || args.all {
+        eprintln!("`bench-lifetime` takes no presets (it has its own topology × size grid)");
+        return ExitCode::from(2);
+    }
+    let seed = args.seed.unwrap_or(DEFAULT_SEED);
+    let report = wsn_bench::lifetime::run_lifetime_bench(args.quick, seed);
+    write_bench_json(args, "BENCH_lifetime.json", &report);
+    ExitCode::SUCCESS
+}
+
+/// `gate`: the CI perf-regression gate over pipeline bench documents.
+fn cmd_gate(args: &Args) -> ExitCode {
+    let (Some(baseline_path), Some(fresh_path)) = (&args.baseline, &args.fresh) else {
+        eprintln!("`gate` needs --baseline and --fresh bench JSON paths");
+        return ExitCode::from(2);
+    };
+    let load = |path: &PathBuf| -> serde::value::Value {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {}: {e:?}", path.display()))
+    };
+    let report = wsn_bench::gate::gate_pipeline(&load(baseline_path), &load(fresh_path));
+    for s in &report.skipped {
+        println!("SKIP  {s} (no baseline row)");
+    }
+    println!(
+        "gate: {} row(s) within {:.0}% of baseline throughput",
+        report.checked,
+        (1.0 - wsn_bench::gate::NODES_PER_SEC_DROP_TOLERANCE) * 100.0
+    );
+    if report.passed() {
+        println!("gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            eprintln!("FAIL  {f}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -248,6 +314,8 @@ fn main() -> ExitCode {
         "check" => cmd_goldens(&args, false),
         "bless" => cmd_goldens(&args, true),
         "bench" => cmd_bench(&args),
+        "bench-lifetime" => cmd_bench_lifetime(&args),
+        "gate" => cmd_gate(&args),
         _ => usage(),
     }
 }

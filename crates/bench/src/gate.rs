@@ -1,0 +1,210 @@
+//! The CI performance-regression gate.
+//!
+//! `wsn-scenarios gate` compares a freshly measured `BENCH_pipeline.json`
+//! (the `bench --quick` artifact CI just produced) against the committed
+//! baseline and fails the job when either
+//!
+//! * any fresh row reports `edge_identical: false` — a pipeline that got
+//!   faster by building a different graph is a bug, not a win — or
+//! * a topology's sharded throughput (`sharded_nodes_per_sec`) fell more
+//!   than [`NODES_PER_SEC_DROP_TOLERANCE`] below the baseline row of the
+//!   same `(topology, n_target)`.
+//!
+//! Rows present on only one side (e.g. the committed baseline carries the
+//! full 10⁴–10⁶ grid while CI measures the quick 10⁴ one) are reported as
+//! skipped, never failed. The tolerance lives in exactly one place so
+//! retuning the band is a one-line diff.
+
+use serde::value::Value;
+
+/// Allowed fractional drop of `sharded_nodes_per_sec` against the
+/// committed baseline before the gate fails (0.40 = "at least 60% of
+/// baseline throughput"). Deliberately wide: CI runners are slower and
+/// noisier than the machine that recorded the baseline — this band
+/// catches algorithmic regressions, not scheduler jitter.
+pub const NODES_PER_SEC_DROP_TOLERANCE: f64 = 0.40;
+
+/// Outcome of one gate evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Rows compared against a matching baseline row.
+    pub checked: usize,
+    /// Human-readable failures; empty = gate passes.
+    pub failures: Vec<String>,
+    /// Rows without a baseline counterpart (informational).
+    pub skipped: Vec<String>,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn row_key(row: &Value) -> Option<(String, u64)> {
+    Some((
+        row.get("topology")?.as_str()?.to_string(),
+        row.get("n_target")?.as_u64()?,
+    ))
+}
+
+fn rows(doc: &Value) -> &[Value] {
+    doc.get("rows").and_then(|r| r.as_array()).unwrap_or(&[])
+}
+
+/// Evaluate the gate: `fresh` is the CI measurement, `baseline` the
+/// committed `BENCH_pipeline.json`.
+pub fn gate_pipeline(baseline: &Value, fresh: &Value) -> GateReport {
+    let mut report = GateReport::default();
+    let baseline_rows: Vec<((String, u64), &Value)> = rows(baseline)
+        .iter()
+        .filter_map(|r| row_key(r).map(|k| (k, r)))
+        .collect();
+    for row in rows(fresh) {
+        let Some(key) = row_key(row) else {
+            report
+                .failures
+                .push("fresh row missing topology/n_target".into());
+            continue;
+        };
+        let label = format!("{} @ n={}", key.0, key.1);
+        // Correctness gate: never optional, even for unmatched rows.
+        match row.get("edge_identical").and_then(|v| v.as_bool()) {
+            Some(true) => {}
+            _ => report
+                .failures
+                .push(format!("{label}: edge_identical is not true")),
+        }
+        let Some((_, base)) = baseline_rows.iter().find(|(k, _)| *k == key) else {
+            report.skipped.push(label);
+            continue;
+        };
+        // A missing or non-positive throughput on either side is a broken
+        // document, not a pass — a zero baseline would make the floor 0
+        // and green-light any regression.
+        let mut nps = |doc: &Value, side: &str| -> Option<f64> {
+            match doc.get("sharded_nodes_per_sec").and_then(|v| v.as_f64()) {
+                Some(v) if v > 0.0 => Some(v),
+                _ => {
+                    report.failures.push(format!(
+                        "{label}: {side} sharded_nodes_per_sec missing or ≤ 0"
+                    ));
+                    None
+                }
+            }
+        };
+        let (Some(fresh_nps), Some(base_nps)) = (nps(row, "fresh"), nps(base, "baseline")) else {
+            continue;
+        };
+        report.checked += 1;
+        let floor = base_nps * (1.0 - NODES_PER_SEC_DROP_TOLERANCE);
+        if fresh_nps < floor {
+            report.failures.push(format!(
+                "{label}: sharded throughput {fresh_nps:.0} nodes/s fell below \
+                 {:.0}% of baseline {base_nps:.0} (floor {floor:.0})",
+                (1.0 - NODES_PER_SEC_DROP_TOLERANCE) * 100.0
+            ));
+        }
+    }
+    if report.checked == 0 && report.failures.is_empty() {
+        report
+            .failures
+            .push("no fresh row matched any baseline row — wrong baseline file?".into());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows_json: &str) -> Value {
+        serde_json::from_str(&format!(r#"{{"rows": {rows_json}}}"#)).unwrap()
+    }
+
+    fn row(topology: &str, n: u64, nps: f64, identical: bool) -> String {
+        format!(
+            r#"{{"topology": "{topology}", "n_target": {n},
+                 "sharded_nodes_per_sec": {nps}, "edge_identical": {identical}}}"#
+        )
+    }
+
+    #[test]
+    fn passes_within_the_band() {
+        let base = doc(&format!("[{}]", row("udg(r=1)", 10000, 100_000.0, true)));
+        // 40% drop exactly is still allowed (strict-below fails).
+        let fresh = doc(&format!("[{}]", row("udg(r=1)", 10000, 60_000.0, true)));
+        let g = gate_pipeline(&base, &fresh);
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 1);
+    }
+
+    #[test]
+    fn fails_below_the_band() {
+        let base = doc(&format!("[{}]", row("udg(r=1)", 10000, 100_000.0, true)));
+        let fresh = doc(&format!("[{}]", row("udg(r=1)", 10000, 59_000.0, true)));
+        let g = gate_pipeline(&base, &fresh);
+        assert!(!g.passed());
+        assert!(g.failures[0].contains("fell below"));
+    }
+
+    #[test]
+    fn fails_on_non_identical_edges_even_without_baseline_match() {
+        let base = doc("[]");
+        let fresh = doc(&format!("[{}]", row("rng(r=1)", 10000, 1e9, false)));
+        let g = gate_pipeline(&base, &fresh);
+        assert!(!g.passed());
+        assert!(g.failures.iter().any(|f| f.contains("edge_identical")));
+    }
+
+    #[test]
+    fn unmatched_rows_are_skipped_not_failed() {
+        let base = doc(&format!("[{}]", row("udg(r=1)", 10000, 100_000.0, true)));
+        let fresh = doc(&format!(
+            "[{}, {}]",
+            row("udg(r=1)", 10000, 90_000.0, true),
+            row("udg(r=1)", 1000000, 1.0, true) // only in the fresh run
+        ));
+        let g = gate_pipeline(&base, &fresh);
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 1);
+        assert_eq!(g.skipped, vec!["udg(r=1) @ n=1000000".to_string()]);
+    }
+
+    #[test]
+    fn missing_throughput_fields_fail_not_pass() {
+        // A baseline row without (or with a zeroed) sharded_nodes_per_sec
+        // must fail the gate: a 0 baseline would set the floor to 0 and
+        // wave any regression through.
+        let base: Value = serde_json::from_str(
+            r#"{"rows": [{"topology": "udg(r=1)", "n_target": 10000,
+                 "edge_identical": true}]}"#,
+        )
+        .unwrap();
+        let fresh = doc(&format!("[{}]", row("udg(r=1)", 10000, 1.0, true)));
+        let g = gate_pipeline(&base, &fresh);
+        assert!(!g.passed());
+        assert!(g.failures.iter().any(|f| f.contains("missing or ≤ 0")));
+        let zeroed = doc(&format!("[{}]", row("udg(r=1)", 10000, 0.0, true)));
+        let g2 = gate_pipeline(
+            &doc(&format!("[{}]", row("udg(r=1)", 10000, 100.0, true))),
+            &zeroed,
+        );
+        assert!(!g2.passed());
+    }
+
+    #[test]
+    fn disjoint_documents_fail_loudly() {
+        // An empty fresh document, or one sharing no row with the
+        // baseline, means the gate compared nothing — fail rather than
+        // green-light a misconfigured baseline path.
+        let base = doc(&format!("[{}]", row("udg(r=1)", 10000, 1.0, true)));
+        let g = gate_pipeline(&base, &doc("[]"));
+        assert!(!g.passed());
+        let fresh = doc(&format!("[{}]", row("yao(r=1,c=6)", 10000, 1.0, true)));
+        let g2 = gate_pipeline(&base, &fresh);
+        assert!(!g2.passed(), "zero matched rows must not pass");
+        assert_eq!(g2.checked, 0);
+        assert_eq!(g2.skipped.len(), 1);
+    }
+}

@@ -20,6 +20,9 @@
 //! This library keeps small shared helpers: `WSN_QUICK` / `WSN_SEED`
 //! handling for ad-hoc tooling, aligned-table rendering, and JSON dumps.
 
+pub mod gate;
+pub mod lifetime;
+pub mod paths;
 pub mod pipeline;
 pub mod table;
 

@@ -1,0 +1,252 @@
+//! The `wsn-scenarios bench-lifetime` emitter: incremental-vs-rebuild
+//! repair economics of the churn engine, recorded as `BENCH_lifetime.json`.
+//!
+//! For each plain topology × deployment size the harness runs the *same*
+//! lifetime simulation twice — once with incremental shard repair, once
+//! rebuilding the topology cold every epoch — under 10% per-epoch clustered
+//! churn (sector blackouts; see `wsn_simnet::churn::ChurnModel` for why
+//! clustering is the realistic regime). It records the wall-clock spent in
+//! the repair step of each mode, their ratio (`speedup`), and two
+//! edge-identity witnesses:
+//!
+//! * the per-epoch CSR fingerprints of both runs must agree exactly
+//!   (`edge_identical`), and
+//! * at the smallest size each topology additionally re-runs with the
+//!   engine's verify path on, asserting byte-identity of the incremental
+//!   CSR against a cold monolithic rebuild after *every* epoch
+//!   (`verified_cold`).
+//!
+//! Timed repair runs keep verification off — a bench that times its own
+//! assertions measures nothing.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use wsn_geom::hash::derive_seed2;
+use wsn_geom::Aabb;
+use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
+use wsn_rgg::IncTopology;
+use wsn_simnet::churn::{
+    simulate_lifetime_plain, ChurnConfig, ChurnModel, LifetimeReport, RepairMode,
+};
+
+/// Per-epoch expected kill fraction of the bench churn (the acceptance
+/// regime: 10% per-epoch churn).
+const CHURN_FRACTION: f64 = 0.10;
+
+/// Blast radius of the clustered outages, in UDG radii.
+const BLAST_RADIUS: f64 = 5.0;
+
+/// Epochs simulated per row.
+const EPOCHS: usize = 5;
+
+/// Packets per epoch — kept small so repair, not routing, dominates the
+/// timed loop.
+const TRAFFIC: usize = 8;
+
+/// Repair granularity (halo tiles per shard side) of the incremental mode.
+const REPAIR_TILES: usize = 4;
+
+/// One topology × size measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct LifetimeBenchRow {
+    pub topology: String,
+    /// Expected node count (Poisson intensity × window area).
+    pub n_target: u64,
+    /// Realised node count.
+    pub nodes: u64,
+    pub lambda: f64,
+    pub side: f64,
+    pub epochs: u64,
+    pub churn_fraction: f64,
+    pub blast_radius: f64,
+    pub repair_tiles: usize,
+    /// Total wall-clock of the incremental repair steps, seconds.
+    pub incremental_repair_secs: f64,
+    /// Total wall-clock of the rebuild-per-epoch steps, seconds.
+    pub rebuild_secs: f64,
+    /// `rebuild_secs / incremental_repair_secs`.
+    pub speedup: f64,
+    /// Per-epoch CSR fingerprints of the two modes agree exactly.
+    pub edge_identical: bool,
+    /// This row also ran the engine's byte-identity verification against a
+    /// cold monolithic rebuild each epoch.
+    pub verified_cold: bool,
+    /// Mean dirty / re-derived shards per epoch of the incremental run.
+    pub mean_dirty_shards: f64,
+    pub mean_rederived_shards: f64,
+    /// Survivors and deaths over the run (identical across modes).
+    pub final_alive: u64,
+    pub deaths_total: u64,
+    pub delivered_total: u64,
+}
+
+/// The whole `BENCH_lifetime.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct LifetimeBenchReport {
+    pub schema: &'static str,
+    pub quick: bool,
+    pub seed: u64,
+    /// Effective rayon worker count.
+    pub threads: usize,
+    pub rows: Vec<LifetimeBenchRow>,
+}
+
+/// The benchmarked topologies (UDG and RNG carry the acceptance claim;
+/// the rest record the trajectory of the whole family).
+fn kinds() -> Vec<IncTopology> {
+    vec![
+        IncTopology::Udg { radius: 1.0 },
+        IncTopology::Rng { radius: 1.0 },
+        IncTopology::Gabriel { radius: 1.0 },
+        IncTopology::Yao {
+            radius: 1.0,
+            cones: 6,
+        },
+        IncTopology::Knn { k: 8 },
+    ]
+}
+
+fn config(verify: bool, repair: RepairMode) -> ChurnConfig {
+    let mut cfg = ChurnConfig::new(EPOCHS, 1e12, TRAFFIC, CHURN_FRACTION, 0.0);
+    cfg.churn_model = ChurnModel::Clustered {
+        radius: BLAST_RADIUS,
+    };
+    cfg.repair_tiles = REPAIR_TILES;
+    cfg.repair = repair;
+    cfg.verify = verify;
+    cfg
+}
+
+fn repair_secs(report: &LifetimeReport) -> f64 {
+    report.epochs.iter().map(|e| e.repair_secs).sum()
+}
+
+fn bench_row(kind: IncTopology, n: u64, seed: u64, verify_pass: bool) -> LifetimeBenchRow {
+    let lambda = 10.0;
+    let side = ((n as f64) / lambda).sqrt();
+    let points: PointSet =
+        sample_poisson_window(&mut rng_from_seed(seed), lambda, &Aabb::square(side));
+    let alive = vec![true; points.len()];
+
+    // Timed runs: verification off.
+    let t = Instant::now();
+    let inc = simulate_lifetime_plain(
+        &points,
+        &alive,
+        kind,
+        &config(false, RepairMode::Incremental),
+        seed,
+    );
+    let inc_total = t.elapsed().as_secs_f64();
+    let reb = simulate_lifetime_plain(
+        &points,
+        &alive,
+        kind,
+        &config(false, RepairMode::Rebuild),
+        seed,
+    );
+
+    // Edge identity across modes: the whole per-epoch fingerprint walk.
+    let edge_identical = inc.epochs.len() == reb.epochs.len()
+        && inc
+            .epochs
+            .iter()
+            .zip(&reb.epochs)
+            .all(|(a, b)| a.graph_hash == b.graph_hash && a.alive == b.alive);
+    assert!(
+        edge_identical,
+        "{}: incremental and rebuild runs diverged",
+        kind.label()
+    );
+
+    // Byte-identity pass (engine asserts vs a cold monolithic rebuild
+    // after every epoch) — run untimed at the smallest size.
+    if verify_pass {
+        let verified = simulate_lifetime_plain(
+            &points,
+            &alive,
+            kind,
+            &config(true, RepairMode::Incremental),
+            seed,
+        );
+        assert_eq!(verified.final_graph_hash, inc.final_graph_hash);
+    }
+
+    let inc_secs = repair_secs(&inc);
+    let reb_secs = repair_secs(&reb);
+    let epochs = inc.epochs.len().max(1) as f64;
+    eprintln!(
+        "bench-lifetime: {} n={} inc {:.3}s reb {:.3}s speedup {:.2}x (sim total {:.3}s)",
+        kind.label(),
+        points.len(),
+        inc_secs,
+        reb_secs,
+        reb_secs / inc_secs.max(1e-12),
+        inc_total
+    );
+    LifetimeBenchRow {
+        topology: kind.label(),
+        n_target: n,
+        nodes: points.len() as u64,
+        lambda,
+        side,
+        epochs: inc.epochs.len() as u64,
+        churn_fraction: CHURN_FRACTION,
+        blast_radius: BLAST_RADIUS,
+        repair_tiles: REPAIR_TILES,
+        incremental_repair_secs: inc_secs,
+        rebuild_secs: reb_secs,
+        speedup: reb_secs / inc_secs.max(1e-12),
+        edge_identical,
+        verified_cold: verify_pass,
+        mean_dirty_shards: inc.epochs.iter().map(|e| e.shards_dirty).sum::<u64>() as f64 / epochs,
+        mean_rederived_shards: inc.epochs.iter().map(|e| e.shards_rederived).sum::<u64>() as f64
+            / epochs,
+        final_alive: inc.final_alive,
+        deaths_total: inc.deaths_battery_total + inc.deaths_random_total,
+        delivered_total: inc.delivered_total,
+    }
+}
+
+/// Run the lifetime bench: quick = 10⁴ nodes per topology (CI smoke), full
+/// adds the 10⁵ rows the committed baseline records.
+pub fn run_lifetime_bench(quick: bool, seed: u64) -> LifetimeBenchReport {
+    let sizes: &[u64] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let mut rows = Vec::new();
+    for (ki, kind) in kinds().into_iter().enumerate() {
+        for (si, &n) in sizes.iter().enumerate() {
+            let row_seed = derive_seed2(seed, ki as u64, si as u64);
+            rows.push(bench_row(kind, n, row_seed, si == 0));
+        }
+    }
+    LifetimeBenchReport {
+        schema: "wsn-bench-lifetime/1",
+        quick,
+        seed,
+        threads: crate::pipeline::effective_threads(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miniature_rows_run_and_serialise() {
+        for (i, kind) in [
+            IncTopology::Udg { radius: 1.0 },
+            IncTopology::Rng { radius: 1.0 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let row = bench_row(kind, 2_000, 40 + i as u64, true);
+            assert!(row.edge_identical && row.verified_cold);
+            assert!(row.nodes > 0 && row.deaths_total > 0);
+            let json = serde_json::to_string_pretty(&row).unwrap();
+            assert!(json.contains("\"speedup\""));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Runtime output-path resolution.
+//!
+//! The bench emitters used to bake their default output path at *compile
+//! time* via `env!("CARGO_MANIFEST_DIR")`, so a binary restored from a CI
+//! cache — or any relocated checkout — silently wrote its baseline to the
+//! stale absolute path of the machine that compiled it. The default is now
+//! resolved at *run time*: walk up from the current working directory to
+//! the enclosing Cargo workspace root, falling back to the working
+//! directory itself. `--out` stays the explicit override.
+
+use std::path::{Path, PathBuf};
+
+/// The nearest ancestor of `start` (inclusive) whose `Cargo.toml` declares
+/// a `[workspace]`.
+pub fn workspace_root_from(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(contents) = std::fs::read_to_string(&manifest) {
+                if contents.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// [`workspace_root_from`] anchored at the current working directory.
+pub fn workspace_root() -> Option<PathBuf> {
+    workspace_root_from(&std::env::current_dir().ok()?)
+}
+
+/// Default location for a repo-level output file (`BENCH_pipeline.json`,
+/// `BENCH_lifetime.json`, the golden directory): the workspace root when
+/// one encloses the working directory, else the working directory.
+pub fn default_output_path(file_name: &str) -> PathBuf {
+    match workspace_root() {
+        Some(root) => root.join(file_name),
+        None => PathBuf::from(file_name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_the_enclosing_workspace_at_runtime() {
+        // Cargo runs tests with cwd = the crate directory, which declares
+        // no workspace of its own — resolution must walk up to the root.
+        let root = workspace_root().expect("tests run inside the workspace");
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap();
+        assert!(manifest.contains("[workspace]"));
+        assert_ne!(
+            root,
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")),
+            "the crate manifest dir is not the workspace root"
+        );
+        assert_eq!(default_output_path("X.json"), root.join("X.json"));
+    }
+
+    #[test]
+    fn walks_up_from_nested_directories() {
+        let nested = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src");
+        assert_eq!(
+            workspace_root_from(&nested),
+            workspace_root(),
+            "resolution must not depend on the starting depth"
+        );
+    }
+
+    #[test]
+    fn no_workspace_means_none() {
+        // A directory tree with no Cargo.toml anywhere above it.
+        let dir = std::env::temp_dir().join("wsn-paths-test-no-workspace");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(workspace_root_from(&dir), None);
+    }
+}

@@ -110,7 +110,7 @@ fn proc_status_kb(field: &str) -> u64 {
         .unwrap_or(0)
 }
 
-fn effective_threads() -> usize {
+pub(crate) fn effective_threads() -> usize {
     std::env::var("RAYON_NUM_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())

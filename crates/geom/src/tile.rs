@@ -277,6 +277,41 @@ impl ShardGrid {
         j * self.cols + i
     }
 
+    /// Row-major indices of exactly the shards whose ghost-padded extent
+    /// ([`Self::padded`] at the same `halo`) contains `p` — the shards
+    /// whose gathered working sets include the point, i.e. the shards
+    /// churn at `p` can dirty.
+    ///
+    /// Candidates come from a one-ring-widened index range (immune to
+    /// float-rounding differences against `padded`'s own arithmetic) and
+    /// are then filtered through the authoritative
+    /// `padded(s, halo).contains(p)` predicate — the same closed-box test
+    /// the ghost gather applies — so the set is never under- *or*
+    /// over-marked.
+    pub fn shards_near(&self, p: Point, halo: f64) -> impl Iterator<Item = usize> + '_ {
+        assert!(halo >= 0.0, "halo must be non-negative");
+        let clamp_i = |v: f64, hi: usize| (v.floor() as i64).clamp(0, hi as i64 - 1) as usize;
+        let i0 = clamp_i(
+            (p.x - self.origin.x - halo) / self.shard_side - 1.0,
+            self.cols,
+        );
+        let i1 = clamp_i(
+            (p.x - self.origin.x + halo) / self.shard_side + 1.0,
+            self.cols,
+        );
+        let j0 = clamp_i(
+            (p.y - self.origin.y - halo) / self.shard_side - 1.0,
+            self.rows,
+        );
+        let j1 = clamp_i(
+            (p.y - self.origin.y + halo) / self.shard_side + 1.0,
+            self.rows,
+        );
+        (j0..=j1)
+            .flat_map(move |j| (i0..=i1).map(move |i| j * self.cols + i))
+            .filter(move |&s| self.padded(s, halo).contains(p))
+    }
+
     /// The ghost-padded extent of shard `s`: its core block inflated by
     /// `halo`, with edge shards extended to infinity on their outward sides
     /// (their ownership is already unbounded there, see [`Self::owner_of`]).
@@ -434,6 +469,28 @@ mod tests {
                 let q = p + Point::unit(theta) * halo;
                 assert!(padded.contains(q), "ball({p:?}, {halo}) escapes {padded:?}");
             }
+        }
+    }
+
+    #[test]
+    fn shards_near_covers_every_padded_extent_containing_the_point() {
+        let w = Aabb::square(8.0);
+        let g = ShardGrid::new(&w, 1.0, 2);
+        let halo = 0.75;
+        // Interior, shard-corner, window-edge and out-of-window probes.
+        for p in [
+            Point::new(3.3, 5.1),
+            Point::new(2.0, 2.0),
+            Point::new(4.0, 2.75),
+            Point::new(0.0, 8.0),
+            Point::new(9.5, -1.0),
+        ] {
+            let near: Vec<usize> = g.shards_near(p, halo).collect();
+            let expect: Vec<usize> = (0..g.shard_count())
+                .filter(|&s| g.padded(s, halo).contains(p))
+                .collect();
+            assert_eq!(near, expect, "{p:?}: marking must match padded() exactly");
+            assert!(near.contains(&g.owner_of(p)));
         }
     }
 

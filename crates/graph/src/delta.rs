@@ -1,0 +1,252 @@
+//! Incremental CSR maintenance primitives.
+//!
+//! The construction pipeline shards a deployment and emits each canonical
+//! edge exactly once, from the shard owning its smaller endpoint. This
+//! module adds the id-space machinery that turns those per-shard emissions
+//! into an *incrementally maintainable* graph:
+//!
+//! * [`ShardedEdgeStore`] — the per-shard edge cache. Replacing one shard's
+//!   slice and re-splicing is the delta operation behind
+//!   `wsn_rgg::incremental`: shards untouched by churn keep their cached
+//!   emissions byte-for-byte.
+//! * [`deactivate_vertices`] — pure vertex deactivation: drop every edge
+//!   incident to a dead node without re-deriving anything (exact for
+//!   topologies like the UDG whose edges never *appear* when a node dies).
+//! * [`relabel`] — monotone id relabelling, used to lift a graph built on a
+//!   compacted survivor set back into the stable universe id space so it
+//!   can be compared byte-for-byte against the incrementally maintained
+//!   CSR.
+//! * [`fingerprint`] — an order-sensitive 64-bit hash of the CSR arrays; a
+//!   cheap cross-run witness that two maintenance strategies walked through
+//!   identical topologies.
+
+use crate::builder::EdgeList;
+use crate::csr::Csr;
+use wsn_geom::hash::mix64;
+
+/// Per-shard canonical edge cache with splice-to-CSR.
+///
+/// Edges are stored exactly as the shard builders emit them (canonical
+/// `(min, max)` pairs; the k-NN and Yao builders may emit one edge from
+/// both endpoints — possibly in different shards — so [`Self::to_csr`]
+/// offers both the duplicate-free fast path and the deduplicating one).
+#[derive(Clone, Debug)]
+pub struct ShardedEdgeStore {
+    n: usize,
+    per_shard: Vec<Vec<(u32, u32)>>,
+}
+
+impl ShardedEdgeStore {
+    /// An empty store over `shards` shards of a graph on `n` nodes.
+    pub fn new(n: usize, shards: usize) -> Self {
+        ShardedEdgeStore {
+            n,
+            per_shard: vec![Vec::new(); shards],
+        }
+    }
+
+    /// Number of nodes in the universe id space.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shard slots.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// The cached emissions of shard `s`.
+    #[inline]
+    pub fn shard(&self, s: usize) -> &[(u32, u32)] {
+        &self.per_shard[s]
+    }
+
+    /// Replace shard `s`'s cached emissions (the re-derivation path).
+    pub fn replace(&mut self, s: usize, edges: Vec<(u32, u32)>) {
+        self.per_shard[s] = edges;
+    }
+
+    /// Drop cached edges of shard `s` that fail `keep` (the vertex
+    /// deactivation fast path: no geometry re-derivation, just a filter).
+    pub fn retain<F: FnMut(u32, u32) -> bool>(&mut self, s: usize, mut keep: F) {
+        self.per_shard[s].retain(|&(u, v)| keep(u, v));
+    }
+
+    /// Total cached edge emissions (duplicates counted).
+    pub fn emission_count(&self) -> usize {
+        self.per_shard.iter().map(Vec::len).sum()
+    }
+
+    /// Splice every shard's cache into one CSR.
+    ///
+    /// `dedup` selects the symmetrising edge-list path (needed when a
+    /// topology emits an edge from both endpoints, as k-NN and Yao do);
+    /// without it each canonical edge must already be unique across shards
+    /// and the CSR builds without a global sort.
+    pub fn to_csr(&self, dedup: bool) -> Csr {
+        if dedup {
+            let mut el = EdgeList::with_capacity(self.n, self.emission_count());
+            for shard in &self.per_shard {
+                for &(u, v) in shard {
+                    el.add(u, v);
+                }
+            }
+            Csr::from_edge_list(el)
+        } else {
+            let mut all = Vec::with_capacity(self.emission_count());
+            for shard in &self.per_shard {
+                all.extend_from_slice(shard);
+            }
+            Csr::from_canonical_edges(self.n, &all)
+        }
+    }
+}
+
+/// Drop every edge incident to a node marked dead; ids are preserved and
+/// dead nodes become isolated.
+///
+/// This is the degenerate repair: exact whenever node removal can only
+/// *remove* edges (UDG), and the "before" picture for topologies where
+/// removal can also reveal new edges (Gabriel, RNG, k-NN).
+pub fn deactivate_vertices(g: &Csr, dead: &[bool]) -> Csr {
+    assert_eq!(dead.len(), g.n(), "mask length must match node count");
+    let mut keep = vec![true; g.n()];
+    for (u, &d) in dead.iter().enumerate() {
+        if d {
+            keep[u] = false;
+        }
+    }
+    g.filter_nodes(&keep)
+}
+
+/// Relabel a graph through a strictly monotone id map (`map[local] =
+/// universe`), producing a graph on `n_universe` nodes where unmapped ids
+/// are isolated.
+///
+/// Monotonicity means every id comparison — and therefore every canonical
+/// `(min, max)` orientation and every sorted neighbour list — is preserved,
+/// so the result is byte-identical to building the same topology directly
+/// in the universe id space.
+pub fn relabel(g: &Csr, map: &[u32], n_universe: usize) -> Csr {
+    assert_eq!(map.len(), g.n(), "map length must match node count");
+    debug_assert!(
+        map.windows(2).all(|w| w[0] < w[1]),
+        "relabel map must be strictly monotone"
+    );
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .map(|(u, v)| (map[u as usize], map[v as usize]))
+        .collect();
+    Csr::from_canonical_edges(n_universe, &edges)
+}
+
+/// Order-sensitive 64-bit fingerprint of the CSR arrays.
+///
+/// Two CSRs have equal fingerprints iff (up to hash collision) they have
+/// identical offsets and targets — the same property `Csr::eq` checks, but
+/// transportable across processes (the lifetime bench uses it to prove the
+/// incremental and rebuild-per-epoch runs traversed identical topologies).
+pub fn fingerprint(g: &Csr) -> u64 {
+    let mut h = 0xA076_1D64_78BD_642Fu64 ^ (g.n() as u64);
+    for u in 0..g.n() as u32 {
+        h = mix64(h ^ (g.degree(u) as u64).wrapping_add(0x9E37_79B9_7F4A_7C15));
+        for &v in g.neighbors(u) {
+            h = mix64(h ^ v as u64);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut el = EdgeList::new(n);
+        for i in 1..n as u32 {
+            el.add(i - 1, i);
+        }
+        Csr::from_edge_list(el)
+    }
+
+    #[test]
+    fn store_splices_shards_in_any_partition() {
+        // The same edge set split 1 shard vs 3 shards gives the same CSR.
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (0, 3)];
+        let mut one = ShardedEdgeStore::new(4, 1);
+        one.replace(0, edges.to_vec());
+        let mut three = ShardedEdgeStore::new(4, 3);
+        three.replace(0, vec![edges[0]]);
+        three.replace(1, vec![edges[1], edges[2]]);
+        three.replace(2, vec![edges[3]]);
+        assert_eq!(one.to_csr(false), three.to_csr(false));
+        assert_eq!(one.to_csr(false).m(), 4);
+    }
+
+    #[test]
+    fn dedup_path_collapses_cross_shard_duplicates() {
+        let mut store = ShardedEdgeStore::new(3, 2);
+        store.replace(0, vec![(0, 1), (1, 2)]);
+        store.replace(1, vec![(1, 2)]); // emitted again from the other side
+        assert_eq!(store.to_csr(true).m(), 2);
+        assert_eq!(store.emission_count(), 3);
+    }
+
+    #[test]
+    fn retain_filters_one_shard_only() {
+        let mut store = ShardedEdgeStore::new(4, 2);
+        store.replace(0, vec![(0, 1), (1, 2)]);
+        store.replace(1, vec![(2, 3)]);
+        store.retain(0, |u, v| u != 1 && v != 1);
+        assert_eq!(store.shard(0), &[]);
+        assert_eq!(store.shard(1), &[(2, 3)]);
+        assert_eq!(store.to_csr(false).m(), 1);
+    }
+
+    #[test]
+    fn deactivation_matches_filter_nodes() {
+        let g = path_graph(5);
+        let dead = vec![false, false, true, false, false];
+        let d = deactivate_vertices(&g, &dead);
+        assert_eq!(d.n(), 5);
+        assert_eq!(d.m(), 2); // 0-1 and 3-4 survive
+        assert!(d.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn relabel_lifts_into_universe_space() {
+        // Compact graph on {0,1,2} ≙ universe nodes {1,3,4} of 6.
+        let g = path_graph(3);
+        let lifted = relabel(&g, &[1, 3, 4], 6);
+        assert_eq!(lifted.n(), 6);
+        assert_eq!(lifted.m(), 2);
+        assert!(lifted.has_edge(1, 3));
+        assert!(lifted.has_edge(3, 4));
+        assert!(lifted.neighbors(0).is_empty());
+        assert!(lifted.neighbors(5).is_empty());
+    }
+
+    #[test]
+    fn relabel_identity_is_a_noop() {
+        let g = path_graph(4);
+        assert_eq!(relabel(&g, &[0, 1, 2, 3], 4), g);
+    }
+
+    #[test]
+    fn fingerprint_separates_structures_and_matches_equality() {
+        let a = path_graph(6);
+        let b = path_graph(6);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let mut el = EdgeList::new(6);
+        for i in 1..6u32 {
+            el.add(i - 1, i);
+        }
+        el.add(0, 5); // cycle, not path
+        let c = Csr::from_edge_list(el);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        // Isolated tail changes n and must change the print.
+        assert_ne!(fingerprint(&a), fingerprint(&path_graph(7)));
+    }
+}

@@ -12,6 +12,8 @@
 //!
 //! * [`csr`] — the [`Csr`] structure and its [`builder::EdgeList`] builder.
 //! * [`builder`] — edge-list accumulation and deduplication.
+//! * [`delta`] — incremental maintenance: per-shard edge caches, vertex
+//!   deactivation, monotone relabelling, CSR fingerprints.
 //! * [`unionfind`] — disjoint sets with union by size + path halving.
 //! * [`bfs`] — unweighted shortest paths (hop distance).
 //! * [`dijkstra`] — weighted shortest paths with a caller-supplied weight
@@ -24,6 +26,7 @@ pub mod bfs;
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod dijkstra;
 pub mod stats;
 pub mod stretch;
@@ -31,6 +34,7 @@ pub mod unionfind;
 
 pub use builder::EdgeList;
 pub use csr::Csr;
+pub use delta::{deactivate_vertices, fingerprint, relabel, ShardedEdgeStore};
 pub use unionfind::UnionFind;
 
 /// Sentinel for "unreachable" in hop-distance arrays.

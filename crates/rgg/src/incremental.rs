@@ -1,0 +1,509 @@
+//! Incrementally maintained topologies under node churn.
+//!
+//! A lifetime simulation kills and admits nodes every epoch; rebuilding a
+//! million-node topology from scratch per epoch would dominate wall-clock.
+//! [`IncrementalGraph`] instead keeps the tile-sharded construction's
+//! *per-shard edge caches* ([`wsn_graph::ShardedEdgeStore`]) alive across
+//! epochs and repairs only what churn touched:
+//!
+//! * Node ids live in a fixed **universe** id space (the initial deployment
+//!   plus any reserve pool); churn toggles an alive mask, never re-indexes.
+//! * A shard is **dirty** when a dead or joined node lies inside its
+//!   ghost-padded extent — every predicate the builders evaluate (disk
+//!   membership, Gabriel blockers, RNG lune witnesses, Yao cone minima,
+//!   in-halo k-NN) only consults points within the halo, so a clean
+//!   shard's cached emissions are *provably identical* to what a cold
+//!   rebuild would emit.
+//! * Dirty shards re-run the exact shard derivation functions of
+//!   [`crate::sharded`] (shared code, not re-implementations) over the
+//!   alive survivors, so the spliced CSR is **byte-identical to a cold
+//!   rebuild** — asserted by [`IncrementalGraph::verify_cold`], the churn
+//!   engine's debug path, and `tests/churn_incremental.rs`.
+//! * The UDG gets a *vertex-deactivation fast path*: node death can only
+//!   remove disk edges, so a shard whose padded extent saw deaths but no
+//!   joins is repaired by filtering its cache — no geometry at all.
+//! * k-NN shards that needed the exact whole-population fallback for any
+//!   owned node (*stragglers*) are re-derived every epoch: their lists
+//!   depend on points beyond the halo, so they can never be trusted clean.
+
+use rayon::prelude::*;
+use wsn_geom::{Aabb, ShardGrid};
+use wsn_graph::{relabel, Csr, ShardedEdgeStore};
+use wsn_pointproc::PointSet;
+use wsn_spatial::GridIndex;
+
+use crate::sharded::{
+    derive_gabriel, derive_knn, derive_rng, derive_udg, derive_yao, knn_cell_size, Shard,
+};
+use crate::{build_gabriel, build_knn, build_rng, build_udg, build_yao, knn_halo, WHOLE_WINDOW};
+
+/// The plain topologies the incremental engine can maintain (the SENS
+/// constructions repair by per-epoch rebuild instead — their tile-election
+/// stitch is global).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IncTopology {
+    Udg { radius: f64 },
+    Knn { k: usize },
+    Gabriel { radius: f64 },
+    Rng { radius: f64 },
+    Yao { radius: f64, cones: usize },
+}
+
+impl IncTopology {
+    /// Stable human-readable label (used by the lifetime bench rows).
+    pub fn label(&self) -> String {
+        match *self {
+            IncTopology::Udg { radius } => format!("udg(r={radius})"),
+            IncTopology::Knn { k } => format!("knn(k={k})"),
+            IncTopology::Gabriel { radius } => format!("gabriel(r={radius})"),
+            IncTopology::Rng { radius } => format!("rng(r={radius})"),
+            IncTopology::Yao { radius, cones } => format!("yao(r={radius},c={cones})"),
+        }
+    }
+
+    /// Whether the splice needs the deduplicating edge-list path (an edge
+    /// may be emitted from both endpoints, possibly in different shards).
+    fn needs_dedup(&self) -> bool {
+        matches!(self, IncTopology::Knn { .. } | IncTopology::Yao { .. })
+    }
+
+    /// Whether shard repair after *deaths only* can filter cached edges
+    /// instead of re-deriving (exact iff node removal never creates edges).
+    fn filter_repairs_deaths(&self) -> bool {
+        matches!(self, IncTopology::Udg { .. })
+    }
+}
+
+/// What one [`IncrementalGraph::apply_churn`] call actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RepairStats {
+    /// Total shards in the plan.
+    pub shard_count: usize,
+    /// Shards whose padded extent saw churn (or held k-NN stragglers).
+    pub dirty: usize,
+    /// Dirty shards repaired by the vertex-deactivation filter.
+    pub filtered: usize,
+    /// Dirty shards repaired by full re-derivation.
+    pub rederived: usize,
+}
+
+/// A churn-maintained topology over a fixed universe of points.
+pub struct IncrementalGraph {
+    kind: IncTopology,
+    grid: ShardGrid,
+    /// Ghost halo of the plan (the topology radius, or the k-NN halo of the
+    /// initial alive population) — fixed for the structure's lifetime.
+    halo: f64,
+    points: PointSet,
+    alive: Vec<bool>,
+    n_alive: usize,
+    store: ShardedEdgeStore,
+    /// Per-shard k-NN straggler flags (always false for other kinds).
+    straggler: Vec<bool>,
+    csr: Csr,
+}
+
+impl IncrementalGraph {
+    /// Build the initial structure over `points` restricted to `alive`.
+    ///
+    /// `tiles_per_shard` sizes the repair granularity in halo units
+    /// (smaller shards localise churn better but pay more stitch overhead);
+    /// [`WHOLE_WINDOW`] degenerates to rebuild-per-epoch.
+    pub fn build(
+        points: PointSet,
+        alive: Vec<bool>,
+        kind: IncTopology,
+        tiles_per_shard: usize,
+    ) -> Self {
+        assert_eq!(alive.len(), points.len(), "mask length must match");
+        if let IncTopology::Yao { cones, .. } = kind {
+            assert!(cones >= 1, "need at least one cone");
+        }
+        let n_alive = alive.iter().filter(|&&a| a).count();
+        let halo = match kind {
+            IncTopology::Udg { radius }
+            | IncTopology::Gabriel { radius }
+            | IncTopology::Rng { radius }
+            | IncTopology::Yao { radius, .. } => {
+                assert!(radius > 0.0, "radius must be positive");
+                radius
+            }
+            IncTopology::Knn { k } => {
+                let (sub, _, _) = compact(&points, &alive);
+                if sub.is_empty() {
+                    1.0
+                } else {
+                    knn_halo(&sub, k.max(1))
+                }
+            }
+        };
+        let bbox = points
+            .bounding_box()
+            .unwrap_or_else(|| Aabb::square(halo.max(1.0)));
+        let grid = if tiles_per_shard == WHOLE_WINDOW {
+            ShardGrid::whole(&bbox)
+        } else {
+            ShardGrid::new(&bbox, halo, tiles_per_shard)
+        };
+        let mut g = IncrementalGraph {
+            kind,
+            halo,
+            store: ShardedEdgeStore::new(points.len(), grid.shard_count()),
+            straggler: vec![false; grid.shard_count()],
+            grid,
+            points,
+            alive,
+            n_alive,
+            csr: Csr::empty(0),
+        };
+        let all: Vec<usize> = (0..g.grid.shard_count()).collect();
+        g.rederive_shards(&all);
+        g.csr = g.store.to_csr(g.kind.needs_dedup());
+        g
+    }
+
+    /// The maintained graph in universe id space (dead nodes isolated).
+    #[inline]
+    pub fn graph(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The universe point set (fixed; includes dead and reserve nodes).
+    #[inline]
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    #[inline]
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    #[inline]
+    pub fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    #[inline]
+    pub fn kind(&self) -> IncTopology {
+        self.kind
+    }
+
+    /// Kill `deaths` and admit `joins`, then repair only the shards whose
+    /// padded extent the churn touched. Returns what the repair did.
+    ///
+    /// Panics if a death is already dead or a join already alive — the
+    /// caller (the churn engine) owns liveness bookkeeping.
+    pub fn apply_churn(&mut self, deaths: &[u32], joins: &[u32]) -> RepairStats {
+        for &d in deaths {
+            assert!(self.alive[d as usize], "death of already-dead node {d}");
+            self.alive[d as usize] = false;
+        }
+        for &j in joins {
+            assert!(!self.alive[j as usize], "join of already-alive node {j}");
+            self.alive[j as usize] = true;
+        }
+        self.n_alive = self.n_alive + joins.len() - deaths.len();
+
+        // Dirty marking: 0 = clean, 1 = deaths only, 2 = needs re-derive.
+        let mut state = vec![0u8; self.grid.shard_count()];
+        for &d in deaths {
+            let p = self.points.get(d);
+            for s in self.grid.shards_near(p, self.halo) {
+                state[s] = state[s].max(1);
+            }
+        }
+        for &j in joins {
+            let p = self.points.get(j);
+            for s in self.grid.shards_near(p, self.halo) {
+                state[s] = 2;
+            }
+        }
+        // Straggler shards consulted the whole population; never clean.
+        for (s, &strag) in self.straggler.iter().enumerate() {
+            if strag {
+                state[s] = 2;
+            }
+        }
+
+        let filter_ok = self.kind.filter_repairs_deaths();
+        let mut stats = RepairStats {
+            shard_count: self.grid.shard_count(),
+            ..RepairStats::default()
+        };
+        let mut rederive = Vec::new();
+        for (s, &st) in state.iter().enumerate() {
+            match st {
+                0 => {}
+                1 if filter_ok => {
+                    stats.dirty += 1;
+                    stats.filtered += 1;
+                    let alive = &self.alive;
+                    self.store
+                        .retain(s, |u, v| alive[u as usize] && alive[v as usize]);
+                }
+                _ => {
+                    stats.dirty += 1;
+                    stats.rederived += 1;
+                    rederive.push(s);
+                }
+            }
+        }
+        self.rederive_shards(&rederive);
+        // A quiescent epoch (no dirty shards) leaves every cache — and
+        // therefore the spliced CSR — untouched; skip the O(n + m) splice.
+        if stats.dirty > 0 {
+            self.csr = self.store.to_csr(self.kind.needs_dedup());
+        }
+        stats
+    }
+
+    /// Re-derive the listed shards over the current alive population,
+    /// replacing their caches (shared-code path: `crate::sharded`).
+    fn rederive_shards(&mut self, dirty: &[usize]) {
+        if dirty.is_empty() {
+            return;
+        }
+        let (sub, to_universe, to_compact) = compact(&self.points, &self.alive);
+        if sub.is_empty() {
+            for &s in dirty {
+                self.store.replace(s, Vec::new());
+                self.straggler[s] = false;
+            }
+            return;
+        }
+        let cell = match self.kind {
+            IncTopology::Knn { k } => knn_cell_size(&sub, k.max(1)),
+            IncTopology::Udg { radius }
+            | IncTopology::Gabriel { radius }
+            | IncTopology::Rng { radius }
+            | IncTopology::Yao { radius, .. } => radius,
+        };
+        let index = GridIndex::build(&sub, cell);
+        let bbox = sub.bounding_box().expect("sub is non-empty");
+        let kind = self.kind;
+        let (grid, halo) = (&self.grid, self.halo);
+        let results: Vec<(Vec<(u32, u32)>, bool)> = dirty
+            .to_vec()
+            .into_par_iter()
+            .map(|s| {
+                let shard = Shard::gather_mapped(&sub, &to_universe, &index, grid, s, halo);
+                match kind {
+                    IncTopology::Udg { radius } => (derive_udg(&shard, radius), false),
+                    IncTopology::Gabriel { radius } => (derive_gabriel(&shard, radius), false),
+                    IncTopology::Rng { radius } => (derive_rng(&shard, radius), false),
+                    IncTopology::Yao { radius, cones } => {
+                        (derive_yao(&shard, radius, cones), false)
+                    }
+                    IncTopology::Knn { k } => {
+                        let covers_all = grid.padded(s, halo).contains_aabb(&bbox);
+                        let (lists, strag) = derive_knn(&shard, k, halo, covers_all, |p, gu| {
+                            index
+                                .knn(p, k, Some(to_compact[gu as usize]))
+                                .into_iter()
+                                .map(|(v, _)| to_universe[v as usize])
+                                .collect()
+                        });
+                        let mut edges = Vec::new();
+                        for (gu, list) in lists {
+                            for v in list {
+                                edges.push((gu.min(v), gu.max(v)));
+                            }
+                        }
+                        (edges, strag)
+                    }
+                }
+            })
+            .collect();
+        for (&s, (edges, strag)) in dirty.iter().zip(results) {
+            self.store.replace(s, edges);
+            self.straggler[s] = strag;
+        }
+    }
+
+    /// Build the same topology cold — monolithic reference builder on the
+    /// compacted alive survivors, lifted back to universe ids.
+    pub fn cold_rebuild(&self) -> Csr {
+        let (sub, to_universe, _) = compact(&self.points, &self.alive);
+        if sub.is_empty() {
+            return Csr::empty(self.points.len());
+        }
+        let g = match self.kind {
+            IncTopology::Udg { radius } => build_udg(&sub, radius),
+            IncTopology::Knn { k } => build_knn(&sub, k),
+            IncTopology::Gabriel { radius } => build_gabriel(&sub, radius),
+            IncTopology::Rng { radius } => build_rng(&sub, radius),
+            IncTopology::Yao { radius, cones } => build_yao(&sub, radius, cones),
+        };
+        relabel(&g, &to_universe, self.points.len())
+    }
+
+    /// Edge-identity witness: the incrementally maintained CSR equals a
+    /// cold rebuild on the survivors, byte for byte.
+    #[must_use]
+    pub fn verify_cold(&self) -> bool {
+        self.csr == self.cold_rebuild()
+    }
+}
+
+/// Compact the alive subset: survivor points in universe-id order plus the
+/// strictly monotone compact→universe id map — the shared primitive every
+/// cold-rebuild comparison path must agree on (byte-identity depends on
+/// all of them ordering survivors the same way).
+pub fn compact_alive(points: &PointSet, alive: &[bool]) -> (PointSet, Vec<u32>) {
+    let (sub, to_universe, _) = compact(points, alive);
+    (sub, to_universe)
+}
+
+/// [`compact_alive`] plus the universe→compact inverse (`u32::MAX` marks
+/// dead) for the k-NN fallback's skip ids.
+fn compact(points: &PointSet, alive: &[bool]) -> (PointSet, Vec<u32>, Vec<u32>) {
+    let n_alive = alive.iter().filter(|&&a| a).count();
+    let mut sub = PointSet::with_capacity(n_alive);
+    let mut to_universe = Vec::with_capacity(n_alive);
+    let mut to_compact = vec![u32::MAX; points.len()];
+    for (g, p) in points.iter_enumerated() {
+        if alive[g as usize] {
+            to_compact[g as usize] = sub.len() as u32;
+            to_universe.push(g);
+            sub.push(p);
+        }
+    }
+    (sub, to_universe, to_compact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_geom::hash::derive_seed2;
+    use wsn_geom::Aabb;
+    use wsn_pointproc::{rng_from_seed, sample_binomial_window};
+
+    fn pts(n: usize, seed: u64, side: f64) -> PointSet {
+        sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(side))
+    }
+
+    fn kinds() -> [IncTopology; 5] {
+        [
+            IncTopology::Udg { radius: 1.0 },
+            IncTopology::Knn { k: 4 },
+            IncTopology::Gabriel { radius: 1.2 },
+            IncTopology::Rng { radius: 1.2 },
+            IncTopology::Yao {
+                radius: 1.0,
+                cones: 6,
+            },
+        ]
+    }
+
+    /// Deterministic churn schedule: epoch `e` kills every alive node whose
+    /// hash bucket matches and admits dead ones likewise.
+    fn churn_sets(g: &IncrementalGraph, seed: u64, e: u64) -> (Vec<u32>, Vec<u32>) {
+        let mut deaths = Vec::new();
+        let mut joins = Vec::new();
+        for u in 0..g.points().len() as u32 {
+            let h = derive_seed2(seed, e, u as u64);
+            if g.alive()[u as usize] {
+                if h.is_multiple_of(10) {
+                    deaths.push(u);
+                }
+            } else if h.is_multiple_of(4) {
+                joins.push(u);
+            }
+        }
+        (deaths, joins)
+    }
+
+    #[test]
+    fn initial_build_matches_cold_for_every_kind() {
+        let p = pts(300, 1, 8.0);
+        // A fifth of the universe starts dead (a reserve pool).
+        let alive: Vec<bool> = (0..p.len()).map(|i| i % 5 != 0).collect();
+        for kind in kinds() {
+            let g = IncrementalGraph::build(p.clone(), alive.clone(), kind, 2);
+            assert!(g.verify_cold(), "{kind:?}");
+            assert_eq!(g.n_alive(), alive.iter().filter(|&&a| a).count());
+        }
+    }
+
+    #[test]
+    fn repeated_churn_epochs_stay_edge_identical_to_cold() {
+        let p = pts(260, 2, 8.0);
+        let alive = vec![true; p.len()];
+        for kind in kinds() {
+            let mut g = IncrementalGraph::build(p.clone(), alive.clone(), kind, 2);
+            for e in 0..4u64 {
+                let (deaths, joins) = churn_sets(&g, 99, e);
+                let stats = g.apply_churn(&deaths, &joins);
+                assert_eq!(stats.dirty, stats.filtered + stats.rederived);
+                assert!(
+                    g.verify_cold(),
+                    "{kind:?} diverged from cold rebuild at epoch {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn udg_death_only_churn_uses_the_filter_path() {
+        let p = pts(400, 3, 10.0);
+        let mut g =
+            IncrementalGraph::build(p, vec![true; 400], IncTopology::Udg { radius: 1.0 }, 2);
+        let deaths: Vec<u32> = (0..400u32).filter(|u| u % 7 == 0).collect();
+        let stats = g.apply_churn(&deaths, &[]);
+        assert!(stats.filtered > 0, "deaths-only UDG churn must filter");
+        assert_eq!(stats.rederived, 0);
+        assert!(g.verify_cold());
+    }
+
+    #[test]
+    fn localised_churn_leaves_far_shards_clean() {
+        let p = pts(500, 4, 16.0);
+        let mut g =
+            IncrementalGraph::build(p, vec![true; 500], IncTopology::Rng { radius: 1.0 }, 2);
+        // Kill only nodes in one corner.
+        let deaths: Vec<u32> = g
+            .points()
+            .iter_enumerated()
+            .filter(|&(u, q)| q.x < 3.0 && q.y < 3.0 && g.alive()[u as usize])
+            .map(|(u, _)| u)
+            .collect();
+        assert!(!deaths.is_empty());
+        let stats = g.apply_churn(&deaths, &[]);
+        assert!(
+            stats.dirty < stats.shard_count,
+            "corner churn must leave shards clean ({} of {} dirty)",
+            stats.dirty,
+            stats.shard_count
+        );
+        assert!(g.verify_cold());
+    }
+
+    #[test]
+    fn churn_to_extinction_and_back() {
+        let p = pts(60, 5, 4.0);
+        let mut g = IncrementalGraph::build(
+            p,
+            vec![true; 60],
+            IncTopology::Gabriel { radius: 1.0 },
+            WHOLE_WINDOW,
+        );
+        let everyone: Vec<u32> = (0..60).collect();
+        g.apply_churn(&everyone, &[]);
+        assert_eq!(g.n_alive(), 0);
+        assert_eq!(g.graph().m(), 0);
+        assert!(g.verify_cold());
+        g.apply_churn(&[], &everyone);
+        assert_eq!(g.n_alive(), 60);
+        assert!(g.verify_cold());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-dead")]
+    fn double_death_is_a_logic_error() {
+        let p = pts(20, 6, 3.0);
+        let mut g = IncrementalGraph::build(p, vec![true; 20], IncTopology::Udg { radius: 1.0 }, 2);
+        g.apply_churn(&[3], &[]);
+        g.apply_churn(&[3], &[]);
+    }
+}

@@ -22,8 +22,15 @@
 //! [`sharded`] that streams the deployment as ghost-padded shards and is
 //! proven edge-identical to the monolithic builder — the construction
 //! pipeline behind million-node experiments.
+//!
+//! Under node churn the same shard decomposition powers [`incremental`]:
+//! per-shard edge caches survive across epochs and only shards whose
+//! ghost-padded extent saw a death or join are re-derived, keeping the
+//! maintained CSR byte-identical to a cold rebuild at a fraction of the
+//! cost.
 
 pub mod gabriel;
+pub mod incremental;
 pub mod knn;
 pub mod rng_graph;
 pub mod sharded;
@@ -31,6 +38,7 @@ pub mod udg;
 pub mod yao;
 
 pub use gabriel::build_gabriel;
+pub use incremental::{compact_alive, IncTopology, IncrementalGraph, RepairStats};
 pub use knn::{build_knn, knn_lists};
 pub use rng_graph::build_rng;
 pub use sharded::{

@@ -47,10 +47,10 @@ pub const WHOLE_WINDOW: usize = usize::MAX;
 
 /// A shard's materialised working set: the ghost-padded points in local id
 /// space, the monotone local→global id map, and the ownership mask.
-struct Shard {
-    pts: PointSet,
-    ids: Vec<u32>,
-    owned: Vec<bool>,
+pub(crate) struct Shard {
+    pub(crate) pts: PointSet,
+    pub(crate) ids: Vec<u32>,
+    pub(crate) owned: Vec<bool>,
 }
 
 impl Shard {
@@ -72,6 +72,239 @@ impl Shard {
         }
         Shard { pts, ids, owned }
     }
+
+    /// Gather through an index whose ids are *local* to some compacted
+    /// subset (e.g. the alive survivors of a churned deployment), mapping
+    /// them back to universe ids via the strictly monotone `to_universe`.
+    ///
+    /// Because the map is monotone, the gathered working set is ordered by
+    /// universe id exactly as [`Shard::gather`] orders it by global id —
+    /// every id tie-break downstream resolves identically, which is what
+    /// makes incremental repair byte-identical to a cold rebuild.
+    pub(crate) fn gather_mapped(
+        sub: &PointSet,
+        to_universe: &[u32],
+        index: &GridIndex,
+        grid: &ShardGrid,
+        s: usize,
+        halo: f64,
+    ) -> Shard {
+        let mut local = Vec::new();
+        index.gather_sorted(&grid.padded(s, halo), &mut local);
+        let mut pts = PointSet::with_capacity(local.len());
+        let mut ids = Vec::with_capacity(local.len());
+        let mut owned = Vec::with_capacity(local.len());
+        for &l in &local {
+            let p = sub.get(l);
+            pts.push(p);
+            ids.push(to_universe[l as usize]);
+            owned.push(grid.owner_of(p) == s);
+        }
+        Shard { pts, ids, owned }
+    }
+}
+
+/// One shard's UDG emissions: every canonical edge whose smaller endpoint
+/// the shard owns. Shared verbatim by the cold pipeline and the
+/// incremental repair path (`crate::incremental`).
+pub(crate) fn derive_udg(shard: &Shard, radius: f64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    if shard.pts.is_empty() {
+        return out;
+    }
+    let index = GridIndex::build(&shard.pts, radius);
+    for (u, p) in shard.pts.iter_enumerated() {
+        if !shard.owned[u as usize] {
+            continue;
+        }
+        let gu = shard.ids[u as usize];
+        index.for_each_in_disk(p, radius, |v, _| {
+            let gv = shard.ids[v as usize];
+            if gv > gu {
+                out.push((gu, gv));
+            }
+        });
+    }
+    out
+}
+
+/// One shard's Gabriel emissions (diameter-disk emptiness over the owner's
+/// distance-sorted neighbour list, early exit on the first blocker).
+pub(crate) fn derive_gabriel(shard: &Shard, radius: f64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    if shard.pts.is_empty() {
+        return out;
+    }
+    let index = GridIndex::build(&shard.pts, radius);
+    // Every blocker of an edge `uv` (inside the diameter disk) is within
+    // `|uv| ≤ radius` of `u`, i.e. already in `u`'s neighbour list — so the
+    // emptiness test scans that list (sorted by distance: likely blockers
+    // first, early exit) instead of probing grid cells per edge.
+    let mut nbrs: Vec<(u32, Point, f64)> = Vec::new();
+    for (u, pu) in shard.pts.iter_enumerated() {
+        if !shard.owned[u as usize] {
+            continue;
+        }
+        let gu = shard.ids[u as usize];
+        nbrs.clear();
+        index.for_each_in_disk(pu, radius, |v, q| {
+            if v != u {
+                nbrs.push((v, q, pu.dist(q)));
+            }
+        });
+        nbrs.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+        for &(v, pv, _) in &nbrs {
+            let gv = shard.ids[v as usize];
+            if gv <= gu {
+                continue;
+            }
+            let mid = pu.midpoint(pv);
+            let r = pu.dist(pv) * 0.5;
+            let r2 = r * r - 1e-12;
+            let blocked = nbrs.iter().any(|&(w, q, _)| w != v && q.dist_sq(mid) < r2);
+            if !blocked {
+                out.push((gu, gv));
+            }
+        }
+    }
+    out
+}
+
+/// One shard's RNG emissions (lune emptiness as a prefix scan of the
+/// distance-sorted neighbour list).
+pub(crate) fn derive_rng(shard: &Shard, radius: f64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    if shard.pts.is_empty() {
+        return out;
+    }
+    let index = GridIndex::build(&shard.pts, radius);
+    // A lune witness of `uv` is closer than `|uv| ≤ radius` to *both*
+    // endpoints, so it is in `u`'s neighbour list. Sorting that list by
+    // distance-to-`u` makes the witness scan a prefix scan: entries at
+    // `d(w, u) ≥ |uv|` can never block and terminate the loop.
+    let mut nbrs: Vec<(u32, Point, f64)> = Vec::new();
+    for (u, pu) in shard.pts.iter_enumerated() {
+        if !shard.owned[u as usize] {
+            continue;
+        }
+        let gu = shard.ids[u as usize];
+        nbrs.clear();
+        index.for_each_in_disk(pu, radius, |v, q| {
+            if v != u {
+                nbrs.push((v, q, pu.dist(q)));
+            }
+        });
+        nbrs.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+        for &(v, pv, d) in &nbrs {
+            let gv = shard.ids[v as usize];
+            if gv <= gu {
+                continue;
+            }
+            let strict = d - 1e-12;
+            let mut blocked = false;
+            for &(w, q, dwu) in &nbrs {
+                if dwu >= strict {
+                    break; // sorted: no later entry can block
+                }
+                if w != v && q.dist(pv) < strict {
+                    blocked = true;
+                    break;
+                }
+            }
+            if !blocked {
+                out.push((gu, gv));
+            }
+        }
+    }
+    out
+}
+
+/// One shard's Yao emissions: per owned node, the nearest neighbour of each
+/// angular cone, as canonical pairs (an edge may also be emitted by its
+/// other endpoint's shard — splice through the deduplicating path).
+pub(crate) fn derive_yao(shard: &Shard, radius: f64, cones: usize) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    if shard.pts.is_empty() {
+        return out;
+    }
+    let sector = std::f64::consts::TAU / cones as f64;
+    let index = GridIndex::build(&shard.pts, radius);
+    // best[c] = (dist, global id) of the nearest neighbour in cone c —
+    // keyed on global ids so ties break exactly as in the monolithic
+    // builder.
+    let mut best: Vec<Option<(f64, u32)>> = vec![None; cones];
+    for (u, p) in shard.pts.iter_enumerated() {
+        if !shard.owned[u as usize] {
+            continue;
+        }
+        let gu = shard.ids[u as usize];
+        best.iter_mut().for_each(|b| *b = None);
+        index.for_each_in_disk(p, radius, |v, q| {
+            if v == u {
+                return;
+            }
+            let angle = (q.y - p.y)
+                .atan2(q.x - p.x)
+                .rem_euclid(std::f64::consts::TAU);
+            let cone = ((angle / sector) as usize).min(cones - 1);
+            let cand = (p.dist(q), shard.ids[v as usize]);
+            if best[cone].is_none_or(|cur| cand < cur) {
+                best[cone] = Some(cand);
+            }
+        });
+        for b in best.iter().flatten() {
+            out.push((gu.min(b.1), gu.max(b.1)));
+        }
+    }
+    out
+}
+
+/// One shard's directed k-NN lists in global id space, plus whether any
+/// owned node *straggled* (its k-th neighbour fell outside `halo`, forcing
+/// the exact `fallback` query — `fallback(p, gu)` must return `gu`'s k
+/// nearest over the whole point population, in global ids).
+///
+/// The straggler flag matters to incremental maintenance: a straggler's
+/// list depends on points beyond the shard's padded extent, so its shard
+/// can never be trusted as "clean" under churn.
+pub(crate) fn derive_knn<F>(
+    shard: &Shard,
+    k: usize,
+    halo: f64,
+    covers_all: bool,
+    fallback: F,
+) -> (Vec<(u32, Vec<u32>)>, bool)
+where
+    F: Fn(Point, u32) -> Vec<u32>,
+{
+    let mut out = Vec::new();
+    let mut straggled = false;
+    if shard.pts.is_empty() {
+        return (out, straggled);
+    }
+    let index = GridIndex::build(&shard.pts, knn_cell_size(&shard.pts, k));
+    for (u, p) in shard.pts.iter_enumerated() {
+        if !shard.owned[u as usize] {
+            continue;
+        }
+        let gu = shard.ids[u as usize];
+        let local = index.knn(p, k, Some(u));
+        let certain =
+            covers_all || (local.len() == k && local.last().is_none_or(|&(_, d)| d <= halo));
+        let list: Vec<u32> = if certain {
+            local
+                .into_iter()
+                .map(|(v, _)| shard.ids[v as usize])
+                .collect()
+        } else {
+            // Halo miss: resolve exactly against the full population
+            // (k-NN results are index-independent).
+            straggled = true;
+            fallback(p, gu)
+        };
+        out.push((gu, list));
+    }
+    (out, straggled)
 }
 
 /// Shard plan over the deployment's bounding box with shards of
@@ -112,25 +345,7 @@ pub fn build_udg_sharded(points: &PointSet, radius: f64, tiles_per_shard: usize)
     let gather = GridIndex::build(points, radius);
     let grid = plan(points, radius, tiles_per_shard);
     let edges = fan_out(&grid, |s| {
-        let shard = Shard::gather(points, &gather, &grid, s, radius);
-        let mut out = Vec::new();
-        if shard.pts.is_empty() {
-            return out;
-        }
-        let index = GridIndex::build(&shard.pts, radius);
-        for (u, p) in shard.pts.iter_enumerated() {
-            if !shard.owned[u as usize] {
-                continue;
-            }
-            let gu = shard.ids[u as usize];
-            index.for_each_in_disk(p, radius, |v, _| {
-                let gv = shard.ids[v as usize];
-                if gv > gu {
-                    out.push((gu, gv));
-                }
-            });
-        }
-        out
+        derive_udg(&Shard::gather(points, &gather, &grid, s, radius), radius)
     });
     // Each canonical edge is emitted exactly once (by the owner of its
     // smaller endpoint), so the CSR builds without a global sort.
@@ -151,45 +366,7 @@ pub fn build_gabriel_sharded(points: &PointSet, radius: f64, tiles_per_shard: us
     let gather = GridIndex::build(points, radius);
     let grid = plan(points, radius, tiles_per_shard);
     let edges = fan_out(&grid, |s| {
-        let shard = Shard::gather(points, &gather, &grid, s, radius);
-        let mut out = Vec::new();
-        if shard.pts.is_empty() {
-            return out;
-        }
-        let index = GridIndex::build(&shard.pts, radius);
-        // Every blocker of an edge `uv` (inside the diameter disk) is
-        // within `|uv| ≤ radius` of `u`, i.e. already in `u`'s neighbour
-        // list — so the emptiness test scans that list (sorted by distance:
-        // likely blockers first, early exit) instead of probing grid cells
-        // per edge.
-        let mut nbrs: Vec<(u32, Point, f64)> = Vec::new();
-        for (u, pu) in shard.pts.iter_enumerated() {
-            if !shard.owned[u as usize] {
-                continue;
-            }
-            let gu = shard.ids[u as usize];
-            nbrs.clear();
-            index.for_each_in_disk(pu, radius, |v, q| {
-                if v != u {
-                    nbrs.push((v, q, pu.dist(q)));
-                }
-            });
-            nbrs.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
-            for &(v, pv, _) in &nbrs {
-                let gv = shard.ids[v as usize];
-                if gv <= gu {
-                    continue;
-                }
-                let mid = pu.midpoint(pv);
-                let r = pu.dist(pv) * 0.5;
-                let r2 = r * r - 1e-12;
-                let blocked = nbrs.iter().any(|&(w, q, _)| w != v && q.dist_sq(mid) < r2);
-                if !blocked {
-                    out.push((gu, gv));
-                }
-            }
-        }
-        out
+        derive_gabriel(&Shard::gather(points, &gather, &grid, s, radius), radius)
     });
     Csr::from_canonical_edges(points.len(), &edges)
 }
@@ -204,51 +381,7 @@ pub fn build_rng_sharded(points: &PointSet, radius: f64, tiles_per_shard: usize)
     let gather = GridIndex::build(points, radius);
     let grid = plan(points, radius, tiles_per_shard);
     let edges = fan_out(&grid, |s| {
-        let shard = Shard::gather(points, &gather, &grid, s, radius);
-        let mut out = Vec::new();
-        if shard.pts.is_empty() {
-            return out;
-        }
-        let index = GridIndex::build(&shard.pts, radius);
-        // A lune witness of `uv` is closer than `|uv| ≤ radius` to *both*
-        // endpoints, so it is in `u`'s neighbour list. Sorting that list by
-        // distance-to-`u` makes the witness scan a prefix scan: entries at
-        // `d(w, u) ≥ |uv|` can never block and terminate the loop.
-        let mut nbrs: Vec<(u32, Point, f64)> = Vec::new();
-        for (u, pu) in shard.pts.iter_enumerated() {
-            if !shard.owned[u as usize] {
-                continue;
-            }
-            let gu = shard.ids[u as usize];
-            nbrs.clear();
-            index.for_each_in_disk(pu, radius, |v, q| {
-                if v != u {
-                    nbrs.push((v, q, pu.dist(q)));
-                }
-            });
-            nbrs.sort_unstable_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
-            for &(v, pv, d) in &nbrs {
-                let gv = shard.ids[v as usize];
-                if gv <= gu {
-                    continue;
-                }
-                let strict = d - 1e-12;
-                let mut blocked = false;
-                for &(w, q, dwu) in &nbrs {
-                    if dwu >= strict {
-                        break; // sorted: no later entry can block
-                    }
-                    if w != v && q.dist(pv) < strict {
-                        blocked = true;
-                        break;
-                    }
-                }
-                if !blocked {
-                    out.push((gu, gv));
-                }
-            }
-        }
-        out
+        derive_rng(&Shard::gather(points, &gather, &grid, s, radius), radius)
     });
     Csr::from_canonical_edges(points.len(), &edges)
 }
@@ -267,42 +400,12 @@ pub fn build_yao_sharded(
     }
     let gather = GridIndex::build(points, radius);
     let grid = plan(points, radius, tiles_per_shard);
-    let sector = std::f64::consts::TAU / cones as f64;
     let edges = fan_out(&grid, |s| {
-        let shard = Shard::gather(points, &gather, &grid, s, radius);
-        let mut out = Vec::new();
-        if shard.pts.is_empty() {
-            return out;
-        }
-        let index = GridIndex::build(&shard.pts, radius);
-        // best[c] = (dist, global id) of the nearest neighbour in cone c —
-        // keyed on global ids so ties break exactly as in the monolithic
-        // builder.
-        let mut best: Vec<Option<(f64, u32)>> = vec![None; cones];
-        for (u, p) in shard.pts.iter_enumerated() {
-            if !shard.owned[u as usize] {
-                continue;
-            }
-            let gu = shard.ids[u as usize];
-            best.iter_mut().for_each(|b| *b = None);
-            index.for_each_in_disk(p, radius, |v, q| {
-                if v == u {
-                    return;
-                }
-                let angle = (q.y - p.y)
-                    .atan2(q.x - p.x)
-                    .rem_euclid(std::f64::consts::TAU);
-                let cone = ((angle / sector) as usize).min(cones - 1);
-                let cand = (p.dist(q), shard.ids[v as usize]);
-                if best[cone].is_none_or(|cur| cand < cur) {
-                    best[cone] = Some(cand);
-                }
-            });
-            for b in best.iter().flatten() {
-                out.push((gu.min(b.1), gu.max(b.1)));
-            }
-        }
-        out
+        derive_yao(
+            &Shard::gather(points, &gather, &grid, s, radius),
+            radius,
+            cones,
+        )
     });
     // Directed selections can coincide from both endpoints (possibly in
     // different shards); symmetrise through the deduplicating edge-list
@@ -316,7 +419,7 @@ pub fn build_yao_sharded(
 
 /// Grid cell size for k-NN searches (same heuristic as the monolithic
 /// builder: roughly the radius expected to contain k points).
-fn knn_cell_size(points: &PointSet, k: usize) -> f64 {
+pub(crate) fn knn_cell_size(points: &PointSet, k: usize) -> f64 {
     let bb = points.bounding_box().unwrap();
     let area = bb.area().max(1e-9);
     let density = points.len() as f64 / area;
@@ -352,37 +455,15 @@ pub fn knn_lists_sharded(points: &PointSet, k: usize, tiles_per_shard: usize) ->
         .into_par_iter()
         .map(|s| {
             let shard = Shard::gather(points, &gather, &grid, s, halo);
-            let mut out = Vec::new();
-            if shard.pts.is_empty() {
-                return out;
-            }
             let covers_all = grid.padded(s, halo).contains_aabb(&bbox);
-            let index = GridIndex::build(&shard.pts, knn_cell_size(&shard.pts, k));
-            for (u, p) in shard.pts.iter_enumerated() {
-                if !shard.owned[u as usize] {
-                    continue;
-                }
-                let gu = shard.ids[u as usize];
-                let local = index.knn(p, k, Some(u));
-                let certain = covers_all
-                    || (local.len() == k && local.last().is_none_or(|&(_, d)| d <= halo));
-                let list: Vec<u32> = if certain {
-                    local
-                        .into_iter()
-                        .map(|(v, _)| shard.ids[v as usize])
-                        .collect()
-                } else {
-                    // Halo miss: resolve exactly against the global index
-                    // (k-NN results are index-independent).
-                    gather
-                        .knn(p, k, Some(gu))
-                        .into_iter()
-                        .map(|(v, _)| v)
-                        .collect()
-                };
-                out.push((gu, list));
-            }
-            out
+            derive_knn(&shard, k, halo, covers_all, |p, gu| {
+                gather
+                    .knn(p, k, Some(gu))
+                    .into_iter()
+                    .map(|(v, _)| v)
+                    .collect()
+            })
+            .0
         })
         .collect();
     let mut lists = vec![Vec::new(); points.len()];

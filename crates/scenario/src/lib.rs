@@ -54,5 +54,6 @@ pub use presets::{all_presets, find_preset, run_preset, Preset};
 pub use report::Report;
 pub use runner::{run_matrix, Profile};
 pub use spec::{
-    DeploymentSpec, ExecSpec, FaultSpec, MetricSuite, ScenarioMatrix, ScenarioSpec, TopologySpec,
+    ChurnSpec, DeploymentSpec, ExecSpec, FaultSpec, MetricSuite, ScenarioMatrix, ScenarioSpec,
+    TopologySpec,
 };

@@ -17,6 +17,10 @@ use wsn_rgg::{
     build_gabriel, build_gabriel_sharded, build_knn, build_knn_sharded, build_rng,
     build_rng_sharded, build_udg, build_udg_sharded, build_yao, build_yao_sharded,
 };
+use wsn_simnet::churn::{
+    simulate_lifetime_plain, simulate_lifetime_sens, ChurnConfig, ChurnModel, LifetimeReport,
+    SensKind,
+};
 use wsn_simnet::energy::{path_energy, EnergyModel};
 use wsn_simnet::fault::random_failures;
 use wsn_simnet::{distributed_build_udg, route_packet_with_path};
@@ -40,6 +44,7 @@ mod stream {
     pub const COVERAGE: u64 = 4;
     pub const POWER: u64 = 5;
     pub const ROUTING: u64 = 6;
+    pub const CHURN: u64 = 7;
 }
 
 /// The channels of one replication, in emission order.
@@ -123,6 +128,12 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
         None => deployed,
     };
     push(&mut ch, "nodes.surviving", points.len() as f64);
+
+    // ---- lifetime workload (replaces the static suite) ---------------
+    if let Some(churn) = &spec.churn {
+        run_lifetime(&mut ch, spec, churn, &points, grid, rep_seed);
+        return ch;
+    }
 
     // ---- topology construction --------------------------------------
     // The sharded pipeline is edge-identical to the monolithic builders,
@@ -343,6 +354,144 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
     ch
 }
 
+/// Run the churn-driven lifetime workload of a cell and emit its channel
+/// family (`lifetime.*`). The deployment's highest-id `reserve_frac`
+/// fraction forms the join reserve; everything else starts alive.
+fn run_lifetime(
+    ch: &mut Channels,
+    spec: &ScenarioSpec,
+    churn: &crate::spec::ChurnSpec,
+    points: &PointSet,
+    grid: Option<TileGrid>,
+    rep_seed: u64,
+) {
+    let n = points.len();
+    let reserve = (churn.reserve_frac * n as f64).round() as usize;
+    let deployed = n.saturating_sub(reserve);
+    let alive: Vec<bool> = (0..n).map(|i| i < deployed).collect();
+
+    let mut cfg = ChurnConfig::new(
+        churn.epochs,
+        churn.battery,
+        churn.traffic,
+        churn.p_fail,
+        churn.join_rate,
+    );
+    cfg.idle_cost = churn.idle_cost;
+    if let Some(radius) = churn.blast_radius {
+        cfg.churn_model = ChurnModel::Clustered { radius };
+    }
+    let seed = derive_seed(rep_seed, stream::CHURN);
+
+    let report: LifetimeReport = match spec.topology {
+        TopologySpec::UdgSens => simulate_lifetime_sens(
+            points,
+            &alive,
+            SensKind::Udg(UdgSensParams::strict_default()),
+            grid.expect("SENS grid"),
+            &cfg,
+            seed,
+        ),
+        TopologySpec::NnSens { a, k } => simulate_lifetime_sens(
+            points,
+            &alive,
+            SensKind::Nn(NnSensParams { a, k }),
+            grid.expect("SENS grid"),
+            &cfg,
+            seed,
+        ),
+        TopologySpec::Udg { radius } => simulate_lifetime_plain(
+            points,
+            &alive,
+            wsn_rgg::IncTopology::Udg { radius },
+            &cfg,
+            seed,
+        ),
+        TopologySpec::Knn { k } => {
+            simulate_lifetime_plain(points, &alive, wsn_rgg::IncTopology::Knn { k }, &cfg, seed)
+        }
+        TopologySpec::Gabriel { radius } => simulate_lifetime_plain(
+            points,
+            &alive,
+            wsn_rgg::IncTopology::Gabriel { radius },
+            &cfg,
+            seed,
+        ),
+        TopologySpec::Rng { radius } => simulate_lifetime_plain(
+            points,
+            &alive,
+            wsn_rgg::IncTopology::Rng { radius },
+            &cfg,
+            seed,
+        ),
+        TopologySpec::Yao { radius, cones } => simulate_lifetime_plain(
+            points,
+            &alive,
+            wsn_rgg::IncTopology::Yao { radius, cones },
+            &cfg,
+            seed,
+        ),
+    };
+
+    push(ch, "lifetime.initial_alive", deployed as f64);
+    push(ch, "lifetime.epochs", report.epochs.len() as f64);
+    push(ch, "lifetime.final_alive", report.final_alive as f64);
+    push(ch, "lifetime.joins", report.joins_total as f64);
+    push(
+        ch,
+        "lifetime.deaths_battery",
+        report.deaths_battery_total as f64,
+    );
+    push(
+        ch,
+        "lifetime.deaths_random",
+        report.deaths_random_total as f64,
+    );
+    push(ch, "lifetime.offered", report.offered_total as f64);
+    if report.offered_total > 0 {
+        push(
+            ch,
+            "lifetime.delivered_fraction",
+            report.delivered_total as f64 / report.offered_total as f64,
+        );
+    }
+    push(ch, "lifetime.energy_total", report.energy_total);
+    if report.delivered_total > 0 {
+        push(
+            ch,
+            "lifetime.energy_per_delivered",
+            report.energy_total / report.delivered_total as f64,
+        );
+    }
+    if let Some(last) = report.epochs.last() {
+        push(ch, "lifetime.final_giant_fraction", last.giant_fraction);
+        push(ch, "lifetime.final_coverage", last.coverage);
+        push(ch, "lifetime.final_battery_residual", last.battery_residual);
+    }
+    if let Some(e) = report.rounds_to_first_partition {
+        push(ch, "lifetime.rounds_to_first_partition", e as f64);
+    }
+    if let Some(e) = report.rounds_to_coverage_loss {
+        push(ch, "lifetime.rounds_to_coverage_loss", e as f64);
+    }
+    // Exactly representable 32-bit slice of the final CSR fingerprint: the
+    // strongest topology pin a golden can carry as a float channel.
+    push(
+        ch,
+        "lifetime.graph_hash32",
+        (report.final_graph_hash & 0xFFFF_FFFF) as f64,
+    );
+    push(
+        ch,
+        "lifetime.shards_rederived",
+        report
+            .epochs
+            .iter()
+            .map(|e| e.shards_rederived)
+            .sum::<u64>() as f64,
+    );
+}
+
 /// Uniform ordered pairs of distinct node ids (the plain-topology analogue
 /// of [`sample_rep_pairs`]; same shared sampler, pool = every node).
 fn sample_node_pairs(n: usize, count: usize, seed: u64) -> Vec<(u32, u32)> {
@@ -495,6 +644,7 @@ mod tests {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 1,
         }
     }

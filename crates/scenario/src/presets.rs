@@ -10,8 +10,8 @@ use serde::Serialize;
 use crate::report::Report;
 use crate::runner::{run_matrix, Profile};
 use crate::spec::{
-    CoverageSpec, DeploymentSpec, ExecSpec, FaultSpec, MetricSuite, PowerSpec, RoutingSpec,
-    ScenarioMatrix, StretchSpec, TopologySpec,
+    ChurnSpec, CoverageSpec, DeploymentSpec, ExecSpec, FaultSpec, MetricSuite, PowerSpec,
+    RoutingSpec, ScenarioMatrix, StretchSpec, TopologySpec,
 };
 use crate::substrate;
 
@@ -82,6 +82,16 @@ pub const PRESETS: &[Preset] = &[
         replaces: &[],
     },
     Preset {
+        name: "lifetime-sens-vs-udg",
+        title: "Lifetime: battery-driven epochs, UDG-SENS vs raw UDG until partition",
+        replaces: &[],
+    },
+    Preset {
+        name: "lifetime-join-churn",
+        title: "Lifetime: clustered blackouts + join reserve, incremental repair across baselines",
+        replaces: &[],
+    },
+    Preset {
         name: "percolation-pc",
         title: "Substrate: site-percolation theta(p), crossing probability, p_c",
         replaces: &["exp_pc"],
@@ -147,6 +157,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 2,
         },
         "stretch" => ScenarioMatrix {
@@ -162,6 +173,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 2,
         },
         "coverage" => ScenarioMatrix {
@@ -181,6 +193,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 2,
         },
         "coverage-logn" => ScenarioMatrix {
@@ -198,6 +211,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 2,
         },
         "power" => ScenarioMatrix {
@@ -222,6 +236,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 2,
         },
         "matern" => ScenarioMatrix {
@@ -251,6 +266,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 2,
         },
         "claim-udg" => ScenarioMatrix {
@@ -263,6 +279,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: profile.pick(8, 3),
         },
         "claim-nn" => ScenarioMatrix {
@@ -278,6 +295,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: profile.pick(6, 2),
         },
         "routing" => ScenarioMatrix {
@@ -295,6 +313,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 2,
         },
         "construct-cost" => ScenarioMatrix {
@@ -307,6 +326,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: profile.pick(2, 1),
         },
         "fault-resilience" => ScenarioMatrix {
@@ -328,6 +348,57 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
+            replications: 2,
+        },
+        // The network lives while batteries do: idle + relay drain kills
+        // nodes mid-run, and the report pins how the SENS core's delivery
+        // and coverage degrade against the raw UDG on the same deployment.
+        "lifetime-sens-vs-udg" => ScenarioMatrix {
+            sides: vec![profile.pick(20.0, 8.0)],
+            deployments: poisson(&[30.0]),
+            topologies: vec![TopologySpec::UdgSens, TopologySpec::Udg { radius: 1.0 }],
+            faults: vec![None],
+            metrics: MetricSuite::default(),
+            exec: ExecSpec::monolithic(),
+            churn: Some(ChurnSpec {
+                epochs: profile.pick(20, 6),
+                battery: 4000.0,
+                idle_cost: 650.0,
+                traffic: profile.pick(200, 40),
+                p_fail: 0.05,
+                blast_radius: None,
+                join_rate: 0.0,
+                reserve_frac: 0.0,
+            }),
+            replications: 2,
+        },
+        // Clustered sector blackouts with a join reserve: every epoch ~15%
+        // of the population dies in seeded disk outages and is replaced
+        // one-for-one from the reserve, exercising the incremental repair
+        // machinery (deaths *and* joins) across the baseline spanners.
+        "lifetime-join-churn" => ScenarioMatrix {
+            sides: vec![profile.pick(16.0, 8.0)],
+            deployments: poisson(&[25.0]),
+            topologies: vec![
+                TopologySpec::Udg { radius: 1.0 },
+                TopologySpec::Rng { radius: 1.0 },
+                TopologySpec::Knn { k: 5 },
+                TopologySpec::Gabriel { radius: 1.0 },
+            ],
+            faults: vec![None],
+            metrics: MetricSuite::default(),
+            exec: ExecSpec::monolithic(),
+            churn: Some(ChurnSpec {
+                epochs: profile.pick(12, 5),
+                battery: 1e8,
+                idle_cost: 0.0,
+                traffic: profile.pick(150, 30),
+                p_fail: 0.15,
+                blast_radius: Some(1.5),
+                join_rate: 1.0,
+                reserve_frac: 0.25,
+            }),
             replications: 2,
         },
         _ => return None,

@@ -177,6 +177,7 @@ mod tests {
                 ..MetricSuite::default()
             },
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 3,
         }
     }

@@ -133,6 +133,36 @@ impl FaultSpec {
     }
 }
 
+/// Churn-driven lifetime simulation (the dynamic-network workload).
+///
+/// When present, the replication runs `wsn_simnet::churn` instead of the
+/// static metric suite: the deployment is split into an initially-alive
+/// population plus a reserve pool (`reserve_frac` of the nodes, taken from
+/// the highest ids), then simulated for `epochs` rounds of traffic, battery
+/// drain, failures, joins and in-place topology repair. Like [`ExecSpec`]
+/// this is not a matrix axis and not part of the cell label — a lifetime
+/// preset is a different *workload*, not a different cell of the same one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnSpec {
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Initial battery per node (fresh reserve nodes get the same).
+    pub battery: f64,
+    /// Per-epoch idle drain per alive node.
+    pub idle_cost: f64,
+    /// Packets routed per epoch.
+    pub traffic: usize,
+    /// Per-epoch random-failure probability.
+    pub p_fail: f64,
+    /// `Some(radius)` switches failures to clustered sector blackouts of
+    /// that radius (expected kill fraction stays `p_fail`).
+    pub blast_radius: Option<f64>,
+    /// Reserve nodes admitted per death.
+    pub join_rate: f64,
+    /// Fraction of the deployment held back as the join reserve.
+    pub reserve_frac: f64,
+}
+
 /// Euclidean-stretch sampling (property P2).
 #[derive(Clone, Debug, PartialEq)]
 pub struct StretchSpec {
@@ -207,6 +237,9 @@ pub struct ScenarioSpec {
     pub metrics: MetricSuite,
     /// Construction execution mode (not an axis; see [`ExecSpec`]).
     pub exec: ExecSpec,
+    /// Lifetime workload (not an axis; replaces the static metric suite
+    /// when present — see [`ChurnSpec`]).
+    pub churn: Option<ChurnSpec>,
     /// Independent replications (each with its own derived seed).
     pub replications: usize,
 }
@@ -243,6 +276,8 @@ pub struct ScenarioMatrix {
     pub metrics: MetricSuite,
     /// Construction execution mode shared by every cell (not an axis).
     pub exec: ExecSpec,
+    /// Lifetime workload shared by every cell (not an axis).
+    pub churn: Option<ChurnSpec>,
     pub replications: usize,
 }
 
@@ -263,6 +298,7 @@ impl ScenarioMatrix {
                             fault,
                             metrics: self.metrics.clone(),
                             exec: self.exec,
+                            churn: self.churn,
                             replications: self.replications,
                         });
                     }
@@ -286,6 +322,7 @@ mod tests {
             faults: vec![None, Some(FaultSpec { p_fail: 0.2 })],
             metrics: MetricSuite::default(),
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 2,
         };
         let cells = m.expand();
@@ -313,6 +350,7 @@ mod tests {
             fault: Some(FaultSpec { p_fail: 0.25 }),
             metrics: MetricSuite::default(),
             exec: ExecSpec::monolithic(),
+            churn: None,
             replications: 1,
         };
         assert_eq!(

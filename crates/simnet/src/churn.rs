@@ -1,0 +1,914 @@
+//! Churn-driven lifetime simulation.
+//!
+//! The paper's claim is not just that SENS topologies are sparse at birth,
+//! but that they stay power-efficient *over the network's lifetime*. This
+//! module makes that measurable: an epoch loop in which each round
+//!
+//! 1. routes a seeded traffic workload over the current topology and debits
+//!    per-node batteries through the radio [`EnergyModel`],
+//! 2. kills battery-depleted nodes and injects random failures (uniform or
+//!    spatially clustered — sector blackouts),
+//! 3. admits replacement nodes from a reserve pool at a configurable join
+//!    rate, and
+//! 4. repairs the topology — **incrementally** through
+//!    [`wsn_rgg::IncrementalGraph`] for the plain graphs (only shards
+//!    touched by churn re-derive), or by per-epoch rebuild for the SENS
+//!    constructions and for the bench's rebuild baseline —
+//!
+//! emitting a per-epoch [`EpochReport`] (alive population, delivered /
+//! offered traffic, energy, giant-component fraction, coverage, a CSR
+//! fingerprint) and a final [`LifetimeReport`] with
+//! rounds-to-first-partition and rounds-to-coverage-loss.
+//!
+//! ## Determinism contract
+//!
+//! Every random draw is a pure function of `(base seed, epoch, node)` (or
+//! `(base seed, epoch, packet)` / `(base seed, epoch, blast centre)`) via
+//! the workspace seed-derivation hashes — never of iteration order, thread
+//! schedule, or floating-point accumulation order. Two runs with the same
+//! seed produce byte-identical reports at any `RAYON_NUM_THREADS`, which
+//! the golden suite pins at thread counts {1, 4, 8}.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::energy::EnergyModel;
+use wsn_core::nn::build_nn_sens;
+use wsn_core::params::{NnSensParams, UdgSensParams};
+use wsn_core::subgraph::SensNetwork;
+use wsn_core::tilegrid::TileGrid;
+use wsn_core::udg::build_udg_sens;
+use wsn_geom::hash::{derive_seed, derive_seed2, mix64};
+use wsn_geom::{Aabb, Point};
+use wsn_graph::{bfs, components::connected_components, fingerprint, relabel, Csr};
+use wsn_pointproc::PointSet;
+use wsn_rgg::{
+    build_gabriel_sharded, build_knn_sharded, build_rng_sharded, build_udg_sharded,
+    build_yao_sharded, compact_alive, IncTopology, IncrementalGraph, RepairStats,
+};
+
+/// Seed streams of the epoch loop (fixed so adding a draw never shifts
+/// another's randomness).
+mod stream {
+    pub const TRAFFIC: u64 = 0x11;
+    pub const FAIL: u64 = 0x12;
+    pub const BLAST: u64 = 0x13;
+}
+
+/// Shard size (in topology tiles) of the per-epoch *rebuild* baseline —
+/// the PR-3 pipeline default, so "rebuild" means the best cold path.
+const REBUILD_SHARD_TILES: usize = 16;
+
+/// How per-epoch random failures are placed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnModel {
+    /// Each alive node fails independently with probability `p_fail`.
+    Uniform,
+    /// Sector blackouts: seeded disk-shaped outage regions sized so the
+    /// *expected* kill fraction is `p_fail`. WSN failures are spatially
+    /// correlated in practice (weather, interference, battery drain along
+    /// hot relay corridors), and clustering is also what makes incremental
+    /// repair pay: dirty shards stay localised.
+    Clustered { radius: f64 },
+}
+
+/// How the topology is maintained across epochs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RepairMode {
+    /// Incremental shard repair ([`IncrementalGraph`]).
+    Incremental,
+    /// Cold sharded rebuild every epoch (the bench baseline).
+    Rebuild,
+}
+
+/// Full configuration of a lifetime run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Epochs to simulate.
+    pub epochs: usize,
+    /// Initial battery of every node (and of every admitted reserve node).
+    pub battery: f64,
+    /// Per-epoch, per-alive-node idle drain (guarantees finite lifetime
+    /// even for idle networks).
+    pub idle_cost: f64,
+    /// Packets routed per epoch.
+    pub traffic_per_epoch: usize,
+    /// Per-epoch random failure probability (see [`ChurnModel`]).
+    pub p_fail: f64,
+    pub churn_model: ChurnModel,
+    /// Reserve nodes admitted per death (rounded; 0 = pure attrition).
+    pub join_rate: f64,
+    pub energy: EnergyModel,
+    /// Giant-component fraction below which the network counts as
+    /// partitioned.
+    pub partition_threshold: f64,
+    /// Coverage fraction (vs the initial deployment) below which coverage
+    /// counts as lost.
+    pub coverage_threshold: f64,
+    /// Probe-cell side of the coverage grid.
+    pub coverage_cell: f64,
+    /// Repair granularity of the incremental path, in halo tiles per shard
+    /// side (smaller = finer dirty-tracking, more stitch overhead).
+    pub repair_tiles: usize,
+    pub repair: RepairMode,
+    /// Assert edge-identity of the incremental CSR against a cold rebuild
+    /// after every epoch (the debug path; forced off by the bench's timed
+    /// runs, on by default wherever debug assertions are enabled).
+    pub verify: bool,
+}
+
+impl ChurnConfig {
+    /// A lifetime run with the headline knobs set and every other field at
+    /// its documented default.
+    pub fn new(
+        epochs: usize,
+        battery: f64,
+        traffic_per_epoch: usize,
+        p_fail: f64,
+        join_rate: f64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&p_fail), "p_fail must be in [0, 1)");
+        assert!(join_rate >= 0.0, "join rate must be non-negative");
+        ChurnConfig {
+            epochs,
+            battery,
+            idle_cost: 0.0,
+            traffic_per_epoch,
+            p_fail,
+            churn_model: ChurnModel::Uniform,
+            join_rate,
+            energy: EnergyModel::free_space(),
+            partition_threshold: 0.5,
+            coverage_threshold: 0.9,
+            coverage_cell: 1.0,
+            repair_tiles: 4,
+            repair: RepairMode::Incremental,
+            verify: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// One epoch's outcome.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct EpochReport {
+    pub epoch: u64,
+    /// Nodes that depleted their battery this epoch.
+    pub deaths_battery: u64,
+    /// Nodes killed by the random-failure model this epoch.
+    pub deaths_random: u64,
+    /// Reserve nodes admitted this epoch.
+    pub joins: u64,
+    /// Alive population after churn and repair.
+    pub alive: u64,
+    /// Packets attempted (src ≠ dst).
+    pub offered: u64,
+    /// Packets that found a route.
+    pub delivered: u64,
+    /// Radio + idle energy spent this epoch.
+    pub energy_spent: f64,
+    /// Sum of all alive batteries after the epoch.
+    pub battery_residual: f64,
+    /// Battery mass added by join admissions this epoch.
+    pub battery_added: f64,
+    /// |largest component| / |alive| on the repaired graph (0 when empty).
+    pub giant_fraction: f64,
+    /// Occupied coverage cells / initially occupied cells.
+    pub coverage: f64,
+    /// [`wsn_graph::fingerprint`] of the repaired universe-id CSR.
+    pub graph_hash: u64,
+    /// Shards the repair touched / filtered / re-derived (zeros in rebuild
+    /// mode and for SENS).
+    pub shards_dirty: u64,
+    pub shards_filtered: u64,
+    pub shards_rederived: u64,
+    /// Wall-clock seconds of the repair (or rebuild) step.
+    pub repair_secs: f64,
+}
+
+/// The whole run.
+#[derive(Clone, Debug, Serialize)]
+pub struct LifetimeReport {
+    pub epochs: Vec<EpochReport>,
+    /// First epoch whose giant fraction fell below the partition threshold.
+    pub rounds_to_first_partition: Option<u64>,
+    /// First epoch whose coverage fell below the coverage threshold.
+    pub rounds_to_coverage_loss: Option<u64>,
+    pub offered_total: u64,
+    pub delivered_total: u64,
+    pub energy_total: f64,
+    pub deaths_battery_total: u64,
+    pub deaths_random_total: u64,
+    pub joins_total: u64,
+    pub final_alive: u64,
+    pub final_graph_hash: u64,
+    /// Total wall-clock spent in repair steps (not golden material).
+    pub repair_secs_total: f64,
+}
+
+impl LifetimeReport {
+    fn from_epochs(epochs: Vec<EpochReport>, cfg: &ChurnConfig) -> Self {
+        let first =
+            |pred: &dyn Fn(&EpochReport) -> bool| epochs.iter().find(|e| pred(e)).map(|e| e.epoch);
+        LifetimeReport {
+            rounds_to_first_partition: first(&|e| e.giant_fraction < cfg.partition_threshold),
+            rounds_to_coverage_loss: first(&|e| e.coverage < cfg.coverage_threshold),
+            offered_total: epochs.iter().map(|e| e.offered).sum(),
+            delivered_total: epochs.iter().map(|e| e.delivered).sum(),
+            energy_total: epochs.iter().map(|e| e.energy_spent).sum(),
+            deaths_battery_total: epochs.iter().map(|e| e.deaths_battery).sum(),
+            deaths_random_total: epochs.iter().map(|e| e.deaths_random).sum(),
+            joins_total: epochs.iter().map(|e| e.joins).sum(),
+            final_alive: epochs.last().map(|e| e.alive).unwrap_or(0),
+            final_graph_hash: epochs.last().map(|e| e.graph_hash).unwrap_or(0),
+            repair_secs_total: epochs.iter().map(|e| e.repair_secs).sum(),
+            epochs,
+        }
+    }
+}
+
+/// Uniform f64 in `[0, 1)` from one hash word.
+#[inline]
+fn u01(x: u64) -> f64 {
+    (mix64(x) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform index in `[0, len)` from one hash word.
+#[inline]
+fn pick(x: u64, len: usize) -> usize {
+    (mix64(x) % len as u64) as usize
+}
+
+/// The fixed coverage probe grid: occupancy of `cell`-sided cells relative
+/// to the initial deployment's occupancy.
+struct CoverageProbe {
+    origin: Point,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    baseline: usize,
+}
+
+impl CoverageProbe {
+    fn new(points: &PointSet, alive: &[bool], window: &Aabb, cell: f64) -> Self {
+        assert!(cell > 0.0, "coverage cell must be positive");
+        let cols = ((window.width() / cell).ceil() as usize).max(1);
+        let rows = ((window.height() / cell).ceil() as usize).max(1);
+        let mut probe = CoverageProbe {
+            origin: window.min,
+            cell,
+            cols,
+            rows,
+            baseline: 1,
+        };
+        probe.baseline = probe.occupied(points, alive).max(1);
+        probe
+    }
+
+    fn occupied(&self, points: &PointSet, alive: &[bool]) -> usize {
+        let mut seen = vec![false; self.cols * self.rows];
+        let mut count = 0usize;
+        for (u, p) in points.iter_enumerated() {
+            if !alive[u as usize] {
+                continue;
+            }
+            let i = (((p.x - self.origin.x) / self.cell) as usize).min(self.cols - 1);
+            let j = (((p.y - self.origin.y) / self.cell) as usize).min(self.rows - 1);
+            let c = j * self.cols + i;
+            if !seen[c] {
+                seen[c] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn fraction(&self, points: &PointSet, alive: &[bool]) -> f64 {
+        self.occupied(points, alive) as f64 / self.baseline as f64
+    }
+}
+
+/// Cold sharded rebuild of a plain topology on the alive survivors, lifted
+/// to universe ids — the per-epoch baseline the incremental path races.
+fn cold_sharded(points: &PointSet, alive: &[bool], kind: IncTopology) -> Csr {
+    let (sub, to_universe) = compact_alive(points, alive);
+    if sub.is_empty() {
+        return Csr::empty(points.len());
+    }
+    let g = match kind {
+        IncTopology::Udg { radius } => build_udg_sharded(&sub, radius, REBUILD_SHARD_TILES),
+        IncTopology::Knn { k } => build_knn_sharded(&sub, k, REBUILD_SHARD_TILES),
+        IncTopology::Gabriel { radius } => build_gabriel_sharded(&sub, radius, REBUILD_SHARD_TILES),
+        IncTopology::Rng { radius } => build_rng_sharded(&sub, radius, REBUILD_SHARD_TILES),
+        IncTopology::Yao { radius, cones } => {
+            build_yao_sharded(&sub, radius, cones, REBUILD_SHARD_TILES)
+        }
+    };
+    relabel(&g, &to_universe, points.len())
+}
+
+/// The maintained plain topology: incremental or rebuild-per-epoch.
+enum Maintained {
+    Inc(Box<IncrementalGraph>),
+    Rebuild {
+        points: PointSet,
+        alive: Vec<bool>,
+        kind: IncTopology,
+        csr: Csr,
+    },
+}
+
+impl Maintained {
+    fn graph(&self) -> &Csr {
+        match self {
+            Maintained::Inc(g) => g.graph(),
+            Maintained::Rebuild { csr, .. } => csr,
+        }
+    }
+
+    fn alive(&self) -> &[bool] {
+        match self {
+            Maintained::Inc(g) => g.alive(),
+            Maintained::Rebuild { alive, .. } => alive,
+        }
+    }
+
+    fn apply_churn(&mut self, deaths: &[u32], joins: &[u32]) -> RepairStats {
+        match self {
+            Maintained::Inc(g) => g.apply_churn(deaths, joins),
+            Maintained::Rebuild {
+                points,
+                alive,
+                kind,
+                csr,
+            } => {
+                for &d in deaths {
+                    assert!(alive[d as usize], "death of already-dead node {d}");
+                    alive[d as usize] = false;
+                }
+                for &j in joins {
+                    assert!(!alive[j as usize], "join of already-alive node {j}");
+                    alive[j as usize] = true;
+                }
+                *csr = cold_sharded(points, alive, *kind);
+                RepairStats::default()
+            }
+        }
+    }
+}
+
+/// Battery/death/join bookkeeping shared by the plain and SENS loops.
+struct Population {
+    battery: Vec<f64>,
+    /// Reserve ids (initially dead), admitted in ascending-id order.
+    reserve: Vec<u32>,
+    reserve_next: usize,
+}
+
+impl Population {
+    fn new(n: usize, initial_alive: &[bool], battery: f64) -> Self {
+        Population {
+            battery: initial_alive
+                .iter()
+                .map(|&a| if a { battery } else { 0.0 })
+                .collect(),
+            reserve: (0..n as u32)
+                .filter(|&u| !initial_alive[u as usize])
+                .collect(),
+            reserve_next: 0,
+        }
+    }
+
+    /// Battery-depleted + random deaths for this epoch, ascending ids.
+    /// Every draw is a pure function of `(seed, epoch, node)` or
+    /// `(seed, epoch, blast centre)`.
+    fn select_deaths(
+        &self,
+        points: &PointSet,
+        alive: &[bool],
+        window: &Aabb,
+        cfg: &ChurnConfig,
+        seed: u64,
+        epoch: u64,
+    ) -> (Vec<u32>, u64, u64) {
+        let mut deaths = Vec::new();
+        let (mut by_battery, mut by_random) = (0u64, 0u64);
+        let fail_seed = derive_seed2(derive_seed(seed, stream::FAIL), epoch, 0);
+        let blasts: Vec<(Point, f64)> = match cfg.churn_model {
+            ChurnModel::Uniform => Vec::new(),
+            ChurnModel::Clustered { radius } if cfg.p_fail > 0.0 => {
+                let per_blast = std::f64::consts::PI * radius * radius;
+                let count = (((-(1.0 - cfg.p_fail).ln()) * window.area() / per_blast).round()
+                    as usize)
+                    .max(1);
+                let blast_seed = derive_seed2(derive_seed(seed, stream::BLAST), epoch, 0);
+                (0..count as u64)
+                    .map(|c| {
+                        let x = window.min.x + window.width() * u01(derive_seed2(blast_seed, c, 0));
+                        let y =
+                            window.min.y + window.height() * u01(derive_seed2(blast_seed, c, 1));
+                        (Point::new(x, y), radius)
+                    })
+                    .collect()
+            }
+            ChurnModel::Clustered { .. } => Vec::new(),
+        };
+        for (u, p) in points.iter_enumerated() {
+            if !alive[u as usize] {
+                continue;
+            }
+            if self.battery[u as usize] <= 0.0 {
+                deaths.push(u);
+                by_battery += 1;
+                continue;
+            }
+            let dies = match cfg.churn_model {
+                ChurnModel::Uniform => {
+                    cfg.p_fail > 0.0 && u01(derive_seed2(fail_seed, u as u64, 0)) < cfg.p_fail
+                }
+                ChurnModel::Clustered { .. } => blasts.iter().any(|&(c, r)| p.dist_sq(c) <= r * r),
+            };
+            if dies {
+                deaths.push(u);
+                by_random += 1;
+            }
+        }
+        (deaths, by_battery, by_random)
+    }
+
+    /// Admit `round(join_rate × deaths)` reserve nodes (ascending ids),
+    /// charging each a fresh battery. Returns ids and battery mass added.
+    fn admit_joins(&mut self, deaths: usize, cfg: &ChurnConfig) -> (Vec<u32>, f64) {
+        let want = (cfg.join_rate * deaths as f64).round() as usize;
+        let take = want.min(self.reserve.len() - self.reserve_next);
+        let joins = self.reserve[self.reserve_next..self.reserve_next + take].to_vec();
+        self.reserve_next += take;
+        for &j in &joins {
+            self.battery[j as usize] = cfg.battery;
+        }
+        (joins, take as f64 * cfg.battery)
+    }
+
+    /// Debit one delivered path: transmit at each hop's sender, receive at
+    /// each hop's receiver. Returns the radio energy spent.
+    fn debit_path(&mut self, points: &PointSet, path: &[u32], model: &EnergyModel) -> f64 {
+        let mut spent = 0.0;
+        for w in path.windows(2) {
+            let d = points.get(w[0]).dist(points.get(w[1]));
+            self.battery[w[0] as usize] -= model.tx(d);
+            self.battery[w[1] as usize] -= model.rx();
+            spent += model.hop(d);
+        }
+        spent
+    }
+
+    /// Per-epoch idle drain over the alive population.
+    fn debit_idle(&mut self, alive: &[bool], cfg: &ChurnConfig) -> f64 {
+        if cfg.idle_cost <= 0.0 {
+            return 0.0;
+        }
+        let mut spent = 0.0;
+        for (u, a) in alive.iter().enumerate() {
+            if *a {
+                self.battery[u] -= cfg.idle_cost;
+                spent += cfg.idle_cost;
+            }
+        }
+        spent
+    }
+}
+
+/// Giant-component fraction of the alive population (dead nodes are
+/// isolated singletons and never the largest component of a non-empty
+/// alive graph unless everything is isolated).
+fn giant_fraction(g: &Csr, n_alive: usize) -> f64 {
+    if n_alive == 0 {
+        return 0.0;
+    }
+    connected_components(g).largest().len() as f64 / n_alive as f64
+}
+
+/// Giant-component fraction among the graph's *participating* nodes
+/// (degree ≥ 1). The SENS constructions elect only a subset of the alive
+/// population into the topology, so measuring their connectivity against
+/// every alive sensor would read "partitioned" on a perfectly healthy
+/// core.
+fn giant_fraction_participants(g: &Csr) -> f64 {
+    let participants = (0..g.n() as u32).filter(|&u| g.degree(u) > 0).count();
+    if participants == 0 {
+        return 0.0;
+    }
+    connected_components(g).largest().len() as f64 / participants as f64
+}
+
+/// Simulate the lifetime of a plain (non-SENS) topology.
+///
+/// `points` is the node universe — the initial deployment plus the reserve
+/// pool; `initial_alive` marks the deployed subset (reserve nodes start
+/// dead and are admitted by the join process in ascending-id order).
+pub fn simulate_lifetime_plain(
+    points: &PointSet,
+    initial_alive: &[bool],
+    kind: IncTopology,
+    cfg: &ChurnConfig,
+    seed: u64,
+) -> LifetimeReport {
+    assert_eq!(points.len(), initial_alive.len());
+    let window = points.bounding_box().unwrap_or_else(|| Aabb::square(1.0));
+    let probe = CoverageProbe::new(points, initial_alive, &window, cfg.coverage_cell);
+    let mut pop = Population::new(points.len(), initial_alive, cfg.battery);
+    let mut maint = match cfg.repair {
+        RepairMode::Incremental => Maintained::Inc(Box::new(IncrementalGraph::build(
+            points.clone(),
+            initial_alive.to_vec(),
+            kind,
+            cfg.repair_tiles,
+        ))),
+        RepairMode::Rebuild => Maintained::Rebuild {
+            csr: cold_sharded(points, initial_alive, kind),
+            points: points.clone(),
+            alive: initial_alive.to_vec(),
+            kind,
+        },
+    };
+
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs as u64 {
+        // ---- 1. traffic over the current topology ---------------------
+        let alive_ids: Vec<u32> = (0..points.len() as u32)
+            .filter(|&u| maint.alive()[u as usize])
+            .collect();
+        let mut energy_spent = 0.0;
+        let (mut offered, mut delivered) = (0u64, 0u64);
+        if alive_ids.len() >= 2 {
+            let tseed = derive_seed2(derive_seed(seed, stream::TRAFFIC), epoch, 0);
+            for i in 0..cfg.traffic_per_epoch as u64 {
+                let src = alive_ids[pick(derive_seed2(tseed, i, 0), alive_ids.len())];
+                let dst = alive_ids[pick(derive_seed2(tseed, i, 1), alive_ids.len())];
+                if src == dst {
+                    continue;
+                }
+                offered += 1;
+                if let Some(path) = bfs::path(maint.graph(), src, dst) {
+                    delivered += 1;
+                    energy_spent += pop.debit_path(points, &path, &cfg.energy);
+                }
+            }
+        }
+        energy_spent += pop.debit_idle(maint.alive(), cfg);
+
+        // ---- 2. deaths, 3. joins --------------------------------------
+        let (deaths, by_battery, by_random) =
+            pop.select_deaths(points, maint.alive(), &window, cfg, seed, epoch);
+        let (joins, battery_added) = pop.admit_joins(deaths.len(), cfg);
+
+        // ---- 4. repair ------------------------------------------------
+        let t = Instant::now();
+        let stats = maint.apply_churn(&deaths, &joins);
+        let repair_secs = t.elapsed().as_secs_f64();
+        if cfg.verify {
+            if let Maintained::Inc(g) = &maint {
+                assert!(
+                    g.verify_cold(),
+                    "incremental repair diverged from cold rebuild at epoch {epoch}"
+                );
+            }
+        }
+
+        // ---- 5. epoch metrics on the repaired graph -------------------
+        let n_alive = maint.alive().iter().filter(|&&a| a).count();
+        let battery_residual = pop
+            .battery
+            .iter()
+            .zip(maint.alive())
+            .filter(|(_, &a)| a)
+            .map(|(b, _)| *b)
+            .sum();
+        epochs.push(EpochReport {
+            epoch,
+            deaths_battery: by_battery,
+            deaths_random: by_random,
+            joins: joins.len() as u64,
+            alive: n_alive as u64,
+            offered,
+            delivered,
+            energy_spent,
+            battery_residual,
+            battery_added,
+            giant_fraction: giant_fraction(maint.graph(), n_alive),
+            coverage: probe.fraction(points, maint.alive()),
+            graph_hash: fingerprint(maint.graph()),
+            shards_dirty: stats.dirty as u64,
+            shards_filtered: stats.filtered as u64,
+            shards_rederived: stats.rederived as u64,
+            repair_secs,
+        });
+    }
+    LifetimeReport::from_epochs(epochs, cfg)
+}
+
+/// Which SENS construction a lifetime run maintains (always by per-epoch
+/// rebuild: the SENS election/stitch is global, not shard-local).
+#[derive(Clone, Copy, Debug)]
+pub enum SensKind {
+    Udg(UdgSensParams),
+    Nn(NnSensParams),
+}
+
+impl SensKind {
+    fn build(&self, sub: &PointSet, grid: TileGrid) -> SensNetwork {
+        match *self {
+            SensKind::Udg(params) => {
+                build_udg_sens(sub, params, grid).expect("params validated by caller")
+            }
+            SensKind::Nn(params) => {
+                let base = wsn_rgg::build_knn(sub, params.k);
+                build_nn_sens(sub, &base, params, grid).expect("params validated by caller")
+            }
+        }
+    }
+}
+
+/// Simulate the lifetime of a SENS construction (Fig. 9 routing between
+/// tile representatives, per-epoch rebuild as repair).
+pub fn simulate_lifetime_sens(
+    points: &PointSet,
+    initial_alive: &[bool],
+    kind: SensKind,
+    grid: TileGrid,
+    cfg: &ChurnConfig,
+    seed: u64,
+) -> LifetimeReport {
+    assert_eq!(points.len(), initial_alive.len());
+    let n = points.len();
+    let window = grid.covered_area();
+    let probe = CoverageProbe::new(points, initial_alive, &window, cfg.coverage_cell);
+    let mut pop = Population::new(n, initial_alive, cfg.battery);
+    let mut alive = initial_alive.to_vec();
+
+    let rebuild = |alive: &[bool]| -> (Option<SensNetwork>, Vec<u32>) {
+        let (sub, to_universe) = compact_alive(points, alive);
+        if sub.is_empty() {
+            return (None, to_universe);
+        }
+        (Some(kind.build(&sub, grid.clone())), to_universe)
+    };
+    let (mut net, mut to_universe) = rebuild(&alive);
+
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs as u64 {
+        // ---- 1. Fig. 9 traffic between tile representatives -----------
+        let mut energy_spent = 0.0;
+        let (mut offered, mut delivered) = (0u64, 0u64);
+        if let Some(net) = &net {
+            let cores: Vec<wsn_perc::Site> = net
+                .lattice
+                .sites()
+                .filter(|&s| {
+                    net.lattice.is_open(s)
+                        && net.rep_of(s).map(|r| net.is_member(r)).unwrap_or(false)
+                })
+                .collect();
+            if cores.len() >= 2 {
+                let tseed = derive_seed2(derive_seed(seed, stream::TRAFFIC), epoch, 0);
+                for i in 0..cfg.traffic_per_epoch as u64 {
+                    let a = cores[pick(derive_seed2(tseed, i, 0), cores.len())];
+                    let b = cores[pick(derive_seed2(tseed, i, 1), cores.len())];
+                    if a == b {
+                        continue;
+                    }
+                    offered += 1;
+                    let (_, path) = crate::route::route_packet_with_path(net, a, b);
+                    if let Some(path) = path {
+                        delivered += 1;
+                        let universe_path: Vec<u32> =
+                            path.iter().map(|&c| to_universe[c as usize]).collect();
+                        energy_spent += pop.debit_path(points, &universe_path, &cfg.energy);
+                    }
+                }
+            }
+        }
+        energy_spent += pop.debit_idle(&alive, cfg);
+
+        // ---- 2. deaths, 3. joins --------------------------------------
+        let (deaths, by_battery, by_random) =
+            pop.select_deaths(points, &alive, &window, cfg, seed, epoch);
+        let (joins, battery_added) = pop.admit_joins(deaths.len(), cfg);
+        for &d in &deaths {
+            alive[d as usize] = false;
+        }
+        for &j in &joins {
+            alive[j as usize] = true;
+        }
+
+        // ---- 4. repair = rebuild on the survivors ---------------------
+        let t = Instant::now();
+        let rebuilt = rebuild(&alive);
+        let repair_secs = t.elapsed().as_secs_f64();
+        net = rebuilt.0;
+        to_universe = rebuilt.1;
+
+        // ---- 5. epoch metrics -----------------------------------------
+        let n_alive = alive.iter().filter(|&&a| a).count();
+        let universe_graph = match &net {
+            Some(net) => relabel(&net.graph, &to_universe, n),
+            None => Csr::empty(n),
+        };
+        let battery_residual = pop
+            .battery
+            .iter()
+            .zip(&alive)
+            .filter(|(_, &a)| a)
+            .map(|(b, _)| *b)
+            .sum();
+        epochs.push(EpochReport {
+            epoch,
+            deaths_battery: by_battery,
+            deaths_random: by_random,
+            joins: joins.len() as u64,
+            alive: n_alive as u64,
+            offered,
+            delivered,
+            energy_spent,
+            battery_residual,
+            battery_added,
+            giant_fraction: giant_fraction_participants(&universe_graph),
+            coverage: probe.fraction(points, &alive),
+            graph_hash: fingerprint(&universe_graph),
+            shards_dirty: 0,
+            shards_filtered: 0,
+            shards_rederived: 0,
+            repair_secs,
+        });
+    }
+    LifetimeReport::from_epochs(epochs, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+
+    fn universe(seed: u64, side: f64, lambda: f64, reserve_frac: f64) -> (PointSet, Vec<bool>) {
+        let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &Aabb::square(side));
+        let n = pts.len();
+        let deployed = n - (reserve_frac * n as f64).round() as usize;
+        let alive: Vec<bool> = (0..n).map(|i| i < deployed).collect();
+        (pts, alive)
+    }
+
+    /// Everything except wall-clock (`repair_secs*`) in a comparable form.
+    fn golden_view(r: &LifetimeReport) -> String {
+        let epochs: Vec<String> = r
+            .epochs
+            .iter()
+            .map(|e| {
+                format!(
+                    "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                    e.epoch,
+                    e.deaths_battery,
+                    e.deaths_random,
+                    e.joins,
+                    e.alive,
+                    e.offered,
+                    e.delivered,
+                    e.energy_spent,
+                    e.battery_residual,
+                    e.battery_added,
+                    e.giant_fraction,
+                    e.coverage,
+                    e.graph_hash,
+                    e.shards_dirty,
+                    e.shards_rederived,
+                )
+            })
+            .collect();
+        format!(
+            "{epochs:?} {:?} {:?} {} {} {} {}",
+            r.rounds_to_first_partition,
+            r.rounds_to_coverage_loss,
+            r.offered_total,
+            r.delivered_total,
+            r.energy_total,
+            r.final_graph_hash,
+        )
+    }
+
+    #[test]
+    fn plain_lifetime_is_deterministic_and_delivers() {
+        let (pts, alive) = universe(1, 8.0, 20.0, 0.2);
+        let cfg = ChurnConfig::new(4, 1e6, 20, 0.1, 1.0);
+        let kind = IncTopology::Udg { radius: 1.0 };
+        let a = simulate_lifetime_plain(&pts, &alive, kind, &cfg, 7);
+        let b = simulate_lifetime_plain(&pts, &alive, kind, &cfg, 7);
+        assert_eq!(golden_view(&a), golden_view(&b));
+        assert!(a.offered_total > 0);
+        assert!(a.delivered_total > 0);
+        assert!(a.energy_total > 0.0);
+        // A different seed must change the trajectory.
+        let c = simulate_lifetime_plain(&pts, &alive, kind, &cfg, 8);
+        assert_ne!(a.final_graph_hash, c.final_graph_hash);
+    }
+
+    #[test]
+    fn incremental_and_rebuild_walk_identical_topologies() {
+        let (pts, alive) = universe(2, 8.0, 20.0, 0.25);
+        let mut cfg = ChurnConfig::new(4, 1e6, 12, 0.12, 0.8);
+        for kind in [
+            IncTopology::Udg { radius: 1.0 },
+            IncTopology::Rng { radius: 1.0 },
+            IncTopology::Knn { k: 4 },
+        ] {
+            cfg.repair = RepairMode::Incremental;
+            let inc = simulate_lifetime_plain(&pts, &alive, kind, &cfg, 3);
+            cfg.repair = RepairMode::Rebuild;
+            let reb = simulate_lifetime_plain(&pts, &alive, kind, &cfg, 3);
+            assert_eq!(inc.epochs.len(), reb.epochs.len());
+            for (a, b) in inc.epochs.iter().zip(&reb.epochs) {
+                assert_eq!(
+                    a.graph_hash, b.graph_hash,
+                    "{kind:?} epoch {} topology diverged",
+                    a.epoch
+                );
+                assert_eq!(a.alive, b.alive);
+                assert_eq!(a.delivered, b.delivered);
+            }
+        }
+    }
+
+    #[test]
+    fn batteries_are_monotone_modulo_admissions() {
+        let (pts, alive) = universe(3, 8.0, 25.0, 0.2);
+        // Tight batteries so idle drain alone depletes nodes mid-run.
+        let mut cfg = ChurnConfig::new(6, 450.0, 30, 0.05, 1.0);
+        cfg.idle_cost = 100.0;
+        let r = simulate_lifetime_plain(&pts, &alive, IncTopology::Udg { radius: 1.0 }, &cfg, 5);
+        assert!(r.deaths_battery_total > 0, "tight batteries must deplete");
+        let mut prev = f64::INFINITY;
+        for e in &r.epochs {
+            assert!(
+                e.battery_residual <= prev + e.battery_added + 1e-6,
+                "battery increased at epoch {}: {} > {} + {}",
+                e.epoch,
+                e.battery_residual,
+                prev,
+                e.battery_added
+            );
+            prev = e.battery_residual;
+        }
+    }
+
+    #[test]
+    fn heavy_churn_partitions_and_loses_coverage() {
+        let (pts, alive) = universe(4, 10.0, 15.0, 0.0);
+        let mut cfg = ChurnConfig::new(8, 1e6, 8, 0.45, 0.0);
+        cfg.churn_model = ChurnModel::Clustered { radius: 2.0 };
+        let r = simulate_lifetime_plain(&pts, &alive, IncTopology::Rng { radius: 1.0 }, &cfg, 11);
+        assert!(
+            r.rounds_to_coverage_loss.is_some(),
+            "45% clustered churn per epoch must lose coverage within 8 epochs"
+        );
+        assert!(r.final_alive < r.epochs[0].alive);
+        // Alive population must be strictly decreasing with no joins.
+        for w in r.epochs.windows(2) {
+            assert!(w[1].alive <= w[0].alive);
+        }
+    }
+
+    #[test]
+    fn joins_replenish_the_population() {
+        let (pts, alive) = universe(5, 8.0, 20.0, 0.4);
+        let mut cfg = ChurnConfig::new(5, 1e6, 6, 0.2, 1.0);
+        cfg.churn_model = ChurnModel::Uniform;
+        let r = simulate_lifetime_plain(&pts, &alive, IncTopology::Udg { radius: 1.0 }, &cfg, 13);
+        assert!(r.joins_total > 0);
+        let no_joins = {
+            let mut c = cfg;
+            c.join_rate = 0.0;
+            simulate_lifetime_plain(&pts, &alive, IncTopology::Udg { radius: 1.0 }, &c, 13)
+        };
+        assert_eq!(no_joins.joins_total, 0);
+        assert!(r.final_alive > no_joins.final_alive);
+    }
+
+    #[test]
+    fn sens_lifetime_routes_and_degrades() {
+        let params = UdgSensParams::strict_default();
+        let grid = TileGrid::fit(12.0, params.tile_side);
+        let window = grid.covered_area();
+        let pts = sample_poisson_window(&mut rng_from_seed(6), 30.0, &window);
+        let alive = vec![true; pts.len()];
+        let mut cfg = ChurnConfig::new(4, 1e7, 25, 0.15, 0.0);
+        cfg.coverage_cell = params.tile_side;
+        let r = simulate_lifetime_sens(&pts, &alive, SensKind::Udg(params), grid, &cfg, 17);
+        assert!(r.offered_total > 0);
+        assert!(r.delivered_total > 0);
+        assert!(r.energy_total > 0.0);
+        assert!(r.final_alive < pts.len() as u64);
+        // Residual battery must never exceed the initial mass (no joins).
+        assert!(r
+            .epochs
+            .iter()
+            .all(|e| e.battery_residual <= cfg.battery * pts.len() as f64));
+    }
+}

@@ -18,11 +18,15 @@
 //! * [`energy`] — a first-order radio energy model (`d^β` amplifier +
 //!   per-message electronics) applied to the message log.
 //! * [`fault`] — node-failure injection and rebuild/reroute analysis.
+//! * [`churn`] — the epoch-driven lifetime simulation: traffic drains
+//!   batteries, nodes die and join, and the topology is repaired in place
+//!   (incrementally for the plain graphs, by rebuild for SENS).
 //!
 //! The headline test (`construct::tests` and the cross-crate integration
 //! tests) is that the distributed protocol reconstructs *exactly* the same
 //! network as the centralised builder on the same deployment.
 
+pub mod churn;
 pub mod construct;
 pub mod election;
 pub mod energy;
@@ -30,6 +34,10 @@ pub mod engine;
 pub mod fault;
 pub mod route;
 
+pub use churn::{
+    simulate_lifetime_plain, simulate_lifetime_sens, ChurnConfig, ChurnModel, EpochReport,
+    LifetimeReport, RepairMode, SensKind,
+};
 pub use construct::{distributed_build_udg, DistributedBuild, ShardAccounting};
 pub use engine::{Engine, MsgStats};
 pub use route::{route_packet, route_packet_with_path, SimRouteOutcome};

@@ -68,11 +68,16 @@ fn check_all(context: &str) -> Vec<String> {
 
 /// The headline test: the full preset matrix matches the goldens, and the
 /// bytes do not depend on the worker-thread count.
+///
+/// The thread set {1, 4, 8} also pins the churn engine's determinism
+/// contract: every lifetime-preset RNG draw derives from
+/// `(base seed, epoch, node)`, never from iteration order, so epochs are
+/// schedule-independent at any worker count.
 #[test]
 fn quick_matrix_matches_goldens_at_every_thread_count() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut failures = Vec::new();
-    for threads in ["1", "5"] {
+    for threads in ["1", "4", "8"] {
         std::env::set_var("RAYON_NUM_THREADS", threads);
         failures.extend(check_all(&format!("threads={threads}")));
         if bless_requested() {
@@ -95,6 +100,33 @@ fn goldens_are_seed_sensitive() {
     let a = run_preset("sparsity", Profile::Quick, GOLDEN_SEED).unwrap();
     let b = run_preset("sparsity", Profile::Quick, GOLDEN_SEED ^ 1).unwrap();
     assert_ne!(a.canonical_json(), b.canonical_json());
+}
+
+/// Lifetime presets must carry the channel family the churn engine pins
+/// (delivery, energy, coverage, and the 32-bit CSR-fingerprint slice that
+/// pins the exact topology trajectory).
+#[test]
+fn lifetime_presets_emit_the_lifetime_channels() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for name in ["lifetime-sens-vs-udg", "lifetime-join-churn"] {
+        let report = run_preset(name, Profile::Quick, GOLDEN_SEED).unwrap();
+        assert!(!report.scenarios.is_empty());
+        for cell in &report.scenarios {
+            for channel in [
+                "lifetime.final_alive",
+                "lifetime.delivered_fraction",
+                "lifetime.energy_total",
+                "lifetime.final_coverage",
+                "lifetime.graph_hash32",
+            ] {
+                assert!(
+                    cell.metrics.get(channel).is_some(),
+                    "{name}/{}: missing channel {channel}",
+                    cell.label
+                );
+            }
+        }
+    }
 }
 
 /// The catalogue must keep covering all fifteen retired `exp_*` binaries.

@@ -165,6 +165,7 @@ fn parallel_scenario_reports_match_monolithic_bytes() {
             ..MetricSuite::default()
         },
         exec,
+        churn: None,
         replications: 2,
     };
     let topologies = [

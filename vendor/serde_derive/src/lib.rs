@@ -7,7 +7,7 @@
 //! unsupported use fails loudly at the derive site instead of misbehaving
 //! at run time.
 //!
-//! Generated impls target the `serde` shim's [`Value`]-tree data model:
+//! Generated impls target the `serde` shim's `Value`-tree data model:
 //! structs become ordered JSON objects (declaration order), unit enum
 //! variants become their name as a JSON string — matching real serde's
 //! default representation for these shapes.
