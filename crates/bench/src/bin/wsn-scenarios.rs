@@ -48,8 +48,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wsn-scenarios <list | run | check | bless | bench | bench-lifetime | gate> \
-         [PRESET...] [options]\n\
+        "usage: wsn-scenarios <list | run | check | bless | bench | bench-lifetime | gate | \
+         gate-lifetime> [PRESET...] [options]\n\
          \n\
          commands:\n\
          \x20 list            show the preset catalogue\n\
@@ -59,9 +59,12 @@ fn usage() -> ! {
          \x20 bench           sharded-vs-monolithic construction pipeline bench,\n\
          \x20                 writes BENCH_pipeline.json (nodes/sec, phases, RSS)\n\
          \x20 bench-lifetime  churn-engine incremental-vs-rebuild repair bench,\n\
-         \x20                 writes BENCH_lifetime.json (speedup per topology)\n\
-         \x20 gate            CI perf gate: compare a fresh bench JSON against\n\
-         \x20                 the committed baseline (--baseline/--fresh)\n\
+         \x20                 writes BENCH_lifetime.json (speedup per topology +\n\
+         \x20                 churn-locality sweep)\n\
+         \x20 gate            CI perf gate: compare a fresh pipeline bench JSON\n\
+         \x20                 against the committed baseline (--baseline/--fresh)\n\
+         \x20 gate-lifetime   CI perf gate over lifetime bench JSONs: locality\n\
+         \x20                 fingerprints + most-local sweep speedup\n\
          \n\
          options:\n\
          \x20 --all           select every preset\n\
@@ -275,10 +278,12 @@ fn cmd_bench_lifetime(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `gate`: the CI perf-regression gate over pipeline bench documents.
-fn cmd_gate(args: &Args) -> ExitCode {
+/// `gate` / `gate-lifetime`: the CI perf-regression gates over bench
+/// documents.
+fn cmd_gate(args: &Args, lifetime: bool) -> ExitCode {
+    let cmd = if lifetime { "gate-lifetime" } else { "gate" };
     let (Some(baseline_path), Some(fresh_path)) = (&args.baseline, &args.fresh) else {
-        eprintln!("`gate` needs --baseline and --fresh bench JSON paths");
+        eprintln!("`{cmd}` needs --baseline and --fresh bench JSON paths");
         return ExitCode::from(2);
     };
     let load = |path: &PathBuf| -> serde::value::Value {
@@ -286,17 +291,30 @@ fn cmd_gate(args: &Args) -> ExitCode {
             .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {}: {e:?}", path.display()))
     };
-    let report = wsn_bench::gate::gate_pipeline(&load(baseline_path), &load(fresh_path));
+    let (baseline, fresh) = (load(baseline_path), load(fresh_path));
+    let report = if lifetime {
+        wsn_bench::gate::gate_lifetime(&baseline, &fresh)
+    } else {
+        wsn_bench::gate::gate_pipeline(&baseline, &fresh)
+    };
     for s in &report.skipped {
         println!("SKIP  {s} (no baseline row)");
     }
-    println!(
-        "gate: {} row(s) within {:.0}% of baseline throughput",
-        report.checked,
-        (1.0 - wsn_bench::gate::NODES_PER_SEC_DROP_TOLERANCE) * 100.0
-    );
+    if lifetime {
+        println!(
+            "{cmd}: {} most-local sweep row(s) within {:.0}% of baseline speedup",
+            report.checked,
+            (1.0 - wsn_bench::gate::LIFETIME_SPEEDUP_DROP_TOLERANCE) * 100.0
+        );
+    } else {
+        println!(
+            "{cmd}: {} row(s) within {:.0}% of baseline throughput",
+            report.checked,
+            (1.0 - wsn_bench::gate::NODES_PER_SEC_DROP_TOLERANCE) * 100.0
+        );
+    }
     if report.passed() {
-        println!("gate: PASS");
+        println!("{cmd}: PASS");
         ExitCode::SUCCESS
     } else {
         for f in &report.failures {
@@ -315,7 +333,8 @@ fn main() -> ExitCode {
         "bless" => cmd_goldens(&args, true),
         "bench" => cmd_bench(&args),
         "bench-lifetime" => cmd_bench_lifetime(&args),
-        "gate" => cmd_gate(&args),
+        "gate" => cmd_gate(&args, false),
+        "gate-lifetime" => cmd_gate(&args, true),
         _ => usage(),
     }
 }

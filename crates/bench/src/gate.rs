@@ -10,10 +10,18 @@
 //!   than [`NODES_PER_SEC_DROP_TOLERANCE`] below the baseline row of the
 //!   same `(topology, n_target)`.
 //!
+//! `wsn-scenarios gate-lifetime` does the same for `BENCH_lifetime.json`:
+//! it fails when any fresh locality-sweep row lost fingerprint identity
+//! against the cold rebuild, when any plain row lost edge identity, or
+//! when the incremental-vs-rebuild speedup at the **most-local sweep
+//! point** (`target_dirty_shards == 1`) fell more than
+//! [`LIFETIME_SPEEDUP_DROP_TOLERANCE`] below the committed baseline — the
+//! regression that would mean repair cost stopped tracking churn locality.
+//!
 //! Rows present on only one side (e.g. the committed baseline carries the
 //! full 10⁴–10⁶ grid while CI measures the quick 10⁴ one) are reported as
-//! skipped, never failed. The tolerance lives in exactly one place so
-//! retuning the band is a one-line diff.
+//! skipped, never failed. The tolerances live in exactly one place so
+//! retuning a band is a one-line diff.
 
 use serde::value::Value;
 
@@ -23,6 +31,14 @@ use serde::value::Value;
 /// noisier than the machine that recorded the baseline — this band
 /// catches algorithmic regressions, not scheduler jitter.
 pub const NODES_PER_SEC_DROP_TOLERANCE: f64 = 0.40;
+
+/// Allowed fractional drop of the locality sweep's most-local speedup
+/// against the committed baseline (0.60 = "at least 40% of baseline
+/// speedup"). Wider than the throughput band: a speedup is a ratio of two
+/// sub-millisecond measurements at the quick size, so scheduler jitter
+/// cuts both ways — but losing more than half of a ≥5× speedup still
+/// means the localized gather degraded to a global one.
+pub const LIFETIME_SPEEDUP_DROP_TOLERANCE: f64 = 0.60;
 
 /// Outcome of one gate evaluation.
 #[derive(Clone, Debug, Default)]
@@ -114,6 +130,96 @@ pub fn gate_pipeline(baseline: &Value, fresh: &Value) -> GateReport {
     report
 }
 
+fn sweep_rows(doc: &Value) -> &[Value] {
+    doc.get("locality_sweep")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&[])
+}
+
+fn sweep_key(row: &Value) -> Option<(String, u64, u64)> {
+    Some((
+        row.get("topology")?.as_str()?.to_string(),
+        row.get("n_target")?.as_u64()?,
+        row.get("target_dirty_shards")?.as_u64()?,
+    ))
+}
+
+/// Evaluate the lifetime gate: `fresh` is the CI `bench-lifetime`
+/// measurement, `baseline` the committed `BENCH_lifetime.json`.
+pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
+    let mut report = GateReport::default();
+    // Correctness gates first — never optional, even for unmatched rows:
+    // a faster repair that walks a different topology is a bug.
+    for row in rows(fresh) {
+        let label = row_key(row)
+            .map(|(t, n)| format!("{t} @ n={n}"))
+            .unwrap_or_else(|| "unkeyed row".into());
+        if row.get("edge_identical").and_then(|v| v.as_bool()) != Some(true) {
+            report
+                .failures
+                .push(format!("{label}: edge_identical is not true"));
+        }
+    }
+    let baseline_sweep: Vec<((String, u64, u64), &Value)> = sweep_rows(baseline)
+        .iter()
+        .filter_map(|r| sweep_key(r).map(|k| (k, r)))
+        .collect();
+    for row in sweep_rows(fresh) {
+        let Some(key) = sweep_key(row) else {
+            report
+                .failures
+                .push("fresh sweep row missing topology/n_target/target_dirty_shards".into());
+            continue;
+        };
+        let label = format!("{} @ n={} locality={}", key.0, key.1, key.2);
+        if row.get("fingerprint_identical").and_then(|v| v.as_bool()) != Some(true) {
+            report
+                .failures
+                .push(format!("{label}: fingerprint_identical is not true"));
+        }
+        // The speedup band is pinned only at the most-local rung — that is
+        // the point the locality refactor exists for; coarser rungs
+        // converge to speedup ≈ 1 by design.
+        if key.2 != 1 {
+            continue;
+        }
+        let Some((_, base)) = baseline_sweep.iter().find(|(k, _)| *k == key) else {
+            report.skipped.push(label);
+            continue;
+        };
+        let mut speedup = |doc: &Value, side: &str| -> Option<f64> {
+            match doc.get("speedup").and_then(|v| v.as_f64()) {
+                Some(v) if v > 0.0 => Some(v),
+                _ => {
+                    report
+                        .failures
+                        .push(format!("{label}: {side} speedup missing or ≤ 0"));
+                    None
+                }
+            }
+        };
+        let (Some(fresh_s), Some(base_s)) = (speedup(row, "fresh"), speedup(base, "baseline"))
+        else {
+            continue;
+        };
+        report.checked += 1;
+        let floor = base_s * (1.0 - LIFETIME_SPEEDUP_DROP_TOLERANCE);
+        if fresh_s < floor {
+            report.failures.push(format!(
+                "{label}: most-local speedup {fresh_s:.2}x fell below {:.0}% of \
+                 baseline {base_s:.2}x (floor {floor:.2}x)",
+                (1.0 - LIFETIME_SPEEDUP_DROP_TOLERANCE) * 100.0
+            ));
+        }
+    }
+    if report.checked == 0 && report.failures.is_empty() {
+        report
+            .failures
+            .push("no fresh sweep row matched any baseline row — wrong baseline file?".into());
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +296,108 @@ mod tests {
             &doc(&format!("[{}]", row("udg(r=1)", 10000, 100.0, true))),
             &zeroed,
         );
+        assert!(!g2.passed());
+    }
+
+    fn lifetime_doc(rows_json: &str, sweep_json: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"rows": {rows_json}, "locality_sweep": {sweep_json}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn sweep_row(topology: &str, n: u64, target: u64, speedup: f64, identical: bool) -> String {
+        format!(
+            r#"{{"topology": "{topology}", "n_target": {n},
+                 "target_dirty_shards": {target}, "speedup": {speedup},
+                 "fingerprint_identical": {identical}}}"#
+        )
+    }
+
+    #[test]
+    fn lifetime_gate_passes_within_the_band_and_pins_only_the_local_rung() {
+        let base = lifetime_doc(
+            "[]",
+            &format!(
+                "[{}, {}]",
+                sweep_row("udg(r=1)", 10000, 1, 10.0, true),
+                sweep_row("udg(r=1)", 10000, 64, 1.1, true)
+            ),
+        );
+        // 40% of baseline at the local rung passes (floor is exactly 4.0);
+        // the coarse rung may collapse to ~1x without tripping anything.
+        let fresh = lifetime_doc(
+            "[]",
+            &format!(
+                "[{}, {}]",
+                sweep_row("udg(r=1)", 10000, 1, 4.0, true),
+                sweep_row("udg(r=1)", 10000, 64, 0.9, true)
+            ),
+        );
+        let g = gate_lifetime(&base, &fresh);
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 1);
+        let too_slow = lifetime_doc(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 3.9, true)),
+        );
+        let g2 = gate_lifetime(&base, &too_slow);
+        assert!(!g2.passed());
+        assert!(g2.failures[0].contains("most-local speedup"));
+    }
+
+    #[test]
+    fn lifetime_gate_fails_on_lost_identity_anywhere() {
+        let base = lifetime_doc(
+            "[]",
+            &format!("[{}]", sweep_row("rng(r=1)", 10000, 1, 8.0, true)),
+        );
+        // A non-identical fingerprint fails even on an unmatched rung.
+        let fresh = lifetime_doc(
+            "[]",
+            &format!(
+                "[{}, {}]",
+                sweep_row("rng(r=1)", 10000, 1, 9.0, true),
+                sweep_row("rng(r=1)", 10000, 16, 2.0, false)
+            ),
+        );
+        let g = gate_lifetime(&base, &fresh);
+        assert!(!g.passed());
+        assert!(g
+            .failures
+            .iter()
+            .any(|f| f.contains("fingerprint_identical")));
+        // And a plain row that lost edge identity fails too.
+        let bad_rows = lifetime_doc(
+            &format!("[{}]", row("rng(r=1)", 10000, 1e5, false)),
+            &format!("[{}]", sweep_row("rng(r=1)", 10000, 1, 9.0, true)),
+        );
+        let g2 = gate_lifetime(&base, &bad_rows);
+        assert!(!g2.passed());
+        assert!(g2.failures.iter().any(|f| f.contains("edge_identical")));
+    }
+
+    #[test]
+    fn lifetime_gate_skips_unmatched_and_fails_on_disjoint_docs() {
+        let base = lifetime_doc(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 10.0, true)),
+        );
+        // A fresh full-size rung without a baseline counterpart is skipped.
+        let fresh = lifetime_doc(
+            "[]",
+            &format!(
+                "[{}, {}]",
+                sweep_row("udg(r=1)", 10000, 1, 9.0, true),
+                sweep_row("udg(r=1)", 1000000, 1, 2.0, true)
+            ),
+        );
+        let g = gate_lifetime(&base, &fresh);
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 1);
+        assert_eq!(g.skipped.len(), 1);
+        // Nothing matched at all → loud failure, not a silent pass.
+        let g2 = gate_lifetime(&base, &lifetime_doc("[]", "[]"));
         assert!(!g2.passed());
     }
 

@@ -18,16 +18,33 @@
 //!
 //! Timed repair runs keep verification off — a bench that times its own
 //! assertions measures nothing.
+//!
+//! ## The churn-locality sweep
+//!
+//! The per-topology speedup rows answer "is incremental repair worth it?";
+//! the [`LocalitySweepRow`] section answers the sharper question the
+//! locality-proportional gather exists for: **does repair cost track the
+//! churned region?** For each topology the sweep kills (and re-admits
+//! reserve nodes inside) a block-aligned region sized from one shard up to
+//! the whole window, races [`IncrementalGraph::apply_churn`] against the
+//! same cold sharded rebuild the engine's rebuild mode uses, and records
+//! the speedup ladder — which must *rise* as churn gets more local, where
+//! the PR-4 whole-population gather plateaued at ~2–3× regardless of
+//! locality. Every sweep point asserts fingerprint identity against the
+//! rebuild, and the k-NN escalation counter rides along so a sweep that
+//! quietly fell back to global indexing is visible in the recorded JSON.
 
 use std::time::Instant;
 
 use serde::Serialize;
 use wsn_geom::hash::derive_seed2;
 use wsn_geom::Aabb;
+use wsn_graph::fingerprint;
 use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
-use wsn_rgg::IncTopology;
+use wsn_rgg::{IncTopology, IncrementalGraph};
 use wsn_simnet::churn::{
-    simulate_lifetime_plain, ChurnConfig, ChurnModel, LifetimeReport, RepairMode,
+    cold_sharded_rebuild, simulate_lifetime_plain, ChurnConfig, ChurnModel, LifetimeReport,
+    RepairMode,
 };
 
 /// Per-epoch expected kill fraction of the bench churn (the acceptance
@@ -81,6 +98,43 @@ pub struct LifetimeBenchRow {
     pub delivered_total: u64,
 }
 
+/// One point of the churn-locality sweep: a block-aligned churn region
+/// targeting `target_dirty_shards`, measured over `repeats` identical
+/// kill → repair → restore cycles.
+#[derive(Clone, Debug, Serialize)]
+pub struct LocalitySweepRow {
+    pub topology: String,
+    pub n_target: u64,
+    pub nodes: u64,
+    pub repair_tiles: usize,
+    /// Shards in the incremental plan.
+    pub shard_count: u64,
+    /// The ladder rung: how many shards the churn region was sized to
+    /// dirty (1 = the most-local point the acceptance gate pins).
+    pub target_dirty_shards: u64,
+    /// Shards the repair actually marked dirty / re-derived (mean over
+    /// repeats; k-NN straggler shards can push this past the target).
+    pub mean_dirty_shards: f64,
+    pub mean_rederived_shards: f64,
+    /// Points gathered into the localized working sets per repair (mean) —
+    /// the direct witness that gather work tracks the region, not n.
+    pub mean_gathered: f64,
+    /// Deaths + joins applied per cycle.
+    pub churned_nodes: u64,
+    pub repeats: u64,
+    /// Total wall-clock across repeats of each mode, seconds.
+    pub incremental_repair_secs: f64,
+    pub rebuild_secs: f64,
+    /// `rebuild_secs / incremental_repair_secs`.
+    pub speedup: f64,
+    /// Every repeat's repaired CSR fingerprint equals the cold sharded
+    /// rebuild's.
+    pub fingerprint_identical: bool,
+    /// Global-index escalations across all repeats (k-NN only; always 0
+    /// for the other topologies).
+    pub escalations: u64,
+}
+
 /// The whole `BENCH_lifetime.json` document.
 #[derive(Clone, Debug, Serialize)]
 pub struct LifetimeBenchReport {
@@ -90,6 +144,8 @@ pub struct LifetimeBenchReport {
     /// Effective rayon worker count.
     pub threads: usize,
     pub rows: Vec<LifetimeBenchRow>,
+    /// The churn-locality sweep (dirty-shard ladder per topology × size).
+    pub locality_sweep: Vec<LocalitySweepRow>,
 }
 
 /// The benchmarked topologies (UDG and RNG carry the acceptance claim;
@@ -209,23 +265,210 @@ fn bench_row(kind: IncTopology, n: u64, seed: u64, verify_pass: bool) -> Lifetim
     }
 }
 
+/// Reserve stream: ids hashing to 0 (mod this) start dead and re-join when
+/// their region churns, so the UDG sweep exercises the localized
+/// re-derivation path, not just the deaths-only filter.
+const SWEEP_RESERVE_MOD: u64 = 8;
+
+/// Kill percentage among alive nodes inside the churn region.
+const SWEEP_KILL_PCT: u64 = 30;
+
+/// The dirty-shard ladder: one shard, ~1/64, ~1/8, and all of them.
+fn sweep_targets(shard_count: usize) -> Vec<usize> {
+    let mut t = vec![
+        1,
+        shard_count.div_ceil(64),
+        shard_count.div_ceil(8),
+        shard_count,
+    ];
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// The block-aligned churn region for a `k × k`-shard rung: the union of
+/// those shards' core blocks, shrunk by the halo so every churned point is
+/// deeper than the halo inside the union — churn then dirties exactly the
+/// targeted shards (edge blocks keep their unbounded outward reach, and
+/// the shard side is `4 × halo`, so the shrink can never invert the box).
+fn block_region(g: &IncrementalGraph, k: usize) -> (Aabb, usize) {
+    let grid = g.grid();
+    let (ki, kj) = (k.min(grid.cols()), k.min(grid.rows()));
+    let (i0, j0) = ((grid.cols() - ki) / 2, (grid.rows() - kj) / 2);
+    let mut region: Option<Aabb> = None;
+    for j in j0..j0 + kj {
+        for i in i0..i0 + ki {
+            let core = grid.padded(j * grid.cols() + i, 0.0);
+            region = Some(match region {
+                None => core,
+                Some(r) => r.union(&core),
+            });
+        }
+    }
+    (region.expect("k >= 1").inflate(-g.halo()), ki * kj)
+}
+
+/// The churn-locality sweep for one topology × size: identical
+/// kill → repair → restore cycles per ladder rung, incremental repair
+/// raced against the engine's cold sharded rebuild, fingerprint-checked at
+/// every point.
+fn locality_sweep_rows(kind: IncTopology, n: u64, seed: u64) -> Vec<LocalitySweepRow> {
+    let lambda = 10.0;
+    let side = ((n as f64) / lambda).sqrt();
+    let points: PointSet =
+        sample_poisson_window(&mut rng_from_seed(seed), lambda, &Aabb::square(side));
+    let alive: Vec<bool> = (0..points.len() as u64)
+        .map(|u| !derive_seed2(seed, 0xE5, u).is_multiple_of(SWEEP_RESERVE_MOD))
+        .collect();
+    let nodes = points.len() as u64;
+    let mut g = IncrementalGraph::build(points, alive, kind, REPAIR_TILES);
+    let base_fp = fingerprint(g.graph());
+    let shard_count = g.grid().shard_count();
+    // More repeats at small sizes where a single repair is microseconds —
+    // the CI gate compares speedups, so the ratio must be stable.
+    let repeats: u64 = if n > 50_000 { 3 } else { 5 };
+
+    // Whole-window pre-warm: one untimed churn-everything cycle grows the
+    // allocator arena to its steady state before any rung is timed.
+    // Without it the first (most local) rung systematically pays the
+    // arena growth of the ~O(m) splice buffers, which at splice-dominated
+    // sizes is larger than the rung-to-rung differences being measured.
+    {
+        let mut deaths = Vec::new();
+        let mut joins = Vec::new();
+        for (u, _) in g.points().iter_enumerated() {
+            if g.alive()[u as usize] {
+                if derive_seed2(seed, 0xD1, u as u64) % 100 < SWEEP_KILL_PCT {
+                    deaths.push(u);
+                }
+            } else {
+                joins.push(u);
+            }
+        }
+        g.apply_churn(&deaths, &joins);
+        let _ = cold_sharded_rebuild(g.points(), g.alive(), kind);
+        g.apply_churn(&joins, &deaths);
+        assert_eq!(fingerprint(g.graph()), base_fp, "pre-warm restore diverged");
+    }
+
+    let mut rows = Vec::new();
+    let mut realized_seen = Vec::new();
+    for t in sweep_targets(shard_count) {
+        let k = (t as f64).sqrt().ceil() as usize;
+        let (region, realized) = block_region(&g, k);
+        if realized_seen.contains(&realized) {
+            continue;
+        }
+        realized_seen.push(realized);
+
+        // Deterministic churn sets, fixed across repeats (restore returns
+        // the structure to its baseline state between cycles).
+        let mut deaths = Vec::new();
+        let mut joins = Vec::new();
+        for (u, p) in g.points().iter_enumerated() {
+            if !region.contains(p) {
+                continue;
+            }
+            if g.alive()[u as usize] {
+                if derive_seed2(seed, 0xD1, u as u64) % 100 < SWEEP_KILL_PCT {
+                    deaths.push(u);
+                }
+            } else {
+                joins.push(u);
+            }
+        }
+        if deaths.is_empty() && joins.is_empty() {
+            continue;
+        }
+
+        let (mut inc_secs, mut reb_secs) = (0.0f64, 0.0f64);
+        let (mut dirty, mut rederived, mut gathered, mut escalations) = (0u64, 0u64, 0u64, 0u64);
+        let mut identical = true;
+        // One untimed warmup cycle: the first repair after a build pays
+        // allocator growth and cold caches, which at splice-dominated
+        // rungs is the same order as the rung-to-rung differences the
+        // sweep exists to show.
+        g.apply_churn(&deaths, &joins);
+        identical &= fingerprint(g.graph())
+            == fingerprint(&cold_sharded_rebuild(g.points(), g.alive(), kind));
+        g.apply_churn(&joins, &deaths);
+        identical &= fingerprint(g.graph()) == base_fp;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let stats = g.apply_churn(&deaths, &joins);
+            inc_secs += t0.elapsed().as_secs_f64();
+            dirty += stats.dirty as u64;
+            rederived += stats.rederived as u64;
+            gathered += stats.gathered as u64;
+            escalations += stats.escalations as u64;
+
+            let t1 = Instant::now();
+            let rebuilt = cold_sharded_rebuild(g.points(), g.alive(), kind);
+            reb_secs += t1.elapsed().as_secs_f64();
+            identical &= fingerprint(g.graph()) == fingerprint(&rebuilt);
+
+            // Restore (untimed): re-admit the dead, re-kill the joined.
+            g.apply_churn(&joins, &deaths);
+            identical &= fingerprint(g.graph()) == base_fp;
+        }
+        assert!(
+            identical,
+            "{}: locality sweep diverged from the cold rebuild at {realized} target shards",
+            kind.label()
+        );
+        let reps = repeats as f64;
+        eprintln!(
+            "bench-lifetime: {} n={nodes} locality {realized}/{shard_count} shards \
+             inc {:.4}s reb {:.4}s speedup {:.2}x (gathered {:.0}/repair)",
+            kind.label(),
+            inc_secs,
+            reb_secs,
+            reb_secs / inc_secs.max(1e-12),
+            gathered as f64 / reps,
+        );
+        rows.push(LocalitySweepRow {
+            topology: kind.label(),
+            n_target: n,
+            nodes,
+            repair_tiles: REPAIR_TILES,
+            shard_count: shard_count as u64,
+            target_dirty_shards: realized as u64,
+            mean_dirty_shards: dirty as f64 / reps,
+            mean_rederived_shards: rederived as f64 / reps,
+            mean_gathered: gathered as f64 / reps,
+            churned_nodes: (deaths.len() + joins.len()) as u64,
+            repeats,
+            incremental_repair_secs: inc_secs,
+            rebuild_secs: reb_secs,
+            speedup: reb_secs / inc_secs.max(1e-12),
+            fingerprint_identical: identical,
+            escalations,
+        });
+    }
+    rows
+}
+
 /// Run the lifetime bench: quick = 10⁴ nodes per topology (CI smoke), full
-/// adds the 10⁵ rows the committed baseline records.
+/// adds the 10⁵ rows the committed baseline records. Both profiles append
+/// the churn-locality sweep at the same sizes.
 pub fn run_lifetime_bench(quick: bool, seed: u64) -> LifetimeBenchReport {
     let sizes: &[u64] = if quick { &[10_000] } else { &[10_000, 100_000] };
     let mut rows = Vec::new();
+    let mut locality_sweep = Vec::new();
     for (ki, kind) in kinds().into_iter().enumerate() {
         for (si, &n) in sizes.iter().enumerate() {
             let row_seed = derive_seed2(seed, ki as u64, si as u64);
             rows.push(bench_row(kind, n, row_seed, si == 0));
+            locality_sweep.extend(locality_sweep_rows(kind, n, row_seed ^ 0x10C));
         }
     }
     LifetimeBenchReport {
-        schema: "wsn-bench-lifetime/1",
+        schema: "wsn-bench-lifetime/2",
         quick,
         seed,
         threads: crate::pipeline::effective_threads(),
         rows,
+        locality_sweep,
     }
 }
 
@@ -247,6 +490,56 @@ mod tests {
             assert!(row.nodes > 0 && row.deaths_total > 0);
             let json = serde_json::to_string_pretty(&row).unwrap();
             assert!(json.contains("\"speedup\""));
+        }
+    }
+
+    #[test]
+    fn miniature_locality_sweep_is_fingerprint_identical_and_cold() {
+        for (i, kind) in [
+            IncTopology::Udg { radius: 1.0 },
+            IncTopology::Rng { radius: 1.0 },
+            IncTopology::Knn { k: 4 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let rows = locality_sweep_rows(kind, 2_000, 70 + i as u64);
+            assert!(!rows.is_empty(), "{kind:?}: sweep produced no rungs");
+            // Rungs ascend, start at the single-shard point, end at all.
+            assert_eq!(rows[0].target_dirty_shards, 1);
+            assert!(rows
+                .windows(2)
+                .all(|w| w[0].target_dirty_shards < w[1].target_dirty_shards));
+            assert_eq!(
+                rows.last().unwrap().target_dirty_shards,
+                rows.last().unwrap().shard_count
+            );
+            for row in &rows {
+                assert!(row.fingerprint_identical, "{kind:?}");
+                assert!(row.churned_nodes > 0);
+                assert!(row.incremental_repair_secs > 0.0 && row.rebuild_secs > 0.0);
+                if !matches!(kind, IncTopology::Knn { .. }) {
+                    assert_eq!(row.escalations, 0, "{kind:?} must never escalate");
+                }
+            }
+            // Gather work must track the region: the single-shard rung
+            // touches a fraction of what the all-shards rung does (k-NN's
+            // outsized halo bounds how local a tiny 9-shard plan can get,
+            // so it only pins strict monotonicity here).
+            let (first, last) = (&rows[0], rows.last().unwrap());
+            let factor = if matches!(kind, IncTopology::Knn { .. }) {
+                1.0
+            } else {
+                3.0
+            };
+            assert!(
+                first.mean_gathered * factor < last.mean_gathered,
+                "{kind:?}: gathered {} vs {} — repair is not locality-proportional",
+                first.mean_gathered,
+                last.mean_gathered
+            );
+            let json = serde_json::to_string_pretty(&rows).unwrap();
+            assert!(json.contains("\"target_dirty_shards\""));
         }
     }
 }

@@ -95,6 +95,19 @@ impl Aabb {
         )
     }
 
+    /// Smallest box containing both operands (bounding union). Infinite
+    /// sides propagate, so unioning the padded extents of window-edge
+    /// shards keeps their unbounded outward reach.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb::from_coords(
+            self.min.x.min(other.min.x),
+            self.min.y.min(other.min.y),
+            self.max.x.max(other.max.x),
+            self.max.y.max(other.max.y),
+        )
+    }
+
     /// Intersection of two boxes, or `None` when disjoint.
     pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
         let x0 = self.min.x.max(other.min.x);
@@ -204,6 +217,20 @@ mod tests {
         assert_eq!(b.interior_clearance(Point::new(0.5, 1.0)), 0.5);
         assert!((b.interior_clearance(Point::new(3.9, 1.0)) - 0.1).abs() < 1e-12);
         assert!(b.interior_clearance(Point::new(-1.0, 1.0)) < 0.0);
+    }
+
+    #[test]
+    fn union_bounds_both_and_handles_infinities() {
+        let a = Aabb::from_coords(0.0, 0.0, 2.0, 2.0);
+        let b = Aabb::from_coords(5.0, -1.0, 6.0, 1.0);
+        let u = a.union(&b);
+        assert_eq!(u, Aabb::from_coords(0.0, -1.0, 6.0, 2.0));
+        assert!(u.contains_aabb(&a) && u.contains_aabb(&b));
+        // An unbounded (edge-shard) side stays unbounded through the union.
+        let edge = Aabb::from_coords(f64::NEG_INFINITY, 0.0, 1.0, 2.0);
+        let ue = edge.union(&a);
+        assert_eq!(ue.min.x, f64::NEG_INFINITY);
+        assert_eq!(ue.max.x, 2.0);
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub use lens::Lens;
 pub use ordf64::OrdF64;
 pub use point::Point;
 pub use region::Region;
-pub use tile::{ShardGrid, TileIndex, Tiling};
+pub use tile::{ExtentGroup, ShardGrid, TileIndex, Tiling};

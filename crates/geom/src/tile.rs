@@ -312,6 +312,67 @@ impl ShardGrid {
             .filter(move |&s| self.padded(s, halo).contains(p))
     }
 
+    /// Row-major index range `(i0..=i1, j0..=j1)` of the shards that can
+    /// *own* a point inside `b` — the resident-list scan window of the
+    /// dirty-extent gather. Exact, not padded: `owner_of` floors and clamps
+    /// with the same arithmetic, and `floor` is monotone, so the owner of
+    /// any `p ∈ b` falls inside the range. Infinite box sides clamp to the
+    /// grid edge (edge shards own the unbounded outside anyway).
+    pub fn owner_range(&self, b: &Aabb) -> (usize, usize, usize, usize) {
+        let clamp_i = |v: f64, hi: usize| (v.floor() as i64).clamp(0, hi as i64 - 1) as usize;
+        (
+            clamp_i((b.min.x - self.origin.x) / self.shard_side, self.cols),
+            clamp_i((b.max.x - self.origin.x) / self.shard_side, self.cols),
+            clamp_i((b.min.y - self.origin.y) / self.shard_side, self.rows),
+            clamp_i((b.max.y - self.origin.y) / self.shard_side, self.rows),
+        )
+    }
+
+    /// Merge the ghost-padded extents of `shards` into connected groups:
+    /// each returned [`ExtentGroup`] covers a maximal chain of dirty shards
+    /// whose padded extents (at `halo`) touch, and the group extents are
+    /// pairwise disjoint — so a point lies in at most one group, and every
+    /// member shard's padded extent is contained in its group's extent.
+    ///
+    /// This is the unit the locality-proportional repair gathers over:
+    /// clustered churn yields a few small groups instead of one global
+    /// working set, and the group extent doubles as the coverage
+    /// certificate of the localized spatial index built over it.
+    pub fn merge_padded_extents(&self, shards: &[usize], halo: f64) -> Vec<ExtentGroup> {
+        let mut groups: Vec<ExtentGroup> = Vec::new();
+        for &s in shards {
+            let mut extent = self.padded(s, halo);
+            let mut members = vec![s];
+            // Absorb every group the new extent touches; absorbing grows
+            // the extent, so rescan until a full pass absorbs nothing.
+            loop {
+                let before = groups.len();
+                let mut i = 0;
+                while i < groups.len() {
+                    if groups[i].extent.intersects(&extent) {
+                        let g = groups.swap_remove(i);
+                        extent = extent.union(&g.extent);
+                        members.extend(g.shards);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if groups.len() == before {
+                    break;
+                }
+            }
+            groups.push(ExtentGroup {
+                extent,
+                shards: members,
+            });
+        }
+        for g in &mut groups {
+            g.shards.sort_unstable();
+        }
+        groups.sort_by_key(|g| g.shards[0]);
+        groups
+    }
+
     /// The ghost-padded extent of shard `s`: its core block inflated by
     /// `halo`, with edge shards extended to infinity on their outward sides
     /// (their ownership is already unbounded there, see [`Self::owner_of`]).
@@ -340,6 +401,16 @@ impl ShardGrid {
         };
         Aabb::from_coords(x0, y0, x1, y1)
     }
+}
+
+/// One connected union of dirty shards' ghost-padded extents — see
+/// [`ShardGrid::merge_padded_extents`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtentGroup {
+    /// Bounding union of the member shards' padded extents.
+    pub extent: Aabb,
+    /// Member shard indices, ascending.
+    pub shards: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -511,5 +582,79 @@ mod tests {
         let g = ShardGrid::new(&w, 1.0, 3); // 3 × 3 shards of side 3
         let padded = g.padded(4, 0.5); // centre shard
         assert_eq!(padded, Aabb::from_coords(2.5, 2.5, 6.5, 6.5));
+    }
+
+    #[test]
+    fn owner_range_contains_every_inside_owner() {
+        let w = Aabb::square(8.0);
+        let g = ShardGrid::new(&w, 1.0, 2); // 4 × 4 shards of side 2
+        let b = Aabb::from_coords(1.5, 3.0, 4.0, 5.9);
+        let (i0, i1, j0, j1) = g.owner_range(&b);
+        // Every sampled point of the box must have its owner in the range.
+        for k in 0..100 {
+            let p = Point::new(
+                b.min.x + b.width() * (k % 10) as f64 / 9.0,
+                b.min.y + b.height() * (k / 10) as f64 / 9.0,
+            );
+            let s = g.owner_of(p);
+            let (i, j) = (s % g.cols(), s / g.cols());
+            assert!((i0..=i1).contains(&i) && (j0..=j1).contains(&j), "{p:?}");
+        }
+        // Infinite sides clamp to the grid edge instead of overflowing.
+        let unbounded = Aabb::from_coords(f64::NEG_INFINITY, 2.0, f64::INFINITY, 2.5);
+        assert_eq!(g.owner_range(&unbounded), (0, 3, 1, 1));
+    }
+
+    #[test]
+    fn merge_padded_extents_groups_by_touch() {
+        let w = Aabb::square(24.0);
+        let g = ShardGrid::new(&w, 1.0, 4); // 6 × 6 shards of side 4
+                                            // A lone interior shard stays alone.
+        let lone = g.merge_padded_extents(&[7], 0.5);
+        assert_eq!(lone.len(), 1);
+        assert_eq!(lone[0].shards, vec![7]);
+        assert!(lone[0].extent.contains_aabb(&g.padded(7, 0.5)));
+        // Two adjacent shards' padded extents overlap → one group.
+        let pair = g.merge_padded_extents(&[7, 8], 0.5);
+        assert_eq!(pair.len(), 1);
+        assert_eq!(pair[0].shards, vec![7, 8]);
+        // Two opposite-corner interior shards stay separate groups, each
+        // disjoint from the other and covering its member's padded extent.
+        let far = g.merge_padded_extents(&[7, 28], 0.5);
+        assert_eq!(far.len(), 2);
+        assert!(!far[0].extent.intersects(&far[1].extent));
+        assert_eq!(
+            (far[0].shards.clone(), far[1].shards.clone()),
+            (vec![7], vec![28])
+        );
+        // Transitive chains merge even when the endpoints don't touch:
+        // 7-8-9 share borders pairwise, so one group holds all three.
+        let chain = g.merge_padded_extents(&[7, 9, 8], 0.5);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].shards, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn merged_groups_are_pairwise_disjoint_and_cover_members() {
+        let w = Aabb::square(20.0);
+        let g = ShardGrid::new(&w, 1.0, 2); // 10 × 10 shards of side 2
+        let dirty: Vec<usize> = (0..g.shard_count()).filter(|s| s % 7 == 0).collect();
+        let groups = g.merge_padded_extents(&dirty, 0.6);
+        let covered: usize = groups.iter().map(|gr| gr.shards.len()).sum();
+        assert_eq!(covered, dirty.len(), "every dirty shard lands in a group");
+        for (a, ga) in groups.iter().enumerate() {
+            for &s in &ga.shards {
+                assert!(ga.extent.contains_aabb(&g.padded(s, 0.6)), "shard {s}");
+            }
+            for gb in groups.iter().skip(a + 1) {
+                assert!(
+                    !ga.extent.intersects(&gb.extent),
+                    "groups must stay disjoint"
+                );
+            }
+        }
+        // Everything dirty collapses to a single whole-window group.
+        let all: Vec<usize> = (0..g.shard_count()).collect();
+        assert_eq!(g.merge_padded_extents(&all, 0.6).len(), 1);
     }
 }

@@ -104,6 +104,68 @@ impl ShardedEdgeStore {
     }
 }
 
+/// A compacted-local id space over a sparse, ascending subset of universe
+/// ids — what the dirty-extent repair path hands to shard derivation.
+///
+/// The localized gather yields the universe ids of the alive points inside
+/// a dirty region; geometry kernels, however, want a dense `0..len` id
+/// space (their index buckets and neighbour lists are arrays). `IdRemap`
+/// is that bridge, and its strict monotonicity is the correctness
+/// load-bearing part: every id comparison — canonical `(min, max)` edge
+/// orientation, k-NN heap tie-breaks, sorted gathers — resolves
+/// identically in local and universe space, so derivations over the dense
+/// space splice back byte-identical to a cold rebuild (the same argument
+/// [`relabel`] rests on).
+#[derive(Clone, Debug, Default)]
+pub struct IdRemap {
+    to_universe: Vec<u32>,
+}
+
+impl IdRemap {
+    /// Wrap a strictly ascending universe-id list (asserted in debug
+    /// builds: monotonicity is what makes the remap order-preserving).
+    pub fn from_sorted(to_universe: Vec<u32>) -> Self {
+        debug_assert!(
+            to_universe.windows(2).all(|w| w[0] < w[1]),
+            "IdRemap requires strictly ascending universe ids"
+        );
+        IdRemap { to_universe }
+    }
+
+    /// Number of local ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.to_universe.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.to_universe.is_empty()
+    }
+
+    /// The full local→universe map (ascending).
+    #[inline]
+    pub fn to_universe(&self) -> &[u32] {
+        &self.to_universe
+    }
+
+    /// Universe id of a local id.
+    #[inline]
+    pub fn universe_of(&self, local: u32) -> u32 {
+        self.to_universe[local as usize]
+    }
+
+    /// Local id of a universe id, or `None` when the id is not in the
+    /// subset (binary search — the map is sorted by construction).
+    #[inline]
+    pub fn local_of(&self, universe: u32) -> Option<u32> {
+        self.to_universe
+            .binary_search(&universe)
+            .ok()
+            .map(|i| i as u32)
+    }
+}
+
 /// Drop every edge incident to a node marked dead; ids are preserved and
 /// dead nodes become isolated.
 ///
@@ -203,6 +265,24 @@ mod tests {
         assert_eq!(store.shard(0), &[]);
         assert_eq!(store.shard(1), &[(2, 3)]);
         assert_eq!(store.to_csr(false).m(), 1);
+    }
+
+    #[test]
+    fn id_remap_round_trips_and_rejects_outsiders() {
+        let m = IdRemap::from_sorted(vec![2, 5, 9, 40]);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        for (local, universe) in [(0u32, 2u32), (1, 5), (2, 9), (3, 40)] {
+            assert_eq!(m.universe_of(local), universe);
+            assert_eq!(m.local_of(universe), Some(local));
+        }
+        for outsider in [0u32, 3, 10, 41] {
+            assert_eq!(m.local_of(outsider), None);
+        }
+        assert!(IdRemap::default().is_empty());
+        // Monotone by construction, so id comparisons survive the round
+        // trip: local order == universe order.
+        assert!(m.to_universe().windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod unionfind;
 
 pub use builder::EdgeList;
 pub use csr::Csr;
-pub use delta::{deactivate_vertices, fingerprint, relabel, ShardedEdgeStore};
+pub use delta::{deactivate_vertices, fingerprint, relabel, IdRemap, ShardedEdgeStore};
 pub use unionfind::UnionFind;
 
 /// Sentinel for "unreachable" in hop-distance arrays.

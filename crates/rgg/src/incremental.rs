@@ -18,7 +18,20 @@
 //!   [`crate::sharded`] (shared code, not re-implementations) over the
 //!   alive survivors, so the spliced CSR is **byte-identical to a cold
 //!   rebuild** — asserted by [`IncrementalGraph::verify_cold`], the churn
-//!   engine's debug path, and `tests/churn_incremental.rs`.
+//!   engine's debug path, and `tests/churn_incremental.rs` /
+//!   `tests/churn_locality.rs`.
+//! * Repair cost is **proportional to the churned region**, not to network
+//!   size: the dirty shards' padded extents are merged into connected
+//!   [`wsn_geom::ExtentGroup`]s, alive points are gathered per group from
+//!   precomputed per-shard resident lists, remapped into a dense local id
+//!   space ([`wsn_graph::IdRemap`]), and shard derivation runs against a
+//!   localized [`wsn_spatial::SubIndex`] built over just that group. A
+//!   global index over the whole alive population is constructed **only**
+//!   when a k-NN halo straggler fires a query the group extent cannot
+//!   certify — counted by [`IncrementalGraph::escalations`], which the
+//!   differential suite asserts stays cold for every other topology. The
+//!   PR-4 whole-population gather survives as
+//!   [`GatherPolicy::Global`] so tests can pin the two paths byte-equal.
 //! * The UDG gets a *vertex-deactivation fast path*: node death can only
 //!   remove disk edges, so a shard whose padded extent saw deaths but no
 //!   joins is repaired by filtering its cache — no geometry at all.
@@ -26,9 +39,11 @@
 //!   owned node (*stragglers*) are re-derived every epoch: their lists
 //!   depend on points beyond the halo, so they can never be trusted clean.
 
+use std::cell::Cell;
+
 use rayon::prelude::*;
 use wsn_geom::{Aabb, ShardGrid};
-use wsn_graph::{relabel, Csr, ShardedEdgeStore};
+use wsn_graph::{relabel, Csr, IdRemap, ShardedEdgeStore};
 use wsn_pointproc::PointSet;
 use wsn_spatial::GridIndex;
 
@@ -36,6 +51,9 @@ use crate::sharded::{
     derive_gabriel, derive_knn, derive_rng, derive_udg, derive_yao, knn_cell_size, Shard,
 };
 use crate::{build_gabriel, build_knn, build_rng, build_udg, build_yao, knn_halo, WHOLE_WINDOW};
+
+/// One dirty shard's re-derived emissions plus its k-NN straggler flag.
+type ShardEdges = (Vec<(u32, u32)>, bool);
 
 /// The plain topologies the incremental engine can maintain (the SENS
 /// constructions repair by per-epoch rebuild instead — their tile-election
@@ -74,6 +92,20 @@ impl IncTopology {
     }
 }
 
+/// How re-derivation gathers its working set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GatherPolicy {
+    /// Gather alive points and build a spatial index only over the union
+    /// of the dirty shards' ghost-padded extents — repair work tracks the
+    /// locality of churn. The default.
+    #[default]
+    Local,
+    /// The PR-4 path: compact the full alive set and build a global index
+    /// every repair, Θ(n) regardless of locality. Kept so the differential
+    /// suite can pin both paths byte-identical.
+    Global,
+}
+
 /// What one [`IncrementalGraph::apply_churn`] call actually did.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RepairStats {
@@ -85,6 +117,14 @@ pub struct RepairStats {
     pub filtered: usize,
     /// Dirty shards repaired by full re-derivation.
     pub rederived: usize,
+    /// Points gathered into re-derivation working sets (0 for pure-filter
+    /// repairs; ≈ the alive population under [`GatherPolicy::Global`], ≈
+    /// the dirty extents' population under [`GatherPolicy::Local`] — the
+    /// locality regression tests pin exactly this proportionality).
+    pub gathered: usize,
+    /// Whole-population index constructions this repair (0 unless a k-NN
+    /// halo straggler fired a query its group extent could not certify).
+    pub escalations: usize,
 }
 
 /// A churn-maintained topology over a fixed universe of points.
@@ -101,6 +141,16 @@ pub struct IncrementalGraph {
     /// Per-shard k-NN straggler flags (always false for other kinds).
     straggler: Vec<bool>,
     csr: Csr,
+    policy: GatherPolicy,
+    /// Universe ids grouped by owner shard (CSR layout, ascending within a
+    /// shard) — the persistent shard-granular spatial index the localized
+    /// gather scans instead of compacting the whole alive set. The
+    /// universe is fixed, so this is built exactly once.
+    resident_start: Vec<u32>,
+    resident_ids: Vec<u32>,
+    /// Cumulative whole-population index constructions (see
+    /// [`RepairStats::escalations`]).
+    escalations: u64,
 }
 
 impl IncrementalGraph {
@@ -145,6 +195,7 @@ impl IncrementalGraph {
         } else {
             ShardGrid::new(&bbox, halo, tiles_per_shard)
         };
+        let (resident_start, resident_ids) = resident_lists(&points, &grid);
         let mut g = IncrementalGraph {
             kind,
             halo,
@@ -155,11 +206,48 @@ impl IncrementalGraph {
             alive,
             n_alive,
             csr: Csr::empty(0),
+            policy: GatherPolicy::Local,
+            resident_start,
+            resident_ids,
+            escalations: 0,
         };
         let all: Vec<usize> = (0..g.grid.shard_count()).collect();
         g.rederive_shards(&all);
         g.csr = g.store.to_csr(g.kind.needs_dedup());
         g
+    }
+
+    /// Switch the re-derivation gather between the localized dirty-extent
+    /// path and the PR-4 whole-population one (differential-test knob; the
+    /// two are byte-identical by contract).
+    pub fn set_gather_policy(&mut self, policy: GatherPolicy) {
+        self.policy = policy;
+    }
+
+    #[inline]
+    pub fn gather_policy(&self) -> GatherPolicy {
+        self.policy
+    }
+
+    /// The shard plan (tests and benches use it to craft churn regions
+    /// that dirty a known shard set).
+    #[inline]
+    pub fn grid(&self) -> &ShardGrid {
+        &self.grid
+    }
+
+    /// The ghost halo every shard extent is padded by.
+    #[inline]
+    pub fn halo(&self) -> f64 {
+        self.halo
+    }
+
+    /// Cumulative count of whole-population index constructions — stays 0
+    /// for every topology except k-NN, and for k-NN rises only when a halo
+    /// straggler fires a query its dirty-extent group cannot certify.
+    #[inline]
+    pub fn escalations(&self) -> u64 {
+        self.escalations
     }
 
     /// The maintained graph in universe id space (dead nodes isolated).
@@ -249,7 +337,9 @@ impl IncrementalGraph {
                 }
             }
         }
-        self.rederive_shards(&rederive);
+        let (gathered, escalations) = self.rederive_shards(&rederive);
+        stats.gathered = gathered;
+        stats.escalations = escalations;
         // A quiescent epoch (no dirty shards) leaves every cache — and
         // therefore the spliced CSR — untouched; skip the O(n + m) splice.
         if stats.dirty > 0 {
@@ -260,17 +350,190 @@ impl IncrementalGraph {
 
     /// Re-derive the listed shards over the current alive population,
     /// replacing their caches (shared-code path: `crate::sharded`).
-    fn rederive_shards(&mut self, dirty: &[usize]) {
+    /// Returns `(points gathered, global-index escalations)`.
+    fn rederive_shards(&mut self, dirty: &[usize]) -> (usize, usize) {
         if dirty.is_empty() {
-            return;
+            return (0, 0);
         }
+        match self.policy {
+            GatherPolicy::Local => self.rederive_local(dirty),
+            GatherPolicy::Global => (self.rederive_global(dirty), 0),
+        }
+    }
+
+    /// Locality-proportional re-derivation: gather alive points and build
+    /// a spatial index only over the union of the dirty shards'
+    /// ghost-padded extents. The working set of every dirty shard —
+    /// `alive ∩ padded(s, halo)` — is contained in its extent group, so
+    /// the shard derivations see exactly the point sets the global gather
+    /// would hand them, in the same (universe-ascending) order, and emit
+    /// bit-identical edges.
+    fn rederive_local(&mut self, dirty: &[usize]) -> (usize, usize) {
+        let kind = self.kind;
+        let (grid, halo) = (&self.grid, self.halo);
+        let groups = grid.merge_padded_extents(dirty, halo);
+
+        // Gather each group's alive population from the resident lists:
+        // cost tracks the group extents' area, never the network size.
+        let mut gathered = 0usize;
+        let mut locals: Vec<(IdRemap, PointSet)> = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let (i0, i1, j0, j1) = grid.owner_range(&g.extent);
+            let mut ids: Vec<u32> = Vec::new();
+            for j in j0..=j1 {
+                for i in i0..=i1 {
+                    let s = j * grid.cols() + i;
+                    let (a, b) = (
+                        self.resident_start[s] as usize,
+                        self.resident_start[s + 1] as usize,
+                    );
+                    for &u in &self.resident_ids[a..b] {
+                        if self.alive[u as usize] && g.extent.contains(self.points.get(u)) {
+                            ids.push(u);
+                        }
+                    }
+                }
+            }
+            // Ascending universe ids make the dense remap monotone — the
+            // property every downstream id tie-break rests on.
+            ids.sort_unstable();
+            gathered += ids.len();
+            let mut pts = PointSet::with_capacity(ids.len());
+            for &u in &ids {
+                pts.push(self.points.get(u));
+            }
+            locals.push((IdRemap::from_sorted(ids), pts));
+        }
+
+        // k-NN needs the exact straggler semantics of the global path: a
+        // node is *certain* iff its k-th local neighbour fits in the halo,
+        // or the shard's padded extent covers the whole alive population's
+        // bounding box. The box is a cheap O(n) fold over the alive mask —
+        // no point-set compaction, no index build.
+        let alive_bbox = match kind {
+            IncTopology::Knn { .. } => alive_bounding_box(&self.points, &self.alive),
+            _ => None,
+        };
+
+        // One localized SubIndex per extent group; its extent doubles as
+        // the certificate that shard gathers (and certified k-NN fallback
+        // queries) never silently truncate.
+        let indexes: Vec<Option<wsn_spatial::SubIndex>> = groups
+            .iter()
+            .zip(&locals)
+            .map(|(g, (_, pts))| {
+                if pts.is_empty() {
+                    return None;
+                }
+                let cell = match kind {
+                    IncTopology::Knn { k } => knn_cell_size(pts, k.max(1)),
+                    IncTopology::Udg { radius }
+                    | IncTopology::Gabriel { radius }
+                    | IncTopology::Rng { radius }
+                    | IncTopology::Yao { radius, .. } => radius,
+                };
+                // `pts` is already the *restriction* of the alive
+                // population to the group extent — certification must
+                // keep checking query support against the extent (the
+                // rest of the population lives beyond it), so the
+                // full-membership shortcut must not apply.
+                Some(GridIndex::build_over_restricted(pts, &g.extent, cell))
+            })
+            .collect();
+
+        let mut group_of = vec![usize::MAX; grid.shard_count()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &s in &g.shards {
+                group_of[s] = gi;
+            }
+        }
+
+        // Pass 1: derive every dirty shard against its group. A k-NN
+        // straggler first retries against the group index — certified
+        // answers are exact — and only an uncertifiable query marks the
+        // shard for global escalation (`None`).
+        let results: Vec<Option<ShardEdges>> = dirty
+            .to_vec()
+            .into_par_iter()
+            .map(|s| {
+                let gi = group_of[s];
+                let (remap, pts) = &locals[gi];
+                let Some(index) = &indexes[gi] else {
+                    // No alive points anywhere near: the shard is empty.
+                    return Some((Vec::new(), false));
+                };
+                let shard = Shard::gather_mapped(pts, remap.to_universe(), index, grid, s, halo);
+                match kind {
+                    IncTopology::Udg { radius } => Some((derive_udg(&shard, radius), false)),
+                    IncTopology::Gabriel { radius } => {
+                        Some((derive_gabriel(&shard, radius), false))
+                    }
+                    IncTopology::Rng { radius } => Some((derive_rng(&shard, radius), false)),
+                    IncTopology::Yao { radius, cones } => {
+                        Some((derive_yao(&shard, radius, cones), false))
+                    }
+                    IncTopology::Knn { k } => {
+                        let covers_all = alive_bbox
+                            .as_ref()
+                            .is_some_and(|bb| grid.padded(s, halo).contains_aabb(bb));
+                        let uncertified = Cell::new(false);
+                        let (lists, strag) = derive_knn(&shard, k, halo, covers_all, |p, gu| {
+                            let skip = remap.local_of(gu);
+                            match index.knn(p, k, skip) {
+                                Ok(r) => r.into_iter().map(|(v, _)| remap.universe_of(v)).collect(),
+                                Err(_) => {
+                                    uncertified.set(true);
+                                    Vec::new()
+                                }
+                            }
+                        });
+                        if uncertified.get() {
+                            return None;
+                        }
+                        let mut edges = Vec::new();
+                        for (gu, list) in lists {
+                            for v in list {
+                                edges.push((gu.min(v), gu.max(v)));
+                            }
+                        }
+                        Some((edges, strag))
+                    }
+                }
+            })
+            .collect();
+
+        let mut escalate = Vec::new();
+        for (&s, res) in dirty.iter().zip(results) {
+            match res {
+                Some((edges, strag)) => {
+                    self.store.replace(s, edges);
+                    self.straggler[s] = strag;
+                }
+                None => escalate.push(s),
+            }
+        }
+        // Pass 2 — the lazy escalation path: only now, with a straggler
+        // the dirty extents could not certify, pay for the global gather.
+        let mut escalations = 0;
+        if !escalate.is_empty() {
+            escalations = 1;
+            self.escalations += 1;
+            gathered += self.rederive_global(&escalate);
+        }
+        (gathered, escalations)
+    }
+
+    /// The PR-4 whole-population re-derivation: compact the alive set,
+    /// build one global index, derive the listed shards against it.
+    /// Returns the number of points gathered (= the alive population).
+    fn rederive_global(&mut self, dirty: &[usize]) -> usize {
         let (sub, to_universe, to_compact) = compact(&self.points, &self.alive);
         if sub.is_empty() {
             for &s in dirty {
                 self.store.replace(s, Vec::new());
                 self.straggler[s] = false;
             }
-            return;
+            return 0;
         }
         let cell = match self.kind {
             IncTopology::Knn { k } => knn_cell_size(&sub, k.max(1)),
@@ -283,7 +546,7 @@ impl IncrementalGraph {
         let bbox = sub.bounding_box().expect("sub is non-empty");
         let kind = self.kind;
         let (grid, halo) = (&self.grid, self.halo);
-        let results: Vec<(Vec<(u32, u32)>, bool)> = dirty
+        let results: Vec<ShardEdges> = dirty
             .to_vec()
             .into_par_iter()
             .map(|s| {
@@ -319,6 +582,7 @@ impl IncrementalGraph {
             self.store.replace(s, edges);
             self.straggler[s] = strag;
         }
+        sub.len()
     }
 
     /// Build the same topology cold — monolithic reference builder on the
@@ -353,6 +617,47 @@ impl IncrementalGraph {
 pub fn compact_alive(points: &PointSet, alive: &[bool]) -> (PointSet, Vec<u32>) {
     let (sub, to_universe, _) = compact(points, alive);
     (sub, to_universe)
+}
+
+/// Universe ids grouped by owner shard (counting sort, so ids stay
+/// ascending within each shard) — built once per structure; the localized
+/// gather scans only the rows overlapping a dirty extent group.
+fn resident_lists(points: &PointSet, grid: &ShardGrid) -> (Vec<u32>, Vec<u32>) {
+    let n_shards = grid.shard_count();
+    let mut counts = vec![0u32; n_shards + 1];
+    for p in points.iter() {
+        counts[grid.owner_of(p) + 1] += 1;
+    }
+    for s in 0..n_shards {
+        counts[s + 1] += counts[s];
+    }
+    let start = counts.clone();
+    let mut cursor = counts;
+    let mut ids = vec![0u32; points.len()];
+    for (u, p) in points.iter_enumerated() {
+        let s = grid.owner_of(p);
+        ids[cursor[s] as usize] = u;
+        cursor[s] += 1;
+    }
+    (start, ids)
+}
+
+/// Bounding box of the alive subset — the `covers_all` operand of the k-NN
+/// straggler check, exactly as the global path computes it from the
+/// compacted point set (same min/max fold, no allocation).
+fn alive_bounding_box(points: &PointSet, alive: &[bool]) -> Option<Aabb> {
+    let mut bb: Option<Aabb> = None;
+    for (u, p) in points.iter_enumerated() {
+        if !alive[u as usize] {
+            continue;
+        }
+        let point_box = Aabb::new(p, p);
+        bb = Some(match bb {
+            None => point_box,
+            Some(cur) => cur.union(&point_box),
+        });
+    }
+    bb
 }
 
 /// [`compact_alive`] plus the universe→compact inverse (`u32::MAX` marks

@@ -38,7 +38,7 @@ pub mod udg;
 pub mod yao;
 
 pub use gabriel::build_gabriel;
-pub use incremental::{compact_alive, IncTopology, IncrementalGraph, RepairStats};
+pub use incremental::{compact_alive, GatherPolicy, IncTopology, IncrementalGraph, RepairStats};
 pub use knn::{build_knn, knn_lists};
 pub use rng_graph::build_rng;
 pub use sharded::{

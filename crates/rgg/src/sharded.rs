@@ -36,10 +36,10 @@
 //!   k-NN results are index-independent).
 
 use rayon::prelude::*;
-use wsn_geom::{Point, ShardGrid};
+use wsn_geom::{Aabb, Point, ShardGrid};
 use wsn_graph::{Csr, EdgeList};
 use wsn_pointproc::PointSet;
-use wsn_spatial::GridIndex;
+use wsn_spatial::{GridIndex, SubIndex};
 
 /// Pass as `tiles_per_shard` for an explicit single-shard (whole-window)
 /// plan — useful as the degenerate case of differential tests.
@@ -51,6 +51,27 @@ pub(crate) struct Shard {
     pub(crate) pts: PointSet,
     pub(crate) ids: Vec<u32>,
     pub(crate) owned: Vec<bool>,
+}
+
+/// The ghost-gather primitive [`Shard::gather_mapped`] needs: sorted ids
+/// inside a closed box. Implemented by both the global [`GridIndex`] (the
+/// PR-4 whole-population gather) and the localized [`SubIndex`] (the
+/// dirty-extent gather, whose extent certificate additionally asserts the
+/// padded box is covered).
+pub(crate) trait GhostGather {
+    fn gather_sorted_into(&self, b: &Aabb, out: &mut Vec<u32>);
+}
+
+impl GhostGather for GridIndex<'_> {
+    fn gather_sorted_into(&self, b: &Aabb, out: &mut Vec<u32>) {
+        self.gather_sorted(b, out);
+    }
+}
+
+impl GhostGather for SubIndex<'_> {
+    fn gather_sorted_into(&self, b: &Aabb, out: &mut Vec<u32>) {
+        self.gather_sorted(b, out);
+    }
 }
 
 impl Shard {
@@ -84,13 +105,13 @@ impl Shard {
     pub(crate) fn gather_mapped(
         sub: &PointSet,
         to_universe: &[u32],
-        index: &GridIndex,
+        index: &impl GhostGather,
         grid: &ShardGrid,
         s: usize,
         halo: f64,
     ) -> Shard {
         let mut local = Vec::new();
-        index.gather_sorted(&grid.padded(s, halo), &mut local);
+        index.gather_sorted_into(&grid.padded(s, halo), &mut local);
         let mut pts = PointSet::with_capacity(local.len());
         let mut ids = Vec::with_capacity(local.len());
         let mut owned = Vec::with_capacity(local.len());

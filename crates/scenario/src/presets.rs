@@ -92,6 +92,11 @@ pub const PRESETS: &[Preset] = &[
         replaces: &[],
     },
     Preset {
+        name: "lifetime-blackout-locality",
+        title: "Lifetime: tight sector blackouts, locality-proportional repair trajectories",
+        replaces: &[],
+    },
+    Preset {
         name: "percolation-pc",
         title: "Substrate: site-percolation theta(p), crossing probability, p_c",
         replaces: &["exp_pc"],
@@ -398,6 +403,37 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 blast_radius: Some(1.5),
                 join_rate: 1.0,
                 reserve_frac: 0.25,
+            }),
+            replications: 2,
+        },
+        // Tight blackouts on a wide window: each epoch kills only a few
+        // small disks, so repair must stay proportional to the churned
+        // region. The golden pins the localized dirty-extent gather's
+        // exact topology walk (graph_hash32) and its per-epoch re-derive
+        // counts (shards_rederived) across thread counts {1, 4, 8}.
+        "lifetime-blackout-locality" => ScenarioMatrix {
+            sides: vec![profile.pick(24.0, 12.0)],
+            deployments: poisson(&[20.0]),
+            topologies: vec![
+                TopologySpec::Udg { radius: 1.0 },
+                TopologySpec::Rng { radius: 1.0 },
+                TopologySpec::Yao {
+                    radius: 1.0,
+                    cones: 6,
+                },
+            ],
+            faults: vec![None],
+            metrics: MetricSuite::default(),
+            exec: ExecSpec::monolithic(),
+            churn: Some(ChurnSpec {
+                epochs: profile.pick(10, 4),
+                battery: 1e8,
+                idle_cost: 0.0,
+                traffic: profile.pick(120, 25),
+                p_fail: 0.04,
+                blast_radius: Some(1.0),
+                join_rate: 1.0,
+                reserve_frac: 0.15,
             }),
             replications: 2,
         },

@@ -182,6 +182,14 @@ pub struct EpochReport {
     pub shards_dirty: u64,
     pub shards_filtered: u64,
     pub shards_rederived: u64,
+    /// Points gathered into the repair's re-derivation working sets —
+    /// under the localized gather this tracks the churned region's
+    /// population, not the network size (zeros in rebuild mode and for
+    /// SENS).
+    pub repair_gathered: u64,
+    /// Whole-population index constructions the repair needed (k-NN
+    /// straggler escalations; 0 for every other topology).
+    pub repair_escalations: u64,
     /// Wall-clock seconds of the repair (or rebuild) step.
     pub repair_secs: f64,
 }
@@ -289,8 +297,10 @@ impl CoverageProbe {
 }
 
 /// Cold sharded rebuild of a plain topology on the alive survivors, lifted
-/// to universe ids — the per-epoch baseline the incremental path races.
-fn cold_sharded(points: &PointSet, alive: &[bool], kind: IncTopology) -> Csr {
+/// to universe ids — the per-epoch baseline the incremental path races
+/// (public so the lifetime bench's churn-locality sweep races the *same*
+/// baseline instead of re-implementing it).
+pub fn cold_sharded_rebuild(points: &PointSet, alive: &[bool], kind: IncTopology) -> Csr {
     let (sub, to_universe) = compact_alive(points, alive);
     if sub.is_empty() {
         return Csr::empty(points.len());
@@ -350,7 +360,7 @@ impl Maintained {
                     assert!(!alive[j as usize], "join of already-alive node {j}");
                     alive[j as usize] = true;
                 }
-                *csr = cold_sharded(points, alive, *kind);
+                *csr = cold_sharded_rebuild(points, alive, *kind);
                 RepairStats::default()
             }
         }
@@ -525,7 +535,7 @@ pub fn simulate_lifetime_plain(
             cfg.repair_tiles,
         ))),
         RepairMode::Rebuild => Maintained::Rebuild {
-            csr: cold_sharded(points, initial_alive, kind),
+            csr: cold_sharded_rebuild(points, initial_alive, kind),
             points: points.clone(),
             alive: initial_alive.to_vec(),
             kind,
@@ -601,6 +611,8 @@ pub fn simulate_lifetime_plain(
             shards_dirty: stats.dirty as u64,
             shards_filtered: stats.filtered as u64,
             shards_rederived: stats.rederived as u64,
+            repair_gathered: stats.gathered as u64,
+            repair_escalations: stats.escalations as u64,
             repair_secs,
         });
     }
@@ -738,6 +750,8 @@ pub fn simulate_lifetime_sens(
             shards_dirty: 0,
             shards_filtered: 0,
             shards_rederived: 0,
+            repair_gathered: 0,
+            repair_escalations: 0,
             repair_secs,
         });
     }

@@ -24,32 +24,80 @@ impl<'p> GridIndex<'p> {
     /// Empty point sets are allowed and yield an index whose queries return
     /// nothing.
     pub fn build(points: &'p PointSet, cell: f64) -> Self {
+        let bounds = points.bounding_box();
+        // Full membership iterates ids directly — no member list to
+        // allocate on the hot per-shard construction path.
+        GridIndex::build_with(
+            points,
+            || 0..points.len() as u32,
+            points.len(),
+            bounds,
+            cell,
+        )
+    }
+
+    /// Build an index over the `members` subset only (ascending ids —
+    /// queries return the original ids of `points`). The grid is sized to
+    /// the members' bounding box, so a localized subset gets a localized
+    /// cell array regardless of how far the full set extends.
+    fn build_subset(points: &'p PointSet, members: &[u32], cell: f64) -> Self {
+        let mut bounds: Option<Aabb> = None;
+        for &m in members {
+            let p = points.get(m);
+            let b = Aabb::new(p, p);
+            bounds = Some(match bounds {
+                None => b,
+                Some(cur) => cur.union(&b),
+            });
+        }
+        GridIndex::build_with(
+            points,
+            || members.iter().copied(),
+            members.len(),
+            bounds,
+            cell,
+        )
+    }
+
+    /// The one counting-sort construction both entry points share;
+    /// `members` yields the indexed ids (twice — count, then scatter).
+    fn build_with<I, F>(
+        points: &'p PointSet,
+        members: F,
+        n_members: usize,
+        bounds: Option<Aabb>,
+        cell: f64,
+    ) -> Self
+    where
+        I: Iterator<Item = u32>,
+        F: Fn() -> I,
+    {
         assert!(cell > 0.0 && cell.is_finite(), "cell size must be positive");
-        let bounds = points.bounding_box().unwrap_or_else(|| Aabb::square(cell));
+        let bounds = bounds.unwrap_or_else(|| Aabb::square(cell));
         // Guard against degenerate (single-point / colinear) extents.
         let cols = ((bounds.width() / cell).ceil() as usize).max(1);
         let rows = ((bounds.height() / cell).ceil() as usize).max(1);
         let n_cells = cols * rows;
 
-        // Counting sort of ids by cell.
+        // Counting sort of member ids by cell.
         let mut counts = vec![0u32; n_cells + 1];
         let cell_of = |p: Point| -> usize {
             let i = (((p.x - bounds.min.x) / cell) as usize).min(cols - 1);
             let j = (((p.y - bounds.min.y) / cell) as usize).min(rows - 1);
             j * cols + i
         };
-        for p in points.iter() {
-            counts[cell_of(p) + 1] += 1;
+        for m in members() {
+            counts[cell_of(points.get(m)) + 1] += 1;
         }
         for c in 0..n_cells {
             counts[c + 1] += counts[c];
         }
         let cell_start = counts.clone();
         let mut cursor = counts;
-        let mut ids = vec![0u32; points.len()];
-        for (i, p) in points.iter_enumerated() {
-            let c = cell_of(p);
-            ids[cursor[c] as usize] = i;
+        let mut ids = vec![0u32; n_members];
+        for m in members() {
+            let c = cell_of(points.get(m));
+            ids[cursor[c] as usize] = m;
             cursor[c] += 1;
         }
         GridIndex {
@@ -60,6 +108,45 @@ impl<'p> GridIndex<'p> {
             rows,
             cell_start,
             ids,
+        }
+    }
+
+    /// Build a [`SubIndex`] over only the points inside `extent` — the
+    /// localized spatial index of the dirty-extent repair path. Queries
+    /// whose support escapes the extent report [`InsufficientExtent`]
+    /// instead of silently truncating to the member set.
+    pub fn build_over(points: &'p PointSet, extent: &Aabb, cell: f64) -> SubIndex<'p> {
+        let members: Vec<u32> = points
+            .iter_enumerated()
+            .filter(|&(_, p)| extent.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        let full = members.len() == points.len();
+        SubIndex {
+            n_members: members.len(),
+            grid: GridIndex::build_subset(points, &members, cell),
+            extent: *extent,
+            full,
+        }
+    }
+
+    /// Like [`Self::build_over`], but for a point set that is *already*
+    /// the restriction of some larger population to `extent` (e.g. the
+    /// alive points gathered from a dirty extent group). Every point is a
+    /// member, yet certification must still prove a query's support stays
+    /// inside the extent — the unseen population lives beyond it, so
+    /// full membership of the *handed-in* set must never short-circuit
+    /// the extent checks the way it does for a genuinely complete set.
+    pub fn build_over_restricted(points: &'p PointSet, extent: &Aabb, cell: f64) -> SubIndex<'p> {
+        debug_assert!(
+            points.iter().all(|p| extent.contains(p)),
+            "restricted build requires every point inside the extent"
+        );
+        SubIndex {
+            n_members: points.len(),
+            grid: GridIndex::build(points, cell),
+            extent: *extent,
+            full: false,
         }
     }
 
@@ -244,6 +331,156 @@ impl<'p> GridIndex<'p> {
     /// Nearest neighbour (excluding `skip`), if any.
     pub fn nearest(&self, query: Point, skip: Option<u32>) -> Option<(u32, f64)> {
         self.knn(query, 1, skip).into_iter().next()
+    }
+}
+
+/// A query's certification region escaped the index's extent: the answer
+/// over the member subset might differ from the answer over the full point
+/// set, so the caller must escalate to a global index instead of trusting
+/// a silently truncated result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsufficientExtent;
+
+impl std::fmt::Display for InsufficientExtent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query support escapes the sub-index extent")
+    }
+}
+
+/// A localized view of a point set: an index over only the points inside a
+/// rectangular *extent* (see [`GridIndex::build_over`]).
+///
+/// The extent is a coverage certificate, not just a filter. Every query
+/// either proves its support lies inside the extent — in which case the
+/// result is exactly what a global index over the full set would return —
+/// or reports [`InsufficientExtent`]. That dichotomy is what lets the
+/// incremental repair path run shard derivations against a small local
+/// index and escalate to a global one *only* when a query genuinely needs
+/// points beyond the dirty region.
+pub struct SubIndex<'p> {
+    grid: GridIndex<'p>,
+    extent: Aabb,
+    /// Members are the entire underlying set, so every query is certified
+    /// regardless of the extent (the degenerate whole-window case).
+    full: bool,
+    n_members: usize,
+}
+
+impl<'p> SubIndex<'p> {
+    /// The underlying (full) point set; returned ids index into it.
+    #[inline]
+    pub fn points(&self) -> &PointSet {
+        self.grid.points()
+    }
+
+    /// Number of member points inside the extent.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_members
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_members == 0
+    }
+
+    #[inline]
+    pub fn extent(&self) -> &Aabb {
+        &self.extent
+    }
+
+    /// True iff member results are certified complete for any query whose
+    /// support lies inside `b`.
+    #[inline]
+    pub fn covers(&self, b: &Aabb) -> bool {
+        self.full || self.extent.contains_aabb(b)
+    }
+
+    /// True iff the closed ball fits inside the extent.
+    #[inline]
+    pub fn covers_disk(&self, center: Point, radius: f64) -> bool {
+        self.covers(&Aabb::from_coords(
+            center.x - radius,
+            center.y - radius,
+            center.x + radius,
+            center.y + radius,
+        ))
+    }
+
+    /// Sorted member ids inside the closed box — the ghost gather of the
+    /// localized repair path. The box must lie inside the extent (that is
+    /// the caller's grouping invariant; checked in debug builds).
+    pub fn gather_sorted(&self, b: &Aabb, out: &mut Vec<u32>) {
+        debug_assert!(
+            self.covers(b),
+            "gather box {b:?} escapes sub-index extent {:?}",
+            self.extent
+        );
+        self.grid.gather_sorted(b, out);
+    }
+
+    /// First member (in cell-scan order) within `radius` of `center`
+    /// satisfying `pred`, certified against the full set — or
+    /// [`InsufficientExtent`] when the query disk crosses the extent
+    /// boundary (a point outside the members could also match).
+    pub fn find_in_disk<F: FnMut(u32, Point) -> bool>(
+        &self,
+        center: Point,
+        radius: f64,
+        pred: F,
+    ) -> Result<Option<u32>, InsufficientExtent> {
+        if !self.covers_disk(center, radius) {
+            return Err(InsufficientExtent);
+        }
+        Ok(self.grid.find_in_disk(center, radius, pred))
+    }
+
+    /// Member ids within `radius` of `center` (into `out`, cleared first),
+    /// certified complete against the full set — or
+    /// [`InsufficientExtent`] when the disk escapes the extent.
+    pub fn in_disk(
+        &self,
+        center: Point,
+        radius: f64,
+        out: &mut Vec<u32>,
+    ) -> Result<(), InsufficientExtent> {
+        if !self.covers_disk(center, radius) {
+            return Err(InsufficientExtent);
+        }
+        self.grid.in_disk(center, radius, out);
+        Ok(())
+    }
+
+    /// The `k` nearest members of `query` (same contract as
+    /// [`GridIndex::knn`]), certified equal to the global answer: `Ok` is
+    /// returned only when `k` members were found *and* the k-th distance
+    /// ball fits inside the extent — any closer point of the full set
+    /// would then be a member too. Everything else is
+    /// [`InsufficientExtent`].
+    pub fn knn(
+        &self,
+        query: Point,
+        k: usize,
+        skip: Option<u32>,
+    ) -> Result<Vec<(u32, f64)>, InsufficientExtent> {
+        let res = self.grid.knn(query, k, skip);
+        if self.full || k == 0 {
+            return Ok(res);
+        }
+        if res.len() < k {
+            return Err(InsufficientExtent);
+        }
+        // `res` distances are correctly-rounded sqrts, which can round
+        // *below* the true k-th distance by up to half an ulp — and an
+        // under-sized certification ball is exactly the kind of silent
+        // truncation this type exists to rule out. One `next_up` makes
+        // the rounded value an upper bound on the true distance.
+        let kth = res.last().expect("k > 0 results").1.next_up();
+        if self.covers_disk(query, kth) {
+            Ok(res)
+        } else {
+            Err(InsufficientExtent)
+        }
     }
 }
 

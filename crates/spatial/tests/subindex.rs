@@ -1,0 +1,208 @@
+//! Differential + property suite for the localized [`SubIndex`] view.
+//!
+//! The extent of a sub-index is a *coverage certificate*: a query either
+//! proves its support lies inside the extent — and must then agree with a
+//! global [`GridIndex`] over the full point set — or it must report
+//! [`InsufficientExtent`]. The failure mode this pins out of existence is
+//! *silent truncation*: a query disk that pokes past the extent boundary
+//! returning only the members it happens to see, which downstream (the
+//! incremental repair path) would turn into a topology that quietly
+//! diverges from a cold rebuild.
+
+use proptest::prelude::*;
+use wsn_geom::{Aabb, Point};
+use wsn_pointproc::{rng_from_seed, sample_binomial_window, PointSet};
+use wsn_spatial::{bruteforce, GridIndex};
+
+fn sample_points(n: usize, seed: u64) -> PointSet {
+    sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(10.0))
+}
+
+/// Ids of the full set inside the extent — the membership oracle.
+fn members_of(pts: &PointSet, extent: &Aabb) -> Vec<u32> {
+    pts.iter_enumerated()
+        .filter(|&(_, p)| extent.contains(p))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[test]
+fn boundary_crossing_disk_reports_insufficient_not_truncated() {
+    // Two points straddling the extent's right edge: the inside one at
+    // x = 3, the *globally nearer* one just outside at x = 5.5.
+    let pts: PointSet = vec![Point::new(3.0, 2.0), Point::new(5.5, 2.0)]
+        .into_iter()
+        .collect();
+    let extent = Aabb::from_coords(0.0, 0.0, 5.0, 4.0);
+    let sub = GridIndex::build_over(&pts, &extent, 1.0);
+    assert_eq!(sub.len(), 1, "only the inside point is a member");
+
+    // A disk around (4.5, 2) of radius 1.5 reaches x = 6 > extent edge and
+    // actually contains the non-member — truncating to members would
+    // silently drop the true hit. The sub-index must refuse instead.
+    let c = Point::new(4.5, 2.0);
+    assert!(sub.find_in_disk(c, 1.5, |_, _| true).is_err());
+    let mut out = Vec::new();
+    assert!(sub.in_disk(c, 1.5, &mut out).is_err());
+    // 1-NN of c is the outside point (distance 1.0 vs 1.5): the certified
+    // k-th ball escapes the extent, so the query must escalate.
+    assert!(sub.knn(c, 1, None).is_err());
+
+    // The same queries with support inside the extent are certified and
+    // agree with the global index.
+    let c_in = Point::new(3.0, 2.0);
+    assert_eq!(sub.find_in_disk(c_in, 1.0, |_, _| true), Ok(Some(0)));
+    assert_eq!(
+        sub.knn(c_in, 1, Some(0)),
+        Err(wsn_spatial::InsufficientExtent),
+        "the lone member can't certify a 1-NN that excludes itself"
+    );
+}
+
+#[test]
+fn full_membership_degenerates_to_the_global_index() {
+    let pts = sample_points(200, 7);
+    // An extent covering everything: every query certifies, even ones far
+    // outside the extent box (the member set *is* the full set).
+    let sub = GridIndex::build_over(&pts, &Aabb::square(10.0), 1.0);
+    assert_eq!(sub.len(), pts.len());
+    let global = GridIndex::build(&pts, 1.0);
+    let q = Point::new(20.0, -3.0);
+    assert_eq!(
+        sub.knn(q, 5, None)
+            .expect("full membership always certifies"),
+        global.knn(q, 5, None)
+    );
+}
+
+#[test]
+fn gather_sorted_matches_the_membership_oracle() {
+    let pts = sample_points(300, 8);
+    let extent = Aabb::from_coords(2.0, 1.0, 8.0, 7.5);
+    let sub = GridIndex::build_over(&pts, &extent, 0.9);
+    let boxes = [
+        Aabb::from_coords(2.5, 1.5, 4.0, 3.0),
+        Aabb::from_coords(2.0, 1.0, 8.0, 7.5), // the whole extent
+        Aabb::from_coords(5.0, 5.0, 5.1, 5.1), // near-degenerate
+    ];
+    let mut got = Vec::new();
+    for b in &boxes {
+        sub.gather_sorted(b, &mut got);
+        let expect: Vec<u32> = pts
+            .iter_enumerated()
+            .filter(|&(_, p)| extent.contains(p) && b.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, expect, "{b:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `find_in_disk` over a `build_over` index ≡ the global index
+    /// restricted to the extent whenever the disk is covered; disks that
+    /// cross the extent boundary report insufficient-extent.
+    #[test]
+    fn prop_find_in_disk_certified_or_insufficient(
+        seed in 0u64..500,
+        n in 0usize..200,
+        ex0 in 0.0f64..5.0,
+        ey0 in 0.0f64..5.0,
+        ew in 0.5f64..6.0,
+        eh in 0.5f64..6.0,
+        cx in -1.0f64..11.0,
+        cy in -1.0f64..11.0,
+        r in 0.0f64..4.0,
+        cell in 0.2f64..2.0,
+    ) {
+        let pts = sample_points(n, seed);
+        let extent = Aabb::from_coords(ex0, ey0, ex0 + ew, ey0 + eh);
+        let sub = GridIndex::build_over(&pts, &extent, cell);
+        let c = Point::new(cx, cy);
+        let pred = |id: u32, _: Point| id.is_multiple_of(3);
+        match sub.find_in_disk(c, r, pred) {
+            Ok(hit) => {
+                // Certified: existence must agree with an exhaustive scan
+                // of the members (== of the full set, since the disk lies
+                // inside the extent), and the witness must be genuine.
+                let any = members_of(&pts, &extent).iter().any(|&id| {
+                    pred(id, pts.get(id)) && pts.get(id).dist(c) <= r
+                });
+                prop_assert_eq!(hit.is_some(), any);
+                if let Some(id) = hit {
+                    prop_assert!(extent.contains(pts.get(id)));
+                    prop_assert!(pred(id, pts.get(id)) && pts.get(id).dist(c) <= r);
+                }
+                // And certification implies the global scan agrees too.
+                if sub.len() < pts.len() {
+                    let global_any = bruteforce::in_disk(&pts, c, r)
+                        .into_iter()
+                        .any(|id| pred(id, pts.get(id)));
+                    prop_assert_eq!(hit.is_some(), global_any);
+                }
+            }
+            Err(_) => {
+                // Refusal is only legal when the disk genuinely escapes.
+                prop_assert!(!sub.covers_disk(c, r));
+            }
+        }
+    }
+
+    /// `knn` over a `build_over` index: `Ok` results are byte-equal to the
+    /// global k-NN (certification means no non-member can intrude);
+    /// everything else reports insufficient-extent rather than returning a
+    /// truncated list.
+    #[test]
+    fn prop_knn_certified_equals_global(
+        seed in 0u64..500,
+        n in 1usize..150,
+        k in 1usize..12,
+        ex0 in 0.0f64..5.0,
+        ey0 in 0.0f64..5.0,
+        ew in 1.0f64..7.0,
+        eh in 1.0f64..7.0,
+        cell in 0.2f64..2.0,
+    ) {
+        let pts = sample_points(n, seed);
+        let extent = Aabb::from_coords(ex0, ey0, ex0 + ew, ey0 + eh);
+        let sub = GridIndex::build_over(&pts, &extent, cell);
+        let mut rng = rng_from_seed(seed ^ 0x51);
+        use rand::RngExt;
+        let q_id = rng.random_range(0..n) as u32;
+        let q = pts.get(q_id);
+        match sub.knn(q, k, Some(q_id)) {
+            Ok(res) => {
+                let global: Vec<u32> = bruteforce::knn(&pts, q, k, Some(q_id))
+                    .iter()
+                    .map(|&(i, _)| i)
+                    .collect();
+                let got: Vec<u32> = res.iter().map(|&(i, _)| i).collect();
+                prop_assert_eq!(&got, &global, "certified k-NN must be the global k-NN");
+                // Which is also the members-restricted answer.
+                let member_pts: Vec<u32> = members_of(&pts, &extent);
+                prop_assert!(got.iter().all(|id| member_pts.contains(id) ));
+            }
+            Err(_) => {
+                // Refusal must be justified: partial membership and either
+                // fewer than k members available or a k-th ball that
+                // escapes the extent.
+                prop_assert!(sub.len() < pts.len());
+                let restricted = {
+                    let member_ids = members_of(&pts, &extent);
+                    let mut d: Vec<(f64, u32)> = member_ids
+                        .into_iter()
+                        .filter(|&id| id != q_id)
+                        .map(|id| (pts.get(id).dist(q), id))
+                        .collect();
+                    d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                    d.truncate(k);
+                    d
+                };
+                let escapes = restricted.len() < k
+                    || !sub.covers_disk(q, restricted.last().expect("k > 0").0.next_up());
+                prop_assert!(escapes, "insufficient-extent must have a witness");
+            }
+        }
+    }
+}
