@@ -286,12 +286,24 @@ fn cmd_gate(args: &Args, lifetime: bool) -> ExitCode {
         eprintln!("`{cmd}` needs --baseline and --fresh bench JSON paths");
         return ExitCode::from(2);
     };
-    let load = |path: &PathBuf| -> serde::value::Value {
+    // A missing or mangled bench document is an environment problem, not a
+    // perf regression: name the file and exit cleanly so CI logs show the
+    // cause instead of a panic backtrace.
+    let load = |path: &PathBuf| -> Result<serde::value::Value, String> {
         let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {}: {e:?}", path.display()))
+            .map_err(|e| format!("{cmd}: cannot read {}: {e}", path.display()))?;
+        serde_json::from_str(&text)
+            .map_err(|e| format!("{cmd}: cannot parse {} as JSON: {e:?}", path.display()))
     };
-    let (baseline, fresh) = (load(baseline_path), load(fresh_path));
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
     let report = if lifetime {
         wsn_bench::gate::gate_lifetime(&baseline, &fresh)
     } else {

@@ -18,10 +18,21 @@
 //! [`LIFETIME_SPEEDUP_DROP_TOLERANCE`] below the committed baseline — the
 //! regression that would mean repair cost stopped tracking churn locality.
 //!
+//! `gate-lifetime` additionally holds the **splice-floor rung**: a full
+//! (non-quick) committed baseline must record a UDG most-local sweep row at
+//! [`SPLICE_FLOOR_N_TARGET`] nodes with speedup ≥
+//! [`SPLICE_FLOOR_MIN_SPEEDUP`]. CI's quick fresh runs never reach that
+//! size, so this is a self-check on the committed document: re-recording a
+//! baseline whose 10⁶-node one-dirty-shard epoch cost regressed back
+//! toward the old O(n + m) splice behaviour fails CI instead of quietly
+//! re-blessing the regression.
+//!
 //! Rows present on only one side (e.g. the committed baseline carries the
 //! full 10⁴–10⁶ grid while CI measures the quick 10⁴ one) are reported as
-//! skipped, never failed. The tolerances live in exactly one place so
-//! retuning a band is a one-line diff.
+//! skipped, never failed. A document *missing the gated section entirely*
+//! (a partial or crashed bench run) is a loud failure with a named side
+//! and section, not a silent empty comparison. The tolerances live in
+//! exactly one place so retuning a band is a one-line diff.
 
 use serde::value::Value;
 
@@ -39,6 +50,20 @@ pub const NODES_PER_SEC_DROP_TOLERANCE: f64 = 0.40;
 /// cuts both ways — but losing more than half of a ≥5× speedup still
 /// means the localized gather degraded to a global one.
 pub const LIFETIME_SPEEDUP_DROP_TOLERANCE: f64 = 0.60;
+
+/// The deployment size of the splice-floor acceptance rung.
+pub const SPLICE_FLOOR_N_TARGET: u64 = 1_000_000;
+
+/// Minimum UDG most-local (`target_dirty_shards == 1`) speedup a full
+/// committed baseline must record at [`SPLICE_FLOOR_N_TARGET`] nodes. The
+/// monolithic per-epoch `to_csr` capped this rung at ~4.2× (the splice was
+/// O(n + m) no matter how local the churn); the chunked splice recorded
+/// ~1680× on the baseline host, so 100× keeps an order of magnitude of
+/// headroom for slower recording hosts while sitting far above anything an
+/// O(n + m) splice could reach. UDG carries the claim because its repair
+/// derivation is the cheapest — it was the topology the splice floor
+/// dominated.
+pub const SPLICE_FLOOR_MIN_SPEEDUP: f64 = 100.0;
 
 /// Outcome of one gate evaluation.
 #[derive(Clone, Debug, Default)]
@@ -64,19 +89,32 @@ fn row_key(row: &Value) -> Option<(String, u64)> {
     ))
 }
 
-fn rows(doc: &Value) -> &[Value] {
-    doc.get("rows").and_then(|r| r.as_array()).unwrap_or(&[])
+/// A named top-level array section of a bench document, or a loud failure
+/// naming the side and section — a partial `bench`/`bench-lifetime` run
+/// must wedge the gate with a diagnostic, not slide through as an empty
+/// comparison.
+fn section<'a>(doc: &'a Value, name: &str, side: &str, report: &mut GateReport) -> &'a [Value] {
+    match doc.get(name).and_then(|r| r.as_array()) {
+        Some(rows) => rows,
+        None => {
+            report.failures.push(format!(
+                "{side} document is missing its \"{name}\" section — partial bench run?"
+            ));
+            &[]
+        }
+    }
 }
 
 /// Evaluate the gate: `fresh` is the CI measurement, `baseline` the
 /// committed `BENCH_pipeline.json`.
 pub fn gate_pipeline(baseline: &Value, fresh: &Value) -> GateReport {
     let mut report = GateReport::default();
-    let baseline_rows: Vec<((String, u64), &Value)> = rows(baseline)
-        .iter()
-        .filter_map(|r| row_key(r).map(|k| (k, r)))
-        .collect();
-    for row in rows(fresh) {
+    let baseline_rows: Vec<((String, u64), &Value)> =
+        section(baseline, "rows", "baseline", &mut report)
+            .iter()
+            .filter_map(|r| row_key(r).map(|k| (k, r)))
+            .collect();
+    for row in section(fresh, "rows", "fresh", &mut report) {
         let Some(key) = row_key(row) else {
             report
                 .failures
@@ -130,12 +168,6 @@ pub fn gate_pipeline(baseline: &Value, fresh: &Value) -> GateReport {
     report
 }
 
-fn sweep_rows(doc: &Value) -> &[Value] {
-    doc.get("locality_sweep")
-        .and_then(|r| r.as_array())
-        .unwrap_or(&[])
-}
-
 fn sweep_key(row: &Value) -> Option<(String, u64, u64)> {
     Some((
         row.get("topology")?.as_str()?.to_string(),
@@ -150,7 +182,7 @@ pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
     let mut report = GateReport::default();
     // Correctness gates first — never optional, even for unmatched rows:
     // a faster repair that walks a different topology is a bug.
-    for row in rows(fresh) {
+    for row in section(fresh, "rows", "fresh", &mut report) {
         let label = row_key(row)
             .map(|(t, n)| format!("{t} @ n={n}"))
             .unwrap_or_else(|| "unkeyed row".into());
@@ -160,11 +192,12 @@ pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
                 .push(format!("{label}: edge_identical is not true"));
         }
     }
-    let baseline_sweep: Vec<((String, u64, u64), &Value)> = sweep_rows(baseline)
-        .iter()
-        .filter_map(|r| sweep_key(r).map(|k| (k, r)))
-        .collect();
-    for row in sweep_rows(fresh) {
+    let baseline_sweep: Vec<((String, u64, u64), &Value)> =
+        section(baseline, "locality_sweep", "baseline", &mut report)
+            .iter()
+            .filter_map(|r| sweep_key(r).map(|k| (k, r)))
+            .collect();
+    for row in section(fresh, "locality_sweep", "fresh", &mut report) {
         let Some(key) = sweep_key(row) else {
             report
                 .failures
@@ -210,6 +243,32 @@ pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
                  baseline {base_s:.2}x (floor {floor:.2}x)",
                 (1.0 - LIFETIME_SPEEDUP_DROP_TOLERANCE) * 100.0
             ));
+        }
+    }
+    // The splice-floor rung: a *full* committed baseline must carry the
+    // 10⁶-node UDG most-local row above the floor. Quick documents (and
+    // the miniature fixtures in tests) never record that size, so the
+    // self-check keys on the baseline's own `quick: false` marker.
+    if baseline.get("quick").and_then(|v| v.as_bool()) == Some(false) {
+        let rung = baseline_sweep
+            .iter()
+            .find(|((t, n, d), _)| t.starts_with("udg") && *n == SPLICE_FLOOR_N_TARGET && *d == 1);
+        match rung {
+            None => report.failures.push(format!(
+                "baseline has no udg most-local sweep row at n={SPLICE_FLOOR_N_TARGET} — \
+                 the splice-floor rung is not recorded"
+            )),
+            Some((_, row)) => match row.get("speedup").and_then(|v| v.as_f64()) {
+                Some(s) if s >= SPLICE_FLOOR_MIN_SPEEDUP => report.checked += 1,
+                Some(s) => report.failures.push(format!(
+                    "baseline udg @ n={SPLICE_FLOOR_N_TARGET} locality=1: speedup {s:.2}x \
+                     is below the splice floor {SPLICE_FLOOR_MIN_SPEEDUP:.1}x — the \
+                     one-dirty-shard epoch cost regressed toward O(n + m)"
+                )),
+                None => report.failures.push(format!(
+                    "baseline udg @ n={SPLICE_FLOOR_N_TARGET} locality=1: speedup missing"
+                )),
+            },
         }
     }
     if report.checked == 0 && report.failures.is_empty() {
@@ -399,6 +458,94 @@ mod tests {
         // Nothing matched at all → loud failure, not a silent pass.
         let g2 = gate_lifetime(&base, &lifetime_doc("[]", "[]"));
         assert!(!g2.passed());
+    }
+
+    #[test]
+    fn missing_sections_fail_with_a_named_diagnostic() {
+        // A fresh pipeline document without a "rows" section (a partial
+        // bench run) must name the side and section, not pass vacuously.
+        let base = doc(&format!("[{}]", row("udg(r=1)", 10000, 1.0, true)));
+        let partial: Value = serde_json::from_str(r#"{"schema": "x"}"#).unwrap();
+        let g = gate_pipeline(&base, &partial);
+        assert!(!g.passed());
+        assert!(
+            g.failures
+                .iter()
+                .any(|f| f.contains("fresh") && f.contains("\"rows\"")),
+            "{:?}",
+            g.failures
+        );
+        let g2 = gate_pipeline(&partial, &base);
+        assert!(!g2.passed());
+        assert!(g2
+            .failures
+            .iter()
+            .any(|f| f.contains("baseline") && f.contains("\"rows\"")));
+        // Same for the lifetime gate's locality_sweep section.
+        let sweep_only = lifetime_doc(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 9.0, true)),
+        );
+        let no_sweep: Value = serde_json::from_str(r#"{"rows": []}"#).unwrap();
+        let g3 = gate_lifetime(&sweep_only, &no_sweep);
+        assert!(!g3.passed());
+        assert!(g3
+            .failures
+            .iter()
+            .any(|f| f.contains("fresh") && f.contains("\"locality_sweep\"")));
+    }
+
+    /// A full (quick: false) baseline document, as committed by a full
+    /// `bench-lifetime` run.
+    fn full_lifetime_doc(sweep_json: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"quick": false, "rows": [], "locality_sweep": {sweep_json}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn splice_floor_rung_is_held_on_full_baselines_only() {
+        let fresh = lifetime_doc(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 9.0, true)),
+        );
+        // Full baseline with a healthy 10⁶ UDG most-local rung: passes.
+        let good = full_lifetime_doc(&format!(
+            "[{}, {}]",
+            sweep_row("udg(r=1)", 10000, 1, 10.0, true),
+            sweep_row("udg(r=1)", 1000000, 1, SPLICE_FLOOR_MIN_SPEEDUP + 2.0, true)
+        ));
+        let g = gate_lifetime(&good, &fresh);
+        assert!(g.passed(), "{:?}", g.failures);
+        // Full baseline whose rung fell below the floor: fails.
+        let regressed = full_lifetime_doc(&format!(
+            "[{}, {}]",
+            sweep_row("udg(r=1)", 10000, 1, 10.0, true),
+            sweep_row("udg(r=1)", 1000000, 1, SPLICE_FLOOR_MIN_SPEEDUP - 1.0, true)
+        ));
+        let g2 = gate_lifetime(&regressed, &fresh);
+        assert!(!g2.passed());
+        assert!(g2.failures.iter().any(|f| f.contains("splice floor")));
+        // Full baseline missing the rung entirely: fails.
+        let missing = full_lifetime_doc(&format!(
+            "[{}]",
+            sweep_row("udg(r=1)", 10000, 1, 10.0, true)
+        ));
+        let g3 = gate_lifetime(&missing, &fresh);
+        assert!(!g3.passed());
+        assert!(g3
+            .failures
+            .iter()
+            .any(|f| f.contains("splice-floor rung is not recorded")));
+        // Quick baselines (and fixtures without the marker) skip the
+        // self-check — they never record the 10⁶ size.
+        let quick = lifetime_doc(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 10.0, true)),
+        );
+        let g4 = gate_lifetime(&quick, &fresh);
+        assert!(g4.passed(), "{:?}", g4.failures);
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub struct LifetimeBenchRow {
     pub repair_tiles: usize,
     /// Total wall-clock of the incremental repair steps, seconds.
     pub incremental_repair_secs: f64,
+    /// Portion of that spent splicing repaired shards' edge deltas into
+    /// the chunked CSR — the per-epoch cost the monolithic `to_csr`
+    /// rebuild paid as O(n + m) regardless of churn locality.
+    pub incremental_splice_secs: f64,
     /// Total wall-clock of the rebuild-per-epoch steps, seconds.
     pub rebuild_secs: f64,
     /// `rebuild_secs / incremental_repair_secs`.
@@ -124,6 +128,9 @@ pub struct LocalitySweepRow {
     pub repeats: u64,
     /// Total wall-clock across repeats of each mode, seconds.
     pub incremental_repair_secs: f64,
+    /// Portion of the incremental total spent in the chunked-CSR splice
+    /// (the O(dirty) replacement of the old O(n + m) `to_csr` floor).
+    pub incremental_splice_secs: f64,
     pub rebuild_secs: f64,
     /// `rebuild_secs / incremental_repair_secs`.
     pub speedup: f64,
@@ -252,6 +259,7 @@ fn bench_row(kind: IncTopology, n: u64, seed: u64, verify_pass: bool) -> Lifetim
         blast_radius: BLAST_RADIUS,
         repair_tiles: REPAIR_TILES,
         incremental_repair_secs: inc_secs,
+        incremental_splice_secs: inc.repair_splice_secs_total,
         rebuild_secs: reb_secs,
         speedup: reb_secs / inc_secs.max(1e-12),
         edge_identical,
@@ -381,7 +389,7 @@ fn locality_sweep_rows(kind: IncTopology, n: u64, seed: u64) -> Vec<LocalitySwee
             continue;
         }
 
-        let (mut inc_secs, mut reb_secs) = (0.0f64, 0.0f64);
+        let (mut inc_secs, mut reb_secs, mut splice_secs) = (0.0f64, 0.0f64, 0.0f64);
         let (mut dirty, mut rederived, mut gathered, mut escalations) = (0u64, 0u64, 0u64, 0u64);
         let mut identical = true;
         // One untimed warmup cycle: the first repair after a build pays
@@ -397,6 +405,7 @@ fn locality_sweep_rows(kind: IncTopology, n: u64, seed: u64) -> Vec<LocalitySwee
             let t0 = Instant::now();
             let stats = g.apply_churn(&deaths, &joins);
             inc_secs += t0.elapsed().as_secs_f64();
+            splice_secs += stats.splice_secs;
             dirty += stats.dirty as u64;
             rederived += stats.rederived as u64;
             gathered += stats.gathered as u64;
@@ -419,9 +428,10 @@ fn locality_sweep_rows(kind: IncTopology, n: u64, seed: u64) -> Vec<LocalitySwee
         let reps = repeats as f64;
         eprintln!(
             "bench-lifetime: {} n={nodes} locality {realized}/{shard_count} shards \
-             inc {:.4}s reb {:.4}s speedup {:.2}x (gathered {:.0}/repair)",
+             inc {:.4}s (splice {:.4}s) reb {:.4}s speedup {:.2}x (gathered {:.0}/repair)",
             kind.label(),
             inc_secs,
+            splice_secs,
             reb_secs,
             reb_secs / inc_secs.max(1e-12),
             gathered as f64 / reps,
@@ -439,6 +449,7 @@ fn locality_sweep_rows(kind: IncTopology, n: u64, seed: u64) -> Vec<LocalitySwee
             churned_nodes: (deaths.len() + joins.len()) as u64,
             repeats,
             incremental_repair_secs: inc_secs,
+            incremental_splice_secs: splice_secs,
             rebuild_secs: reb_secs,
             speedup: reb_secs / inc_secs.max(1e-12),
             fingerprint_identical: identical,
@@ -449,21 +460,32 @@ fn locality_sweep_rows(kind: IncTopology, n: u64, seed: u64) -> Vec<LocalitySwee
 }
 
 /// Run the lifetime bench: quick = 10⁴ nodes per topology (CI smoke), full
-/// adds the 10⁵ rows the committed baseline records. Both profiles append
-/// the churn-locality sweep at the same sizes.
+/// adds the 10⁵ rows the committed baseline records. The churn-locality
+/// sweep additionally climbs to 10⁶ nodes in the full profile — the scale
+/// the splice-floor acceptance rung is pinned at — without dragging the
+/// main rows there (each main row runs two *whole* lifetime simulations;
+/// the sweep only cycles repairs).
 pub fn run_lifetime_bench(quick: bool, seed: u64) -> LifetimeBenchReport {
     let sizes: &[u64] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let sweep_sizes: &[u64] = if quick {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
     let mut rows = Vec::new();
     let mut locality_sweep = Vec::new();
     for (ki, kind) in kinds().into_iter().enumerate() {
         for (si, &n) in sizes.iter().enumerate() {
             let row_seed = derive_seed2(seed, ki as u64, si as u64);
             rows.push(bench_row(kind, n, row_seed, si == 0));
+        }
+        for (si, &n) in sweep_sizes.iter().enumerate() {
+            let row_seed = derive_seed2(seed, ki as u64, si as u64);
             locality_sweep.extend(locality_sweep_rows(kind, n, row_seed ^ 0x10C));
         }
     }
     LifetimeBenchReport {
-        schema: "wsn-bench-lifetime/2",
+        schema: "wsn-bench-lifetime/3",
         quick,
         seed,
         threads: crate::pipeline::effective_threads(),
@@ -518,6 +540,14 @@ mod tests {
                 assert!(row.fingerprint_identical, "{kind:?}");
                 assert!(row.churned_nodes > 0);
                 assert!(row.incremental_repair_secs > 0.0 && row.rebuild_secs > 0.0);
+                // The splice is a timed sub-step of the repair total.
+                assert!(
+                    row.incremental_splice_secs > 0.0
+                        && row.incremental_splice_secs <= row.incremental_repair_secs,
+                    "{kind:?}: splice time {} outside repair total {}",
+                    row.incremental_splice_secs,
+                    row.incremental_repair_secs
+                );
                 if !matches!(kind, IncTopology::Knn { .. }) {
                     assert_eq!(row.escalations, 0, "{kind:?} must never escalate");
                 }

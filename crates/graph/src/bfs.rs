@@ -1,11 +1,11 @@
 //! Breadth-first search: hop distances and shortest hop paths.
 
-use crate::csr::Csr;
+use crate::view::GraphView;
 use crate::UNREACHABLE;
 use std::collections::VecDeque;
 
 /// Hop distance from `src` to every node (`UNREACHABLE` when disconnected).
-pub fn distances(g: &Csr, src: u32) -> Vec<u32> {
+pub fn distances<G: GraphView + ?Sized>(g: &G, src: u32) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; g.n()];
     let mut queue = VecDeque::new();
     dist[src as usize] = 0;
@@ -23,7 +23,7 @@ pub fn distances(g: &Csr, src: u32) -> Vec<u32> {
 }
 
 /// Hop distance from `src` to `dst` only (early exit), or `None`.
-pub fn distance_to(g: &Csr, src: u32, dst: u32) -> Option<u32> {
+pub fn distance_to<G: GraphView + ?Sized>(g: &G, src: u32, dst: u32) -> Option<u32> {
     if src == dst {
         return Some(0);
     }
@@ -47,7 +47,7 @@ pub fn distance_to(g: &Csr, src: u32, dst: u32) -> Option<u32> {
 }
 
 /// Shortest hop path `src → dst` inclusive, or `None` when disconnected.
-pub fn path(g: &Csr, src: u32, dst: u32) -> Option<Vec<u32>> {
+pub fn path<G: GraphView + ?Sized>(g: &G, src: u32, dst: u32) -> Option<Vec<u32>> {
     if src == dst {
         return Some(vec![src]);
     }
@@ -83,6 +83,7 @@ pub fn path(g: &Csr, src: u32, dst: u32) -> Option<Vec<u32>> {
 mod tests {
     use super::*;
     use crate::builder::EdgeList;
+    use crate::csr::Csr;
 
     fn cycle(n: usize) -> Csr {
         let mut el = EdgeList::new(n);

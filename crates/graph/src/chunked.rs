@@ -1,0 +1,693 @@
+//! Chunked CSR: per-shard adjacency sub-arrays with slack, spliced in
+//! place.
+//!
+//! The monolithic [`Csr`] packs every neighbour list into one flat arena,
+//! so replacing *one* shard's edges means rebuilding the whole structure —
+//! O(n + m) per churned epoch no matter how local the churn was. That
+//! rebuild is exactly the splice floor the lifetime bench's locality sweep
+//! hits once repair *derivation* became locality-proportional.
+//!
+//! [`ChunkedCsr`] removes the floor. Nodes are grouped by **chunk** (the
+//! caller's repair shard): each chunk owns a contiguous region of the
+//! arena holding its nodes' neighbour lists back to back, padded with
+//! slack so a chunk's edge count can drift without moving its neighbours.
+//! [`ChunkedCsr::splice`] takes the churned shards' old and new edge
+//! emissions as a delta, cancels the unchanged majority, and rewrites only
+//! the chunks whose adjacency actually changed — O(dirty emissions), not
+//! O(m).
+//!
+//! Two representation details make the splice exact for every topology:
+//!
+//! * **Emission multiplicities.** The k-NN and Yao builders emit one
+//!   canonical edge from *both* endpoints, possibly from different shards.
+//!   Each arena entry therefore carries the count of emissions backing it:
+//!   a dirty shard withdrawing its emission of `(u, v)` decrements the
+//!   count, and the edge survives while a clean shard still backs it. The
+//!   deduplicating global sort of `ShardedEdgeStore::to_csr` becomes a
+//!   per-chunk counting merge.
+//! * **Delta addressing by endpoint, not by emitter.** A dirty shard's
+//!   re-derivation can change lists of nodes owned by *clean* shards (the
+//!   far endpoint of a cross-shard edge). The delta is expanded into
+//!   directed half-edges and routed to each endpoint's chunk, so exactly
+//!   the affected chunks rewrite — whether or not churn marked them dirty.
+//!
+//! ## Slack policy
+//!
+//! Regions are sized in [`SLACK_PAGE`]-entry pages: a chunk of `len` live
+//! entries gets `len + max(len/8, SLACK_PAGE)` rounded up to a page
+//! multiple. A splice that outgrows its region relocates the chunk to the
+//! arena tail with fresh slack (the old region becomes dead space); when
+//! dead space exceeds half the arena, one O(arena) compaction rebuilds it
+//! densely. Both paths are semantically invisible — equality and
+//! fingerprints read per-node neighbour slices, never the layout.
+
+use crate::csr::Csr;
+
+/// Arena slack granularity, in half-edge entries.
+pub const SLACK_PAGE: u32 = 64;
+
+/// Region capacity for a chunk holding `len` live entries: at least one
+/// slack page, proportionally more for large chunks, page-aligned.
+#[inline]
+fn cap_for(len: u32) -> u32 {
+    let slack = (len / 8).max(SLACK_PAGE);
+    (len + slack).next_multiple_of(SLACK_PAGE)
+}
+
+/// What one [`ChunkedCsr::splice`] call did (all costs O(dirty)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpliceStats {
+    /// Chunks whose region was rewritten (0 when the delta cancelled).
+    pub chunks_touched: usize,
+    /// Chunks that outgrew their slack and moved to the arena tail.
+    pub relocations: usize,
+    /// Whole-arena compactions (0 or 1 per splice).
+    pub compactions: usize,
+    /// Coalesced non-zero half-edge delta entries applied.
+    pub delta_halfedges: usize,
+}
+
+/// An undirected graph in chunked CSR form: per-node sorted neighbour
+/// slices, grouped into per-chunk arena regions with slack so
+/// [`Self::splice`] can rewrite one chunk without touching the rest.
+///
+/// Equality (against itself or a dense [`Csr`]) and
+/// [`crate::fingerprint`] are *semantic*: two layouts that differ only in
+/// slack or relocation history compare equal.
+#[derive(Clone, Debug)]
+pub struct ChunkedCsr {
+    /// Node → owning chunk.
+    chunk_of: Vec<u32>,
+    /// Chunk → its nodes, ascending (CSR layout over chunks).
+    chunk_nodes_off: Vec<u32>,
+    chunk_nodes: Vec<u32>,
+    /// Per-node slice into the arena.
+    start: Vec<u32>,
+    deg: Vec<u32>,
+    /// Per-chunk arena region.
+    region_start: Vec<u32>,
+    region_cap: Vec<u32>,
+    region_len: Vec<u32>,
+    /// The arena: neighbour ids plus per-entry emission multiplicities.
+    targets: Vec<u32>,
+    mult: Vec<u8>,
+    /// Entries abandoned by relocations (reclaimed by compaction).
+    dead: usize,
+    /// Live half-edge entries (sum of degrees) — `m` is half of this.
+    live: usize,
+}
+
+impl ChunkedCsr {
+    /// Build from canonical `(min, max)` edge emissions; `chunk_of[u]` is
+    /// node `u`'s owning chunk. An edge emitted from both endpoints (k-NN,
+    /// Yao) may appear twice — multiplicities absorb the duplicate.
+    pub fn build(
+        n_chunks: usize,
+        chunk_of: &[u32],
+        emissions: impl Iterator<Item = (u32, u32)>,
+    ) -> Self {
+        let n = chunk_of.len();
+        assert!(n_chunks >= 1, "need at least one chunk");
+        assert!(
+            chunk_of.iter().all(|&c| (c as usize) < n_chunks),
+            "chunk id out of range"
+        );
+
+        // Chunk membership lists (counting sort keeps ids ascending).
+        let mut chunk_nodes_off = vec![0u32; n_chunks + 1];
+        for &c in chunk_of {
+            chunk_nodes_off[c as usize + 1] += 1;
+        }
+        for c in 0..n_chunks {
+            chunk_nodes_off[c + 1] += chunk_nodes_off[c];
+        }
+        let mut cursor: Vec<u32> = chunk_nodes_off[..n_chunks].to_vec();
+        let mut chunk_nodes = vec![0u32; n];
+        for (u, &c) in chunk_of.iter().enumerate() {
+            chunk_nodes[cursor[c as usize] as usize] = u as u32;
+            cursor[c as usize] += 1;
+        }
+
+        // Expand to directed half-edges, fold duplicates into counts.
+        let mut half: Vec<(u32, u32)> = Vec::new();
+        for (a, b) in emissions {
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "emission out of range"
+            );
+            assert_ne!(a, b, "self loop");
+            half.push((a, b));
+            half.push((b, a));
+        }
+        half.sort_unstable();
+        let mut e_off = vec![0usize; n + 1];
+        let mut e_v: Vec<u32> = Vec::with_capacity(half.len());
+        let mut e_mult: Vec<u8> = Vec::with_capacity(half.len());
+        let mut i = 0;
+        while i < half.len() {
+            let (u, v) = half[i];
+            let mut c = 1usize;
+            while i + c < half.len() && half[i + c] == (u, v) {
+                c += 1;
+            }
+            i += c;
+            e_off[u as usize + 1] += 1;
+            e_v.push(v);
+            e_mult.push(u8::try_from(c).expect("emission multiplicity fits u8"));
+        }
+        for u in 0..n {
+            e_off[u + 1] += e_off[u];
+        }
+
+        // Lay the chunks out with slack.
+        let mut start = vec![0u32; n];
+        let mut deg = vec![0u32; n];
+        let mut region_start = vec![0u32; n_chunks];
+        let mut region_cap = vec![0u32; n_chunks];
+        let mut region_len = vec![0u32; n_chunks];
+        let mut targets: Vec<u32> = Vec::new();
+        let mut mult: Vec<u8> = Vec::new();
+        for c in 0..n_chunks {
+            let nodes = &chunk_nodes[chunk_nodes_off[c] as usize..chunk_nodes_off[c + 1] as usize];
+            let len: usize = nodes
+                .iter()
+                .map(|&u| e_off[u as usize + 1] - e_off[u as usize])
+                .sum();
+            let cap = cap_for(u32::try_from(len).expect("chunk length fits u32")) as usize;
+            let base = targets.len();
+            region_start[c] = u32::try_from(base).expect("arena offset fits u32");
+            region_len[c] = len as u32;
+            region_cap[c] = cap as u32;
+            targets.resize(base + cap, 0);
+            mult.resize(base + cap, 0);
+            let mut cur = base;
+            for &u in nodes {
+                let (a, b) = (e_off[u as usize], e_off[u as usize + 1]);
+                start[u as usize] = cur as u32;
+                deg[u as usize] = (b - a) as u32;
+                targets[cur..cur + (b - a)].copy_from_slice(&e_v[a..b]);
+                mult[cur..cur + (b - a)].copy_from_slice(&e_mult[a..b]);
+                cur += b - a;
+            }
+        }
+
+        ChunkedCsr {
+            chunk_of: chunk_of.to_vec(),
+            chunk_nodes_off,
+            chunk_nodes,
+            start,
+            deg,
+            region_start,
+            region_cap,
+            region_len,
+            targets,
+            mult,
+            dead: 0,
+            live: e_v.len(),
+        }
+    }
+
+    /// An edgeless graph on `n` nodes in a single chunk.
+    pub fn empty(n: usize) -> Self {
+        Self::build(1, &vec![0u32; n], std::iter::empty())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.chunk_of.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.live / 2
+    }
+
+    /// Number of chunks.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.region_start.len()
+    }
+
+    /// Neighbours of `u`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let s = self.start[u as usize] as usize;
+        &self.targets[s..s + self.deg[u as usize] as usize]
+    }
+
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.deg[u as usize] as usize
+    }
+
+    /// Membership test via binary search (neighbour lists are sorted).
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Arena entries abandoned by relocations (observable so tests can pin
+    /// the slack/compaction policy).
+    #[inline]
+    pub fn dead_entries(&self) -> usize {
+        self.dead
+    }
+
+    /// Total arena entries (live + slack + dead).
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Apply a churn delta: `removed` are the old edge emissions of every
+    /// repaired shard (snapshotted before repair), `added` their new ones.
+    /// Emissions the repair kept appear in both and cancel; only chunks
+    /// with a surviving net change rewrite. Cost is O(delta), not O(m).
+    ///
+    /// Panics if the delta is inconsistent with the current structure
+    /// (removing an emission that was never spliced in) — that means the
+    /// caller's per-shard caches diverged from the CSR.
+    pub fn splice(&mut self, removed: &[(u32, u32)], added: &[(u32, u32)]) -> SpliceStats {
+        // Pre-cancel identical emissions across the two lists as packed
+        // u64 keys: a repaired shard re-emits the overwhelming share of
+        // its snapshot verbatim, so dropping the matches *before*
+        // half-edge expansion keeps the tuple sort below proportional to
+        // the true delta, not the dirty shards' whole emission volume.
+        let pack = |(a, b): (u32, u32)| ((a as u64) << 32) | b as u64;
+        let mut rem: Vec<u64> = removed.iter().map(|&e| pack(e)).collect();
+        let mut add: Vec<u64> = added.iter().map(|&e| pack(e)).collect();
+        rem.sort_unstable();
+        add.sort_unstable();
+        // Merge the sorted key streams into net per-emission counts,
+        // routing each surviving emission's two half-edges to the
+        // endpoints' chunks.
+        let mut delta: Vec<(u32, u32, u32, i32)> = Vec::new();
+        let (mut ri, mut ai) = (0usize, 0usize);
+        while ri < rem.len() || ai < add.len() {
+            let key = match (rem.get(ri), add.get(ai)) {
+                (Some(&r), Some(&a)) => r.min(a),
+                (Some(&r), None) => r,
+                (None, Some(&a)) => a,
+                (None, None) => unreachable!(),
+            };
+            let mut net = 0i32;
+            while ri < rem.len() && rem[ri] == key {
+                net -= 1;
+                ri += 1;
+            }
+            while ai < add.len() && add[ai] == key {
+                net += 1;
+                ai += 1;
+            }
+            if net != 0 {
+                let (a, b) = ((key >> 32) as u32, key as u32);
+                delta.push((self.chunk_of[a as usize], a, b, net));
+                delta.push((self.chunk_of[b as usize], b, a, net));
+            }
+        }
+        delta.sort_unstable_by_key(|&(c, u, v, _)| (c, u, v));
+        // Half-edges of distinct emissions (u, v) and (v, u) land on the
+        // same slot — coalesce them too.
+        let mut co: Vec<(u32, u32, u32, i32)> = Vec::with_capacity(delta.len());
+        for &(c, u, v, d) in &delta {
+            match co.last_mut() {
+                Some(last) if last.0 == c && last.1 == u && last.2 == v => last.3 += d,
+                _ => co.push((c, u, v, d)),
+            }
+        }
+        co.retain(|e| e.3 != 0);
+        let mut stats = SpliceStats {
+            delta_halfedges: co.len(),
+            ..SpliceStats::default()
+        };
+        if co.is_empty() {
+            return stats;
+        }
+
+        // Scratch buffers shared by every chunk rewrite this splice.
+        let mut s_targets: Vec<u32> = Vec::new();
+        let mut s_mult: Vec<u8> = Vec::new();
+        let mut s_node: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0usize;
+        while i < co.len() {
+            let chunk = co[i].0;
+            let mut j = i;
+            while j < co.len() && co[j].0 == chunk {
+                j += 1;
+            }
+            stats.chunks_touched += 1;
+            self.splice_chunk(
+                chunk as usize,
+                &co[i..j],
+                &mut s_targets,
+                &mut s_mult,
+                &mut s_node,
+                &mut stats,
+            );
+            i = j;
+        }
+
+        // Reclaim relocation debris once it dominates the arena; amortised
+        // against the relocations that created it.
+        if self.dead > self.targets.len() / 2 {
+            self.compact_arena();
+            stats.compactions = 1;
+        }
+        stats
+    }
+
+    /// Rewrite one chunk's region by merging its current lists with its
+    /// (node, nbr)-sorted delta run.
+    fn splice_chunk(
+        &mut self,
+        c: usize,
+        delta: &[(u32, u32, u32, i32)],
+        s_targets: &mut Vec<u32>,
+        s_mult: &mut Vec<u8>,
+        s_node: &mut Vec<(u32, u32)>,
+        stats: &mut SpliceStats,
+    ) {
+        s_targets.clear();
+        s_mult.clear();
+        s_node.clear();
+        let mut di = 0usize;
+        for idx in self.chunk_nodes_off[c] as usize..self.chunk_nodes_off[c + 1] as usize {
+            let u = self.chunk_nodes[idx];
+            let s_start = s_targets.len() as u32;
+            let old_s = self.start[u as usize] as usize;
+            let old_e = old_s + self.deg[u as usize] as usize;
+            let d0 = di;
+            while di < delta.len() && delta[di].1 == u {
+                di += 1;
+            }
+            let drun = &delta[d0..di];
+            if drun.is_empty() {
+                s_targets.extend_from_slice(&self.targets[old_s..old_e]);
+                s_mult.extend_from_slice(&self.mult[old_s..old_e]);
+            } else {
+                // Two-pointer merge of the sorted list with the sorted run.
+                let (mut a, mut b) = (old_s, 0usize);
+                let push_new = |v: u32, d: i32, t: &mut Vec<u32>, m: &mut Vec<u8>| {
+                    assert!(d > 0, "splice removes emission ({u}, {v}) not present");
+                    t.push(v);
+                    m.push(u8::try_from(d).expect("emission multiplicity fits u8"));
+                };
+                while a < old_e && b < drun.len() {
+                    let (va, vb) = (self.targets[a], drun[b].2);
+                    match va.cmp(&vb) {
+                        std::cmp::Ordering::Less => {
+                            s_targets.push(va);
+                            s_mult.push(self.mult[a]);
+                            a += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            push_new(vb, drun[b].3, s_targets, s_mult);
+                            b += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let m = self.mult[a] as i32 + drun[b].3;
+                            assert!(m >= 0, "splice multiplicity of ({u}, {va}) went negative");
+                            if m > 0 {
+                                s_targets.push(va);
+                                s_mult
+                                    .push(u8::try_from(m).expect("emission multiplicity fits u8"));
+                            }
+                            a += 1;
+                            b += 1;
+                        }
+                    }
+                }
+                for a in a..old_e {
+                    s_targets.push(self.targets[a]);
+                    s_mult.push(self.mult[a]);
+                }
+                for &(_, _, v, d) in &drun[b..] {
+                    push_new(v, d, s_targets, s_mult);
+                }
+            }
+            s_node.push((u, s_start));
+        }
+        debug_assert_eq!(di, delta.len(), "delta run references a foreign node");
+
+        let new_len = s_targets.len();
+        let old_len = self.region_len[c] as usize;
+        if new_len <= self.region_cap[c] as usize {
+            // Fits in place (slack absorbed the drift).
+            let base = self.region_start[c] as usize;
+            self.targets[base..base + new_len].copy_from_slice(s_targets);
+            self.mult[base..base + new_len].copy_from_slice(s_mult);
+        } else {
+            // Relocate to the arena tail with fresh slack.
+            let cap = cap_for(u32::try_from(new_len).expect("chunk length fits u32")) as usize;
+            let base = self.targets.len();
+            self.targets.extend_from_slice(s_targets);
+            self.mult.extend_from_slice(s_mult);
+            self.targets.resize(base + cap, 0);
+            self.mult.resize(base + cap, 0);
+            self.dead += self.region_cap[c] as usize;
+            self.region_start[c] = u32::try_from(base).expect("arena offset fits u32");
+            self.region_cap[c] = cap as u32;
+            stats.relocations += 1;
+        }
+        self.region_len[c] = new_len as u32;
+        let base = self.region_start[c];
+        for (k, &(u, s_start)) in s_node.iter().enumerate() {
+            let end = s_node.get(k + 1).map(|&(_, e)| e).unwrap_or(new_len as u32);
+            self.start[u as usize] = base + s_start;
+            self.deg[u as usize] = end - s_start;
+        }
+        self.live = (self.live + new_len) - old_len;
+    }
+
+    /// Rebuild the arena densely in chunk order, dropping dead regions and
+    /// resetting every chunk's slack to policy.
+    fn compact_arena(&mut self) {
+        let n_chunks = self.chunk_count();
+        let total: usize = self.region_len.iter().map(|&l| cap_for(l) as usize).sum();
+        let mut targets: Vec<u32> = Vec::with_capacity(total);
+        let mut mult: Vec<u8> = Vec::with_capacity(total);
+        for c in 0..n_chunks {
+            let len = self.region_len[c] as usize;
+            let old_base = self.region_start[c] as usize;
+            let new_base = targets.len();
+            targets.extend_from_slice(&self.targets[old_base..old_base + len]);
+            mult.extend_from_slice(&self.mult[old_base..old_base + len]);
+            let cap = cap_for(len as u32) as usize;
+            targets.resize(new_base + cap, 0);
+            mult.resize(new_base + cap, 0);
+            self.region_start[c] = u32::try_from(new_base).expect("arena offset fits u32");
+            self.region_cap[c] = cap as u32;
+            let mut cur = new_base as u32;
+            for idx in self.chunk_nodes_off[c] as usize..self.chunk_nodes_off[c + 1] as usize {
+                let u = self.chunk_nodes[idx] as usize;
+                self.start[u] = cur;
+                cur += self.deg[u];
+            }
+        }
+        self.targets = targets;
+        self.mult = mult;
+        self.dead = 0;
+    }
+
+    /// Copy out as a dense [`Csr`] (layout-normalising; used by the
+    /// differential suites to byte-compare against cold builds).
+    pub fn to_dense(&self) -> Csr {
+        let n = self.n();
+        let mut offsets = vec![0u32; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + self.deg[u];
+        }
+        let mut targets = Vec::with_capacity(self.live);
+        for u in 0..n as u32 {
+            targets.extend_from_slice(self.neighbors(u));
+        }
+        Csr::from_sorted_parts(offsets, targets)
+    }
+}
+
+/// Semantic equality: same node count, same per-node neighbour lists —
+/// slack, relocation history and multiplicity layout are invisible.
+impl PartialEq for ChunkedCsr {
+    fn eq(&self, other: &Self) -> bool {
+        self.n() == other.n()
+            && self.live == other.live
+            && (0..self.n() as u32).all(|u| self.neighbors(u) == other.neighbors(u))
+    }
+}
+
+impl PartialEq<Csr> for ChunkedCsr {
+    fn eq(&self, other: &Csr) -> bool {
+        self.n() == other.n()
+            && self.m() == other.m()
+            && (0..self.n() as u32).all(|u| self.neighbors(u) == other.neighbors(u))
+    }
+}
+
+impl PartialEq<ChunkedCsr> for Csr {
+    fn eq(&self, other: &ChunkedCsr) -> bool {
+        other == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeList;
+
+    fn dense(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut el = EdgeList::new(n);
+        for &(u, v) in edges {
+            el.add(u, v);
+        }
+        Csr::from_edge_list(el)
+    }
+
+    /// Structural invariants every mutation must preserve.
+    fn check_invariants(g: &ChunkedCsr) {
+        let mut live = 0usize;
+        for u in 0..g.n() as u32 {
+            let ns = g.neighbors(u);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "node {u} list unsorted");
+            for &v in ns {
+                assert!(g.has_edge(v, u), "asymmetric edge ({u}, {v})");
+            }
+            live += ns.len();
+        }
+        assert_eq!(live, g.m() * 2, "live count drifted");
+    }
+
+    #[test]
+    fn build_matches_dense_with_duplicate_emissions() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (0, 3), (1, 3)];
+        // Emit (1, 2) and (0, 3) twice, as a two-sided builder would.
+        let emissions = [(0, 1), (1, 2), (2, 3), (1, 2), (0, 3), (1, 3), (0, 3)];
+        let g = ChunkedCsr::build(2, &[0, 0, 1, 1], emissions.into_iter());
+        let d = dense(4, &edges);
+        assert_eq!(g, d);
+        assert_eq!(d, g);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.to_dense(), d);
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn cancelled_delta_touches_nothing() {
+        let emissions = [(0u32, 1u32), (1, 2)];
+        let mut g = ChunkedCsr::build(2, &[0, 1, 1], emissions.into_iter());
+        let stats = g.splice(&emissions, &emissions);
+        assert_eq!(stats.chunks_touched, 0);
+        assert_eq!(stats.delta_halfedges, 0);
+        assert_eq!(g, dense(3, &emissions));
+    }
+
+    #[test]
+    fn splice_add_remove_matches_reference() {
+        // 3 chunks over 9 nodes; splice across chunk boundaries.
+        let chunk_of = [0u32, 0, 0, 1, 1, 1, 2, 2, 2];
+        let initial = [(0u32, 1u32), (1, 4), (3, 4), (4, 7), (6, 8)];
+        let mut g = ChunkedCsr::build(3, &chunk_of, initial.iter().copied());
+        // Remove chunk-crossing (1,4), add (2,6) and (0,8).
+        let stats = g.splice(&[(1, 4)], &[(2, 6), (0, 8)]);
+        assert!(stats.chunks_touched >= 2);
+        let want = dense(9, &[(0, 1), (3, 4), (4, 7), (6, 8), (2, 6), (0, 8)]);
+        assert_eq!(g, want);
+        assert_eq!(g.to_dense(), want);
+        check_invariants(&g);
+        // Undo splices back byte-identically.
+        g.splice(&[(2, 6), (0, 8)], &[(1, 4)]);
+        assert_eq!(g, dense(9, &initial));
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn multiplicity_keeps_edges_backed_by_a_clean_shard() {
+        // Edge (1, 2) emitted from both endpoints' chunks (k-NN style).
+        let mut g = ChunkedCsr::build(2, &[0, 0, 1], [(1u32, 2u32), (1, 2)].into_iter());
+        assert_eq!(g.m(), 1);
+        // One side withdraws its emission: the edge must survive.
+        g.splice(&[(1, 2)], &[]);
+        assert_eq!(g.m(), 1);
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
+        // The other side withdraws too: now it is gone.
+        g.splice(&[(1, 2)], &[]);
+        assert_eq!(g.m(), 0);
+        assert!(g.neighbors(1).is_empty() && g.neighbors(2).is_empty());
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn slack_exhaustion_relocates_then_compaction_reclaims() {
+        // One tiny chunk plus a big stable one; grow the tiny chunk far
+        // past its initial slack page.
+        let n = 400usize;
+        let chunk_of: Vec<u32> = (0..n).map(|u| if u < 4 { 0 } else { 1 }).collect();
+        let stable: Vec<(u32, u32)> = (4..n as u32 - 1).map(|u| (u, u + 1)).collect();
+        let mut g = ChunkedCsr::build(2, &chunk_of, stable.iter().copied());
+        let mut reference: Vec<(u32, u32)> = stable.clone();
+        let mut relocations = 0usize;
+        let mut compactions = 0usize;
+        // Node 0 progressively links to every node of chunk 1: each batch
+        // adds entries to chunk 0 (node 0's list) and chunk 1 (back refs).
+        for batch in 0..12 {
+            let added: Vec<(u32, u32)> = (0..32u32).map(|i| (0u32, 4 + batch * 32 + i)).collect();
+            let stats = g.splice(&[], &added);
+            relocations += stats.relocations;
+            compactions += stats.compactions;
+            reference.extend_from_slice(&added);
+            assert_eq!(g, dense(n, &reference), "batch {batch} diverged");
+            check_invariants(&g);
+        }
+        assert!(relocations > 0, "growth past a slack page must relocate");
+        assert!(compactions > 0, "repeated relocations must compact");
+        assert_eq!(g.dead_entries(), 0, "compaction reclaims dead space");
+        // Shrink back down: in-place, no relocation churn.
+        let back: Vec<(u32, u32)> = reference.iter().copied().filter(|&(u, _)| u == 0).collect();
+        let stats = g.splice(&back, &[]);
+        assert_eq!(stats.relocations, 0);
+        assert_eq!(g, dense(n, &stable));
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn extinction_and_resurrection() {
+        let edges = [(0u32, 1u32), (1, 2), (0, 2)];
+        let mut g = ChunkedCsr::build(2, &[0, 1, 1], edges.iter().copied());
+        g.splice(&edges, &[]);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g, Csr::empty(3));
+        g.splice(&[], &edges);
+        assert_eq!(g, dense(3, &edges));
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let g = ChunkedCsr::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        let g = ChunkedCsr::empty(5);
+        assert_eq!(g.n(), 5);
+        assert!(g.neighbors(3).is_empty());
+        assert_eq!(g, Csr::empty(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn removing_a_never_spliced_emission_panics() {
+        let mut g = ChunkedCsr::build(1, &[0, 0, 0], [(0u32, 1u32)].into_iter());
+        g.splice(&[(1, 2)], &[]);
+    }
+
+    #[test]
+    fn equality_is_layout_independent() {
+        // Same graph, different chunking and different splice history.
+        let edges = [(0u32, 1u32), (1, 2), (2, 3)];
+        let a = ChunkedCsr::build(2, &[0, 0, 1, 1], edges.iter().copied());
+        let mut b = ChunkedCsr::build(4, &[0, 1, 2, 3], [(0u32, 1u32)].into_iter());
+        b.splice(&[], &[(1, 2), (2, 3)]);
+        assert_eq!(a, b);
+        assert_eq!(a, dense(4, &edges));
+    }
+}

@@ -1,7 +1,7 @@
 //! Connected components.
 
-use crate::csr::Csr;
 use crate::unionfind::UnionFind;
+use crate::view::GraphView;
 
 /// Component labelling of every node. Labels are arbitrary but stable for a
 /// given graph; `count` is the number of components (isolated nodes count).
@@ -49,10 +49,14 @@ impl Components {
 }
 
 /// Compute components via union–find (O(m α(n))).
-pub fn connected_components(g: &Csr) -> Components {
+pub fn connected_components<G: GraphView + ?Sized>(g: &G) -> Components {
     let mut uf = UnionFind::new(g.n());
-    for (u, v) in g.edges() {
-        uf.union(u, v);
+    for u in 0..g.n() as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                uf.union(u, v);
+            }
+        }
     }
     let label: Vec<u32> = (0..g.n() as u32).map(|u| uf.find(u)).collect();
     Components {
@@ -66,6 +70,7 @@ mod tests {
     use super::*;
     use crate::bfs;
     use crate::builder::EdgeList;
+    use crate::csr::Csr;
 
     fn two_cliques() -> Csr {
         // {0,1,2} triangle, {3,4} edge, 5 isolated.

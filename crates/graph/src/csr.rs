@@ -48,6 +48,23 @@ impl Csr {
         csr
     }
 
+    /// Assemble from already-valid CSR arrays: `offsets` of length `n + 1`
+    /// starting at 0, non-decreasing, ending at `targets.len()`, with each
+    /// per-node slice strictly ascending. Callers (streaming relabel,
+    /// chunked-CSR densification) uphold the invariants by construction;
+    /// debug builds re-check them.
+    pub(crate) fn from_sorted_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(offsets.windows(2).all(|w| {
+            targets[w[0] as usize..w[1] as usize]
+                .windows(2)
+                .all(|t| t[0] < t[1])
+        }));
+        Csr { offsets, targets }
+    }
+
     /// An edgeless graph on `n` nodes.
     pub fn empty(n: usize) -> Self {
         Csr {

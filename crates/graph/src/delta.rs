@@ -22,7 +22,54 @@
 
 use crate::builder::EdgeList;
 use crate::csr::Csr;
+use crate::view::GraphView;
+use std::fmt;
 use wsn_geom::hash::mix64;
+
+/// A strict-monotonicity violation in an id map: `prev` at `index - 1` is
+/// not below `next` at `index`.
+///
+/// Monotonicity is correctness load-bearing for [`IdRemap`] and
+/// [`relabel`] (it is what makes id comparisons — canonical edge
+/// orientation, sorted gathers — survive the remap), and the bench/gate
+/// path runs in release mode, so the check must not be debug-only: a
+/// corrupted gather has to fail loudly, not splice garbage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MonotonicityError {
+    /// Position of the offending element.
+    pub index: usize,
+    /// The element before it.
+    pub prev: u32,
+    /// The element at `index`.
+    pub next: u32,
+}
+
+impl fmt::Display for MonotonicityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ids not strictly ascending at index {}: {} !< {}",
+            self.index, self.prev, self.next
+        )
+    }
+}
+
+impl std::error::Error for MonotonicityError {}
+
+/// Check that `ids` is strictly ascending (a single branchy pass — cheap
+/// against the derivation work that follows it).
+pub fn check_monotone(ids: &[u32]) -> Result<(), MonotonicityError> {
+    for (i, w) in ids.windows(2).enumerate() {
+        if w[0] >= w[1] {
+            return Err(MonotonicityError {
+                index: i + 1,
+                prev: w[0],
+                next: w[1],
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Per-shard canonical edge cache with splice-to-CSR.
 ///
@@ -79,6 +126,12 @@ impl ShardedEdgeStore {
         self.per_shard.iter().map(Vec::len).sum()
     }
 
+    /// Iterate every cached emission in shard order (duplicates included —
+    /// the chunked-CSR build folds them into multiplicities).
+    pub fn emissions(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.per_shard.iter().flat_map(|s| s.iter().copied())
+    }
+
     /// Splice every shard's cache into one CSR.
     ///
     /// `dedup` selects the symmetrising edge-list path (needed when a
@@ -122,14 +175,22 @@ pub struct IdRemap {
 }
 
 impl IdRemap {
-    /// Wrap a strictly ascending universe-id list (asserted in debug
-    /// builds: monotonicity is what makes the remap order-preserving).
+    /// Wrap a strictly ascending universe-id list, panicking on violation
+    /// — in release builds too, since the bench/gate path runs in release
+    /// and a silently-accepted corrupted gather would splice garbage.
     pub fn from_sorted(to_universe: Vec<u32>) -> Self {
-        debug_assert!(
-            to_universe.windows(2).all(|w| w[0] < w[1]),
-            "IdRemap requires strictly ascending universe ids"
-        );
-        IdRemap { to_universe }
+        match Self::try_from_sorted(to_universe) {
+            Ok(remap) => remap,
+            Err(e) => panic!("IdRemap requires strictly ascending universe ids: {e}"),
+        }
+    }
+
+    /// Fallible constructor: the same monotonicity contract as
+    /// [`Self::from_sorted`], surfaced as a typed error for callers that
+    /// can recover (or report) instead of aborting.
+    pub fn try_from_sorted(to_universe: Vec<u32>) -> Result<Self, MonotonicityError> {
+        check_monotone(&to_universe)?;
+        Ok(IdRemap { to_universe })
     }
 
     /// Number of local ids.
@@ -193,24 +254,41 @@ pub fn deactivate_vertices(g: &Csr, dead: &[bool]) -> Csr {
 /// in the universe id space.
 pub fn relabel(g: &Csr, map: &[u32], n_universe: usize) -> Csr {
     assert_eq!(map.len(), g.n(), "map length must match node count");
-    debug_assert!(
-        map.windows(2).all(|w| w[0] < w[1]),
-        "relabel map must be strictly monotone"
-    );
-    let edges: Vec<(u32, u32)> = g
-        .edges()
-        .map(|(u, v)| (map[u as usize], map[v as usize]))
-        .collect();
-    Csr::from_canonical_edges(n_universe, &edges)
+    if let Err(e) = check_monotone(map) {
+        panic!("relabel map must be strictly monotone: {e}");
+    }
+    if let Some(&last) = map.last() {
+        assert!((last as usize) < n_universe, "map target out of range");
+    }
+    // Monotone maps preserve order, so the relabelled neighbour lists stay
+    // sorted and the CSR arrays can be written directly — no transient
+    // O(m) edge vector, no re-sort.
+    let mut offsets = vec![0u32; n_universe + 1];
+    for u in 0..g.n() {
+        offsets[map[u] as usize + 1] = g.degree(u as u32) as u32;
+    }
+    for i in 0..n_universe {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut targets = vec![0u32; offsets[n_universe] as usize];
+    for u in 0..g.n() as u32 {
+        let base = offsets[map[u as usize] as usize] as usize;
+        for (i, &v) in g.neighbors(u).iter().enumerate() {
+            targets[base + i] = map[v as usize];
+        }
+    }
+    Csr::from_sorted_parts(offsets, targets)
 }
 
-/// Order-sensitive 64-bit fingerprint of the CSR arrays.
+/// Order-sensitive 64-bit fingerprint of the adjacency structure.
 ///
-/// Two CSRs have equal fingerprints iff (up to hash collision) they have
-/// identical offsets and targets — the same property `Csr::eq` checks, but
-/// transportable across processes (the lifetime bench uses it to prove the
-/// incremental and rebuild-per-epoch runs traversed identical topologies).
-pub fn fingerprint(g: &Csr) -> u64 {
+/// Two graphs have equal fingerprints iff (up to hash collision) they have
+/// identical per-node neighbour lists — the same property `Csr::eq` checks,
+/// but transportable across processes (the lifetime bench uses it to prove
+/// the incremental and rebuild-per-epoch runs traversed identical
+/// topologies). Generic over [`GraphView`], and deliberately blind to
+/// layout: a chunked CSR and the dense CSR of the same graph hash equal.
+pub fn fingerprint<G: GraphView + ?Sized>(g: &G) -> u64 {
     let mut h = 0xA076_1D64_78BD_642Fu64 ^ (g.n() as u64);
     for u in 0..g.n() as u32 {
         h = mix64(h ^ (g.degree(u) as u64).wrapping_add(0x9E37_79B9_7F4A_7C15));
@@ -312,6 +390,76 @@ mod tests {
     fn relabel_identity_is_a_noop() {
         let g = path_graph(4);
         assert_eq!(relabel(&g, &[0, 1, 2, 3], 4), g);
+    }
+
+    #[test]
+    fn id_remap_rejects_non_monotone_ids_in_release_builds_too() {
+        let err = IdRemap::try_from_sorted(vec![2, 5, 5, 9]).unwrap_err();
+        assert_eq!(
+            err,
+            MonotonicityError {
+                index: 2,
+                prev: 5,
+                next: 5
+            }
+        );
+        assert!(err.to_string().contains("index 2"));
+        assert!(IdRemap::try_from_sorted(vec![0, 7, 40]).is_ok());
+        // The panicking constructor carries the same diagnostic, with no
+        // debug_assertions gate.
+        let panic = std::panic::catch_unwind(|| IdRemap::from_sorted(vec![3, 1])).unwrap_err();
+        let msg = panic.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("strictly ascending"), "got: {msg}");
+    }
+
+    #[test]
+    fn relabel_rejects_non_monotone_maps_in_release_builds_too() {
+        let g = path_graph(3);
+        let panic = std::panic::catch_unwind(|| relabel(&g, &[1, 4, 2], 6)).unwrap_err();
+        let msg = panic.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("strictly monotone"), "got: {msg}");
+    }
+
+    #[test]
+    fn streamed_relabel_matches_edge_list_rebuild() {
+        // Dense reference: collect mapped edges and rebuild from scratch.
+        let mut el = EdgeList::new(5);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (0, 4), (1, 4)] {
+            el.add(u, v);
+        }
+        let g = Csr::from_edge_list(el);
+        let map = [2u32, 3, 7, 8, 11];
+        let streamed = relabel(&g, &map, 12);
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .map(|(u, v)| (map[u as usize], map[v as usize]))
+            .collect();
+        assert_eq!(streamed, Csr::from_canonical_edges(12, &edges));
+    }
+
+    #[test]
+    fn store_emissions_iterate_in_shard_order_with_duplicates() {
+        let mut store = ShardedEdgeStore::new(3, 2);
+        store.replace(0, vec![(0, 1), (1, 2)]);
+        store.replace(1, vec![(1, 2)]);
+        let all: Vec<(u32, u32)> = store.emissions().collect();
+        assert_eq!(all, vec![(0, 1), (1, 2), (1, 2)]);
+        assert_eq!(all.len(), store.emission_count());
+    }
+
+    #[test]
+    fn fingerprint_is_layout_blind_across_representations() {
+        let g = path_graph(6);
+        let chunked = crate::chunked::ChunkedCsr::build(
+            3,
+            &[0, 0, 1, 1, 2, 2],
+            g.edges().collect::<Vec<_>>().into_iter(),
+        );
+        assert_eq!(fingerprint(&g), fingerprint(&chunked));
+        assert_eq!(
+            fingerprint(&chunked),
+            fingerprint(&crate::view::CsrView::Chunked(&chunked))
+        );
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! Modules:
 //!
 //! * [`csr`] — the [`Csr`] structure and its [`builder::EdgeList`] builder.
+//! * [`chunked`] — the [`ChunkedCsr`]: per-shard adjacency chunks with
+//!   slack pages, spliced in place in O(dirty) per churned epoch.
+//! * [`view`] — the [`GraphView`] trait and [`CsrView`] enum unifying the
+//!   dense and chunked representations for read-side consumers.
 //! * [`builder`] — edge-list accumulation and deduplication.
 //! * [`delta`] — incremental maintenance: per-shard edge caches, vertex
 //!   deactivation, monotone relabelling, CSR fingerprints.
@@ -24,6 +28,7 @@
 
 pub mod bfs;
 pub mod builder;
+pub mod chunked;
 pub mod components;
 pub mod csr;
 pub mod delta;
@@ -31,11 +36,17 @@ pub mod dijkstra;
 pub mod stats;
 pub mod stretch;
 pub mod unionfind;
+pub mod view;
 
 pub use builder::EdgeList;
+pub use chunked::{ChunkedCsr, SpliceStats};
 pub use csr::Csr;
-pub use delta::{deactivate_vertices, fingerprint, relabel, IdRemap, ShardedEdgeStore};
+pub use delta::{
+    check_monotone, deactivate_vertices, fingerprint, relabel, IdRemap, MonotonicityError,
+    ShardedEdgeStore,
+};
 pub use unionfind::UnionFind;
+pub use view::{CsrView, GraphView};
 
 /// Sentinel for "unreachable" in hop-distance arrays.
 pub const UNREACHABLE: u32 = u32::MAX;

@@ -40,10 +40,11 @@
 //!   depend on points beyond the halo, so they can never be trusted clean.
 
 use std::cell::Cell;
+use std::time::Instant;
 
 use rayon::prelude::*;
 use wsn_geom::{Aabb, ShardGrid};
-use wsn_graph::{relabel, Csr, IdRemap, ShardedEdgeStore};
+use wsn_graph::{relabel, ChunkedCsr, Csr, IdRemap, ShardedEdgeStore};
 use wsn_pointproc::PointSet;
 use wsn_spatial::GridIndex;
 
@@ -77,12 +78,6 @@ impl IncTopology {
             IncTopology::Rng { radius } => format!("rng(r={radius})"),
             IncTopology::Yao { radius, cones } => format!("yao(r={radius},c={cones})"),
         }
-    }
-
-    /// Whether the splice needs the deduplicating edge-list path (an edge
-    /// may be emitted from both endpoints, possibly in different shards).
-    fn needs_dedup(&self) -> bool {
-        matches!(self, IncTopology::Knn { .. } | IncTopology::Yao { .. })
     }
 
     /// Whether shard repair after *deaths only* can filter cached edges
@@ -125,6 +120,14 @@ pub struct RepairStats {
     /// Whole-population index constructions this repair (0 unless a k-NN
     /// halo straggler fired a query its group extent could not certify).
     pub escalations: usize,
+    /// Wall-clock seconds spent splicing the repaired shards' edge delta
+    /// into the chunked CSR — the cost the monolithic `to_csr` path paid
+    /// as O(n + m) every churned epoch regardless of locality.
+    pub splice_secs: f64,
+    /// Chunks the splice rewrote (owner chunks of the delta's endpoints).
+    pub spliced_chunks: usize,
+    /// Chunks the splice relocated after outgrowing their slack.
+    pub splice_relocations: usize,
 }
 
 /// A churn-maintained topology over a fixed universe of points.
@@ -140,7 +143,9 @@ pub struct IncrementalGraph {
     store: ShardedEdgeStore,
     /// Per-shard k-NN straggler flags (always false for other kinds).
     straggler: Vec<bool>,
-    csr: Csr,
+    /// The maintained adjacency: one chunk per shard, spliced in place —
+    /// total epoch cost stays proportional to the dirty footprint.
+    csr: ChunkedCsr,
     policy: GatherPolicy,
     /// Universe ids grouped by owner shard (CSR layout, ascending within a
     /// shard) — the persistent shard-granular spatial index the localized
@@ -205,7 +210,7 @@ impl IncrementalGraph {
             points,
             alive,
             n_alive,
-            csr: Csr::empty(0),
+            csr: ChunkedCsr::empty(0),
             policy: GatherPolicy::Local,
             resident_start,
             resident_ids,
@@ -213,7 +218,12 @@ impl IncrementalGraph {
         };
         let all: Vec<usize> = (0..g.grid.shard_count()).collect();
         g.rederive_shards(&all);
-        g.csr = g.store.to_csr(g.kind.needs_dedup());
+        // One chunk per shard: each node's adjacency lives in its owner
+        // shard's arena region, so a shard repair splices one chunk. The
+        // build folds cross-shard duplicate emissions (k-NN, Yao) into
+        // per-entry multiplicities — no global dedup sort, here or later.
+        let chunk_of: Vec<u32> = g.points.iter().map(|p| g.grid.owner_of(p) as u32).collect();
+        g.csr = ChunkedCsr::build(g.grid.shard_count(), &chunk_of, g.store.emissions());
         g
     }
 
@@ -252,7 +262,7 @@ impl IncrementalGraph {
 
     /// The maintained graph in universe id space (dead nodes isolated).
     #[inline]
-    pub fn graph(&self) -> &Csr {
+    pub fn graph(&self) -> &ChunkedCsr {
         &self.csr
     }
 
@@ -319,6 +329,15 @@ impl IncrementalGraph {
             shard_count: self.grid.shard_count(),
             ..RepairStats::default()
         };
+        // Snapshot every dirty shard's cached emissions *before* repair
+        // mutates them: the splice consumes the repair as an edge delta
+        // (old emissions out, new emissions in), and whatever the repair
+        // kept cancels, so the CSR work tracks the delta — O(dirty) — not
+        // the graph. Clean shards contribute nothing, yet their nodes'
+        // lists still update when a dirty shard's cross-shard edge
+        // appears or disappears (the delta is routed by endpoint).
+        let mut dirty_list = Vec::new();
+        let mut removed: Vec<(u32, u32)> = Vec::new();
         let mut rederive = Vec::new();
         for (s, &st) in state.iter().enumerate() {
             match st {
@@ -326,6 +345,8 @@ impl IncrementalGraph {
                 1 if filter_ok => {
                     stats.dirty += 1;
                     stats.filtered += 1;
+                    dirty_list.push(s);
+                    removed.extend_from_slice(self.store.shard(s));
                     let alive = &self.alive;
                     self.store
                         .retain(s, |u, v| alive[u as usize] && alive[v as usize]);
@@ -333,6 +354,8 @@ impl IncrementalGraph {
                 _ => {
                     stats.dirty += 1;
                     stats.rederived += 1;
+                    dirty_list.push(s);
+                    removed.extend_from_slice(self.store.shard(s));
                     rederive.push(s);
                 }
             }
@@ -341,9 +364,17 @@ impl IncrementalGraph {
         stats.gathered = gathered;
         stats.escalations = escalations;
         // A quiescent epoch (no dirty shards) leaves every cache — and
-        // therefore the spliced CSR — untouched; skip the O(n + m) splice.
+        // therefore the spliced CSR — untouched.
         if stats.dirty > 0 {
-            self.csr = self.store.to_csr(self.kind.needs_dedup());
+            let splice_start = Instant::now();
+            let mut added: Vec<(u32, u32)> = Vec::new();
+            for &s in &dirty_list {
+                added.extend_from_slice(self.store.shard(s));
+            }
+            let splice = self.csr.splice(&removed, &added);
+            stats.splice_secs = splice_start.elapsed().as_secs_f64();
+            stats.spliced_chunks = splice.chunks_touched;
+            stats.splice_relocations = splice.relocations;
         }
         stats
     }

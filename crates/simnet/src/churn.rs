@@ -41,7 +41,9 @@ use wsn_core::tilegrid::TileGrid;
 use wsn_core::udg::build_udg_sens;
 use wsn_geom::hash::{derive_seed, derive_seed2, mix64};
 use wsn_geom::{Aabb, Point};
-use wsn_graph::{bfs, components::connected_components, fingerprint, relabel, Csr};
+use wsn_graph::{
+    bfs, components::connected_components, fingerprint, relabel, Csr, CsrView, GraphView,
+};
 use wsn_pointproc::PointSet;
 use wsn_rgg::{
     build_gabriel_sharded, build_knn_sharded, build_rng_sharded, build_udg_sharded,
@@ -192,6 +194,10 @@ pub struct EpochReport {
     pub repair_escalations: u64,
     /// Wall-clock seconds of the repair (or rebuild) step.
     pub repair_secs: f64,
+    /// Wall-clock seconds of that step spent splicing the repaired
+    /// shards' edge delta into the chunked CSR (contained in
+    /// `repair_secs`; 0 in rebuild mode and for SENS).
+    pub repair_splice_secs: f64,
 }
 
 /// The whole run.
@@ -212,6 +218,9 @@ pub struct LifetimeReport {
     pub final_graph_hash: u64,
     /// Total wall-clock spent in repair steps (not golden material).
     pub repair_secs_total: f64,
+    /// Total wall-clock spent in CSR splices (contained in
+    /// `repair_secs_total`; not golden material).
+    pub repair_splice_secs_total: f64,
 }
 
 impl LifetimeReport {
@@ -230,6 +239,7 @@ impl LifetimeReport {
             final_alive: epochs.last().map(|e| e.alive).unwrap_or(0),
             final_graph_hash: epochs.last().map(|e| e.graph_hash).unwrap_or(0),
             repair_secs_total: epochs.iter().map(|e| e.repair_secs).sum(),
+            repair_splice_secs_total: epochs.iter().map(|e| e.repair_splice_secs).sum(),
             epochs,
         }
     }
@@ -329,10 +339,10 @@ enum Maintained {
 }
 
 impl Maintained {
-    fn graph(&self) -> &Csr {
+    fn graph(&self) -> CsrView<'_> {
         match self {
-            Maintained::Inc(g) => g.graph(),
-            Maintained::Rebuild { csr, .. } => csr,
+            Maintained::Inc(g) => CsrView::Chunked(g.graph()),
+            Maintained::Rebuild { csr, .. } => CsrView::Dense(csr),
         }
     }
 
@@ -491,7 +501,7 @@ impl Population {
 /// Giant-component fraction of the alive population (dead nodes are
 /// isolated singletons and never the largest component of a non-empty
 /// alive graph unless everything is isolated).
-fn giant_fraction(g: &Csr, n_alive: usize) -> f64 {
+fn giant_fraction<G: GraphView + ?Sized>(g: &G, n_alive: usize) -> f64 {
     if n_alive == 0 {
         return 0.0;
     }
@@ -559,7 +569,7 @@ pub fn simulate_lifetime_plain(
                     continue;
                 }
                 offered += 1;
-                if let Some(path) = bfs::path(maint.graph(), src, dst) {
+                if let Some(path) = bfs::path(&maint.graph(), src, dst) {
                     delivered += 1;
                     energy_spent += pop.debit_path(points, &path, &cfg.energy);
                 }
@@ -605,15 +615,16 @@ pub fn simulate_lifetime_plain(
             energy_spent,
             battery_residual,
             battery_added,
-            giant_fraction: giant_fraction(maint.graph(), n_alive),
+            giant_fraction: giant_fraction(&maint.graph(), n_alive),
             coverage: probe.fraction(points, maint.alive()),
-            graph_hash: fingerprint(maint.graph()),
+            graph_hash: fingerprint(&maint.graph()),
             shards_dirty: stats.dirty as u64,
             shards_filtered: stats.filtered as u64,
             shards_rederived: stats.rederived as u64,
             repair_gathered: stats.gathered as u64,
             repair_escalations: stats.escalations as u64,
             repair_secs,
+            repair_splice_secs: stats.splice_secs,
         });
     }
     LifetimeReport::from_epochs(epochs, cfg)
@@ -753,6 +764,7 @@ pub fn simulate_lifetime_sens(
             repair_gathered: 0,
             repair_escalations: 0,
             repair_secs,
+            repair_splice_secs: 0.0,
         });
     }
     LifetimeReport::from_epochs(epochs, cfg)
