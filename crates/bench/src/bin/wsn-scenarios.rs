@@ -44,37 +44,90 @@ struct Args {
     golden_dir: PathBuf,
     baseline: Option<PathBuf>,
     fresh: Option<PathBuf>,
+    serve: ServeArgs,
+}
+
+/// Knobs of the `serve` subcommand (the ad-hoc service runner).
+struct ServeArgs {
+    topology: String,
+    nodes: u64,
+    epochs: usize,
+    readers: usize,
+    clients: usize,
+    queries: usize,
+    churn: f64,
+    blast: f64,
+    join: f64,
+    verify: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            topology: "udg".into(),
+            nodes: 100_000,
+            epochs: 5,
+            readers: 4,
+            clients: 8,
+            queries: 64,
+            churn: 0.10,
+            blast: 5.0,
+            join: 0.5,
+            verify: false,
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wsn-scenarios <list | run | check | bless | bench | bench-lifetime | gate | \
-         gate-lifetime> [PRESET...] [options]\n\
+        "usage: wsn-scenarios <list | run | check | bless | serve | bench | bench-lifetime | \
+         bench-serve | gate | gate-lifetime | gate-serve> [PRESET...] [options]\n\
          \n\
          commands:\n\
          \x20 list            show the preset catalogue\n\
          \x20 run             run presets and print aligned result tables\n\
          \x20 check           quick-profile run, byte-compare against golden files\n\
          \x20 bless           quick-profile run, rewrite the golden files\n\
+         \x20 serve           run the always-on topology service once: churn the\n\
+         \x20                 network while reader threads answer queries over\n\
+         \x20                 epoch snapshots; nonzero exit on errors or zero qps\n\
          \x20 bench           sharded-vs-monolithic construction pipeline bench,\n\
          \x20                 writes BENCH_pipeline.json (nodes/sec, phases, RSS)\n\
          \x20 bench-lifetime  churn-engine incremental-vs-rebuild repair bench,\n\
          \x20                 writes BENCH_lifetime.json (speedup per topology +\n\
          \x20                 churn-locality sweep)\n\
+         \x20 bench-serve     topology-service throughput bench, writes\n\
+         \x20                 BENCH_serve.json (qps/p50/p99/cache per reader count,\n\
+         \x20                 every row digest-checked against the replay oracle)\n\
          \x20 gate            CI perf gate: compare a fresh pipeline bench JSON\n\
          \x20                 against the committed baseline (--baseline/--fresh)\n\
          \x20 gate-lifetime   CI perf gate over lifetime bench JSONs: locality\n\
          \x20                 fingerprints + most-local sweep speedup\n\
+         \x20 gate-serve      CI perf gate over serve bench JSONs: replay identity,\n\
+         \x20                 zero errors, qps per (topology, n, readers)\n\
          \n\
          options:\n\
          \x20 --all           select every preset\n\
          \x20 --quick         run the quick (smoke) profile      [run, bench*]\n\
-         \x20 --seed N        base seed, default 0xC0FFEE        [run, bench*]\n\
+         \x20 --seed N        base seed, default 0xC0FFEE        [run, bench*, serve]\n\
          \x20 --out PATH      JSON output: report dir for `run`,\n\
          \x20                 output file for `bench*`           [run, bench*]\n\
          \x20 --golden-dir D  golden directory, default tests/golden\n\
-         \x20 --baseline P    committed bench JSON               [gate]\n\
-         \x20 --fresh P       freshly measured bench JSON        [gate]"
+         \x20 --baseline P    committed bench JSON               [gate*]\n\
+         \x20 --fresh P       freshly measured bench JSON        [gate*]\n\
+         \n\
+         serve options:\n\
+         \x20 --topology T    udg | rng | gabriel | yao | knn    (default udg)\n\
+         \x20 --nodes N       target universe size               (default 100000)\n\
+         \x20 --epochs N      churn epochs to serve              (default 5)\n\
+         \x20 --readers N     reader threads                     (default 4)\n\
+         \x20 --clients N     query clients                      (default 8)\n\
+         \x20 --queries N     queries per client per epoch       (default 64)\n\
+         \x20 --churn F       per-epoch kill fraction            (default 0.10)\n\
+         \x20 --blast R       clustered blast radius, UDG radii  (default 5.0)\n\
+         \x20 --join F        joins admitted per death           (default 0.5)\n\
+         \x20 --verify        also run the single-threaded replay oracle and\n\
+         \x20                 fail on any answer divergence"
     );
     std::process::exit(2);
 }
@@ -92,7 +145,13 @@ fn parse_args() -> Args {
         golden_dir: default_golden_dir(),
         baseline: None,
         fresh: None,
+        serve: ServeArgs::default(),
     };
+    fn next_parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>) -> T {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--all" => args.all = true,
@@ -102,6 +161,16 @@ fn parse_args() -> Args {
                 args.seed = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--out" => args.out_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--topology" => args.serve.topology = it.next().unwrap_or_else(|| usage()),
+            "--nodes" => args.serve.nodes = next_parse(&mut it),
+            "--epochs" => args.serve.epochs = next_parse(&mut it),
+            "--readers" => args.serve.readers = next_parse(&mut it),
+            "--clients" => args.serve.clients = next_parse(&mut it),
+            "--queries" => args.serve.queries = next_parse(&mut it),
+            "--churn" => args.serve.churn = next_parse(&mut it),
+            "--blast" => args.serve.blast = next_parse(&mut it),
+            "--join" => args.serve.join = next_parse(&mut it),
+            "--verify" => args.serve.verify = true,
             "--golden-dir" => args.golden_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
             "--baseline" => {
                 args.baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
@@ -278,10 +347,150 @@ fn cmd_bench_lifetime(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `gate` / `gate-lifetime`: the CI perf-regression gates over bench
-/// documents.
-fn cmd_gate(args: &Args, lifetime: bool) -> ExitCode {
-    let cmd = if lifetime { "gate-lifetime" } else { "gate" };
+/// `bench-serve`: topology-service throughput per reader count, every row
+/// digest-checked against the single-threaded replay oracle.
+fn cmd_bench_serve(args: &Args) -> ExitCode {
+    if !args.presets.is_empty() || args.all {
+        eprintln!("`bench-serve` takes no presets (it has its own topology × size grid)");
+        return ExitCode::from(2);
+    }
+    let seed = args.seed.unwrap_or(DEFAULT_SEED);
+    let report = wsn_bench::serve::run_serve_bench(args.quick, seed);
+    write_bench_json(args, "BENCH_serve.json", &report);
+    ExitCode::SUCCESS
+}
+
+/// `serve`: one ad-hoc run of the always-on topology service. Exits
+/// nonzero on query errors, zero qps, or (with `--verify`) any answer
+/// divergence from the single-threaded replay oracle.
+fn cmd_serve(args: &Args) -> ExitCode {
+    use wsn_geom::Aabb;
+    use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
+    use wsn_rgg::IncTopology;
+    use wsn_simnet::churn::{ChurnConfig, ChurnModel};
+    use wsn_simnet::{run_replay, run_serve, ServeConfig};
+
+    if !args.presets.is_empty() || args.all || args.quick {
+        eprintln!("`serve` takes no presets/--quick (configure it with the serve options)");
+        return ExitCode::from(2);
+    }
+    let s = &args.serve;
+    let kind = match s.topology.as_str() {
+        "udg" => IncTopology::Udg { radius: 1.0 },
+        "rng" => IncTopology::Rng { radius: 1.0 },
+        "gabriel" => IncTopology::Gabriel { radius: 1.0 },
+        "yao" => IncTopology::Yao {
+            radius: 1.0,
+            cones: 6,
+        },
+        "knn" => IncTopology::Knn { k: 8 },
+        other => {
+            eprintln!("unknown --topology `{other}` (udg | rng | gabriel | yao | knn)");
+            return ExitCode::from(2);
+        }
+    };
+    let seed = args.seed.unwrap_or(DEFAULT_SEED);
+    // The universe: a Poisson deployment at the benches' density, with a
+    // reserve pool (dead at start) for churn joins to admit.
+    let lambda = 10.0;
+    let side = ((s.nodes as f64) / lambda).sqrt();
+    let points: PointSet =
+        sample_poisson_window(&mut rng_from_seed(seed), lambda, &Aabb::square(side));
+    let deployed = points.len() - (0.125 * points.len() as f64).round() as usize;
+    let alive: Vec<bool> = (0..points.len()).map(|i| i < deployed).collect();
+
+    let mut churn = ChurnConfig::new(s.epochs, 1e12, 0, s.churn, s.join);
+    churn.churn_model = ChurnModel::Clustered { radius: s.blast };
+    churn.verify = false;
+    let mut cfg = ServeConfig::new(churn, s.readers, s.clients, s.queries);
+    cfg.seed = seed;
+
+    let report = run_serve(&points, &alive, kind, &cfg);
+    let mut t = Table::new(
+        &format!("serve: {} over {} nodes", kind.label(), points.len()),
+        &["metric", "value"],
+    );
+    t.row(&["epochs served".into(), report.epochs.to_string()]);
+    t.row(&["readers".into(), report.readers.to_string()]);
+    t.row(&["clients".into(), report.clients.to_string()]);
+    t.row(&["queries".into(), report.queries.to_string()]);
+    t.row(&["errors".into(), report.errors.to_string()]);
+    t.row(&["qps".into(), f(report.qps, 0)]);
+    t.row(&["p50 (us)".into(), f(report.p50_us, 1)]);
+    t.row(&["p99 (us)".into(), f(report.p99_us, 1)]);
+    t.row(&[
+        "cache hits / lookups".into(),
+        format!("{} / {}", report.cache_hits, report.cache_lookups),
+    ]);
+    t.row(&[
+        "snapshots published / retired".into(),
+        format!(
+            "{} / {}",
+            report.snapshots_published, report.snapshots_retired
+        ),
+    ]);
+    t.row(&[
+        "max live snapshots".into(),
+        report.max_live_snapshots.to_string(),
+    ]);
+    t.row(&[
+        "deaths / joins".into(),
+        format!("{} / {}", report.deaths_total, report.joins_total),
+    ]);
+    t.row(&["final alive".into(), report.final_alive.to_string()]);
+    t.row(&[
+        "final fingerprint".into(),
+        format!(
+            "{:016x}",
+            report.epoch_fingerprints.last().copied().unwrap_or(0)
+        ),
+    ]);
+    t.print();
+
+    let mut failed = false;
+    if report.errors > 0 {
+        eprintln!("serve: FAIL — {} query error(s)", report.errors);
+        failed = true;
+    }
+    if report.qps <= 0.0 {
+        eprintln!("serve: FAIL — zero sustained qps");
+        failed = true;
+    }
+    if s.verify {
+        let oracle = run_replay(&points, &alive, kind, &cfg);
+        if report.client_digests != oracle.client_digests
+            || report.epoch_fingerprints != oracle.epoch_fingerprints
+            || report.answer_digest != oracle.answer_digest
+        {
+            eprintln!("serve: FAIL — concurrent answers diverged from the single-threaded replay");
+            failed = true;
+        } else {
+            println!("serve: answers verified identical to the single-threaded replay");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Which bench document a gate invocation compares.
+#[derive(Clone, Copy, PartialEq)]
+enum GateKind {
+    Pipeline,
+    Lifetime,
+    Serve,
+}
+
+/// `gate` / `gate-lifetime` / `gate-serve`: the CI perf-regression gates
+/// over bench documents.
+fn cmd_gate(args: &Args, kind: GateKind) -> ExitCode {
+    let cmd = match kind {
+        GateKind::Pipeline => "gate",
+        GateKind::Lifetime => "gate-lifetime",
+        GateKind::Serve => "gate-serve",
+    };
     let (Some(baseline_path), Some(fresh_path)) = (&args.baseline, &args.fresh) else {
         eprintln!("`{cmd}` needs --baseline and --fresh bench JSON paths");
         return ExitCode::from(2);
@@ -304,26 +513,30 @@ fn cmd_gate(args: &Args, lifetime: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = if lifetime {
-        wsn_bench::gate::gate_lifetime(&baseline, &fresh)
-    } else {
-        wsn_bench::gate::gate_pipeline(&baseline, &fresh)
+    let report = match kind {
+        GateKind::Pipeline => wsn_bench::gate::gate_pipeline(&baseline, &fresh),
+        GateKind::Lifetime => wsn_bench::gate::gate_lifetime(&baseline, &fresh),
+        GateKind::Serve => wsn_bench::gate::gate_serve(&baseline, &fresh),
     };
     for s in &report.skipped {
         println!("SKIP  {s} (no baseline row)");
     }
-    if lifetime {
-        println!(
+    match kind {
+        GateKind::Lifetime => println!(
             "{cmd}: {} most-local sweep row(s) within {:.0}% of baseline speedup",
             report.checked,
             (1.0 - wsn_bench::gate::LIFETIME_SPEEDUP_DROP_TOLERANCE) * 100.0
-        );
-    } else {
-        println!(
+        ),
+        GateKind::Serve => println!(
+            "{cmd}: {} serve row(s) within {:.0}% of baseline qps",
+            report.checked,
+            (1.0 - wsn_bench::gate::SERVE_QPS_DROP_TOLERANCE) * 100.0
+        ),
+        GateKind::Pipeline => println!(
             "{cmd}: {} row(s) within {:.0}% of baseline throughput",
             report.checked,
             (1.0 - wsn_bench::gate::NODES_PER_SEC_DROP_TOLERANCE) * 100.0
-        );
+        ),
     }
     if report.passed() {
         println!("{cmd}: PASS");
@@ -343,10 +556,13 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "check" => cmd_goldens(&args, false),
         "bless" => cmd_goldens(&args, true),
+        "serve" => cmd_serve(&args),
         "bench" => cmd_bench(&args),
         "bench-lifetime" => cmd_bench_lifetime(&args),
-        "gate" => cmd_gate(&args, false),
-        "gate-lifetime" => cmd_gate(&args, true),
+        "bench-serve" => cmd_bench_serve(&args),
+        "gate" => cmd_gate(&args, GateKind::Pipeline),
+        "gate-lifetime" => cmd_gate(&args, GateKind::Lifetime),
+        "gate-serve" => cmd_gate(&args, GateKind::Serve),
         _ => usage(),
     }
 }

@@ -27,6 +27,12 @@
 //! toward the old O(n + m) splice behaviour fails CI instead of quietly
 //! re-blessing the regression.
 //!
+//! `wsn-scenarios gate-serve` guards `BENCH_serve.json`: every fresh row
+//! must be answer-identical to its single-threaded replay oracle with zero
+//! query errors, and a matched `(topology, n_target, readers)` row's qps
+//! must stay within [`SERVE_QPS_DROP_TOLERANCE`] of the committed
+//! baseline.
+//!
 //! Rows present on only one side (e.g. the committed baseline carries the
 //! full 10⁴–10⁶ grid while CI measures the quick 10⁴ one) are reported as
 //! skipped, never failed. A document *missing the gated section entirely*
@@ -35,6 +41,15 @@
 //! exactly one place so retuning a band is a one-line diff.
 
 use serde::value::Value;
+
+/// Allowed fractional drop of a serve row's `qps` against the committed
+/// baseline (0.50 = "at least half of baseline throughput"). The widest
+/// band of the three gates: a serve row's wall clock folds repair,
+/// publication *and* reader scheduling together, and on an oversubscribed
+/// CI core the reader-count rows jitter hardest — the gate exists to catch
+/// an algorithmic collapse (a reader blocking on the splice, a cache gone
+/// quadratic), not scheduler noise.
+pub const SERVE_QPS_DROP_TOLERANCE: f64 = 0.50;
 
 /// Allowed fractional drop of `sharded_nodes_per_sec` against the
 /// committed baseline before the gate fails (0.40 = "at least 60% of
@@ -275,6 +290,83 @@ pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
         report
             .failures
             .push("no fresh sweep row matched any baseline row — wrong baseline file?".into());
+    }
+    report
+}
+
+fn serve_key(row: &Value) -> Option<(String, u64, u64)> {
+    Some((
+        row.get("topology")?.as_str()?.to_string(),
+        row.get("n_target")?.as_u64()?,
+        row.get("readers")?.as_u64()?,
+    ))
+}
+
+/// Evaluate the serve gate: `fresh` is the CI `bench-serve` measurement,
+/// `baseline` the committed `BENCH_serve.json`. Every fresh row must be
+/// answer-identical to its replay oracle (`identical: true`) with zero
+/// errors — matched or not — and a matched `(topology, n_target, readers)`
+/// row's qps must stay within [`SERVE_QPS_DROP_TOLERANCE`] of baseline.
+pub fn gate_serve(baseline: &Value, fresh: &Value) -> GateReport {
+    let mut report = GateReport::default();
+    let baseline_rows: Vec<((String, u64, u64), &Value)> =
+        section(baseline, "rows", "baseline", &mut report)
+            .iter()
+            .filter_map(|r| serve_key(r).map(|k| (k, r)))
+            .collect();
+    for row in section(fresh, "rows", "fresh", &mut report) {
+        let Some(key) = serve_key(row) else {
+            report
+                .failures
+                .push("fresh serve row missing topology/n_target/readers".into());
+            continue;
+        };
+        let label = format!("{} @ n={} readers={}", key.0, key.1, key.2);
+        // Correctness gates: never optional, even for unmatched rows. A
+        // service that got faster by answering differently (or by failing
+        // queries) is a bug, not a win.
+        if row.get("identical").and_then(|v| v.as_bool()) != Some(true) {
+            report
+                .failures
+                .push(format!("{label}: identical is not true"));
+        }
+        match row.get("errors").and_then(|v| v.as_u64()) {
+            Some(0) => {}
+            Some(e) => report.failures.push(format!("{label}: {e} query error(s)")),
+            None => report.failures.push(format!("{label}: errors missing")),
+        }
+        let Some((_, base)) = baseline_rows.iter().find(|(k, _)| *k == key) else {
+            report.skipped.push(label);
+            continue;
+        };
+        let mut qps = |doc: &Value, side: &str| -> Option<f64> {
+            match doc.get("qps").and_then(|v| v.as_f64()) {
+                Some(v) if v > 0.0 => Some(v),
+                _ => {
+                    report
+                        .failures
+                        .push(format!("{label}: {side} qps missing or ≤ 0"));
+                    None
+                }
+            }
+        };
+        let (Some(fresh_qps), Some(base_qps)) = (qps(row, "fresh"), qps(base, "baseline")) else {
+            continue;
+        };
+        report.checked += 1;
+        let floor = base_qps * (1.0 - SERVE_QPS_DROP_TOLERANCE);
+        if fresh_qps < floor {
+            report.failures.push(format!(
+                "{label}: qps {fresh_qps:.0} fell below {:.0}% of baseline \
+                 {base_qps:.0} (floor {floor:.0})",
+                (1.0 - SERVE_QPS_DROP_TOLERANCE) * 100.0
+            ));
+        }
+    }
+    if report.checked == 0 && report.failures.is_empty() {
+        report
+            .failures
+            .push("no fresh serve row matched any baseline row — wrong baseline file?".into());
     }
     report
 }
@@ -546,6 +638,90 @@ mod tests {
         );
         let g4 = gate_lifetime(&quick, &fresh);
         assert!(g4.passed(), "{:?}", g4.failures);
+    }
+
+    fn serve_row(
+        topology: &str,
+        n: u64,
+        readers: u64,
+        qps: f64,
+        identical: bool,
+        errors: u64,
+    ) -> String {
+        format!(
+            r#"{{"topology": "{topology}", "n_target": {n}, "readers": {readers},
+                 "qps": {qps}, "identical": {identical}, "errors": {errors}}}"#
+        )
+    }
+
+    #[test]
+    fn serve_gate_passes_within_the_band_and_fails_below() {
+        let base = doc(&format!(
+            "[{}, {}]",
+            serve_row("udg(r=1)", 100000, 1, 50_000.0, true, 0),
+            serve_row("udg(r=1)", 100000, 4, 40_000.0, true, 0)
+        ));
+        // Exactly half of baseline still passes (strict-below fails).
+        let fresh = doc(&format!(
+            "[{}, {}]",
+            serve_row("udg(r=1)", 100000, 1, 25_000.0, true, 0),
+            serve_row("udg(r=1)", 100000, 4, 20_000.0, true, 0)
+        ));
+        let g = gate_serve(&base, &fresh);
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 2);
+        let slow = doc(&format!(
+            "[{}]",
+            serve_row("udg(r=1)", 100000, 1, 24_000.0, true, 0)
+        ));
+        let g2 = gate_serve(&base, &slow);
+        assert!(!g2.passed());
+        assert!(g2.failures[0].contains("fell below"));
+    }
+
+    #[test]
+    fn serve_gate_fails_on_divergence_or_errors_even_unmatched() {
+        let base = doc("[]");
+        let fresh = doc(&format!(
+            "[{}, {}]",
+            serve_row("rng(r=1)", 100000, 8, 1e9, false, 0),
+            serve_row("rng(r=1)", 100000, 2, 1e9, true, 3)
+        ));
+        let g = gate_serve(&base, &fresh);
+        assert!(!g.passed());
+        assert!(g.failures.iter().any(|f| f.contains("identical")));
+        assert!(g.failures.iter().any(|f| f.contains("query error")));
+    }
+
+    #[test]
+    fn serve_gate_skips_unmatched_and_fails_disjoint_or_partial_docs() {
+        let base = doc(&format!(
+            "[{}]",
+            serve_row("udg(r=1)", 100000, 1, 50_000.0, true, 0)
+        ));
+        let fresh = doc(&format!(
+            "[{}, {}]",
+            serve_row("udg(r=1)", 100000, 1, 45_000.0, true, 0),
+            serve_row("udg(r=1)", 1000000, 1, 2_000.0, true, 0) // fresh-only
+        ));
+        let g = gate_serve(&base, &fresh);
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 1);
+        assert_eq!(g.skipped.len(), 1);
+        // Nothing matched → loud failure; missing rows section → named.
+        assert!(!gate_serve(&base, &doc("[]")).passed());
+        let partial: Value = serde_json::from_str(r#"{"schema": "x"}"#).unwrap();
+        let g2 = gate_serve(&base, &partial);
+        assert!(g2
+            .failures
+            .iter()
+            .any(|f| f.contains("fresh") && f.contains("\"rows\"")));
+        // A zeroed qps on either side is a broken document, not a pass.
+        let zeroed = doc(&format!(
+            "[{}]",
+            serve_row("udg(r=1)", 100000, 1, 0.0, true, 0)
+        ));
+        assert!(!gate_serve(&base, &zeroed).passed());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod gate;
 pub mod lifetime;
 pub mod paths;
 pub mod pipeline;
+pub mod serve;
 pub mod table;
 
 use serde::Serialize;

@@ -18,6 +18,8 @@
 //! * [`builder`] — edge-list accumulation and deduplication.
 //! * [`delta`] — incremental maintenance: per-shard edge caches, vertex
 //!   deactivation, monotone relabelling, CSR fingerprints.
+//! * [`snapshot`] — epoch-versioned RCU-style snapshot publication: the
+//!   serve path's pin/publish/retire structure.
 //! * [`unionfind`] — disjoint sets with union by size + path halving.
 //! * [`bfs`] — unweighted shortest paths (hop distance).
 //! * [`dijkstra`] — weighted shortest paths with a caller-supplied weight
@@ -33,6 +35,7 @@ pub mod components;
 pub mod csr;
 pub mod delta;
 pub mod dijkstra;
+pub mod snapshot;
 pub mod stats;
 pub mod stretch;
 pub mod unionfind;
@@ -45,6 +48,7 @@ pub use delta::{
     check_monotone, deactivate_vertices, fingerprint, relabel, IdRemap, MonotonicityError,
     ShardedEdgeStore,
 };
+pub use snapshot::{EpochGuard, EpochHandle, EpochPublisher, SnapshotStats};
 pub use unionfind::UnionFind;
 pub use view::{CsrView, GraphView};
 

@@ -1,0 +1,398 @@
+//! Epoch-versioned snapshot publication (RCU-style) for the serve path.
+//!
+//! The always-on topology service repairs the graph once per churn epoch
+//! and must keep *reads* running while the splice is in flight. The classic
+//! answer is read-copy-update: the writer builds the next epoch's snapshot
+//! off to the side and publishes it by swapping a pointer; readers *pin* an
+//! epoch guard and keep reading the version they pinned, untouched, until
+//! they drop the guard. A superseded snapshot retires (its storage is
+//! freed) exactly when the last guard on it drops.
+//!
+//! This module is deliberately generic over the snapshot payload `T` so the
+//! accounting invariants can be property-tested on tiny payloads while the
+//! serve loop publishes full `ChunkedCsr` + alive-state captures:
+//!
+//! * [`EpochPublisher`] — the single writer. [`EpochPublisher::publish`]
+//!   installs a new `(epoch, T)` pair; epochs must be strictly increasing.
+//! * [`EpochHandle`] — a cloneable read-side handle. [`EpochHandle::pin`]
+//!   returns a guard on the latest published snapshot without blocking;
+//!   [`EpochHandle::wait_for`] parks until a target epoch (or later) is
+//!   published, which the serve loop uses as its epoch barrier.
+//! * [`EpochGuard`] — derefs to `T`. While any guard on an epoch is alive,
+//!   that epoch's payload is immutable and will not be freed.
+//!
+//! Accounting is exposed through [`SnapshotStats`]: `published` counts
+//! `publish` calls, `retired` counts payloads actually dropped, and
+//! `live_pins` counts outstanding guards. The structural invariants —
+//! checked by the property tests in `tests/serve_concurrency.rs` — are
+//!
+//! * `retired <= published` always (nothing retires twice, nothing retires
+//!   before it was published);
+//! * while the publisher is alive, the current snapshot is not retired, so
+//!   `published - retired >= 1` after the first publish;
+//! * at full quiescence (publisher dropped, all guards dropped)
+//!   `retired == published`: no snapshot leaks.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Publish/retire/pin counters shared by one publisher and its handles.
+#[derive(Debug, Default)]
+struct Counters {
+    published: AtomicU64,
+    retired: AtomicU64,
+    pins: AtomicU64,
+}
+
+/// A point-in-time view of the snapshot accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Number of successful [`EpochPublisher::publish`] calls.
+    pub published: u64,
+    /// Number of snapshot payloads whose storage has been freed.
+    pub retired: u64,
+    /// Number of [`EpochGuard`]s currently alive.
+    pub live_pins: u64,
+}
+
+impl SnapshotStats {
+    /// Snapshots still resident in memory (current + pinned history).
+    pub fn live_snapshots(&self) -> u64 {
+        self.published - self.retired
+    }
+}
+
+/// One published snapshot: the payload plus retire bookkeeping.
+///
+/// The `Drop` impl is the retirement event: it fires when the last `Arc`
+/// (publisher's current slot or a reader guard) goes away.
+struct Slot<T> {
+    epoch: u64,
+    value: T,
+    counters: Arc<Counters>,
+}
+
+impl<T> Drop for Slot<T> {
+    fn drop(&mut self) {
+        self.counters.retired.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+struct State<T> {
+    current: Option<Arc<Slot<T>>>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+    counters: Arc<Counters>,
+}
+
+/// Write side of the epoch-snapshot structure. Dropping the publisher
+/// closes the channel: waiting readers wake with `None` and the final
+/// snapshot retires once its last guard drops.
+pub struct EpochPublisher<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Cloneable read side; see module docs.
+pub struct EpochHandle<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for EpochHandle<T> {
+    fn clone(&self) -> Self {
+        EpochHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// A pinned snapshot. Derefs to the payload; the payload outlives the
+/// guard's lifetime no matter how many newer epochs are published.
+pub struct EpochGuard<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> EpochPublisher<T> {
+    /// Create a publisher with nothing published yet.
+    pub fn new() -> Self {
+        EpochPublisher {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    current: None,
+                    closed: false,
+                }),
+                cond: Condvar::new(),
+                counters: Arc::new(Counters::default()),
+            }),
+        }
+    }
+
+    /// A new read-side handle on this publisher.
+    pub fn handle(&self) -> EpochHandle<T> {
+        EpochHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Install `(epoch, value)` as the current snapshot and wake every
+    /// reader parked in [`EpochHandle::wait_for`]. The superseded snapshot
+    /// retires as soon as its last guard drops (immediately, if none).
+    ///
+    /// # Panics
+    /// If `epoch` is not strictly greater than the last published epoch —
+    /// the serve loop's monotone-epoch contract.
+    pub fn publish(&self, epoch: u64, value: T) {
+        let slot = Arc::new(Slot {
+            epoch,
+            value,
+            counters: Arc::clone(&self.shared.counters),
+        });
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cur) = &st.current {
+            assert!(
+                epoch > cur.epoch,
+                "epoch snapshots must be published in strictly increasing \
+                 order (got {epoch} after {})",
+                cur.epoch
+            );
+        }
+        self.shared
+            .counters
+            .published
+            .fetch_add(1, Ordering::SeqCst);
+        st.current = Some(slot);
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+
+    /// Current accounting; see [`SnapshotStats`].
+    pub fn stats(&self) -> SnapshotStats {
+        stats_of(&self.shared.counters)
+    }
+}
+
+impl<T> Default for EpochPublisher<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for EpochPublisher<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        // Release the publisher's reference to the final snapshot so it can
+        // retire; readers holding guards keep it alive until they finish.
+        st.current = None;
+        drop(st);
+        self.shared.cond.notify_all();
+    }
+}
+
+impl<T> EpochHandle<T> {
+    /// Pin the latest published snapshot without blocking. `None` when
+    /// nothing has been published yet or the publisher has shut down.
+    pub fn pin(&self) -> Option<EpochGuard<T>> {
+        let st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.current.as_ref().map(|slot| self.guard(Arc::clone(slot)))
+    }
+
+    /// Block until a snapshot with epoch `>= epoch` is published, then pin
+    /// it. Returns `None` if the publisher shuts down first.
+    pub fn wait_for(&self, epoch: u64) -> Option<EpochGuard<T>> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &st.current {
+                Some(slot) if slot.epoch >= epoch => {
+                    let slot = Arc::clone(slot);
+                    return Some(self.guard(slot));
+                }
+                _ if st.closed => return None,
+                _ => st = self.shared.cond.wait(st).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+
+    /// Epoch of the current snapshot, if any.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        let st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.current.as_ref().map(|slot| slot.epoch)
+    }
+
+    /// Current accounting; see [`SnapshotStats`].
+    pub fn stats(&self) -> SnapshotStats {
+        stats_of(&self.shared.counters)
+    }
+
+    fn guard(&self, slot: Arc<Slot<T>>) -> EpochGuard<T> {
+        self.shared.counters.pins.fetch_add(1, Ordering::SeqCst);
+        EpochGuard { slot }
+    }
+}
+
+impl<T> EpochGuard<T> {
+    /// The epoch this guard pinned.
+    pub fn epoch(&self) -> u64 {
+        self.slot.epoch
+    }
+}
+
+impl<T> Deref for EpochGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.slot.value
+    }
+}
+
+impl<T> Drop for EpochGuard<T> {
+    fn drop(&mut self) {
+        self.slot.counters.pins.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn stats_of(counters: &Counters) -> SnapshotStats {
+    SnapshotStats {
+        published: counters.published.load(Ordering::SeqCst),
+        retired: counters.retired.load(Ordering::SeqCst),
+        live_pins: counters.pins.load(Ordering::SeqCst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_before_publish_is_none() {
+        let pb: EpochPublisher<u32> = EpochPublisher::new();
+        let h = pb.handle();
+        assert!(h.pin().is_none());
+        assert_eq!(h.latest_epoch(), None);
+        assert_eq!(
+            pb.stats(),
+            SnapshotStats {
+                published: 0,
+                retired: 0,
+                live_pins: 0
+            }
+        );
+    }
+
+    #[test]
+    fn guard_keeps_superseded_snapshot_alive() {
+        let pb = EpochPublisher::new();
+        let h = pb.handle();
+        pb.publish(1, "one".to_string());
+        let g1 = h.pin().unwrap();
+        assert_eq!(g1.epoch(), 1);
+        assert_eq!(&*g1, "one");
+
+        pb.publish(2, "two".to_string());
+        // g1 still reads epoch 1, byte-for-byte.
+        assert_eq!(&*g1, "one");
+        let s = pb.stats();
+        assert_eq!(s.published, 2);
+        assert_eq!(s.retired, 0, "pinned epoch 1 must not retire");
+        assert_eq!(s.live_pins, 1);
+
+        drop(g1);
+        let s = pb.stats();
+        assert_eq!(s.retired, 1, "epoch 1 retires once its last guard drops");
+        assert_eq!(s.live_pins, 0);
+        assert_eq!(h.pin().unwrap().epoch(), 2);
+    }
+
+    #[test]
+    fn unpinned_snapshot_retires_on_publish() {
+        let pb = EpochPublisher::new();
+        pb.publish(1, vec![1u8; 16]);
+        pb.publish(2, vec![2u8; 16]);
+        let s = pb.stats();
+        assert_eq!((s.published, s.retired), (2, 1));
+    }
+
+    #[test]
+    fn quiescence_retires_everything() {
+        let pb = EpochPublisher::new();
+        let h = pb.handle();
+        for e in 1..=5u64 {
+            pb.publish(e, e);
+        }
+        let g = h.pin().unwrap();
+        drop(pb); // close: current slot released
+        assert_eq!(g.epoch(), 5);
+        assert_eq!(*g, 5);
+        drop(g);
+        let s = h.stats();
+        assert_eq!(s.published, 5);
+        assert_eq!(s.retired, 5, "no snapshot may leak at quiescence");
+        assert_eq!(s.live_pins, 0);
+    }
+
+    #[test]
+    fn wait_for_blocks_until_epoch_arrives() {
+        let pb = EpochPublisher::new();
+        let h = pb.handle();
+        pb.publish(1, 10u32);
+        let waiter = std::thread::spawn({
+            let h = h.clone();
+            move || h.wait_for(3).map(|g| (g.epoch(), *g))
+        });
+        pb.publish(2, 20);
+        pb.publish(3, 30);
+        assert_eq!(waiter.join().unwrap(), Some((3, 30)));
+    }
+
+    #[test]
+    fn wait_for_returns_none_on_shutdown() {
+        let pb: EpochPublisher<u32> = EpochPublisher::new();
+        let h = pb.handle();
+        let waiter = std::thread::spawn(move || h.wait_for(1).is_none());
+        drop(pb);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_publish_panics() {
+        let pb = EpochPublisher::new();
+        pb.publish(2, ());
+        pb.publish(2, ());
+    }
+
+    #[test]
+    fn concurrent_pin_publish_sees_whole_snapshots() {
+        // Readers hammering pin() while the writer publishes must only ever
+        // observe internally consistent (epoch, payload) pairs.
+        let pb = EpochPublisher::new();
+        pb.publish(1, (1u64, 1u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = pb.handle();
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        if let Some(g) = h.pin() {
+                            let (a, b) = *g;
+                            assert_eq!(a, b, "torn snapshot: {a} != {b}");
+                            assert_eq!(a, g.epoch());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for e in 2..=50u64 {
+            pb.publish(e, (e, e));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let s = pb.stats();
+        assert_eq!(s.published, 50);
+        assert_eq!(s.live_pins, 0);
+        assert_eq!(s.retired, 49, "only the current snapshot stays live");
+    }
+}

@@ -156,6 +156,12 @@ pub struct IncrementalGraph {
     /// Cumulative whole-population index constructions (see
     /// [`RepairStats::escalations`]).
     escalations: u64,
+    /// Merged ghost-padded extents of the shards the *last*
+    /// [`IncrementalGraph::apply_churn`] dirtied — the serve path's cache
+    /// invalidation footprint (empty after a quiescent epoch or before any
+    /// churn). An edge both of whose endpoints lie outside every extent is
+    /// guaranteed untouched by that repair.
+    last_dirty_extents: Vec<Aabb>,
 }
 
 impl IncrementalGraph {
@@ -215,6 +221,7 @@ impl IncrementalGraph {
             resident_start,
             resident_ids,
             escalations: 0,
+            last_dirty_extents: Vec::new(),
         };
         let all: Vec<usize> = (0..g.grid.shard_count()).collect();
         g.rederive_shards(&all);
@@ -285,6 +292,16 @@ impl IncrementalGraph {
     #[inline]
     pub fn kind(&self) -> IncTopology {
         self.kind
+    }
+
+    /// Merged ghost-padded extents of the shards the last
+    /// [`IncrementalGraph::apply_churn`] call dirtied. The serve path's
+    /// route-cache invalidation rule: a cached path is only trustworthy
+    /// across the epoch boundary if none of its nodes fall inside any of
+    /// these extents. Empty before any churn and after quiescent epochs.
+    #[inline]
+    pub fn dirty_extents(&self) -> &[Aabb] {
+        &self.last_dirty_extents
     }
 
     /// Kill `deaths` and admit `joins`, then repair only the shards whose
@@ -360,6 +377,15 @@ impl IncrementalGraph {
                 }
             }
         }
+        // Publish hook for the serve path: the merged padded extents of
+        // every dirty shard bound the region this repair may have touched.
+        // Anything wholly outside them is provably identical to last epoch.
+        self.last_dirty_extents = self
+            .grid
+            .merge_padded_extents(&dirty_list, self.halo)
+            .into_iter()
+            .map(|g| g.extent)
+            .collect();
         let (gathered, escalations) = self.rederive_shards(&rederive);
         stats.gathered = gathered;
         stats.escalations = escalations;
@@ -832,6 +858,37 @@ mod tests {
         g.apply_churn(&[], &everyone);
         assert_eq!(g.n_alive(), 60);
         assert!(g.verify_cold());
+    }
+
+    #[test]
+    fn dirty_extents_cover_churn_and_clear_on_quiescence() {
+        let p = pts(400, 7, 16.0);
+        let mut g =
+            IncrementalGraph::build(p, vec![true; 400], IncTopology::Rng { radius: 1.0 }, 2);
+        assert!(g.dirty_extents().is_empty(), "no churn yet");
+        let deaths: Vec<u32> = g
+            .points()
+            .iter_enumerated()
+            .filter(|&(_, q)| q.x < 3.0 && q.y < 3.0)
+            .map(|(u, _)| u)
+            .collect();
+        assert!(!deaths.is_empty());
+        g.apply_churn(&deaths, &[]);
+        let extents: Vec<Aabb> = g.dirty_extents().to_vec();
+        assert!(!extents.is_empty());
+        for &d in &deaths {
+            let q = g.points().get(d);
+            assert!(
+                extents.iter().any(|e| e.contains(q)),
+                "death {d} outside every dirty extent"
+            );
+        }
+        // Far corner stays outside the invalidation footprint.
+        let window = g.points().bounding_box().unwrap();
+        assert!(extents.iter().all(|e| !e.contains(window.max)));
+        // A quiescent epoch publishes an empty footprint.
+        g.apply_churn(&[], &[]);
+        assert!(g.dirty_extents().is_empty());
     }
 
     #[test]

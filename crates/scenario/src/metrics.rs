@@ -129,6 +129,12 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
     };
     push(&mut ch, "nodes.surviving", points.len() as f64);
 
+    // ---- serve workload (replaces the static suite) -------------------
+    if let Some(serve) = &spec.serve {
+        run_serve_workload(&mut ch, spec, serve, &points, rep_seed);
+        return ch;
+    }
+
     // ---- lifetime workload (replaces the static suite) ---------------
     if let Some(churn) = &spec.churn {
         run_lifetime(&mut ch, spec, churn, &points, grid, rep_seed);
@@ -492,6 +498,113 @@ fn run_lifetime(
     );
 }
 
+/// The incremental-engine topology of a plain (non-SENS) cell, if any.
+fn plain_kind(topology: TopologySpec) -> Option<wsn_rgg::IncTopology> {
+    match topology {
+        TopologySpec::Udg { radius } => Some(wsn_rgg::IncTopology::Udg { radius }),
+        TopologySpec::Knn { k } => Some(wsn_rgg::IncTopology::Knn { k }),
+        TopologySpec::Gabriel { radius } => Some(wsn_rgg::IncTopology::Gabriel { radius }),
+        TopologySpec::Rng { radius } => Some(wsn_rgg::IncTopology::Rng { radius }),
+        TopologySpec::Yao { radius, cones } => Some(wsn_rgg::IncTopology::Yao { radius, cones }),
+        TopologySpec::UdgSens | TopologySpec::NnSens { .. } => None,
+    }
+}
+
+/// Run the always-on serve workload of a cell and emit its channel family
+/// (`serve.*`). Only *schedule-deterministic* values become channels —
+/// wall-clock quantities (qps, latency percentiles) belong to the bench,
+/// never to goldens. Reader-thread count comes from `RAYON_NUM_THREADS`
+/// (the same knob the golden workflow sweeps): serve answers are
+/// byte-identical at any thread count, so the sweep pins exactly that
+/// invariance through the golden channels.
+fn run_serve_workload(
+    ch: &mut Channels,
+    spec: &ScenarioSpec,
+    serve: &crate::spec::ServeSpec,
+    points: &PointSet,
+    rep_seed: u64,
+) {
+    let kind = plain_kind(spec.topology)
+        .expect("serve workload requires a plain topology (SENS repairs are global rebuilds)");
+    let n = points.len();
+    let reserve = (serve.churn.reserve_frac * n as f64).round() as usize;
+    let deployed = n.saturating_sub(reserve);
+    let alive: Vec<bool> = (0..n).map(|i| i < deployed).collect();
+
+    let mut churn_cfg = ChurnConfig::new(
+        serve.churn.epochs,
+        serve.churn.battery,
+        0, // serve reads never debit batteries
+        serve.churn.p_fail,
+        serve.churn.join_rate,
+    );
+    churn_cfg.idle_cost = serve.churn.idle_cost;
+    if let Some(radius) = serve.churn.blast_radius {
+        churn_cfg.churn_model = ChurnModel::Clustered { radius };
+    }
+    let readers = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(2);
+    let mut cfg =
+        wsn_simnet::ServeConfig::new(churn_cfg, readers, serve.clients, serve.queries_per_client);
+    cfg.route_radius = serve.route_radius;
+    cfg.coverage_radius = serve.coverage_radius;
+    cfg.cache_capacity = serve.cache_capacity;
+    cfg.seed = derive_seed(rep_seed, stream::CHURN);
+
+    let report = wsn_simnet::run_serve(points, &alive, kind, &cfg);
+
+    push(ch, "serve.initial_alive", deployed as f64);
+    push(ch, "serve.epochs", report.epochs as f64);
+    push(ch, "serve.clients", report.clients as f64);
+    push(ch, "serve.queries", report.queries as f64);
+    push(ch, "serve.errors", report.errors as f64);
+    push(ch, "serve.cache_lookups", report.cache_lookups as f64);
+    push(ch, "serve.cache_hits", report.cache_hits as f64);
+    if report.cache_lookups > 0 {
+        push(
+            ch,
+            "serve.cache_hit_fraction",
+            report.cache_hits as f64 / report.cache_lookups as f64,
+        );
+    }
+    push(ch, "serve.deaths", report.deaths_total as f64);
+    push(ch, "serve.joins", report.joins_total as f64);
+    push(ch, "serve.final_alive", report.final_alive as f64);
+    push(
+        ch,
+        "serve.snapshots_published",
+        report.snapshots_published as f64,
+    );
+    push(
+        ch,
+        "serve.snapshots_retired",
+        report.snapshots_retired as f64,
+    );
+    push(
+        ch,
+        "serve.max_live_snapshots",
+        report.max_live_snapshots as f64,
+    );
+    // Exactly representable 32-bit slices: the strongest pins a golden can
+    // carry as float channels — the final topology fingerprint (shared
+    // with the batch engine's `lifetime.graph_hash32`) and the folded
+    // query-answer digest (pins every route/k-NN/coverage/membership
+    // answer and the cache promotion rule at every thread count).
+    push(
+        ch,
+        "serve.graph_hash32",
+        (report.epoch_fingerprints.last().copied().unwrap_or(0) & 0xFFFF_FFFF) as f64,
+    );
+    push(
+        ch,
+        "serve.answer_digest32",
+        (report.answer_digest & 0xFFFF_FFFF) as f64,
+    );
+}
+
 /// Uniform ordered pairs of distinct node ids (the plain-topology analogue
 /// of [`sample_rep_pairs`]; same shared sampler, pool = every node).
 fn sample_node_pairs(n: usize, count: usize, seed: u64) -> Vec<(u32, u32)> {
@@ -645,6 +758,7 @@ mod tests {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 1,
         }
     }

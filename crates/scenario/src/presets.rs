@@ -11,7 +11,7 @@ use crate::report::Report;
 use crate::runner::{run_matrix, Profile};
 use crate::spec::{
     ChurnSpec, CoverageSpec, DeploymentSpec, ExecSpec, FaultSpec, MetricSuite, PowerSpec,
-    RoutingSpec, ScenarioMatrix, StretchSpec, TopologySpec,
+    RoutingSpec, ScenarioMatrix, ServeSpec, StretchSpec, TopologySpec,
 };
 use crate::substrate;
 
@@ -97,6 +97,11 @@ pub const PRESETS: &[Preset] = &[
         replaces: &[],
     },
     Preset {
+        name: "serve-snapshot",
+        title: "Serve: epoch-snapshot reads over clustered churn, answer digests pinned",
+        replaces: &[],
+    },
+    Preset {
         name: "percolation-pc",
         title: "Substrate: site-percolation theta(p), crossing probability, p_c",
         replaces: &["exp_pc"],
@@ -163,6 +168,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         },
         "stretch" => ScenarioMatrix {
@@ -179,6 +185,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         },
         "coverage" => ScenarioMatrix {
@@ -199,6 +206,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         },
         "coverage-logn" => ScenarioMatrix {
@@ -217,6 +225,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         },
         "power" => ScenarioMatrix {
@@ -242,6 +251,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         },
         "matern" => ScenarioMatrix {
@@ -272,6 +282,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         },
         "claim-udg" => ScenarioMatrix {
@@ -285,6 +296,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: profile.pick(8, 3),
         },
         "claim-nn" => ScenarioMatrix {
@@ -301,6 +313,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: profile.pick(6, 2),
         },
         "routing" => ScenarioMatrix {
@@ -319,6 +332,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         },
         "construct-cost" => ScenarioMatrix {
@@ -332,6 +346,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: profile.pick(2, 1),
         },
         "fault-resilience" => ScenarioMatrix {
@@ -354,6 +369,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         },
         // The network lives while batteries do: idle + relay drain kills
@@ -376,6 +392,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 join_rate: 0.0,
                 reserve_frac: 0.0,
             }),
+            serve: None,
             replications: 2,
         },
         // Clustered sector blackouts with a join reserve: every epoch ~15%
@@ -404,6 +421,7 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 join_rate: 1.0,
                 reserve_frac: 0.25,
             }),
+            serve: None,
             replications: 2,
         },
         // Tight blackouts on a wide window: each epoch kills only a few
@@ -434,6 +452,43 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 blast_radius: Some(1.0),
                 join_rate: 1.0,
                 reserve_frac: 0.15,
+            }),
+            serve: None,
+            replications: 2,
+        },
+        // The always-on topology service: a clustered-blackout schedule
+        // with joins runs under concurrent reader threads; the golden pins
+        // the per-client answer digests (routes incl. cache promotions,
+        // k-NN, coverage, membership) and the final topology fingerprint,
+        // at every RAYON_NUM_THREADS the workflow sweeps.
+        "serve-snapshot" => ScenarioMatrix {
+            sides: vec![profile.pick(16.0, 8.0)],
+            deployments: poisson(&[20.0]),
+            topologies: vec![
+                TopologySpec::Udg { radius: 1.0 },
+                TopologySpec::Rng { radius: 1.0 },
+                TopologySpec::Knn { k: 5 },
+            ],
+            faults: vec![None],
+            metrics: MetricSuite::default(),
+            exec: ExecSpec::monolithic(),
+            churn: None,
+            serve: Some(ServeSpec {
+                churn: ChurnSpec {
+                    epochs: profile.pick(8, 4),
+                    battery: 1e8,
+                    idle_cost: 0.0,
+                    traffic: 0,
+                    p_fail: 0.10,
+                    blast_radius: Some(1.2),
+                    join_rate: 1.0,
+                    reserve_frac: 0.2,
+                },
+                clients: profile.pick(8, 4),
+                queries_per_client: profile.pick(24, 10),
+                route_radius: 3.0,
+                coverage_radius: 1.0,
+                cache_capacity: 32,
             }),
             replications: 2,
         },

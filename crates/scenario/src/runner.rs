@@ -178,6 +178,7 @@ mod tests {
             },
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 3,
         }
     }

@@ -163,6 +163,33 @@ pub struct ChurnSpec {
     pub reserve_frac: f64,
 }
 
+/// Always-on topology service workload (the serve-mode read path).
+///
+/// When present, the replication runs `wsn_simnet::serve` instead of the
+/// static metric suite: the deployment churns under the cell's
+/// [`ChurnSpec`]-shaped schedule while reader threads answer route / k-NN
+/// / coverage / membership queries against epoch-pinned snapshots. Like
+/// [`ChurnSpec`] this is a *workload*, not a matrix axis. Reader-thread
+/// count is deliberately **not** part of the spec: serve answers are
+/// byte-identical at any thread count (the concurrency suite pins this),
+/// so the runner picks threads freely without touching golden bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeSpec {
+    /// Churn schedule the writer drives (traffic is always 0 in serve
+    /// mode: reads never debit batteries).
+    pub churn: ChurnSpec,
+    /// Query clients (each with its own route cache and digest).
+    pub clients: usize,
+    /// Queries per client per epoch.
+    pub queries_per_client: usize,
+    /// Route destinations are sampled within this radius of the source.
+    pub route_radius: f64,
+    /// Coverage / k-NN probe radius.
+    pub coverage_radius: f64,
+    /// Per-client LRU route-cache capacity.
+    pub cache_capacity: usize,
+}
+
 /// Euclidean-stretch sampling (property P2).
 #[derive(Clone, Debug, PartialEq)]
 pub struct StretchSpec {
@@ -240,6 +267,9 @@ pub struct ScenarioSpec {
     /// Lifetime workload (not an axis; replaces the static metric suite
     /// when present — see [`ChurnSpec`]).
     pub churn: Option<ChurnSpec>,
+    /// Serve workload (not an axis; replaces the static metric suite when
+    /// present — see [`ServeSpec`]; takes precedence over `churn`).
+    pub serve: Option<ServeSpec>,
     /// Independent replications (each with its own derived seed).
     pub replications: usize,
 }
@@ -278,6 +308,8 @@ pub struct ScenarioMatrix {
     pub exec: ExecSpec,
     /// Lifetime workload shared by every cell (not an axis).
     pub churn: Option<ChurnSpec>,
+    /// Serve workload shared by every cell (not an axis).
+    pub serve: Option<ServeSpec>,
     pub replications: usize,
 }
 
@@ -299,6 +331,7 @@ impl ScenarioMatrix {
                             metrics: self.metrics.clone(),
                             exec: self.exec,
                             churn: self.churn,
+                            serve: self.serve,
                             replications: self.replications,
                         });
                     }
@@ -323,6 +356,7 @@ mod tests {
             metrics: MetricSuite::default(),
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 2,
         };
         let cells = m.expand();
@@ -351,6 +385,7 @@ mod tests {
             metrics: MetricSuite::default(),
             exec: ExecSpec::monolithic(),
             churn: None,
+            serve: None,
             replications: 1,
         };
         assert_eq!(

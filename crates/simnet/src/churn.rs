@@ -247,13 +247,13 @@ impl LifetimeReport {
 
 /// Uniform f64 in `[0, 1)` from one hash word.
 #[inline]
-fn u01(x: u64) -> f64 {
+pub(crate) fn u01(x: u64) -> f64 {
     (mix64(x) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Uniform index in `[0, len)` from one hash word.
 #[inline]
-fn pick(x: u64, len: usize) -> usize {
+pub(crate) fn pick(x: u64, len: usize) -> usize {
     (mix64(x) % len as u64) as usize
 }
 
@@ -377,16 +377,18 @@ impl Maintained {
     }
 }
 
-/// Battery/death/join bookkeeping shared by the plain and SENS loops.
-struct Population {
-    battery: Vec<f64>,
+/// Battery/death/join bookkeeping shared by the plain and SENS loops —
+/// and by [`crate::serve`], which replays the *same* death/join schedule
+/// so serve-mode per-epoch fingerprints line up with batch-mode goldens.
+pub(crate) struct Population {
+    pub(crate) battery: Vec<f64>,
     /// Reserve ids (initially dead), admitted in ascending-id order.
     reserve: Vec<u32>,
     reserve_next: usize,
 }
 
 impl Population {
-    fn new(n: usize, initial_alive: &[bool], battery: f64) -> Self {
+    pub(crate) fn new(n: usize, initial_alive: &[bool], battery: f64) -> Self {
         Population {
             battery: initial_alive
                 .iter()
@@ -402,7 +404,7 @@ impl Population {
     /// Battery-depleted + random deaths for this epoch, ascending ids.
     /// Every draw is a pure function of `(seed, epoch, node)` or
     /// `(seed, epoch, blast centre)`.
-    fn select_deaths(
+    pub(crate) fn select_deaths(
         &self,
         points: &PointSet,
         alive: &[bool],
@@ -458,7 +460,7 @@ impl Population {
 
     /// Admit `round(join_rate × deaths)` reserve nodes (ascending ids),
     /// charging each a fresh battery. Returns ids and battery mass added.
-    fn admit_joins(&mut self, deaths: usize, cfg: &ChurnConfig) -> (Vec<u32>, f64) {
+    pub(crate) fn admit_joins(&mut self, deaths: usize, cfg: &ChurnConfig) -> (Vec<u32>, f64) {
         let want = (cfg.join_rate * deaths as f64).round() as usize;
         let take = want.min(self.reserve.len() - self.reserve_next);
         let joins = self.reserve[self.reserve_next..self.reserve_next + take].to_vec();

@@ -1,0 +1,982 @@
+//! The always-on topology service: epoch-snapshot reads over a churning
+//! network.
+//!
+//! Everything else in the repo is batch — build, churn, report. This
+//! module is the read path the paper's topologies exist to power: a
+//! long-running loop that keeps an [`IncrementalGraph`] live under a churn
+//! schedule while many client threads query it concurrently.
+//!
+//! ## Snapshot model (RCU)
+//!
+//! The writer owns the graph. Each epoch it selects deaths and joins with
+//! the *same* `Population` schedule the batch engine uses, splices the
+//! repair in place, then captures an immutable [`Snapshot`] — chunked CSR,
+//! alive state, component labels, fingerprint, and the repair's dirty
+//! extents — and publishes it through a [`wsn_graph::EpochPublisher`].
+//! Readers pin an epoch guard and never block on the splice: while the
+//! writer mutates the live graph for epoch *e+1*, readers keep serving
+//! epoch *e* from the pinned capture. A superseded snapshot retires when
+//! its last guard drops, so resident snapshots stay bounded (the soak test
+//! pins this).
+//!
+//! ## Query engine
+//!
+//! Four query kinds run against a pinned snapshot: route between two
+//! nearby nodes (BFS over the snapshot CSR), k nearest *alive* sensors,
+//! coverage at a probe point, and component/giant membership. Routes go
+//! through a per-client LRU cache; at each epoch boundary the cache is
+//! swept by the repair's dirty extents — an entry survives promotion to
+//! the new epoch only if no node of its path lies inside any dirty extent
+//! *and* every hop still exists in the new snapshot (k-NN straggler edges
+//! can move without local churn, so the extent test alone is not a proof).
+//! A served route is therefore always *valid* on the pinned snapshot,
+//! though a promoted one may be stale-optimal.
+//!
+//! ## Determinism contract
+//!
+//! Every query is a pure function of `(seed, epoch, client, query)`, each
+//! client's cache is touched only by that client's queries in query order,
+//! and each client is owned by exactly one reader thread. Per-client
+//! answer digests are therefore byte-identical across reader-thread
+//! counts *and* equal to [`run_replay`], the single-threaded oracle that
+//! drives the same engine code serially — the differential suite in
+//! `tests/serve_concurrency.rs` pins exactly this.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::churn::{cold_sharded_rebuild, pick, u01, ChurnConfig, Population};
+use wsn_geom::hash::{derive_seed, derive_seed2, mix64};
+use wsn_geom::{Aabb, Point};
+use wsn_graph::components::connected_components;
+use wsn_graph::{fingerprint, ChunkedCsr, EpochPublisher, GraphView, SnapshotStats, UNREACHABLE};
+use wsn_pointproc::PointSet;
+use wsn_rgg::{IncTopology, IncrementalGraph};
+use wsn_spatial::GridIndex;
+
+/// Seed stream of the query workload (distinct from the churn engine's
+/// TRAFFIC/FAIL/BLAST streams so serving never perturbs the schedule).
+mod stream {
+    pub const QUERY: u64 = 0x14;
+}
+
+/// FNV offset basis — the digest accumulator's starting value.
+const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Configuration of one serve run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Churn schedule (epochs, failure model, join rate, battery).
+    /// `traffic_per_epoch` is ignored: serve reads never debit batteries,
+    /// which is what lets serve fingerprints match a zero-traffic batch
+    /// run of the same schedule.
+    pub churn: ChurnConfig,
+    /// Reader threads. 0 is rejected; 1 still exercises the full
+    /// publish/pin machinery.
+    pub readers: usize,
+    /// Query clients, partitioned over readers by `client % readers`.
+    pub clients: usize,
+    /// Queries per client per epoch.
+    pub queries_per_client: usize,
+    /// Route destinations are sampled among alive nodes within this radius
+    /// of the source (keeps early-exit BFS cost bounded at any scale).
+    pub route_radius: f64,
+    /// Coverage probes ask for an alive sensor within this radius.
+    pub coverage_radius: f64,
+    /// k of a k-NN query is drawn from `1..=knn_max`.
+    pub knn_max: usize,
+    /// Per-client LRU route-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Route-source hot set: 0 draws sources uniformly over the alive
+    /// population; `h > 0` draws them from the first `min(h, alive)` alive
+    /// ids — the gateway/sink traffic model under which a bounded LRU can
+    /// actually accumulate hits at deployment scale.
+    pub hot_routes: usize,
+    /// Base seed of the whole run (churn + queries).
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A serve run with the headline knobs set and query-shape defaults.
+    pub fn new(churn: ChurnConfig, readers: usize, clients: usize, queries: usize) -> Self {
+        assert!(readers >= 1, "need at least one reader thread");
+        assert!(clients >= 1, "need at least one client");
+        ServeConfig {
+            churn,
+            readers,
+            clients,
+            queries_per_client: queries,
+            route_radius: 3.0,
+            coverage_radius: 1.0,
+            knn_max: 8,
+            cache_capacity: 32,
+            hot_routes: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// One epoch's immutable published state: everything a reader needs to
+/// answer queries without touching the live graph.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub epoch: u64,
+    /// The repaired adjacency in universe id space (dead nodes isolated).
+    pub csr: ChunkedCsr,
+    pub alive: Vec<bool>,
+    /// Alive universe ids, ascending.
+    pub alive_ids: Vec<u32>,
+    /// Component label per universe node on `csr`.
+    pub comp_label: Vec<u32>,
+    /// Label of the giant (largest) component; `u32::MAX` when empty.
+    pub giant_label: u32,
+    /// Semantic fingerprint of `csr` — asserted equal to the live graph's
+    /// post-splice fingerprint at capture (the batch `graph_hash` channel).
+    pub fingerprint: u64,
+    /// Merged padded extents of the repair that produced this epoch —
+    /// the route-cache invalidation footprint.
+    pub dirty_extents: Vec<Aabb>,
+}
+
+impl Snapshot {
+    /// Capture the published view of `g` after its epoch repair. Asserts
+    /// the capture's fingerprint equals the live post-splice graph's — the
+    /// channel-sharing contract between serve mode and batch mode.
+    pub fn capture(epoch: u64, g: &IncrementalGraph) -> Snapshot {
+        let csr = g.graph().clone();
+        let fp = fingerprint(&csr);
+        assert_eq!(
+            fp,
+            fingerprint(g.graph()),
+            "published snapshot fingerprint diverged from the live \
+             post-splice graph at epoch {epoch}"
+        );
+        let comps = connected_components(&csr);
+        let giant = comps.largest();
+        let giant_label = giant.first().map_or(u32::MAX, |&u| comps.label[u as usize]);
+        let alive = g.alive().to_vec();
+        let alive_ids: Vec<u32> = (0..alive.len() as u32)
+            .filter(|&u| alive[u as usize])
+            .collect();
+        Snapshot {
+            epoch,
+            csr,
+            alive,
+            alive_ids,
+            comp_label: comps.label,
+            giant_label,
+            fingerprint: fp,
+            dirty_extents: g.dirty_extents().to_vec(),
+        }
+    }
+
+    /// Whether every hop of `path` exists on this snapshot and every node
+    /// is alive — the promotion check for cached routes.
+    pub fn path_valid(&self, path: &[u32]) -> bool {
+        if path.iter().any(|&u| !self.alive[u as usize]) {
+            return false;
+        }
+        path.windows(2).all(|w| self.csr.has_edge(w[0], w[1]))
+    }
+}
+
+/// One cached route.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    src: u32,
+    dst: u32,
+    path: Vec<u32>,
+    /// Epoch the entry is valid for (bumped by promotion).
+    epoch: u64,
+}
+
+/// A small deterministic LRU of routes, owned by one client.
+///
+/// Entries are keyed `(src, dst)`; the epoch tag records the snapshot the
+/// path was last validated against. [`RouteCache::advance_epoch`] is the
+/// invalidation rule the proptests pin: an entry is promoted to the new
+/// epoch only if no node of its path lies inside any dirty extent and the
+/// whole path is still valid on the new snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct RouteCache {
+    cap: usize,
+    /// MRU-first order; linear scan is deterministic and fine at serve
+    /// cache sizes (≤ a few dozen entries).
+    entries: Vec<CacheEntry>,
+}
+
+impl RouteCache {
+    pub fn new(cap: usize) -> Self {
+        RouteCache {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a route for `(src, dst)`, refreshing its LRU position.
+    pub fn get(&mut self, src: u32, dst: u32) -> Option<&[u32]> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.src == src && e.dst == dst)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(&self.entries[0].path)
+    }
+
+    /// Insert a freshly computed route, evicting the LRU tail at capacity.
+    pub fn insert(&mut self, src: u32, dst: u32, path: Vec<u32>, epoch: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        self.entries.retain(|e| !(e.src == src && e.dst == dst));
+        self.entries.insert(
+            0,
+            CacheEntry {
+                src,
+                dst,
+                path,
+                epoch,
+            },
+        );
+        self.entries.truncate(self.cap);
+    }
+
+    /// Epoch-boundary sweep: drop every entry whose path touches a dirty
+    /// extent or no longer validates on the new snapshot; promote the
+    /// survivors to `epoch`.
+    pub fn advance_epoch(
+        &mut self,
+        epoch: u64,
+        dirty: &[Aabb],
+        points: &PointSet,
+        mut still_valid: impl FnMut(&[u32]) -> bool,
+    ) {
+        self.entries.retain_mut(|e| {
+            debug_assert!(e.epoch < epoch, "promotion must move forward");
+            let crosses = e
+                .path
+                .iter()
+                .any(|&u| dirty.iter().any(|x| x.contains(points.get(u))));
+            if crosses || !still_valid(&e.path) {
+                return false;
+            }
+            e.epoch = epoch;
+            true
+        });
+    }
+
+    /// Entries whose path has a node inside any of `dirty` — must be zero
+    /// after [`RouteCache::advance_epoch`] with those extents (pinned by
+    /// the cache proptest).
+    pub fn paths_crossing(&self, dirty: &[Aabb], points: &PointSet) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| {
+                e.path
+                    .iter()
+                    .any(|&u| dirty.iter().any(|x| x.contains(points.get(u))))
+            })
+            .count()
+    }
+
+    /// The epoch tags of the resident entries (test observability).
+    pub fn epochs(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.epoch).collect()
+    }
+}
+
+/// Reusable BFS workspace (stamped visited array: no O(n) clear per
+/// query). One per reader thread; results are independent of which
+/// scratch instance served a query.
+struct BfsScratch {
+    parent: Vec<u32>,
+    stamp: Vec<u64>,
+    mark: u64,
+    queue: Vec<u32>,
+}
+
+impl BfsScratch {
+    fn new(n: usize) -> Self {
+        BfsScratch {
+            parent: vec![UNREACHABLE; n],
+            stamp: vec![0; n],
+            mark: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Early-exit BFS path, identical order to [`wsn_graph::bfs::path`]
+    /// (FIFO over ascending adjacency): same path, amortised O(visited).
+    fn path<G: GraphView + ?Sized>(&mut self, g: &G, src: u32, dst: u32) -> Option<Vec<u32>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        self.mark += 1;
+        let mark = self.mark;
+        self.queue.clear();
+        self.stamp[src as usize] = mark;
+        self.parent[src as usize] = src;
+        self.queue.push(src);
+        let mut head = 0;
+        let mut found = false;
+        'outer: while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &v in g.neighbors(u) {
+                if self.stamp[v as usize] != mark {
+                    self.stamp[v as usize] = mark;
+                    self.parent[v as usize] = u;
+                    if v == dst {
+                        found = true;
+                        break 'outer;
+                    }
+                    self.queue.push(v);
+                }
+            }
+        }
+        if !found {
+            return None;
+        }
+        let mut p = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = self.parent[cur as usize];
+            p.push(cur);
+        }
+        p.reverse();
+        Some(p)
+    }
+}
+
+/// Per-client query state: the route cache plus the running answer digest.
+struct ClientState {
+    cache: RouteCache,
+    digest: u64,
+    cache_hits: u64,
+    cache_lookups: u64,
+    errors: u64,
+}
+
+impl ClientState {
+    fn new(cap: usize) -> Self {
+        ClientState {
+            cache: RouteCache::new(cap),
+            digest: DIGEST_SEED,
+            cache_hits: 0,
+            cache_lookups: 0,
+            errors: 0,
+        }
+    }
+
+    fn absorb(&mut self, word: u64) {
+        self.digest = mix64(self.digest ^ word);
+    }
+}
+
+/// Fold a path into one digest word (length + node sequence).
+fn path_word(path: Option<&[u32]>) -> u64 {
+    match path {
+        None => 0x6e6f_726f_7574_6500, // "no route"
+        Some(p) => {
+            let mut d = DIGEST_SEED ^ p.len() as u64;
+            for &u in p {
+                d = mix64(d ^ u as u64);
+            }
+            d
+        }
+    }
+}
+
+/// What one run of the service produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeReport {
+    pub epochs: u64,
+    pub readers: usize,
+    pub clients: usize,
+    /// Queries answered (all kinds, all clients, all epochs).
+    pub queries: u64,
+    /// Queries that could not be evaluated (empty alive population).
+    pub errors: u64,
+    pub cache_hits: u64,
+    pub cache_lookups: u64,
+    /// Wall-clock of the whole run (epoch loop + readers).
+    pub wall_secs: f64,
+    /// Sustained queries per second over the run's wall clock.
+    pub qps: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    /// Post-repair fingerprint per epoch — equal to the batch engine's
+    /// `graph_hash` channel for the same `(universe, kind, churn, seed)`.
+    pub epoch_fingerprints: Vec<u64>,
+    /// Per-client answer digests, index = client id. The differential
+    /// suite's byte-identity witness.
+    pub client_digests: Vec<u64>,
+    /// All client digests folded in client order.
+    pub answer_digest: u64,
+    pub deaths_total: u64,
+    pub joins_total: u64,
+    pub final_alive: u64,
+    /// Snapshot accounting at quiescence (publisher dropped, guards gone).
+    pub snapshots_published: u64,
+    pub snapshots_retired: u64,
+    /// Peak resident snapshots observed at any publish point — the soak
+    /// test's no-leak bound.
+    pub max_live_snapshots: u64,
+}
+
+/// Output of one reader thread: the states of its clients plus latencies.
+struct ReaderOutput {
+    /// `(client id, final state)` for every client this reader owned.
+    clients: Vec<(usize, ClientState)>,
+    latency_ns: Vec<u64>,
+}
+
+/// Run one client's queries for one epoch against a pinned snapshot.
+/// Shared verbatim by the concurrent serve loop and the replay oracle —
+/// byte-identity between them is identity of *inputs*, not luck.
+#[allow(clippy::too_many_arguments)]
+fn run_client_epoch(
+    snap: &Snapshot,
+    index: &GridIndex,
+    points: &PointSet,
+    window: &Aabb,
+    cfg: &ServeConfig,
+    client: usize,
+    state: &mut ClientState,
+    scratch: &mut BfsScratch,
+    latency_ns: &mut Vec<u64>,
+) {
+    // Promote / evict cached routes across the epoch boundary. Epoch 0
+    // starts with an empty cache, so `advance_epoch` is vacuous there.
+    state
+        .cache
+        .advance_epoch(snap.epoch, &snap.dirty_extents, points, |p| {
+            snap.path_valid(p)
+        });
+    let cseed = derive_seed2(
+        derive_seed(cfg.seed, stream::QUERY),
+        snap.epoch,
+        client as u64,
+    );
+    let mut in_disk = Vec::new();
+    for qi in 0..cfg.queries_per_client as u64 {
+        let h = derive_seed2(cseed, qi, 0);
+        let t0 = Instant::now();
+        if snap.alive_ids.is_empty() {
+            state.errors += 1;
+            state.absorb(0xdead);
+            latency_ns.push(t0.elapsed().as_nanos() as u64);
+            continue;
+        }
+        // Kind mix: routes dominate (they are what the cache serves).
+        match h % 6 {
+            0..=2 => {
+                // Route between a node and a nearby alive node.
+                let pool = if cfg.hot_routes > 0 {
+                    cfg.hot_routes.min(snap.alive_ids.len())
+                } else {
+                    snap.alive_ids.len()
+                };
+                let src = snap.alive_ids[pick(derive_seed2(cseed, qi, 1), pool)];
+                in_disk.clear();
+                index.in_disk(points.get(src), cfg.route_radius, &mut in_disk);
+                in_disk.retain(|&u| snap.alive[u as usize] && u != src);
+                in_disk.sort_unstable();
+                let dst = if in_disk.is_empty() {
+                    src
+                } else {
+                    in_disk[pick(derive_seed2(cseed, qi, 2), in_disk.len())]
+                };
+                state.cache_lookups += 1;
+                let word = if let Some(path) = state.cache.get(src, dst) {
+                    state.cache_hits += 1;
+                    path_word(Some(path))
+                } else {
+                    let path = scratch.path(&snap.csr, src, dst);
+                    let w = path_word(path.as_deref());
+                    if let Some(p) = path {
+                        state.cache.insert(src, dst, p, snap.epoch);
+                    }
+                    w
+                };
+                state.absorb(word);
+            }
+            3 => {
+                // k nearest alive sensors to a probe point.
+                let q = sample_point(window, derive_seed2(cseed, qi, 3));
+                let k = 1 + (derive_seed2(cseed, qi, 4) % cfg.knn_max.max(1) as u64) as usize;
+                let ids = k_nearest_alive(index, points, &snap.alive, q, k, cfg.coverage_radius);
+                let mut d = DIGEST_SEED ^ ids.len() as u64;
+                for &u in &ids {
+                    d = mix64(d ^ u as u64);
+                }
+                state.absorb(d);
+            }
+            4 => {
+                // Coverage: alive sensors within the sensing radius of a
+                // probe point.
+                let q = sample_point(window, derive_seed2(cseed, qi, 5));
+                let mut covered = 0u64;
+                index.for_each_in_disk(q, cfg.coverage_radius, |u, _| {
+                    if snap.alive[u as usize] {
+                        covered += 1;
+                    }
+                });
+                state.absorb(mix64(0xc0_0e1a ^ covered));
+            }
+            _ => {
+                // Component / giant membership of a random alive pair.
+                let u = snap.alive_ids[pick(derive_seed2(cseed, qi, 6), snap.alive_ids.len())];
+                let v = snap.alive_ids[pick(derive_seed2(cseed, qi, 7), snap.alive_ids.len())];
+                let same = (snap.comp_label[u as usize] == snap.comp_label[v as usize]) as u64;
+                let giant = (snap.comp_label[u as usize] == snap.giant_label) as u64;
+                state.absorb(mix64(0x91a27 ^ (same << 1) ^ giant));
+            }
+        }
+        latency_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Uniform point in `window` from one hash word.
+fn sample_point(window: &Aabb, h: u64) -> Point {
+    Point::new(
+        window.min.x + window.width() * u01(derive_seed2(h, 0, 0)),
+        window.min.y + window.height() * u01(derive_seed2(h, 0, 1)),
+    )
+}
+
+/// k nearest *alive* sensors by expanding-ring search over the universe
+/// index (ties broken by id; fully deterministic).
+fn k_nearest_alive(
+    index: &GridIndex,
+    points: &PointSet,
+    alive: &[bool],
+    q: Point,
+    k: usize,
+    r0: f64,
+) -> Vec<u32> {
+    let mut r = r0.max(1e-9);
+    let diag = {
+        let bb = index.points().bounding_box();
+        bb.map_or(1.0, |b| b.width().hypot(b.height()))
+    };
+    let mut ids: Vec<u32> = Vec::new();
+    loop {
+        ids.clear();
+        index.for_each_in_disk(q, r, |u, _| {
+            if alive[u as usize] {
+                ids.push(u);
+            }
+        });
+        if ids.len() >= k || r > diag {
+            break;
+        }
+        r *= 2.0;
+    }
+    let mut with_d: Vec<(f64, u32)> = ids.iter().map(|&u| (q.dist_sq(points.get(u)), u)).collect();
+    with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    with_d.truncate(k);
+    with_d.into_iter().map(|(_, u)| u).collect()
+}
+
+/// All-readers-done-with-epoch barrier (writer side of the lockstep).
+struct EpochBarrier {
+    done: std::sync::Mutex<Vec<usize>>,
+    cond: std::sync::Condvar,
+}
+
+impl EpochBarrier {
+    fn new(epochs: usize) -> Self {
+        EpochBarrier {
+            done: std::sync::Mutex::new(vec![0; epochs]),
+            cond: std::sync::Condvar::new(),
+        }
+    }
+
+    fn reader_done(&self, epoch: u64) {
+        let mut done = self.done.lock().unwrap();
+        done[epoch as usize] += 1;
+        drop(done);
+        self.cond.notify_all();
+    }
+
+    fn wait_all_done(&self, epoch: u64, readers: usize) {
+        let mut done = self.done.lock().unwrap();
+        while done[epoch as usize] < readers {
+            done = self.cond.wait(done).unwrap();
+        }
+    }
+}
+
+/// Run the service: writer repairs and publishes, `cfg.readers` threads
+/// serve the query workload. See module docs for the concurrency model.
+pub fn run_serve(
+    points: &PointSet,
+    initial_alive: &[bool],
+    kind: IncTopology,
+    cfg: &ServeConfig,
+) -> ServeReport {
+    run_service(points, initial_alive, kind, cfg, true)
+}
+
+/// The single-threaded oracle: identical schedule, identical engine code,
+/// clients executed serially in id order on the writer thread. The
+/// differential suite asserts `run_serve` output is byte-identical.
+pub fn run_replay(
+    points: &PointSet,
+    initial_alive: &[bool],
+    kind: IncTopology,
+    cfg: &ServeConfig,
+) -> ServeReport {
+    run_service(points, initial_alive, kind, cfg, false)
+}
+
+fn run_service(
+    points: &PointSet,
+    initial_alive: &[bool],
+    kind: IncTopology,
+    cfg: &ServeConfig,
+    concurrent: bool,
+) -> ServeReport {
+    assert_eq!(points.len(), initial_alive.len());
+    assert!(cfg.readers >= 1, "need at least one reader thread");
+    assert!(cfg.clients >= 1, "need at least one client");
+    assert!(cfg.churn.epochs >= 1, "need at least one epoch");
+    let epochs = cfg.churn.epochs;
+    let window = points.bounding_box().unwrap_or_else(|| Aabb::square(1.0));
+    let cell = cfg.route_radius.max(cfg.coverage_radius).max(1e-9);
+    let index = GridIndex::build(points, cell);
+
+    let mut g = IncrementalGraph::build(
+        points.clone(),
+        initial_alive.to_vec(),
+        kind,
+        cfg.churn.repair_tiles,
+    );
+    let mut pop = Population::new(points.len(), initial_alive, cfg.churn.battery);
+    let publisher: EpochPublisher<Snapshot> = EpochPublisher::new();
+    let barrier = EpochBarrier::new(epochs);
+
+    let mut epoch_fingerprints = Vec::with_capacity(epochs);
+    let (mut deaths_total, mut joins_total) = (0u64, 0u64);
+    let mut max_live = 0u64;
+    let started = Instant::now();
+
+    let mut reader_outputs: Vec<ReaderOutput> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        if concurrent {
+            for r in 0..cfg.readers {
+                let handle = publisher.handle();
+                let barrier = &barrier;
+                let index = &index;
+                let cfg_ref = cfg;
+                handles.push(scope.spawn(move || {
+                    let mut scratch = BfsScratch::new(points.len());
+                    let mut clients: Vec<(usize, ClientState)> = (0..cfg_ref.clients)
+                        .filter(|c| c % cfg_ref.readers == r)
+                        .map(|c| (c, ClientState::new(cfg_ref.cache_capacity)))
+                        .collect();
+                    let mut latency_ns = Vec::new();
+                    for epoch in 0..epochs as u64 {
+                        let guard = handle
+                            .wait_for(epoch)
+                            .expect("publisher outlives the reader loop");
+                        // The barrier guarantees the writer cannot have
+                        // published past the epoch we are waiting on.
+                        assert_eq!(guard.epoch(), epoch, "reader skipped an epoch");
+                        for (c, state) in clients.iter_mut() {
+                            run_client_epoch(
+                                &guard,
+                                index,
+                                points,
+                                &window,
+                                cfg_ref,
+                                *c,
+                                state,
+                                &mut scratch,
+                                &mut latency_ns,
+                            );
+                        }
+                        drop(guard);
+                        barrier.reader_done(epoch);
+                    }
+                    ReaderOutput {
+                        clients,
+                        latency_ns,
+                    }
+                }));
+            }
+        }
+
+        // Replay-mode client states, driven inline on the writer thread.
+        let mut replay_clients: Vec<ClientState> = if concurrent {
+            Vec::new()
+        } else {
+            (0..cfg.clients)
+                .map(|_| ClientState::new(cfg.cache_capacity))
+                .collect()
+        };
+        let mut replay_scratch = BfsScratch::new(if concurrent { 0 } else { points.len() });
+        let mut replay_latency = Vec::new();
+
+        for epoch in 0..epochs as u64 {
+            let (deaths, _, _) =
+                pop.select_deaths(points, g.alive(), &window, &cfg.churn, cfg.seed, epoch);
+            let (joins, _) = pop.admit_joins(deaths.len(), &cfg.churn);
+            deaths_total += deaths.len() as u64;
+            joins_total += joins.len() as u64;
+            // The splice below runs while readers are still serving the
+            // previous epoch from their pinned guards — reads never block
+            // on repair.
+            g.apply_churn(&deaths, &joins);
+            if cfg.churn.verify {
+                assert!(
+                    g.verify_cold(),
+                    "incremental repair diverged from cold rebuild at epoch {epoch}"
+                );
+            }
+            let snap = Snapshot::capture(epoch, &g);
+            epoch_fingerprints.push(snap.fingerprint);
+            if concurrent {
+                if epoch > 0 {
+                    // Lockstep: nobody may still be reading epoch-1 when
+                    // its successor is published, so every reader sees
+                    // every epoch exactly once.
+                    barrier.wait_all_done(epoch - 1, cfg.readers);
+                }
+                publisher.publish(epoch, snap);
+                max_live = max_live.max(publisher.stats().live_snapshots());
+            } else {
+                for (c, state) in replay_clients.iter_mut().enumerate() {
+                    run_client_epoch(
+                        &snap,
+                        &index,
+                        points,
+                        &window,
+                        cfg,
+                        c,
+                        state,
+                        &mut replay_scratch,
+                        &mut replay_latency,
+                    );
+                }
+                max_live = 1;
+            }
+        }
+        if concurrent {
+            barrier.wait_all_done(epochs as u64 - 1, cfg.readers);
+            for h in handles {
+                reader_outputs.push(h.join().expect("reader thread panicked"));
+            }
+        } else {
+            reader_outputs.push(ReaderOutput {
+                clients: replay_clients.into_iter().enumerate().collect(),
+                latency_ns: replay_latency,
+            });
+        }
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // Quiesce: drop the publisher so the final snapshot retires, then read
+    // the accounting (guards are gone — the readers joined).
+    let handle = publisher.handle();
+    drop(publisher);
+    let stats: SnapshotStats = handle.stats();
+
+    // Merge per-client results in client-id order (digest order must not
+    // depend on the reader partition).
+    let mut client_digests = vec![0u64; cfg.clients];
+    let (mut cache_hits, mut cache_lookups, mut errors) = (0u64, 0u64, 0u64);
+    let mut latency_ns: Vec<u64> = Vec::new();
+    for out in &mut reader_outputs {
+        for (c, state) in &out.clients {
+            client_digests[*c] = state.digest;
+            cache_hits += state.cache_hits;
+            cache_lookups += state.cache_lookups;
+            errors += state.errors;
+        }
+        latency_ns.append(&mut out.latency_ns);
+    }
+    let mut answer_digest = DIGEST_SEED;
+    for &d in &client_digests {
+        answer_digest = mix64(answer_digest ^ d);
+    }
+    latency_ns.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latency_ns.is_empty() {
+            return 0.0;
+        }
+        let i = ((latency_ns.len() - 1) as f64 * q).round() as usize;
+        latency_ns[i] as f64 / 1_000.0
+    };
+    let queries = (cfg.clients * cfg.queries_per_client * epochs) as u64;
+    let final_alive = g.n_alive() as u64;
+
+    ServeReport {
+        epochs: epochs as u64,
+        readers: if concurrent { cfg.readers } else { 1 },
+        clients: cfg.clients,
+        queries,
+        errors,
+        cache_hits,
+        cache_lookups,
+        wall_secs,
+        qps: if wall_secs > 0.0 {
+            queries as f64 / wall_secs
+        } else {
+            0.0
+        },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        epoch_fingerprints,
+        client_digests,
+        answer_digest,
+        deaths_total,
+        joins_total,
+        final_alive,
+        snapshots_published: stats.published,
+        snapshots_retired: stats.retired,
+        max_live_snapshots: max_live,
+    }
+}
+
+/// Compare a serve run's per-epoch fingerprints against a batch lifetime
+/// run's `graph_hash` channel (convenience for the regression test and
+/// the `serve --verify` CLI path): both must walk identical topologies
+/// when given the same `(universe, kind, churn, seed)`.
+pub fn fingerprints_match_batch(
+    report: &ServeReport,
+    batch: &crate::churn::LifetimeReport,
+) -> bool {
+    report.epoch_fingerprints.len() == batch.epochs.len()
+        && report
+            .epoch_fingerprints
+            .iter()
+            .zip(&batch.epochs)
+            .all(|(fp, e)| *fp == e.graph_hash)
+}
+
+/// Cold reference for the snapshot capture (tests): the captured CSR must
+/// fingerprint-match a cold sharded rebuild of the same alive set.
+pub fn cold_fingerprint(points: &PointSet, alive: &[bool], kind: IncTopology) -> u64 {
+    fingerprint(&cold_sharded_rebuild(points, alive, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use wsn_pointproc::{rng_from_seed, sample_poisson_window};
+
+    fn universe(seed: u64, side: f64, lambda: f64, reserve: f64) -> (PointSet, Vec<bool>) {
+        let pts = sample_poisson_window(&mut rng_from_seed(seed), lambda, &Aabb::square(side));
+        let n = pts.len();
+        let deployed = n - (reserve * n as f64).round() as usize;
+        (pts, (0..n).map(|i| i < deployed).collect())
+    }
+
+    fn small_cfg(epochs: usize, readers: usize) -> ServeConfig {
+        let mut churn = ChurnConfig::new(epochs, 1e9, 0, 0.08, 1.0);
+        churn.churn_model = ChurnModel::Clustered { radius: 1.5 };
+        churn.verify = false;
+        let mut cfg = ServeConfig::new(churn, readers, 6, 12);
+        cfg.seed = 0xABCD;
+        cfg
+    }
+
+    #[test]
+    fn serve_matches_replay_on_a_small_network() {
+        let (pts, alive) = universe(11, 8.0, 18.0, 0.2);
+        let cfg = small_cfg(3, 4);
+        let kind = IncTopology::Udg { radius: 1.0 };
+        let serve = run_serve(&pts, &alive, kind, &cfg);
+        let replay = run_replay(&pts, &alive, kind, &cfg);
+        assert_eq!(serve.client_digests, replay.client_digests);
+        assert_eq!(serve.answer_digest, replay.answer_digest);
+        assert_eq!(serve.epoch_fingerprints, replay.epoch_fingerprints);
+        assert_eq!(serve.cache_hits, replay.cache_hits);
+        assert_eq!(serve.errors, 0);
+        assert_eq!(serve.queries, (6 * 12 * 3) as u64);
+    }
+
+    #[test]
+    fn serve_snapshot_accounting_is_leak_free() {
+        let (pts, alive) = universe(12, 8.0, 18.0, 0.2);
+        let cfg = small_cfg(4, 2);
+        let r = run_serve(&pts, &alive, IncTopology::Rng { radius: 1.0 }, &cfg);
+        assert_eq!(r.snapshots_published, 4);
+        assert_eq!(
+            r.snapshots_retired, r.snapshots_published,
+            "every snapshot must retire at quiescence"
+        );
+        assert!(
+            r.max_live_snapshots <= 2,
+            "lockstep keeps residency bounded"
+        );
+        assert!(r.qps > 0.0);
+    }
+
+    #[test]
+    fn serve_fingerprints_equal_zero_traffic_batch_run() {
+        let (pts, alive) = universe(13, 8.0, 16.0, 0.25);
+        let cfg = small_cfg(3, 2);
+        let kind = IncTopology::Udg { radius: 1.0 };
+        let serve = run_serve(&pts, &alive, kind, &cfg);
+        let mut batch_cfg = cfg.churn;
+        batch_cfg.traffic_per_epoch = 0;
+        let batch = crate::churn::simulate_lifetime_plain(&pts, &alive, kind, &batch_cfg, cfg.seed);
+        assert!(fingerprints_match_batch(&serve, &batch));
+    }
+
+    #[test]
+    fn route_cache_serves_hits_within_an_epoch() {
+        let (pts, alive) = universe(14, 4.0, 2.5, 0.0);
+        let mut cfg = small_cfg(2, 1);
+        cfg.churn.p_fail = 0.0; // stable pairs: cross-epoch promotion hits too
+        cfg.queries_per_client = 300; // enough route repeats to collide
+        cfg.cache_capacity = 512;
+        cfg.clients = 2;
+        let r = run_serve(&pts, &alive, IncTopology::Udg { radius: 1.0 }, &cfg);
+        assert!(r.cache_lookups > 0);
+        assert!(r.cache_hits > 0, "repeated nearby routes must hit the LRU");
+    }
+
+    #[test]
+    fn cache_disabled_still_matches_replay() {
+        let (pts, alive) = universe(15, 6.0, 20.0, 0.1);
+        let mut cfg = small_cfg(2, 3);
+        cfg.cache_capacity = 0;
+        let kind = IncTopology::Knn { k: 4 };
+        let serve = run_serve(&pts, &alive, kind, &cfg);
+        let replay = run_replay(&pts, &alive, kind, &cfg);
+        assert_eq!(serve.answer_digest, replay.answer_digest);
+        assert_eq!(serve.cache_hits, 0);
+    }
+
+    #[test]
+    fn k_nearest_alive_orders_by_distance_then_id() {
+        let mut pts = PointSet::with_capacity(4);
+        pts.push(Point::new(0.0, 0.0));
+        pts.push(Point::new(1.0, 0.0));
+        pts.push(Point::new(0.0, 1.0)); // same distance as id 1
+        pts.push(Point::new(5.0, 5.0));
+        let index = GridIndex::build(&pts, 1.0);
+        let alive = vec![true, true, true, true];
+        let got = k_nearest_alive(&index, &pts, &alive, Point::new(0.0, 0.0), 3, 0.5);
+        assert_eq!(got, vec![0, 1, 2]);
+        let dead = vec![false, true, true, true];
+        let got = k_nearest_alive(&index, &pts, &dead, Point::new(0.0, 0.0), 2, 0.5);
+        assert_eq!(got, vec![1, 2]);
+    }
+}

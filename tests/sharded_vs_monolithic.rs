@@ -166,6 +166,7 @@ fn parallel_scenario_reports_match_monolithic_bytes() {
         },
         exec,
         churn: None,
+        serve: None,
         replications: 2,
     };
     let topologies = [
