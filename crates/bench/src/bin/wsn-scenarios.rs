@@ -117,7 +117,7 @@ fn usage() -> ! {
          \x20 --fresh P       freshly measured bench JSON        [gate*]\n\
          \n\
          serve options:\n\
-         \x20 --topology T    udg | rng | gabriel | yao | knn    (default udg)\n\
+         \x20 --topology T    udg | rng | gabriel | yao | knn | hng  (default udg)\n\
          \x20 --nodes N       target universe size               (default 100000)\n\
          \x20 --epochs N      churn epochs to serve              (default 5)\n\
          \x20 --readers N     reader threads                     (default 4)\n\
@@ -384,8 +384,13 @@ fn cmd_serve(args: &Args) -> ExitCode {
             cones: 6,
         },
         "knn" => IncTopology::Knn { k: 8 },
+        "hng" => IncTopology::Hng {
+            p: 0.5,
+            links: 1,
+            seed: args.seed.unwrap_or(DEFAULT_SEED),
+        },
         other => {
-            eprintln!("unknown --topology `{other}` (udg | rng | gabriel | yao | knn)");
+            eprintln!("unknown --topology `{other}` (udg | rng | gabriel | yao | knn | hng)");
             return ExitCode::from(2);
         }
     };

@@ -18,14 +18,28 @@
 //! [`LIFETIME_SPEEDUP_DROP_TOLERANCE`] below the committed baseline — the
 //! regression that would mean repair cost stopped tracking churn locality.
 //!
-//! `gate-lifetime` additionally holds the **splice-floor rung**: a full
-//! (non-quick) committed baseline must record a UDG most-local sweep row at
-//! [`SPLICE_FLOOR_N_TARGET`] nodes with speedup ≥
-//! [`SPLICE_FLOOR_MIN_SPEEDUP`]. CI's quick fresh runs never reach that
-//! size, so this is a self-check on the committed document: re-recording a
-//! baseline whose 10⁶-node one-dirty-shard epoch cost regressed back
-//! toward the old O(n + m) splice behaviour fails CI instead of quietly
-//! re-blessing the regression.
+//! `gate-lifetime` additionally holds three self-checks on a full
+//! (non-quick) committed baseline — CI's quick fresh runs never reach the
+//! sizes involved, so each is a property of the committed document that a
+//! careless re-bless would otherwise erase:
+//!
+//! * the **splice-floor rung**: a UDG most-local sweep row at
+//!   [`SPLICE_FLOOR_N_TARGET`] nodes with speedup ≥
+//!   [`SPLICE_FLOOR_MIN_SPEEDUP`] — re-recording a baseline whose
+//!   10⁶-node one-dirty-shard epoch cost regressed back toward the old
+//!   O(n + m) splice behaviour fails CI instead of quietly re-blessing
+//!   the regression;
+//! * the **k-NN certificate rung**: the k-NN most-local row at the same
+//!   size must hold speedup ≥ [`KNN_LOCAL_MIN_SPEEDUP`] — the whole-group
+//!   `covers_all` certificate over-escalated stragglers and floored this
+//!   rung at ~342× while every other topology reached 2500–4800×; the
+//!   per-group kth-distance margin certificate lifted it to ~369× (and
+//!   ~111× → ~142× at 10⁵), and this rung keeps the certificate from
+//!   silently decaying into the always-escalate regime (~0.5×);
+//! * **HNG sweep presence**: the baseline must carry locality-sweep rows
+//!   for the hierarchical-neighbor-graph topology, so the third
+//!   SENS-class construction can never drop out of the recorded repair
+//!   economics unnoticed.
 //!
 //! `wsn-scenarios gate-serve` guards `BENCH_serve.json`: every fresh row
 //! must be answer-identical to its single-threaded replay oracle with zero
@@ -79,6 +93,19 @@ pub const SPLICE_FLOOR_N_TARGET: u64 = 1_000_000;
 /// derivation is the cheapest — it was the topology the splice floor
 /// dominated.
 pub const SPLICE_FLOOR_MIN_SPEEDUP: f64 = 100.0;
+
+/// Minimum k-NN most-local speedup a full committed baseline must record
+/// at [`SPLICE_FLOOR_N_TARGET`] nodes. The whole-group `covers_all`
+/// certificate re-derived whole straggler groups against escalated
+/// extents and floored this rung at ~342× (~111× at 10⁵); the per-group
+/// kth-distance margin certificate (escalate only when the kth candidate
+/// actually reaches past the padded box's interior margin) recorded
+/// ~369× at 10⁶ and ~142× at 10⁵ on the baseline host. 150× sits with
+/// ~2.5× headroom under the measurement for slower recording hosts while
+/// staying far above the always-escalating failure mode this rung exists
+/// to catch (a whole-population index per epoch lands near 0.5×, like
+/// HNG's clique stragglers).
+pub const KNN_LOCAL_MIN_SPEEDUP: f64 = 150.0;
 
 /// Outcome of one gate evaluation.
 #[derive(Clone, Debug, Default)]
@@ -260,30 +287,56 @@ pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
             ));
         }
     }
-    // The splice-floor rung: a *full* committed baseline must carry the
-    // 10⁶-node UDG most-local row above the floor. Quick documents (and
-    // the miniature fixtures in tests) never record that size, so the
-    // self-check keys on the baseline's own `quick: false` marker.
+    // Full-baseline self-checks: a *full* committed baseline must carry
+    // the 10⁶-node UDG and k-NN most-local rows above their floors, and
+    // must record HNG sweep rows at all. Quick documents (and the
+    // miniature fixtures in tests) never reach those sizes, so the
+    // self-checks key on the baseline's own `quick: false` marker.
     if baseline.get("quick").and_then(|v| v.as_bool()) == Some(false) {
-        let rung = baseline_sweep
-            .iter()
-            .find(|((t, n, d), _)| t.starts_with("udg") && *n == SPLICE_FLOOR_N_TARGET && *d == 1);
-        match rung {
-            None => report.failures.push(format!(
-                "baseline has no udg most-local sweep row at n={SPLICE_FLOOR_N_TARGET} — \
-                 the splice-floor rung is not recorded"
-            )),
-            Some((_, row)) => match row.get("speedup").and_then(|v| v.as_f64()) {
-                Some(s) if s >= SPLICE_FLOOR_MIN_SPEEDUP => report.checked += 1,
-                Some(s) => report.failures.push(format!(
-                    "baseline udg @ n={SPLICE_FLOOR_N_TARGET} locality=1: speedup {s:.2}x \
-                     is below the splice floor {SPLICE_FLOOR_MIN_SPEEDUP:.1}x — the \
-                     one-dirty-shard epoch cost regressed toward O(n + m)"
-                )),
+        for (prefix, floor, what) in [
+            (
+                "udg",
+                SPLICE_FLOOR_MIN_SPEEDUP,
+                "the one-dirty-shard epoch cost regressed toward O(n + m)",
+            ),
+            (
+                "knn",
+                KNN_LOCAL_MIN_SPEEDUP,
+                "the margin certificate regressed toward whole-group over-escalation",
+            ),
+        ] {
+            let rung = baseline_sweep.iter().find(|((t, n, d), _)| {
+                t.starts_with(prefix) && *n == SPLICE_FLOOR_N_TARGET && *d == 1
+            });
+            match rung {
                 None => report.failures.push(format!(
-                    "baseline udg @ n={SPLICE_FLOOR_N_TARGET} locality=1: speedup missing"
+                    "baseline has no {prefix} most-local sweep row at \
+                     n={SPLICE_FLOOR_N_TARGET} — the {prefix} floor rung is not recorded"
                 )),
-            },
+                Some((_, row)) => match row.get("speedup").and_then(|v| v.as_f64()) {
+                    Some(s) if s >= floor => report.checked += 1,
+                    Some(s) => report.failures.push(format!(
+                        "baseline {prefix} @ n={SPLICE_FLOOR_N_TARGET} locality=1: speedup \
+                         {s:.2}x is below the {prefix} floor {floor:.1}x — {what}"
+                    )),
+                    None => report.failures.push(format!(
+                        "baseline {prefix} @ n={SPLICE_FLOOR_N_TARGET} locality=1: \
+                         speedup missing"
+                    )),
+                },
+            }
+        }
+        if baseline_sweep
+            .iter()
+            .any(|((t, _, _), _)| t.starts_with("hng"))
+        {
+            report.checked += 1;
+        } else {
+            report.failures.push(
+                "baseline records no hng locality-sweep rows — the HNG topology dropped \
+                 out of the repair economics"
+                    .into(),
+            );
         }
     }
     if report.checked == 0 && report.failures.is_empty() {
@@ -596,42 +649,65 @@ mod tests {
         .unwrap()
     }
 
+    /// A complete full-baseline sweep fixture: healthy UDG and k-NN floor
+    /// rungs plus an HNG row, minus whatever `drop` names.
+    fn full_sweep(drop: &str) -> Value {
+        let rows = [
+            ("small", sweep_row("udg(r=1)", 10000, 1, 10.0, true)),
+            (
+                "udg",
+                sweep_row("udg(r=1)", 1000000, 1, SPLICE_FLOOR_MIN_SPEEDUP + 2.0, true),
+            ),
+            (
+                "knn",
+                sweep_row("knn(k=8)", 1000000, 1, KNN_LOCAL_MIN_SPEEDUP + 2.0, true),
+            ),
+            ("hng", sweep_row("hng(p=0.5,m=1)", 10000, 1, 5.0, true)),
+        ];
+        let kept: Vec<String> = rows
+            .into_iter()
+            .filter(|(name, _)| *name != drop)
+            .map(|(_, r)| r)
+            .collect();
+        full_lifetime_doc(&format!("[{}]", kept.join(", ")))
+    }
+
     #[test]
-    fn splice_floor_rung_is_held_on_full_baselines_only() {
+    fn full_baseline_self_checks_hold_all_three_rungs() {
         let fresh = lifetime_doc(
             "[]",
             &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 9.0, true)),
         );
-        // Full baseline with a healthy 10⁶ UDG most-local rung: passes.
-        let good = full_lifetime_doc(&format!(
-            "[{}, {}]",
-            sweep_row("udg(r=1)", 10000, 1, 10.0, true),
-            sweep_row("udg(r=1)", 1000000, 1, SPLICE_FLOOR_MIN_SPEEDUP + 2.0, true)
-        ));
-        let g = gate_lifetime(&good, &fresh);
+        // Complete full baseline: passes.
+        let g = gate_lifetime(&full_sweep(""), &fresh);
         assert!(g.passed(), "{:?}", g.failures);
-        // Full baseline whose rung fell below the floor: fails.
+        // A rung below its floor fails with a named diagnostic.
         let regressed = full_lifetime_doc(&format!(
-            "[{}, {}]",
-            sweep_row("udg(r=1)", 10000, 1, 10.0, true),
-            sweep_row("udg(r=1)", 1000000, 1, SPLICE_FLOOR_MIN_SPEEDUP - 1.0, true)
+            "[{}, {}, {}]",
+            sweep_row("udg(r=1)", 1000000, 1, SPLICE_FLOOR_MIN_SPEEDUP - 1.0, true),
+            sweep_row("knn(k=8)", 1000000, 1, KNN_LOCAL_MIN_SPEEDUP - 1.0, true),
+            sweep_row("hng(p=0.5,m=1)", 10000, 1, 5.0, true)
         ));
         let g2 = gate_lifetime(&regressed, &fresh);
         assert!(!g2.passed());
-        assert!(g2.failures.iter().any(|f| f.contains("splice floor")));
-        // Full baseline missing the rung entirely: fails.
-        let missing = full_lifetime_doc(&format!(
-            "[{}]",
-            sweep_row("udg(r=1)", 10000, 1, 10.0, true)
-        ));
-        let g3 = gate_lifetime(&missing, &fresh);
-        assert!(!g3.passed());
-        assert!(g3
-            .failures
-            .iter()
-            .any(|f| f.contains("splice-floor rung is not recorded")));
+        assert!(g2.failures.iter().any(|f| f.contains("udg floor")));
+        assert!(g2.failures.iter().any(|f| f.contains("knn floor")));
+        // Each missing ingredient fails on its own.
+        for (drop, diagnostic) in [
+            ("udg", "udg floor rung is not recorded"),
+            ("knn", "knn floor rung is not recorded"),
+            ("hng", "no hng locality-sweep rows"),
+        ] {
+            let g3 = gate_lifetime(&full_sweep(drop), &fresh);
+            assert!(!g3.passed(), "dropping {drop} must fail");
+            assert!(
+                g3.failures.iter().any(|f| f.contains(diagnostic)),
+                "dropping {drop}: {:?}",
+                g3.failures
+            );
+        }
         // Quick baselines (and fixtures without the marker) skip the
-        // self-check — they never record the 10⁶ size.
+        // self-checks — they never record the 10⁶ size.
         let quick = lifetime_doc(
             "[]",
             &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 10.0, true)),

@@ -155,6 +155,11 @@ pub struct LifetimeBenchReport {
     pub locality_sweep: Vec<LocalitySweepRow>,
 }
 
+/// Seed of the HNG bench hierarchy. Fixed so a bench row is reproducible
+/// from the report seed alone: levels are a pure function of
+/// `(seed, node id)` and never of the deployment.
+const HNG_BENCH_SEED: u64 = 0x48_4E_47;
+
 /// The benchmarked topologies (UDG and RNG carry the acceptance claim;
 /// the rest record the trajectory of the whole family).
 fn kinds() -> Vec<IncTopology> {
@@ -167,6 +172,11 @@ fn kinds() -> Vec<IncTopology> {
             cones: 6,
         },
         IncTopology::Knn { k: 8 },
+        IncTopology::Hng {
+            p: 0.5,
+            links: 1,
+            seed: HNG_BENCH_SEED,
+        },
     ]
 }
 
@@ -521,6 +531,11 @@ mod tests {
             IncTopology::Udg { radius: 1.0 },
             IncTopology::Rng { radius: 1.0 },
             IncTopology::Knn { k: 4 },
+            IncTopology::Hng {
+                p: 0.5,
+                links: 1,
+                seed: HNG_BENCH_SEED,
+            },
         ]
         .into_iter()
         .enumerate()
@@ -548,26 +563,34 @@ mod tests {
                     row.incremental_splice_secs,
                     row.incremental_repair_secs
                 );
-                if !matches!(kind, IncTopology::Knn { .. }) {
+                if !matches!(kind, IncTopology::Knn { .. } | IncTopology::Hng { .. }) {
                     assert_eq!(row.escalations, 0, "{kind:?} must never escalate");
                 }
             }
             // Gather work must track the region: the single-shard rung
             // touches a fraction of what the all-shards rung does (k-NN's
             // outsized halo bounds how local a tiny 9-shard plan can get,
-            // so it only pins strict monotonicity here).
+            // so it only pins strict monotonicity here). HNG is exempt at
+            // miniature scale: its top-level clique stragglers re-dirty
+            // scattered shards every repair, and the sum of their
+            // overlapping halo gathers can exceed one global gather, so
+            // gather volume is not monotone in the churn region on a
+            // 16-shard plan (the fingerprint and splice assertions above
+            // still pin its correctness).
             let (first, last) = (&rows[0], rows.last().unwrap());
-            let factor = if matches!(kind, IncTopology::Knn { .. }) {
-                1.0
-            } else {
-                3.0
-            };
-            assert!(
-                first.mean_gathered * factor < last.mean_gathered,
-                "{kind:?}: gathered {} vs {} — repair is not locality-proportional",
-                first.mean_gathered,
-                last.mean_gathered
-            );
+            if !matches!(kind, IncTopology::Hng { .. }) {
+                let factor = if matches!(kind, IncTopology::Knn { .. }) {
+                    1.0
+                } else {
+                    3.0
+                };
+                assert!(
+                    first.mean_gathered * factor < last.mean_gathered,
+                    "{kind:?}: gathered {} vs {} — repair is not locality-proportional",
+                    first.mean_gathered,
+                    last.mean_gathered
+                );
+            }
             let json = serde_json::to_string_pretty(&rows).unwrap();
             assert!(json.contains("\"target_dirty_shards\""));
         }

@@ -48,10 +48,14 @@ use wsn_graph::{relabel, ChunkedCsr, Csr, IdRemap, ShardedEdgeStore};
 use wsn_pointproc::PointSet;
 use wsn_spatial::GridIndex;
 
+use crate::hng::{derive_hng, hng_levels, upward_links, LevelSets};
 use crate::sharded::{
     derive_gabriel, derive_knn, derive_rng, derive_udg, derive_yao, knn_cell_size, Shard,
 };
-use crate::{build_gabriel, build_knn, build_rng, build_udg, build_yao, knn_halo, WHOLE_WINDOW};
+use crate::{
+    build_gabriel, build_hng_on_levels, build_knn, build_rng, build_udg, build_yao, hng_halo,
+    knn_halo, WHOLE_WINDOW,
+};
 
 /// One dirty shard's re-derived emissions plus its k-NN straggler flag.
 type ShardEdges = (Vec<(u32, u32)>, bool);
@@ -61,15 +65,38 @@ type ShardEdges = (Vec<(u32, u32)>, bool);
 /// stitch is global).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum IncTopology {
-    Udg { radius: f64 },
-    Knn { k: usize },
-    Gabriel { radius: f64 },
-    Rng { radius: f64 },
-    Yao { radius: f64, cones: usize },
+    Udg {
+        radius: f64,
+    },
+    Knn {
+        k: usize,
+    },
+    Gabriel {
+        radius: f64,
+    },
+    Rng {
+        radius: f64,
+    },
+    Yao {
+        radius: f64,
+        cones: usize,
+    },
+    /// Hierarchical neighbor graph. Carries its level seed because the
+    /// hierarchy is keyed by *universe* id: every rebuild path (cold,
+    /// sharded, incremental) re-rolls the same levels from `(seed, node)`
+    /// and restricts them through the alive mask — survivor-id re-rolls
+    /// would silently diverge.
+    Hng {
+        p: f64,
+        links: usize,
+        seed: u64,
+    },
 }
 
 impl IncTopology {
-    /// Stable human-readable label (used by the lifetime bench rows).
+    /// Stable human-readable label (used by the lifetime bench rows; the
+    /// HNG level seed is deployment identity, not topology identity, so it
+    /// stays out).
     pub fn label(&self) -> String {
         match *self {
             IncTopology::Udg { radius } => format!("udg(r={radius})"),
@@ -77,6 +104,7 @@ impl IncTopology {
             IncTopology::Gabriel { radius } => format!("gabriel(r={radius})"),
             IncTopology::Rng { radius } => format!("rng(r={radius})"),
             IncTopology::Yao { radius, cones } => format!("yao(r={radius},c={cones})"),
+            IncTopology::Hng { p, links, .. } => format!("hng(p={p},m={links})"),
         }
     }
 
@@ -153,6 +181,9 @@ pub struct IncrementalGraph {
     /// universe is fixed, so this is built exactly once.
     resident_start: Vec<u32>,
     resident_ids: Vec<u32>,
+    /// HNG level per universe id, rolled once at build from the kind's
+    /// seed (empty for every other kind). Levels never change under churn.
+    levels: Vec<u32>,
     /// Cumulative whole-population index constructions (see
     /// [`RepairStats::escalations`]).
     escalations: u64,
@@ -181,6 +212,14 @@ impl IncrementalGraph {
             assert!(cones >= 1, "need at least one cone");
         }
         let n_alive = alive.iter().filter(|&&a| a).count();
+        let levels = match kind {
+            IncTopology::Hng { p, seed, links } => {
+                assert!(p > 0.0 && p < 1.0, "promotion probability must be in (0,1)");
+                assert!(links >= 1, "need at least one uplink per level");
+                hng_levels(points.len(), p, seed)
+            }
+            _ => Vec::new(),
+        };
         let halo = match kind {
             IncTopology::Udg { radius }
             | IncTopology::Gabriel { radius }
@@ -195,6 +234,16 @@ impl IncrementalGraph {
                     1.0
                 } else {
                     knn_halo(&sub, k.max(1))
+                }
+            }
+            IncTopology::Hng { links, .. } => {
+                let (sub, to_universe, _) = compact(&points, &alive);
+                if sub.is_empty() {
+                    1.0
+                } else {
+                    let levels_sub: Vec<u32> =
+                        to_universe.iter().map(|&g| levels[g as usize]).collect();
+                    hng_halo(&sub, &levels_sub, links.max(1))
                 }
             }
         };
@@ -220,6 +269,7 @@ impl IncrementalGraph {
             policy: GatherPolicy::Local,
             resident_start,
             resident_ids,
+            levels,
             escalations: 0,
             last_dirty_extents: Vec::new(),
         };
@@ -462,15 +512,25 @@ impl IncrementalGraph {
             locals.push((IdRemap::from_sorted(ids), pts));
         }
 
-        // k-NN needs the exact straggler semantics of the global path: a
-        // node is *certain* iff its k-th local neighbour fits in the halo,
-        // or the shard's padded extent covers the whole alive population's
-        // bounding box. The box is a cheap O(n) fold over the alive mask —
-        // no point-set compaction, no index build.
+        // k-NN and HNG need the exact straggler semantics of the global
+        // path: a node is *certain* iff its worst local candidate fits
+        // inside its own interior margin of the shard's padded extent, or
+        // the padded extent covers the whole alive population's bounding
+        // box. The box is a cheap O(n) fold over the alive mask — no
+        // point-set compaction, no index build.
         let alive_bbox = match kind {
-            IncTopology::Knn { .. } => alive_bounding_box(&self.points, &self.alive),
+            IncTopology::Knn { .. } | IncTopology::Hng { .. } => {
+                alive_bounding_box(&self.points, &self.alive)
+            }
             _ => None,
         };
+        // HNG's clique lives at the top *alive* level — an O(n) scan of
+        // the fixed level vector, same cost class as the bbox fold above.
+        let hng_top: Option<(u32, Vec<u32>)> = match kind {
+            IncTopology::Hng { .. } => Some(alive_top(&self.levels, &self.alive)),
+            _ => None,
+        };
+        let levels = &self.levels;
 
         // One localized SubIndex per extent group; its extent doubles as
         // the certificate that shard gathers (and certified k-NN fallback
@@ -484,6 +544,7 @@ impl IncrementalGraph {
                 }
                 let cell = match kind {
                     IncTopology::Knn { k } => knn_cell_size(pts, k.max(1)),
+                    IncTopology::Hng { links, .. } => knn_cell_size(pts, links.max(1)),
                     IncTopology::Udg { radius }
                     | IncTopology::Gabriel { radius }
                     | IncTopology::Rng { radius }
@@ -530,11 +591,12 @@ impl IncrementalGraph {
                         Some((derive_yao(&shard, radius, cones), false))
                     }
                     IncTopology::Knn { k } => {
+                        let padded = grid.padded(s, halo);
                         let covers_all = alive_bbox
                             .as_ref()
-                            .is_some_and(|bb| grid.padded(s, halo).contains_aabb(bb));
+                            .is_some_and(|bb| padded.contains_aabb(bb));
                         let uncertified = Cell::new(false);
-                        let (lists, strag) = derive_knn(&shard, k, halo, covers_all, |p, gu| {
+                        let (lists, strag) = derive_knn(&shard, k, &padded, covers_all, |p, gu| {
                             let skip = remap.local_of(gu);
                             match index.knn(p, k, skip) {
                                 Ok(r) => r.into_iter().map(|(v, _)| remap.universe_of(v)).collect(),
@@ -552,6 +614,34 @@ impl IncrementalGraph {
                             for v in list {
                                 edges.push((gu.min(v), gu.max(v)));
                             }
+                        }
+                        Some((edges, strag))
+                    }
+                    IncTopology::Hng { links, .. } => {
+                        let padded = grid.padded(s, halo);
+                        let covers_all = alive_bbox
+                            .as_ref()
+                            .is_some_and(|bb| padded.contains_aabb(bb));
+                        let (top_level, top) = hng_top.as_ref().expect("computed for HNG");
+                        // The group SubIndex certifies gathers, not
+                        // level-filtered k-NN — an uncertifiable uplink
+                        // escalates the shard straight to the global pass.
+                        let uncertified = Cell::new(false);
+                        let (edges, strag) = derive_hng(
+                            &shard,
+                            levels,
+                            links,
+                            top,
+                            *top_level,
+                            &padded,
+                            covers_all,
+                            |_, _| {
+                                uncertified.set(true);
+                                Vec::new()
+                            },
+                        );
+                        if uncertified.get() {
+                            return None;
                         }
                         Some((edges, strag))
                     }
@@ -594,6 +684,7 @@ impl IncrementalGraph {
         }
         let cell = match self.kind {
             IncTopology::Knn { k } => knn_cell_size(&sub, k.max(1)),
+            IncTopology::Hng { links, .. } => knn_cell_size(&sub, links.max(1)),
             IncTopology::Udg { radius }
             | IncTopology::Gabriel { radius }
             | IncTopology::Rng { radius }
@@ -603,6 +694,26 @@ impl IncrementalGraph {
         let bbox = sub.bounding_box().expect("sub is non-empty");
         let kind = self.kind;
         let (grid, halo) = (&self.grid, self.halo);
+        // HNG's exact fallback queries run against per-level indexes over
+        // the compacted alive population (sub id space; results lift back
+        // through the monotone `to_universe`).
+        let hng_ctx = match kind {
+            IncTopology::Hng { links, .. } => {
+                let levels_sub: Vec<u32> = to_universe
+                    .iter()
+                    .map(|&g| self.levels[g as usize])
+                    .collect();
+                let sets = LevelSets::build(&sub, &levels_sub);
+                let top_universe: Vec<u32> =
+                    sets.top.iter().map(|&v| to_universe[v as usize]).collect();
+                Some((sets, top_universe, links))
+            }
+            _ => None,
+        };
+        let hng_indexes = hng_ctx
+            .as_ref()
+            .map(|(sets, _, links)| sets.indexes(*links));
+        let levels = &self.levels;
         let results: Vec<ShardEdges> = dirty
             .to_vec()
             .into_par_iter()
@@ -616,8 +727,9 @@ impl IncrementalGraph {
                         (derive_yao(&shard, radius, cones), false)
                     }
                     IncTopology::Knn { k } => {
-                        let covers_all = grid.padded(s, halo).contains_aabb(&bbox);
-                        let (lists, strag) = derive_knn(&shard, k, halo, covers_all, |p, gu| {
+                        let padded = grid.padded(s, halo);
+                        let covers_all = padded.contains_aabb(&bbox);
+                        let (lists, strag) = derive_knn(&shard, k, &padded, covers_all, |p, gu| {
                             index
                                 .knn(p, k, Some(to_compact[gu as usize]))
                                 .into_iter()
@@ -631,6 +743,34 @@ impl IncrementalGraph {
                             }
                         }
                         (edges, strag)
+                    }
+                    IncTopology::Hng { links, .. } => {
+                        let padded = grid.padded(s, halo);
+                        let covers_all = padded.contains_aabb(&bbox);
+                        let (sets, top_u, _) = hng_ctx.as_ref().expect("built for HNG");
+                        let indexes = hng_indexes.as_ref().expect("built for HNG");
+                        derive_hng(
+                            &shard,
+                            levels,
+                            links,
+                            top_u,
+                            sets.top_level,
+                            &padded,
+                            covers_all,
+                            |p, gu| {
+                                upward_links(
+                                    sets,
+                                    indexes,
+                                    p,
+                                    to_compact[gu as usize],
+                                    levels[gu as usize],
+                                    links,
+                                )
+                                .into_iter()
+                                .map(|v| to_universe[v as usize])
+                                .collect()
+                            },
+                        )
                     }
                 }
             })
@@ -655,6 +795,15 @@ impl IncrementalGraph {
             IncTopology::Gabriel { radius } => build_gabriel(&sub, radius),
             IncTopology::Rng { radius } => build_rng(&sub, radius),
             IncTopology::Yao { radius, cones } => build_yao(&sub, radius, cones),
+            IncTopology::Hng { links, .. } => {
+                // Universe levels restricted through the alive mask — the
+                // hierarchy is never re-rolled over survivor ids.
+                let levels_sub: Vec<u32> = to_universe
+                    .iter()
+                    .map(|&g| self.levels[g as usize])
+                    .collect();
+                build_hng_on_levels(&sub, &levels_sub, links)
+            }
         };
         relabel(&g, &to_universe, self.points.len())
     }
@@ -717,6 +866,24 @@ fn alive_bounding_box(points: &PointSet, alive: &[bool]) -> Option<Aabb> {
     bb
 }
 
+/// Top occupied level of the alive population plus the ascending universe
+/// ids holding it — the HNG clique. `(1, [])` when nothing is alive.
+fn alive_top(levels: &[u32], alive: &[bool]) -> (u32, Vec<u32>) {
+    let mut top = 1u32;
+    for (u, &lvl) in levels.iter().enumerate() {
+        if alive[u] && lvl > top {
+            top = lvl;
+        }
+    }
+    let ids: Vec<u32> = levels
+        .iter()
+        .enumerate()
+        .filter(|&(u, &lvl)| alive[u] && lvl == top)
+        .map(|(u, _)| u as u32)
+        .collect();
+    (top, ids)
+}
+
 /// [`compact_alive`] plus the universe→compact inverse (`u32::MAX` marks
 /// dead) for the k-NN fallback's skip ids.
 fn compact(points: &PointSet, alive: &[bool]) -> (PointSet, Vec<u32>, Vec<u32>) {
@@ -745,7 +912,7 @@ mod tests {
         sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(side))
     }
 
-    fn kinds() -> [IncTopology; 5] {
+    fn kinds() -> [IncTopology; 6] {
         [
             IncTopology::Udg { radius: 1.0 },
             IncTopology::Knn { k: 4 },
@@ -754,6 +921,11 @@ mod tests {
             IncTopology::Yao {
                 radius: 1.0,
                 cones: 6,
+            },
+            IncTopology::Hng {
+                p: 0.5,
+                links: 1,
+                seed: 0x48_4E_47,
             },
         ]
     }

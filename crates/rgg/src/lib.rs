@@ -6,6 +6,9 @@
 //!   r = 1 in the paper), with an optional torus boundary.
 //! * [`knn`] — the k-nearest-neighbour graph `NN(2, k)` of Häggström &
 //!   Meester: each point connects (undirectedly) to its k nearest.
+//! * [`hng`] — hierarchical neighbor graphs (Bagchi–Madan–Premi): seeded
+//!   probabilistic level promotion plus nearest-higher-level uplinks,
+//!   connected by construction with O(1) expected degree.
 //!
 //! plus the classical *topology-control baselines* the related-work section
 //! compares against (each computed as a spanning subgraph of the UDG, as in
@@ -30,6 +33,7 @@
 //! cost.
 
 pub mod gabriel;
+pub mod hng;
 pub mod incremental;
 pub mod knn;
 pub mod rng_graph;
@@ -38,6 +42,10 @@ pub mod udg;
 pub mod yao;
 
 pub use gabriel::build_gabriel;
+pub use hng::{
+    build_hng, build_hng_on_levels, build_hng_sharded, build_hng_sharded_on_levels, hng_halo,
+    hng_levels, HngParams,
+};
 pub use incremental::{compact_alive, GatherPolicy, IncTopology, IncrementalGraph, RepairStats};
 pub use knn::{build_knn, knn_lists};
 pub use rng_graph::build_rng;

@@ -75,7 +75,7 @@ impl GhostGather for SubIndex<'_> {
 }
 
 impl Shard {
-    fn gather(
+    pub(crate) fn gather(
         points: &PointSet,
         gather: &GridIndex,
         grid: &ShardGrid,
@@ -280,10 +280,36 @@ pub(crate) fn derive_yao(shard: &Shard, radius: f64, cones: usize) -> Vec<(u32, 
     out
 }
 
+/// Distance from `p` to the nearest *finite* side of `b`. Window-edge
+/// shards keep their unbounded outward reach as `±INFINITY` sides
+/// ([`ShardGrid::padded`]), which contribute an infinite margin here — no
+/// special-casing needed. Any point strictly outside the closed box
+/// violates at least one finite side's plane and is therefore strictly
+/// farther than this margin from `p`, so a k-th-neighbour distance within
+/// the margin certifies the box-local k-NN answer as globally exact
+/// (including id tie-breaks: an outside point can never tie the k-th
+/// distance, its distance is strictly larger).
+#[inline]
+pub(crate) fn interior_margin(p: Point, b: &Aabb) -> f64 {
+    (p.x - b.min.x)
+        .min(b.max.x - p.x)
+        .min(p.y - b.min.y)
+        .min(b.max.y - p.y)
+}
+
 /// One shard's directed k-NN lists in global id space, plus whether any
-/// owned node *straggled* (its k-th neighbour fell outside `halo`, forcing
-/// the exact `fallback` query — `fallback(p, gu)` must return `gu`'s k
-/// nearest over the whole point population, in global ids).
+/// owned node *straggled* (its k-th neighbour fell outside the node's
+/// interior margin of the shard's `padded` extent, forcing the exact
+/// `fallback` query — `fallback(p, gu)` must return `gu`'s k nearest over
+/// the whole point population, in global ids).
+///
+/// The certificate is per node, not per shard: a node deep inside the
+/// padded box tolerates a k-th distance up to its own distance from the
+/// box boundary ([`interior_margin`]), which is never smaller than the
+/// halo for owned nodes and unbounded toward window edges — so group-local
+/// repairs certify far more nodes than the old whole-halo test did,
+/// without ever certifying a node whose list could depend on points beyond
+/// the gathered box.
 ///
 /// The straggler flag matters to incremental maintenance: a straggler's
 /// list depends on points beyond the shard's padded extent, so its shard
@@ -291,7 +317,7 @@ pub(crate) fn derive_yao(shard: &Shard, radius: f64, cones: usize) -> Vec<(u32, 
 pub(crate) fn derive_knn<F>(
     shard: &Shard,
     k: usize,
-    halo: f64,
+    padded: &Aabb,
     covers_all: bool,
     fallback: F,
 ) -> (Vec<(u32, Vec<u32>)>, bool)
@@ -310,8 +336,11 @@ where
         }
         let gu = shard.ids[u as usize];
         let local = index.knn(p, k, Some(u));
-        let certain =
-            covers_all || (local.len() == k && local.last().is_none_or(|&(_, d)| d <= halo));
+        let certain = covers_all
+            || (local.len() == k
+                && local
+                    .last()
+                    .is_none_or(|&(_, d)| d <= interior_margin(p, padded)));
         let list: Vec<u32> = if certain {
             local
                 .into_iter()
@@ -330,7 +359,7 @@ where
 
 /// Shard plan over the deployment's bounding box with shards of
 /// `tiles_per_shard` tiles (of side `tile`) per side.
-fn plan(points: &PointSet, tile: f64, tiles_per_shard: usize) -> ShardGrid {
+pub(crate) fn plan(points: &PointSet, tile: f64, tiles_per_shard: usize) -> ShardGrid {
     let bbox = points.bounding_box().expect("caller guards empty sets");
     if tiles_per_shard == WHOLE_WINDOW {
         ShardGrid::whole(&bbox)
@@ -340,7 +369,7 @@ fn plan(points: &PointSet, tile: f64, tiles_per_shard: usize) -> ShardGrid {
 }
 
 /// Fan `build_shard` out over all shards and concatenate in shard order.
-fn fan_out<F>(grid: &ShardGrid, build_shard: F) -> Vec<(u32, u32)>
+pub(crate) fn fan_out<F>(grid: &ShardGrid, build_shard: F) -> Vec<(u32, u32)>
 where
     F: Fn(usize) -> Vec<(u32, u32)> + Sync,
 {
@@ -476,8 +505,9 @@ pub fn knn_lists_sharded(points: &PointSet, k: usize, tiles_per_shard: usize) ->
         .into_par_iter()
         .map(|s| {
             let shard = Shard::gather(points, &gather, &grid, s, halo);
-            let covers_all = grid.padded(s, halo).contains_aabb(&bbox);
-            derive_knn(&shard, k, halo, covers_all, |p, gu| {
+            let padded = grid.padded(s, halo);
+            let covers_all = padded.contains_aabb(&bbox);
+            derive_knn(&shard, k, &padded, covers_all, |p, gu| {
                 gather
                     .knn(p, k, Some(gu))
                     .into_iter()

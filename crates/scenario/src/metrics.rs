@@ -14,8 +14,9 @@ use wsn_graph::Csr;
 use wsn_pointproc::matern::sample_matern_ii;
 use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
 use wsn_rgg::{
-    build_gabriel, build_gabriel_sharded, build_knn, build_knn_sharded, build_rng,
-    build_rng_sharded, build_udg, build_udg_sharded, build_yao, build_yao_sharded,
+    build_gabriel, build_gabriel_sharded, build_hng, build_hng_sharded, build_knn,
+    build_knn_sharded, build_rng, build_rng_sharded, build_udg, build_udg_sharded, build_yao,
+    build_yao_sharded, HngParams,
 };
 use wsn_simnet::churn::{
     simulate_lifetime_plain, simulate_lifetime_sens, ChurnConfig, ChurnModel, LifetimeReport,
@@ -45,6 +46,7 @@ mod stream {
     pub const POWER: u64 = 5;
     pub const ROUTING: u64 = 6;
     pub const CHURN: u64 = 7;
+    pub const HNG: u64 = 8;
 }
 
 /// The channels of one replication, in emission order.
@@ -195,6 +197,14 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
         } else {
             build_yao(&points, radius, cones)
         }),
+        TopologySpec::Hng { p, links } => {
+            let hseed = derive_seed(rep_seed, stream::HNG);
+            Built::Plain(if parallel {
+                build_hng_sharded(&points, HngParams::new(p, links), hseed, shard_tiles)
+            } else {
+                build_hng(&points, HngParams::new(p, links), hseed)
+            })
+        }
     };
 
     // ---- metric: degree (P1) ----------------------------------------
@@ -437,6 +447,17 @@ fn run_lifetime(
             &cfg,
             seed,
         ),
+        TopologySpec::Hng { p, links } => simulate_lifetime_plain(
+            points,
+            &alive,
+            wsn_rgg::IncTopology::Hng {
+                p,
+                links,
+                seed: derive_seed(rep_seed, stream::HNG),
+            },
+            &cfg,
+            seed,
+        ),
     };
 
     push(ch, "lifetime.initial_alive", deployed as f64);
@@ -499,13 +520,20 @@ fn run_lifetime(
 }
 
 /// The incremental-engine topology of a plain (non-SENS) cell, if any.
-fn plain_kind(topology: TopologySpec) -> Option<wsn_rgg::IncTopology> {
+/// HNG rolls its level hierarchy from a replication-derived seed, so the
+/// mapping needs `rep_seed` too.
+fn plain_kind(topology: TopologySpec, rep_seed: u64) -> Option<wsn_rgg::IncTopology> {
     match topology {
         TopologySpec::Udg { radius } => Some(wsn_rgg::IncTopology::Udg { radius }),
         TopologySpec::Knn { k } => Some(wsn_rgg::IncTopology::Knn { k }),
         TopologySpec::Gabriel { radius } => Some(wsn_rgg::IncTopology::Gabriel { radius }),
         TopologySpec::Rng { radius } => Some(wsn_rgg::IncTopology::Rng { radius }),
         TopologySpec::Yao { radius, cones } => Some(wsn_rgg::IncTopology::Yao { radius, cones }),
+        TopologySpec::Hng { p, links } => Some(wsn_rgg::IncTopology::Hng {
+            p,
+            links,
+            seed: derive_seed(rep_seed, stream::HNG),
+        }),
         TopologySpec::UdgSens | TopologySpec::NnSens { .. } => None,
     }
 }
@@ -524,7 +552,7 @@ fn run_serve_workload(
     points: &PointSet,
     rep_seed: u64,
 ) {
-    let kind = plain_kind(spec.topology)
+    let kind = plain_kind(spec.topology, rep_seed)
         .expect("serve workload requires a plain topology (SENS repairs are global rebuilds)");
     let n = points.len();
     let reserve = (serve.churn.reserve_frac * n as f64).round() as usize;
@@ -829,6 +857,7 @@ mod tests {
                 radius: 1.0,
                 cones: 6,
             },
+            TopologySpec::Hng { p: 0.5, links: 1 },
         ] {
             let mut spec = base_spec();
             spec.topology = topology;

@@ -102,6 +102,11 @@ pub const PRESETS: &[Preset] = &[
         replaces: &[],
     },
     Preset {
+        name: "hng-vs-sens",
+        title: "HNG vs SENS: connected-by-construction hierarchy across sparse and dense regimes",
+        replaces: &[],
+    },
+    Preset {
         name: "percolation-pc",
         title: "Substrate: site-percolation theta(p), crossing probability, p_c",
         replaces: &["exp_pc"],
@@ -490,6 +495,40 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 coverage_radius: 1.0,
                 cache_capacity: 32,
             }),
+            replications: 2,
+        },
+        // The third SENS-class topology raced against both paper
+        // constructions on the same deployments. The density axis is the
+        // point: λ = 1 is NN-SENS territory (UDG-SENS subcritical there)
+        // and λ = 20 is UDG-SENS territory — HNG stays connected by
+        // construction at both, which the stretch connected_fraction and
+        // power channels make directly comparable. The side is a whole
+        // number of NN-SENS tiles (10a = 12), as in `claim-nn`.
+        "hng-vs-sens" => ScenarioMatrix {
+            sides: vec![profile.pick(36.0, 24.0)],
+            deployments: poisson(&[1.0, 20.0]),
+            topologies: vec![
+                TopologySpec::Hng { p: 0.5, links: 1 },
+                TopologySpec::UdgSens,
+                TopologySpec::NnSens { a: 1.2, k: 400 },
+            ],
+            faults: vec![None],
+            metrics: MetricSuite {
+                degree: true,
+                sens_summary: true,
+                stretch: Some(StretchSpec {
+                    pairs: profile.pick(2000, 200),
+                    alpha: 2.5,
+                }),
+                power: Some(PowerSpec {
+                    betas: profile.pick(vec![2.0, 4.0], vec![2.0]),
+                    pairs: profile.pick(300, 24),
+                }),
+                ..MetricSuite::default()
+            },
+            exec: ExecSpec::monolithic(),
+            churn: None,
+            serve: None,
             replications: 2,
         },
         _ => return None,

@@ -47,6 +47,10 @@ pub enum TopologySpec {
     Rng { radius: f64 },
     /// Yao graph with `cones` cones restricted to UDG edges.
     Yao { radius: f64, cones: usize },
+    /// Hierarchical neighbor graph (Bagchi–Madan–Premi): promotion
+    /// probability `p`, `links` uplinks per level. Connected by
+    /// construction at any density — the third SENS-class topology.
+    Hng { p: f64, links: usize },
 }
 
 impl TopologySpec {
@@ -60,6 +64,7 @@ impl TopologySpec {
             TopologySpec::Gabriel { radius } => format!("gabriel(r={radius})"),
             TopologySpec::Rng { radius } => format!("rng(r={radius})"),
             TopologySpec::Yao { radius, cones } => format!("yao(r={radius},c={cones})"),
+            TopologySpec::Hng { p, links } => format!("hng(p={p},m={links})"),
         }
     }
 

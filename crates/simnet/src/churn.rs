@@ -46,8 +46,9 @@ use wsn_graph::{
 };
 use wsn_pointproc::PointSet;
 use wsn_rgg::{
-    build_gabriel_sharded, build_knn_sharded, build_rng_sharded, build_udg_sharded,
-    build_yao_sharded, compact_alive, IncTopology, IncrementalGraph, RepairStats,
+    build_gabriel_sharded, build_hng_sharded_on_levels, build_knn_sharded, build_rng_sharded,
+    build_udg_sharded, build_yao_sharded, compact_alive, hng_levels, IncTopology, IncrementalGraph,
+    RepairStats,
 };
 
 /// Seed streams of the epoch loop (fixed so adding a draw never shifts
@@ -322,6 +323,13 @@ pub fn cold_sharded_rebuild(points: &PointSet, alive: &[bool], kind: IncTopology
         IncTopology::Rng { radius } => build_rng_sharded(&sub, radius, REBUILD_SHARD_TILES),
         IncTopology::Yao { radius, cones } => {
             build_yao_sharded(&sub, radius, cones, REBUILD_SHARD_TILES)
+        }
+        IncTopology::Hng { p, links, seed } => {
+            // Levels roll over the universe once, then restrict through the
+            // alive mask — matching the incremental path's hierarchy exactly.
+            let levels = hng_levels(points.len(), p, seed);
+            let levels_sub: Vec<u32> = to_universe.iter().map(|&g| levels[g as usize]).collect();
+            build_hng_sharded_on_levels(&sub, &levels_sub, links, REBUILD_SHARD_TILES)
         }
     };
     relabel(&g, &to_universe, points.len())

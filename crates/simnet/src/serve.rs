@@ -204,6 +204,10 @@ pub struct RouteCache {
     /// MRU-first order; linear scan is deterministic and fine at serve
     /// cache sizes (≤ a few dozen entries).
     entries: Vec<CacheEntry>,
+    /// Snapshot fingerprint the cache was last advanced against — the
+    /// quiescence witness: an epoch with no dirty extents *and* an
+    /// unchanged fingerprint cannot invalidate any resident path.
+    last_fingerprint: Option<u64>,
 }
 
 impl RouteCache {
@@ -211,6 +215,7 @@ impl RouteCache {
         RouteCache {
             cap,
             entries: Vec::new(),
+            last_fingerprint: None,
         }
     }
 
@@ -254,13 +259,32 @@ impl RouteCache {
     /// Epoch-boundary sweep: drop every entry whose path touches a dirty
     /// extent or no longer validates on the new snapshot; promote the
     /// survivors to `epoch`.
+    ///
+    /// `fingerprint` is the new snapshot's semantic graph fingerprint.
+    /// When the epoch is *quiescent* — no dirty extents and a fingerprint
+    /// equal to the one this cache last advanced against — the graph the
+    /// resident paths were validated on is unchanged, so the whole
+    /// `still_valid` replay (a BFS-backed path walk per entry) is skipped
+    /// and every entry is promoted as-is. The first advance a cache ever
+    /// sees never takes the shortcut: its entries were inserted against an
+    /// unwitnessed snapshot.
     pub fn advance_epoch(
         &mut self,
         epoch: u64,
+        fingerprint: u64,
         dirty: &[Aabb],
         points: &PointSet,
         mut still_valid: impl FnMut(&[u32]) -> bool,
     ) {
+        let quiescent = dirty.is_empty() && self.last_fingerprint == Some(fingerprint);
+        self.last_fingerprint = Some(fingerprint);
+        if quiescent {
+            for e in &mut self.entries {
+                debug_assert!(e.epoch < epoch, "promotion must move forward");
+                e.epoch = epoch;
+            }
+            return;
+        }
         self.entries.retain_mut(|e| {
             debug_assert!(e.epoch < epoch, "promotion must move forward");
             let crosses = e
@@ -458,11 +482,15 @@ fn run_client_epoch(
 ) {
     // Promote / evict cached routes across the epoch boundary. Epoch 0
     // starts with an empty cache, so `advance_epoch` is vacuous there.
-    state
-        .cache
-        .advance_epoch(snap.epoch, &snap.dirty_extents, points, |p| {
-            snap.path_valid(p)
-        });
+    // Quiescent epochs (no dirty extents, unchanged fingerprint) skip the
+    // per-entry path replay entirely.
+    state.cache.advance_epoch(
+        snap.epoch,
+        snap.fingerprint,
+        &snap.dirty_extents,
+        points,
+        |p| snap.path_valid(p),
+    );
     let cseed = derive_seed2(
         derive_seed(cfg.seed, stream::QUERY),
         snap.epoch,

@@ -22,8 +22,8 @@ use wsn::pointproc::matern::sample_matern_ii;
 use wsn::pointproc::{rng_from_seed, sample_poisson_window, PointSet};
 use wsn::rgg::sharded::WHOLE_WINDOW;
 use wsn::rgg::{
-    build_gabriel_sharded, build_knn_sharded, build_rng_sharded, build_udg_sharded,
-    build_yao_sharded, IncTopology, IncrementalGraph,
+    build_gabriel_sharded, build_hng_sharded_on_levels, build_knn_sharded, build_rng_sharded,
+    build_udg_sharded, build_yao_sharded, hng_levels, IncTopology, IncrementalGraph,
 };
 use wsn::simnet::churn::{simulate_lifetime_plain, ChurnConfig, ChurnModel, LifetimeReport};
 
@@ -38,7 +38,7 @@ fn env_guard() -> MutexGuard<'static, ()> {
     ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-const KINDS: [IncTopology; 5] = [
+const KINDS: [IncTopology; 6] = [
     IncTopology::Udg { radius: 1.0 },
     IncTopology::Knn { k: 4 },
     IncTopology::Gabriel { radius: 1.0 },
@@ -46,6 +46,11 @@ const KINDS: [IncTopology; 5] = [
     IncTopology::Yao {
         radius: 1.0,
         cones: 6,
+    },
+    IncTopology::Hng {
+        p: 0.5,
+        links: 1,
+        seed: 0x484E47,
     },
 ];
 
@@ -69,6 +74,13 @@ fn cold_sharded_universe(g: &IncrementalGraph, tiles: usize) -> wsn::graph::Csr 
         IncTopology::Gabriel { radius } => build_gabriel_sharded(&sub, radius, tiles),
         IncTopology::Rng { radius } => build_rng_sharded(&sub, radius, tiles),
         IncTopology::Yao { radius, cones } => build_yao_sharded(&sub, radius, cones, tiles),
+        IncTopology::Hng { p, links, seed } => {
+            // Levels are universe-keyed: roll over the whole universe, then
+            // restrict through the alive mask — exactly what the engine does.
+            let levels = hng_levels(g.points().len(), p, seed);
+            let levels_sub: Vec<u32> = to_universe.iter().map(|&gu| levels[gu as usize]).collect();
+            build_hng_sharded_on_levels(&sub, &levels_sub, links, tiles)
+        }
     };
     relabel(&cold, &to_universe, g.points().len())
 }

@@ -14,8 +14,10 @@
 //! 2. **Locality proportionality.** The work counters must scale with the
 //!    churned region: gather size tracks the dirty extents, the deaths-only
 //!    UDG filter path gathers nothing at all, and the whole-population
-//!    escalation counter stays at zero for every topology except k-NN
-//!    (whose halo is probabilistic, so a straggler may legitimately fire).
+//!    escalation counter stays at zero for every topology except k-NN and
+//!    HNG (whose halos are probabilistic, so a straggler may legitimately
+//!    fire — and HNG's top-level clique shards re-dirty every epoch by
+//!    design).
 
 use wsn::geom::hash::derive_seed2;
 use wsn::geom::{Aabb, Point};
@@ -24,7 +26,7 @@ use wsn::pointproc::matern::sample_matern_ii;
 use wsn::pointproc::{rng_from_seed, sample_poisson_window, PointSet};
 use wsn::rgg::{GatherPolicy, IncTopology, IncrementalGraph, RepairStats};
 
-const KINDS: [IncTopology; 5] = [
+const KINDS: [IncTopology; 6] = [
     IncTopology::Udg { radius: 1.0 },
     IncTopology::Knn { k: 4 },
     IncTopology::Gabriel { radius: 1.0 },
@@ -32,6 +34,11 @@ const KINDS: [IncTopology; 5] = [
     IncTopology::Yao {
         radius: 1.0,
         cones: 6,
+    },
+    IncTopology::Hng {
+        p: 0.5,
+        links: 1,
+        seed: 0x484E47,
     },
 ];
 
@@ -164,16 +171,17 @@ fn localized_global_and_cold_agree_across_the_matrix() {
                     (gs.dirty, gs.filtered, gs.rederived),
                     "{ctx}: dirty bookkeeping diverged"
                 );
-                // Exact dirty counts for the crafted footprints (k-NN may
-                // exceed them: straggler shards re-derive every epoch).
+                // Exact dirty counts for the crafted footprints (k-NN and
+                // HNG may exceed them: straggler shards re-derive every
+                // epoch).
                 if let Some(expect) = expect_dirty {
-                    if !matches!(kind, IncTopology::Knn { .. }) {
+                    if !matches!(kind, IncTopology::Knn { .. } | IncTopology::Hng { .. }) {
                         assert_eq!(ls.dirty, expect, "{ctx}: wrong dirty-shard count");
                     }
                 }
                 // The whole-population escalation stays cold for every
-                // non-k-NN topology, no matter the footprint.
-                if !matches!(kind, IncTopology::Knn { .. }) {
+                // non-k-NN, non-HNG topology, no matter the footprint.
+                if !matches!(kind, IncTopology::Knn { .. } | IncTopology::Hng { .. }) {
                     assert_eq!(ls.escalations, 0, "{ctx}: unexpected escalation");
                     assert_eq!(local.escalations(), 0, "{ctx}");
                 }
@@ -272,9 +280,9 @@ fn udg_deaths_only_filter_gathers_nothing_and_scales() {
     assert!(g.verify_cold());
 }
 
-/// The escalation counter is cumulative and observable: k-NN may escalate
-/// (probabilistic halo), everything else never does — even across many
-/// mixed churn epochs.
+/// The escalation counter is cumulative and observable: k-NN and HNG may
+/// escalate (probabilistic halos), everything else never does — even across
+/// many mixed churn epochs.
 #[test]
 fn escalation_counter_stays_cold_for_non_knn_across_epochs() {
     let points = sample_poisson_window(&mut rng_from_seed(7), 12.0, &Aabb::square(SIDE));
@@ -296,7 +304,7 @@ fn escalation_counter_stays_cold_for_non_knn_across_epochs() {
             g.apply_churn(&deaths, &joins);
             assert!(g.verify_cold(), "{kind:?} epoch {e}");
         }
-        if !matches!(kind, IncTopology::Knn { .. }) {
+        if !matches!(kind, IncTopology::Knn { .. } | IncTopology::Hng { .. }) {
             assert_eq!(
                 g.escalations(),
                 0,

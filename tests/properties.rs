@@ -209,6 +209,42 @@ proptest! {
         prop_assert_eq!(&wsn::rgg::build_udg_sharded(&pts, 1.2, 4), &udg);
     }
 
+    /// HNG: connected by construction on *every* deployment — the property
+    /// neither SENS construction has (each needs its density regime) — and
+    /// the sharded pipeline reproduces it exactly.
+    #[test]
+    fn prop_hng_always_connected_and_sharded_identical(
+        seed in 0u64..300,
+        n in 1usize..150,
+        p in 0.25f64..0.75,
+    ) {
+        let pts = sample_binomial(seed, n, 6.0);
+        let params = wsn::rgg::HngParams::new(p, 1);
+        let g = wsn::rgg::build_hng(&pts, params, seed ^ 0x0048_4E47);
+        let reached = wsn::graph::bfs::distances(&g, 0)
+            .iter()
+            .filter(|&&d| d != wsn::graph::UNREACHABLE)
+            .count();
+        prop_assert_eq!(reached, n, "HNG must be connected");
+        prop_assert_eq!(
+            &wsn::rgg::build_hng_sharded(&pts, params, seed ^ 0x0048_4E47, 4),
+            &g
+        );
+    }
+
+    /// HNG: expected degree is O(links/(p(1−p))) — independent of n. At
+    /// p = 0.5, links = 1 the constant is small; 6.0 gives slack for
+    /// seed-to-seed noise while still pinning density independence.
+    #[test]
+    fn prop_hng_degree_stays_bounded(seed in 0u64..120) {
+        for n in [200usize, 800] {
+            let pts = sample_binomial(seed, n, 6.0);
+            let g = wsn::rgg::build_hng(&pts, wsn::rgg::HngParams::new(0.5, 1), seed);
+            let mean = 2.0 * g.m() as f64 / n as f64;
+            prop_assert!(mean < 6.0, "n={}: mean degree {}", n, mean);
+        }
+    }
+
     /// k-NN: every node's directed list has exactly min(k, n−1) targets, so
     /// the undirected graph has minimum degree ≥ min(k, n−1).
     #[test]

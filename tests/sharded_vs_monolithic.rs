@@ -22,8 +22,9 @@ use wsn::geom::Aabb;
 use wsn::graph::Csr;
 use wsn::pointproc::{rng_from_seed, sample_poisson_window, PointSet};
 use wsn::rgg::{
-    build_gabriel, build_gabriel_sharded, build_knn, build_knn_sharded, build_rng,
-    build_rng_sharded, build_udg, build_udg_sharded, build_yao, build_yao_sharded, WHOLE_WINDOW,
+    build_gabriel, build_gabriel_sharded, build_hng, build_hng_sharded, build_knn,
+    build_knn_sharded, build_rng, build_rng_sharded, build_udg, build_udg_sharded, build_yao,
+    build_yao_sharded, HngParams, WHOLE_WINDOW,
 };
 use wsn::scenario::runner::run_specs;
 use wsn::scenario::spec::{DeploymentSpec, ExecSpec, MetricSuite, ScenarioSpec, TopologySpec};
@@ -78,6 +79,7 @@ fn plain_topologies_are_edge_identical_across_shard_sizes_and_threads() {
             ("gabriel", build_gabriel(&pts, 1.0)),
             ("rng", build_rng(&pts, 1.0)),
             ("yao", build_yao(&pts, 1.0, 6)),
+            ("hng", build_hng(&pts, HngParams::new(0.5, 1), 0xD1FF)),
         ];
         with_threads(|threads| {
             for shard_tiles in SHARD_SIZES {
@@ -87,6 +89,10 @@ fn plain_topologies_are_edge_identical_across_shard_sizes_and_threads() {
                     ("gabriel", build_gabriel_sharded(&pts, 1.0, shard_tiles)),
                     ("rng", build_rng_sharded(&pts, 1.0, shard_tiles)),
                     ("yao", build_yao_sharded(&pts, 1.0, 6, shard_tiles)),
+                    (
+                        "hng",
+                        build_hng_sharded(&pts, HngParams::new(0.5, 1), 0xD1FF, shard_tiles),
+                    ),
                 ];
                 for ((name, mono), (_, sharded)) in monos.iter().zip(&shardeds) {
                     assert_eq!(
@@ -179,6 +185,7 @@ fn parallel_scenario_reports_match_monolithic_bytes() {
             radius: 1.0,
             cones: 6,
         },
+        TopologySpec::Hng { p: 0.5, links: 1 },
     ];
     let mono_specs: Vec<ScenarioSpec> = topologies
         .iter()
