@@ -47,6 +47,22 @@
 //! must stay within [`SERVE_QPS_DROP_TOLERANCE`] of the committed
 //! baseline.
 //!
+//! `gate` additionally guards the `thread_scaling` section of
+//! `BENCH_pipeline.json`: every fresh scaling row must be edge-identical
+//! to its `threads = 1` build, every fresh `(topology, n_target)` curve
+//! must record the complete thread ladder, matched rows hold the same
+//! throughput band as the plain rows, and a full committed baseline
+//! recorded on a multi-core host must show `speedup_vs_serial > 1` with at
+//! least [`MIN_PARALLEL_EFFICIENCY`] on every in-core multi-thread point
+//! (`1 < threads ≤ host_cpus`). On a 1-core recording host the
+//! speedup/efficiency checks are vacuous by design — the curve records an
+//! honest flat line, and the identity + ladder checks still bind.
+//!
+//! Every gate first checks the document's `schema` tag on both sides and
+//! fails with a diagnostic *naming the expected version* on a mismatch or
+//! a missing tag — "wrong baseline file" and "stale baseline recorded by
+//! an older emitter" are the two classic silent-comparison bugs.
+//!
 //! Rows present on only one side (e.g. the committed baseline carries the
 //! full 10⁴–10⁶ grid while CI measures the quick 10⁴ one) are reported as
 //! skipped, never failed. A document *missing the gated section entirely*
@@ -55,6 +71,10 @@
 //! exactly one place so retuning a band is a one-line diff.
 
 use serde::value::Value;
+
+use crate::lifetime::LIFETIME_SCHEMA;
+use crate::pipeline::{PIPELINE_SCHEMA, THREAD_LADDER};
+use crate::serve::SERVE_SCHEMA;
 
 /// Allowed fractional drop of a serve row's `qps` against the committed
 /// baseline (0.50 = "at least half of baseline throughput"). The widest
@@ -107,6 +127,16 @@ pub const SPLICE_FLOOR_MIN_SPEEDUP: f64 = 100.0;
 /// HNG's clique stragglers).
 pub const KNN_LOCAL_MIN_SPEEDUP: f64 = 150.0;
 
+/// Minimum parallel efficiency (`speedup_vs_serial / threads`) a full
+/// committed baseline must record on every thread-scaling point with
+/// `1 < threads ≤ host_cpus`. 0.35 is deliberately loose — the shim's
+/// fan-out pays a queue lock per batch and the builds have serial stitch
+/// phases — but it is far above the ~`1/threads` efficiency of a fan-out
+/// that stopped parallelising at all, which is the regression this floor
+/// exists to catch. Points with `threads > host_cpus` measure
+/// oversubscription and are exempt.
+pub const MIN_PARALLEL_EFFICIENCY: f64 = 0.35;
+
 /// Outcome of one gate evaluation.
 #[derive(Clone, Debug, Default)]
 pub struct GateReport {
@@ -147,10 +177,29 @@ fn section<'a>(doc: &'a Value, name: &str, side: &str, report: &mut GateReport) 
     }
 }
 
+/// Check a document's `schema` tag against the version this gate was built
+/// for, naming the expected version in the diagnostic. A missing tag fails
+/// too: an untagged document is a foreign or truncated file, and silently
+/// comparing it hides exactly the drift the tag exists to catch.
+fn check_schema(doc: &Value, expected: &str, side: &str, report: &mut GateReport) {
+    match doc.get("schema").and_then(|v| v.as_str()) {
+        Some(s) if s == expected => {}
+        Some(s) => report.failures.push(format!(
+            "{side} document schema is \"{s}\" but this gate expects \"{expected}\" — \
+             stale baseline or mismatched emitter?"
+        )),
+        None => report.failures.push(format!(
+            "{side} document has no \"schema\" tag — this gate expects \"{expected}\""
+        )),
+    }
+}
+
 /// Evaluate the gate: `fresh` is the CI measurement, `baseline` the
 /// committed `BENCH_pipeline.json`.
 pub fn gate_pipeline(baseline: &Value, fresh: &Value) -> GateReport {
     let mut report = GateReport::default();
+    check_schema(baseline, PIPELINE_SCHEMA, "baseline", &mut report);
+    check_schema(fresh, PIPELINE_SCHEMA, "fresh", &mut report);
     let baseline_rows: Vec<((String, u64), &Value)> =
         section(baseline, "rows", "baseline", &mut report)
             .iter()
@@ -202,12 +251,137 @@ pub fn gate_pipeline(baseline: &Value, fresh: &Value) -> GateReport {
             ));
         }
     }
+    gate_thread_scaling(baseline, fresh, &mut report);
     if report.checked == 0 && report.failures.is_empty() {
         report
             .failures
             .push("no fresh row matched any baseline row — wrong baseline file?".into());
     }
     report
+}
+
+fn scaling_key(row: &Value) -> Option<(String, u64, u64)> {
+    Some((
+        row.get("topology")?.as_str()?.to_string(),
+        row.get("n_target")?.as_u64()?,
+        row.get("threads")?.as_u64()?,
+    ))
+}
+
+/// The `thread_scaling` half of the pipeline gate (see module docs).
+fn gate_thread_scaling(baseline: &Value, fresh: &Value, report: &mut GateReport) {
+    let baseline_scaling: Vec<((String, u64, u64), &Value)> =
+        section(baseline, "thread_scaling", "baseline", report)
+            .iter()
+            .filter_map(|r| scaling_key(r).map(|k| (k, r)))
+            .collect();
+    let mut ladders: std::collections::BTreeMap<(String, u64), Vec<u64>> = Default::default();
+    for row in section(fresh, "thread_scaling", "fresh", report) {
+        let Some(key) = scaling_key(row) else {
+            report
+                .failures
+                .push("fresh thread_scaling row missing topology/n_target/threads".into());
+            continue;
+        };
+        let label = format!("{} @ n={} threads={}", key.0, key.1, key.2);
+        // Correctness gate: a thread count that changes the graph is a
+        // scheduling leak, never a throughput trade-off.
+        if row.get("edge_identical").and_then(|v| v.as_bool()) != Some(true) {
+            report
+                .failures
+                .push(format!("{label}: edge_identical is not true"));
+        }
+        ladders
+            .entry((key.0.clone(), key.1))
+            .or_default()
+            .push(key.2);
+        let Some((_, base)) = baseline_scaling.iter().find(|(k, _)| *k == key) else {
+            report.skipped.push(label);
+            continue;
+        };
+        let mut nps = |doc: &Value, side: &str| -> Option<f64> {
+            match doc.get("nodes_per_sec").and_then(|v| v.as_f64()) {
+                Some(v) if v > 0.0 => Some(v),
+                _ => {
+                    report
+                        .failures
+                        .push(format!("{label}: {side} nodes_per_sec missing or ≤ 0"));
+                    None
+                }
+            }
+        };
+        let (Some(fresh_nps), Some(base_nps)) = (nps(row, "fresh"), nps(base, "baseline")) else {
+            continue;
+        };
+        report.checked += 1;
+        let floor = base_nps * (1.0 - NODES_PER_SEC_DROP_TOLERANCE);
+        if fresh_nps < floor {
+            report.failures.push(format!(
+                "{label}: scaling throughput {fresh_nps:.0} nodes/s fell below \
+                 {:.0}% of baseline {base_nps:.0} (floor {floor:.0})",
+                (1.0 - NODES_PER_SEC_DROP_TOLERANCE) * 100.0
+            ));
+        }
+    }
+    // Every fresh curve must record the complete thread ladder — a sweep
+    // that silently dropped a thread count would thin the curve without
+    // failing any per-row check.
+    let expected: Vec<u64> = THREAD_LADDER.iter().map(|&t| t as u64).collect();
+    for ((topology, n), mut threads) in ladders {
+        threads.sort_unstable();
+        threads.dedup();
+        if threads != expected {
+            report.failures.push(format!(
+                "{topology} @ n={n}: thread ladder {threads:?} is incomplete — \
+                 expected {expected:?}"
+            ));
+        }
+    }
+    // Full-baseline self-checks: a full committed baseline recorded on a
+    // multi-core host must actually show parallel speedup on every
+    // in-core multi-thread point. A 1-core recording host is exempt (its
+    // honest curve is flat); points beyond the host's cores measure
+    // oversubscription and are exempt too.
+    if baseline.get("quick").and_then(|v| v.as_bool()) == Some(false) {
+        if baseline_scaling.is_empty() {
+            report.failures.push(
+                "full baseline records no thread_scaling rows — the scaling curve \
+                 dropped out of the committed baseline"
+                    .into(),
+            );
+        }
+        let host_cpus = baseline
+            .get("host_cpus")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(1);
+        for ((topology, n, threads), row) in &baseline_scaling {
+            if *threads <= 1 || *threads > host_cpus {
+                continue;
+            }
+            let label = format!("baseline {topology} @ n={n} threads={threads}");
+            let speedup = row
+                .get("speedup_vs_serial")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            let efficiency = row
+                .get("efficiency")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            if speedup <= 1.0 {
+                report.failures.push(format!(
+                    "{label}: speedup_vs_serial {speedup:.2}x on a {host_cpus}-core \
+                     recording host — the fan-out stopped scaling"
+                ));
+            } else if efficiency < MIN_PARALLEL_EFFICIENCY {
+                report.failures.push(format!(
+                    "{label}: parallel efficiency {efficiency:.2} is below the \
+                     {MIN_PARALLEL_EFFICIENCY} floor"
+                ));
+            } else {
+                report.checked += 1;
+            }
+        }
+    }
 }
 
 fn sweep_key(row: &Value) -> Option<(String, u64, u64)> {
@@ -222,6 +396,8 @@ fn sweep_key(row: &Value) -> Option<(String, u64, u64)> {
 /// measurement, `baseline` the committed `BENCH_lifetime.json`.
 pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
     let mut report = GateReport::default();
+    check_schema(baseline, LIFETIME_SCHEMA, "baseline", &mut report);
+    check_schema(fresh, LIFETIME_SCHEMA, "fresh", &mut report);
     // Correctness gates first — never optional, even for unmatched rows:
     // a faster repair that walks a different topology is a bug.
     for row in section(fresh, "rows", "fresh", &mut report) {
@@ -362,6 +538,8 @@ fn serve_key(row: &Value) -> Option<(String, u64, u64)> {
 /// row's qps must stay within [`SERVE_QPS_DROP_TOLERANCE`] of baseline.
 pub fn gate_serve(baseline: &Value, fresh: &Value) -> GateReport {
     let mut report = GateReport::default();
+    check_schema(baseline, SERVE_SCHEMA, "baseline", &mut report);
+    check_schema(fresh, SERVE_SCHEMA, "fresh", &mut report);
     let baseline_rows: Vec<((String, u64, u64), &Value)> =
         section(baseline, "rows", "baseline", &mut report)
             .iter()
@@ -428,8 +606,26 @@ pub fn gate_serve(baseline: &Value, fresh: &Value) -> GateReport {
 mod tests {
     use super::*;
 
+    /// A pipeline document with the current schema tag and an explicit
+    /// `thread_scaling` section.
+    fn pipeline_doc(rows_json: &str, scaling_json: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"schema": "{PIPELINE_SCHEMA}", "rows": {rows_json},
+                 "thread_scaling": {scaling_json}}}"#
+        ))
+        .unwrap()
+    }
+
     fn doc(rows_json: &str) -> Value {
-        serde_json::from_str(&format!(r#"{{"rows": {rows_json}}}"#)).unwrap()
+        pipeline_doc(rows_json, "[]")
+    }
+
+    /// A serve document with the current schema tag.
+    fn sdoc(rows_json: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"schema": "{SERVE_SCHEMA}", "rows": {rows_json}}}"#
+        ))
+        .unwrap()
     }
 
     fn row(topology: &str, n: u64, nps: f64, identical: bool) -> String {
@@ -505,7 +701,8 @@ mod tests {
 
     fn lifetime_doc(rows_json: &str, sweep_json: &str) -> Value {
         serde_json::from_str(&format!(
-            r#"{{"rows": {rows_json}, "locality_sweep": {sweep_json}}}"#
+            r#"{{"schema": "{LIFETIME_SCHEMA}", "rows": {rows_json},
+                 "locality_sweep": {sweep_json}}}"#
         ))
         .unwrap()
     }
@@ -644,7 +841,8 @@ mod tests {
     /// `bench-lifetime` run.
     fn full_lifetime_doc(sweep_json: &str) -> Value {
         serde_json::from_str(&format!(
-            r#"{{"quick": false, "rows": [], "locality_sweep": {sweep_json}}}"#
+            r#"{{"schema": "{LIFETIME_SCHEMA}", "quick": false, "rows": [],
+                 "locality_sweep": {sweep_json}}}"#
         ))
         .unwrap()
     }
@@ -732,13 +930,13 @@ mod tests {
 
     #[test]
     fn serve_gate_passes_within_the_band_and_fails_below() {
-        let base = doc(&format!(
+        let base = sdoc(&format!(
             "[{}, {}]",
             serve_row("udg(r=1)", 100000, 1, 50_000.0, true, 0),
             serve_row("udg(r=1)", 100000, 4, 40_000.0, true, 0)
         ));
         // Exactly half of baseline still passes (strict-below fails).
-        let fresh = doc(&format!(
+        let fresh = sdoc(&format!(
             "[{}, {}]",
             serve_row("udg(r=1)", 100000, 1, 25_000.0, true, 0),
             serve_row("udg(r=1)", 100000, 4, 20_000.0, true, 0)
@@ -746,7 +944,7 @@ mod tests {
         let g = gate_serve(&base, &fresh);
         assert!(g.passed(), "{:?}", g.failures);
         assert_eq!(g.checked, 2);
-        let slow = doc(&format!(
+        let slow = sdoc(&format!(
             "[{}]",
             serve_row("udg(r=1)", 100000, 1, 24_000.0, true, 0)
         ));
@@ -757,8 +955,8 @@ mod tests {
 
     #[test]
     fn serve_gate_fails_on_divergence_or_errors_even_unmatched() {
-        let base = doc("[]");
-        let fresh = doc(&format!(
+        let base = sdoc("[]");
+        let fresh = sdoc(&format!(
             "[{}, {}]",
             serve_row("rng(r=1)", 100000, 8, 1e9, false, 0),
             serve_row("rng(r=1)", 100000, 2, 1e9, true, 3)
@@ -771,11 +969,11 @@ mod tests {
 
     #[test]
     fn serve_gate_skips_unmatched_and_fails_disjoint_or_partial_docs() {
-        let base = doc(&format!(
+        let base = sdoc(&format!(
             "[{}]",
             serve_row("udg(r=1)", 100000, 1, 50_000.0, true, 0)
         ));
-        let fresh = doc(&format!(
+        let fresh = sdoc(&format!(
             "[{}, {}]",
             serve_row("udg(r=1)", 100000, 1, 45_000.0, true, 0),
             serve_row("udg(r=1)", 1000000, 1, 2_000.0, true, 0) // fresh-only
@@ -785,7 +983,7 @@ mod tests {
         assert_eq!(g.checked, 1);
         assert_eq!(g.skipped.len(), 1);
         // Nothing matched → loud failure; missing rows section → named.
-        assert!(!gate_serve(&base, &doc("[]")).passed());
+        assert!(!gate_serve(&base, &sdoc("[]")).passed());
         let partial: Value = serde_json::from_str(r#"{"schema": "x"}"#).unwrap();
         let g2 = gate_serve(&base, &partial);
         assert!(g2
@@ -793,11 +991,225 @@ mod tests {
             .iter()
             .any(|f| f.contains("fresh") && f.contains("\"rows\"")));
         // A zeroed qps on either side is a broken document, not a pass.
-        let zeroed = doc(&format!(
+        let zeroed = sdoc(&format!(
             "[{}]",
             serve_row("udg(r=1)", 100000, 1, 0.0, true, 0)
         ));
         assert!(!gate_serve(&base, &zeroed).passed());
+    }
+
+    #[test]
+    fn schema_mismatch_fails_naming_the_expected_version() {
+        // Each gate names its expected schema version on a mismatched or
+        // missing tag — on either side.
+        let stale: Value =
+            serde_json::from_str(r#"{"schema": "wsn-bench-pipeline/1", "rows": []}"#).unwrap();
+        let good = doc(&format!("[{}]", row("udg(r=1)", 10000, 1.0, true)));
+        let g = gate_pipeline(&stale, &good);
+        assert!(!g.passed());
+        assert!(
+            g.failures.iter().any(|f| f.contains("baseline")
+                && f.contains("wsn-bench-pipeline/1")
+                && f.contains(PIPELINE_SCHEMA)),
+            "{:?}",
+            g.failures
+        );
+        let untagged: Value = serde_json::from_str(r#"{"rows": []}"#).unwrap();
+        let g2 = gate_pipeline(&good, &untagged);
+        assert!(g2
+            .failures
+            .iter()
+            .any(|f| f.contains("fresh") && f.contains("no \"schema\" tag")));
+        // Lifetime and serve gates name their own versions.
+        let g3 = gate_lifetime(&untagged, &untagged);
+        assert!(g3.failures.iter().any(|f| f.contains(LIFETIME_SCHEMA)));
+        let g4 = gate_serve(&untagged, &untagged);
+        assert!(g4.failures.iter().any(|f| f.contains(SERVE_SCHEMA)));
+        // Matching tags on both sides add no schema failure.
+        let g5 = gate_pipeline(&good, &good);
+        assert!(
+            !g5.failures.iter().any(|f| f.contains("schema")),
+            "{:?}",
+            g5.failures
+        );
+    }
+
+    fn scaling_row(
+        topology: &str,
+        n: u64,
+        threads: u64,
+        nps: f64,
+        speedup: f64,
+        identical: bool,
+    ) -> String {
+        format!(
+            r#"{{"topology": "{topology}", "n_target": {n}, "threads": {threads},
+                 "nodes_per_sec": {nps}, "speedup_vs_serial": {speedup},
+                 "efficiency": {:.6}, "edge_identical": {identical}}}"#,
+            speedup / threads as f64
+        )
+    }
+
+    /// A full curve for one topology × size over the whole thread ladder.
+    fn full_ladder(topology: &str, n: u64, base_nps: f64, identical: bool) -> String {
+        THREAD_LADDER
+            .iter()
+            .map(|&t| {
+                scaling_row(
+                    topology,
+                    n,
+                    t as u64,
+                    base_nps * (t as f64).sqrt(),
+                    (t as f64).sqrt(),
+                    identical,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    #[test]
+    fn thread_scaling_rows_hold_identity_band_and_ladder() {
+        let matched_rows = format!("[{}]", row("udg(r=1)", 10000, 100_000.0, true));
+        let base = pipeline_doc(
+            &matched_rows,
+            &format!("[{}]", full_ladder("udg(r=1)", 10000, 50_000.0, true)),
+        );
+        // Same curve: passes, and every ladder point is checked.
+        let g = gate_pipeline(&base, &base);
+        assert!(g.passed(), "{:?}", g.failures);
+        assert_eq!(g.checked, 1 + THREAD_LADDER.len());
+        // A non-identical scaling row fails even without a baseline match.
+        let leaky = pipeline_doc(
+            &matched_rows,
+            &format!("[{}]", full_ladder("rng(r=1)", 10000, 50_000.0, false)),
+        );
+        let g2 = gate_pipeline(&base, &leaky);
+        assert!(!g2.passed());
+        assert!(g2
+            .failures
+            .iter()
+            .any(|f| f.contains("threads=4") && f.contains("edge_identical")));
+        // A matched point below the throughput band fails with its thread
+        // count named.
+        let tail: Vec<String> = THREAD_LADDER
+            .iter()
+            .skip(1)
+            .map(|&t| {
+                scaling_row(
+                    "udg(r=1)",
+                    10000,
+                    t as u64,
+                    50_000.0 * (t as f64).sqrt(),
+                    (t as f64).sqrt(),
+                    true,
+                )
+            })
+            .collect();
+        let slow = pipeline_doc(
+            &matched_rows,
+            &format!(
+                "[{}, {}]",
+                scaling_row("udg(r=1)", 10000, 1, 29_000.0, 1.0, true),
+                tail.join(", ")
+            ),
+        );
+        let g3 = gate_pipeline(&base, &slow);
+        assert!(!g3.passed());
+        assert!(
+            g3.failures
+                .iter()
+                .any(|f| f.contains("threads=1") && f.contains("scaling throughput")),
+            "{:?}",
+            g3.failures
+        );
+        // A curve that dropped a ladder point fails the completeness check.
+        let thin = pipeline_doc(
+            &matched_rows,
+            &format!(
+                "[{}, {}]",
+                scaling_row("udg(r=1)", 10000, 1, 50_000.0, 1.0, true),
+                scaling_row("udg(r=1)", 10000, 4, 90_000.0, 1.8, true)
+            ),
+        );
+        let g4 = gate_pipeline(&base, &thin);
+        assert!(!g4.passed());
+        assert!(
+            g4.failures
+                .iter()
+                .any(|f| f.contains("thread ladder") && f.contains("incomplete")),
+            "{:?}",
+            g4.failures
+        );
+    }
+
+    /// A full (quick: false) pipeline baseline with a given host core count
+    /// and scaling curve.
+    fn full_pipeline_doc(host_cpus: u64, scaling_json: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"schema": "{PIPELINE_SCHEMA}", "quick": false,
+                 "host_cpus": {host_cpus},
+                 "rows": [{}], "thread_scaling": {scaling_json}}}"#,
+            row("udg(r=1)", 10000, 100_000.0, true)
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn full_baseline_scaling_self_checks_bind_only_in_core_points() {
+        let fresh = doc(&format!("[{}]", row("udg(r=1)", 10000, 90_000.0, true)));
+        // Multi-core recording host, healthy curve (speedup √t ≥ efficiency
+        // floor at every in-core point): passes.
+        let healthy = full_pipeline_doc(
+            8,
+            &format!("[{}]", full_ladder("udg(r=1)", 10000, 5e4, true)),
+        );
+        let g = gate_pipeline(&healthy, &fresh);
+        assert!(g.passed(), "{:?}", g.failures);
+        // A flat curve on an 8-core recording host fails: the fan-out
+        // stopped scaling.
+        let flat = full_pipeline_doc(
+            8,
+            &format!(
+                "[{}, {}]",
+                scaling_row("udg(r=1)", 10000, 1, 5e4, 1.0, true),
+                scaling_row("udg(r=1)", 10000, 4, 5e4, 1.0, true)
+            ),
+        );
+        let g2 = gate_pipeline(&flat, &fresh);
+        assert!(!g2.passed());
+        assert!(
+            g2.failures.iter().any(|f| f.contains("stopped scaling")),
+            "{:?}",
+            g2.failures
+        );
+        // Positive but inefficient speedup fails the efficiency floor.
+        let weak = full_pipeline_doc(
+            8,
+            &format!("[{}]", scaling_row("udg(r=1)", 10000, 8, 6e4, 1.2, true)),
+        );
+        let g3 = gate_pipeline(&weak, &fresh);
+        assert!(g3.failures.iter().any(|f| f.contains("efficiency")));
+        // The same flat curve recorded on a 1-core host is exempt — the
+        // honest curve *is* flat there (threads > host_cpus measure
+        // oversubscription).
+        let one_core = full_pipeline_doc(
+            1,
+            &format!(
+                "[{}, {}]",
+                scaling_row("udg(r=1)", 10000, 1, 5e4, 1.0, true),
+                scaling_row("udg(r=1)", 10000, 4, 5e4, 0.9, true)
+            ),
+        );
+        let g4 = gate_pipeline(&one_core, &fresh);
+        assert!(g4.passed(), "{:?}", g4.failures);
+        // A full baseline with no curve at all fails loudly.
+        let missing = full_pipeline_doc(8, "[]");
+        let g5 = gate_pipeline(&missing, &fresh);
+        assert!(g5
+            .failures
+            .iter()
+            .any(|f| f.contains("no thread_scaling rows")));
     }
 
     #[test]

@@ -47,6 +47,10 @@ use wsn_simnet::churn::{
     RepairMode,
 };
 
+/// Schema tag of `BENCH_lifetime.json`; the gate names this version in its
+/// diagnostics.
+pub const LIFETIME_SCHEMA: &str = "wsn-bench-lifetime/3";
+
 /// Per-epoch expected kill fraction of the bench churn (the acceptance
 /// regime: 10% per-epoch churn).
 const CHURN_FRACTION: f64 = 0.10;
@@ -495,7 +499,7 @@ pub fn run_lifetime_bench(quick: bool, seed: u64) -> LifetimeBenchReport {
         }
     }
     LifetimeBenchReport {
-        schema: "wsn-bench-lifetime/3",
+        schema: LIFETIME_SCHEMA,
         quick,
         seed,
         threads: crate::pipeline::effective_threads(),

@@ -23,23 +23,31 @@
 use std::time::Instant;
 
 use serde::Serialize;
-use wsn_core::nn::{build_nn_sens, build_nn_sens_parallel};
+use wsn_core::nn::{build_nn_sens, build_nn_sens_ordered};
 use wsn_core::params::{NnSensParams, UdgSensParams};
 use wsn_core::tilegrid::TileGrid;
-use wsn_core::udg::{build_udg_sens, build_udg_sens_parallel};
+use wsn_core::udg::{build_udg_sens, build_udg_sens_ordered};
 use wsn_geom::hash::derive_seed2;
 use wsn_geom::{Aabb, ShardGrid};
 use wsn_graph::Csr;
-use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
+use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointOrder, PointSet};
+use wsn_rgg::ordered::build_knn_on_order;
 use wsn_rgg::{
-    build_gabriel, build_gabriel_sharded, build_knn, build_knn_sharded, build_rng,
-    build_rng_sharded, build_udg, build_udg_sharded, build_yao, build_yao_sharded,
+    build_gabriel, build_gabriel_ordered, build_knn, build_knn_ordered, build_rng,
+    build_rng_ordered, build_udg, build_udg_ordered, build_yao, build_yao_ordered,
 };
 use wsn_simnet::{distributed_build_udg, ShardAccounting};
 use wsn_spatial::GridIndex;
 
+/// Schema tag of `BENCH_pipeline.json`. `/2` added the `thread_scaling`
+/// section and `host_cpus`; the gate names this version in its diagnostics.
+pub const PIPELINE_SCHEMA: &str = "wsn-bench-pipeline/2";
+
 /// Shard side (in topology tiles) used by every benchmarked sharded build.
 const SHARD_TILES: usize = 16;
+
+/// The thread counts every recorded scaling curve sweeps.
+pub const THREAD_LADDER: &[usize] = &[1, 2, 4, 8];
 
 /// One topology × size measurement.
 #[derive(Clone, Debug, Serialize)]
@@ -82,6 +90,26 @@ pub struct DistributedRow {
     pub accounting: ShardAccounting,
 }
 
+/// One point of the thread-scaling curve: the Morton-ordered sharded build
+/// of one topology × size, run with `RAYON_NUM_THREADS` pinned to `threads`.
+#[derive(Clone, Debug, Serialize, serde::Deserialize)]
+pub struct ThreadScalingRow {
+    pub topology: String,
+    pub n_target: u64,
+    pub nodes: u64,
+    /// The pinned worker count for this point (not the host's).
+    pub threads: usize,
+    pub build_secs: f64,
+    pub nodes_per_sec: f64,
+    /// `threads = 1` wall-clock over this point's wall-clock.
+    pub speedup_vs_serial: f64,
+    /// `speedup_vs_serial / threads` — 1.0 is perfect scaling.
+    pub efficiency: f64,
+    /// The CSR at this thread count is byte-identical to the `threads = 1`
+    /// build (fingerprint equality; the fan-out must be schedule-free).
+    pub edge_identical: bool,
+}
+
 /// The whole `BENCH_pipeline.json` document.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
@@ -93,8 +121,21 @@ pub struct BenchReport {
     pub threads: usize,
     /// `VmHWM` at the end of the run, kB — the whole-process peak.
     pub vm_hwm_kb: u64,
+    /// Physical parallelism of the recording host. The gate's speedup and
+    /// efficiency checks only bind where `threads <= host_cpus` — a 1-core
+    /// host records an honest flat curve rather than a fake speedup.
+    pub host_cpus: usize,
     pub rows: Vec<BenchRow>,
+    /// The threads × topology × n scaling curve (see [`THREAD_LADDER`]).
+    pub thread_scaling: Vec<ThreadScalingRow>,
     pub distributed: Vec<DistributedRow>,
+}
+
+/// The host's physical parallelism, independent of `RAYON_NUM_THREADS`.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Read a `VmRSS:`/`VmHWM:` style field from `/proc/self/status`, in kB.
@@ -319,27 +360,27 @@ fn build(
 ) -> Box<dyn EdgeView> {
     match kind {
         Kind::Udg => Box::new(if sharded {
-            build_udg_sharded(points, 1.0, SHARD_TILES)
+            build_udg_ordered(points, 1.0, SHARD_TILES)
         } else {
             build_udg(points, 1.0)
         }),
         Kind::Knn { k } => Box::new(if sharded {
-            build_knn_sharded(points, k, SHARD_TILES)
+            build_knn_ordered(points, k, SHARD_TILES)
         } else {
             build_knn(points, k)
         }),
         Kind::Gabriel => Box::new(if sharded {
-            build_gabriel_sharded(points, 1.0, SHARD_TILES)
+            build_gabriel_ordered(points, 1.0, SHARD_TILES)
         } else {
             build_gabriel(points, 1.0)
         }),
         Kind::Rng => Box::new(if sharded {
-            build_rng_sharded(points, 1.0, SHARD_TILES)
+            build_rng_ordered(points, 1.0, SHARD_TILES)
         } else {
             build_rng(points, 1.0)
         }),
         Kind::Yao { cones } => Box::new(if sharded {
-            build_yao_sharded(points, 1.0, cones, SHARD_TILES)
+            build_yao_ordered(points, 1.0, cones, SHARD_TILES)
         } else {
             build_yao(points, 1.0, cones)
         }),
@@ -348,7 +389,7 @@ fn build(
             let grid = grid.expect("SENS grid");
             Box::new(
                 if sharded {
-                    build_udg_sens_parallel(points, params, grid)
+                    build_udg_sens_ordered(points, &PointOrder::morton(points), params, grid)
                 } else {
                     build_udg_sens(points, params, grid)
                 }
@@ -360,8 +401,9 @@ fn build(
             let grid = grid.expect("SENS grid");
             Box::new(
                 if sharded {
-                    let base = build_knn_sharded(points, k, SHARD_TILES);
-                    build_nn_sens_parallel(points, &base, params, grid)
+                    let order = PointOrder::morton(points);
+                    let base = build_knn_on_order(&order, k, SHARD_TILES);
+                    build_nn_sens_ordered(points, &order, &base, params, grid)
                 } else {
                     let base = build_knn(points, k);
                     build_nn_sens(points, &base, params, grid)
@@ -391,6 +433,82 @@ fn bench_distributed(n: u64, seed: u64) -> DistributedRow {
         build_secs,
         accounting: ShardAccounting::of(&build, SHARD_TILES),
     }
+}
+
+/// Run `f` with `RAYON_NUM_THREADS` pinned to `threads`, restoring the
+/// ambient value (or its absence) afterwards.
+fn with_thread_count<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let key = "RAYON_NUM_THREADS";
+    let ambient = std::env::var(key).ok();
+    std::env::set_var(key, threads.to_string());
+    let out = f();
+    match ambient {
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
+    }
+    out
+}
+
+/// The topology subset the scaling curve sweeps: one radius-bounded kind,
+/// one witness-checked proximity kind, and the k-NN kind — together they
+/// cover all three shard work profiles without rerunning the whole matrix.
+const SCALING_CELLS: &[(&str, Kind)] = &[
+    ("udg(r=1)", Kind::Udg),
+    ("rng(r=1)", Kind::Rng),
+    ("knn(k=8)", Kind::Knn { k: 8 }),
+];
+
+/// Record the thread-scaling curve: the Morton-ordered sharded build of
+/// each `SCALING_CELLS` topology at each size, swept over [`THREAD_LADDER`]
+/// in-process. Each thread count's CSR is compared against the
+/// `threads = 1` build — the fan-out is deterministic by construction, and
+/// the curve records the proof alongside the timings.
+pub fn run_thread_scaling(sizes: &[u64], seed: u64) -> Vec<ThreadScalingRow> {
+    let lambda = 10.0;
+    let mut out = Vec::new();
+    for (ci, &(label, kind)) in SCALING_CELLS.iter().enumerate() {
+        for (si, &n) in sizes.iter().enumerate() {
+            let side = ((n as f64) / lambda).sqrt();
+            let window = Aabb::square(side);
+            let row_seed = derive_seed2(seed, 0x5CA1E ^ ci as u64, si as u64);
+            let points = sample_poisson_window(&mut rng_from_seed(row_seed), lambda, &window);
+            let mut serial_secs = 0.0;
+            let mut serial_graph: Option<Csr> = None;
+            for &threads in THREAD_LADDER {
+                eprintln!("bench: thread-scaling {label} n={n} threads={threads} ...");
+                let (graph, secs) = with_thread_count(threads, || {
+                    let t = Instant::now();
+                    let g = build(kind, &points, None, true);
+                    (g, t.elapsed().as_secs_f64())
+                });
+                let edge_identical = match &serial_graph {
+                    None => {
+                        serial_secs = secs;
+                        serial_graph = Some(graph.graph().clone());
+                        true
+                    }
+                    Some(base) => graph.graph() == base,
+                };
+                assert!(
+                    edge_identical,
+                    "{label} n={n}: threads={threads} CSR differs from threads=1"
+                );
+                let speedup = serial_secs / secs.max(1e-12);
+                out.push(ThreadScalingRow {
+                    topology: label.to_string(),
+                    n_target: n,
+                    nodes: points.len() as u64,
+                    threads,
+                    build_secs: secs,
+                    nodes_per_sec: points.len() as f64 / secs.max(1e-12),
+                    speedup_vs_serial: speedup,
+                    efficiency: speedup / threads as f64,
+                    edge_identical,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Run the full pipeline bench and return the report.
@@ -428,13 +546,20 @@ pub fn run_pipeline_bench(quick: bool, seed: u64) -> BenchReport {
         if quick { 5_000 } else { 20_000 },
         derive_seed2(seed, 0xD15C0, 0),
     )];
+    // The scaling curve stays at moderate sizes even in the full profile:
+    // relative scaling saturates well before 10⁶ nodes, and the curve runs
+    // every point four times over the thread ladder.
+    let scaling_sizes: &[u64] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let thread_scaling = run_thread_scaling(scaling_sizes, seed);
     BenchReport {
-        schema: "wsn-bench-pipeline/1",
+        schema: PIPELINE_SCHEMA,
         quick,
         seed,
         threads: effective_threads(),
         vm_hwm_kb: proc_status_kb("VmHWM"),
+        host_cpus: host_cpus(),
         rows,
+        thread_scaling,
         distributed,
     }
 }
@@ -452,12 +577,14 @@ mod tests {
             rows.push(bench_cell(cell, 2_000, derive_seed2(7, ci as u64, 0)));
         }
         let report = BenchReport {
-            schema: "wsn-bench-pipeline/1",
+            schema: PIPELINE_SCHEMA,
             quick: true,
             seed: 7,
             threads: effective_threads(),
             vm_hwm_kb: proc_status_kb("VmHWM"),
+            host_cpus: host_cpus(),
             rows,
+            thread_scaling: run_thread_scaling(&[2_000], 7),
             distributed: vec![bench_distributed(2_000, 3)],
         };
         for row in &report.rows {
@@ -465,8 +592,24 @@ mod tests {
             assert!(row.sharded_secs > 0.0 && row.monolithic_secs > 0.0);
             assert!(row.nodes > 0);
         }
+        assert_eq!(
+            report.thread_scaling.len(),
+            SCALING_CELLS.len() * THREAD_LADDER.len()
+        );
+        for row in &report.thread_scaling {
+            assert!(
+                row.edge_identical,
+                "{} threads={}",
+                row.topology, row.threads
+            );
+            assert!(row.build_secs > 0.0);
+            if row.threads == 1 {
+                assert!((row.speedup_vs_serial - 1.0).abs() < 1e-9);
+            }
+        }
         let json = serde_json::to_string_pretty(&report).unwrap();
-        assert!(json.contains("\"schema\": \"wsn-bench-pipeline/1\""));
+        assert!(json.contains("\"schema\": \"wsn-bench-pipeline/2\""));
+        assert!(json.contains("thread_scaling"));
         assert!(json.contains("msgs_per_shard"));
     }
 }

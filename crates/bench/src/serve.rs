@@ -31,6 +31,10 @@ use wsn_rgg::IncTopology;
 use wsn_simnet::churn::{ChurnConfig, ChurnModel};
 use wsn_simnet::{run_replay, run_serve, ServeConfig, ServeReport};
 
+/// Schema tag of `BENCH_serve.json`; the gate names this version in its
+/// diagnostics.
+pub const SERVE_SCHEMA: &str = "wsn-bench-serve/1";
+
 /// Per-epoch expected kill fraction (the acceptance regime: 10% clustered
 /// churn, matching `bench-lifetime`).
 const CHURN_FRACTION: f64 = 0.10;
@@ -238,7 +242,7 @@ pub fn run_serve_bench(quick: bool, seed: u64) -> ServeBenchReport {
         }
     }
     ServeBenchReport {
-        schema: "wsn-bench-serve/1",
+        schema: SERVE_SCHEMA,
         quick,
         seed,
         rows,

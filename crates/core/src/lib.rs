@@ -56,8 +56,8 @@ pub mod threshold;
 pub mod tilegrid;
 pub mod udg;
 
-pub use nn::{build_nn_sens, NnTileGeometry};
+pub use nn::{build_nn_sens, build_nn_sens_ordered, NnTileGeometry};
 pub use params::{NnSensParams, UdgGeometryMode, UdgSensParams};
 pub use subgraph::SensNetwork;
 pub use tilegrid::{TileAssignment, TileGrid};
-pub use udg::{build_udg_sens, UdgTileGeometry};
+pub use udg::{build_udg_sens, build_udg_sens_ordered, UdgTileGeometry};

@@ -28,7 +28,7 @@ use wsn_geom::tile::Dir;
 use wsn_geom::{Disk, Point};
 use wsn_graph::{Csr, EdgeList};
 use wsn_perc::Lattice;
-use wsn_pointproc::PointSet;
+use wsn_pointproc::{PointOrder, PointSet};
 
 use crate::params::{NnSensParams, ParamError};
 use crate::subgraph::{relay_bit, SensNetwork, ROLE_REP};
@@ -179,6 +179,91 @@ impl NnElection {
     }
 }
 
+/// Per-region candidate lists of one tile, in the id order of the scan.
+/// Collect/choose split mirrors `udg.rs`: collect is a pure coordinate scan
+/// (cache-linear over a Morton-ordered copy), [`Self::remap_and_sort`]
+/// restores original-id ascending order, and choose takes the head of each
+/// list — exactly the first-match the deployment-order scan would elect.
+#[derive(Clone, Debug, Default)]
+struct NnCandidates {
+    count_ok: bool,
+    c0: Vec<u32>,
+    inner: [Vec<u32>; 4],
+    outer: [Vec<u32>; 4],
+}
+
+impl NnCandidates {
+    fn remap_and_sort(&mut self, to_orig: &[u32]) {
+        for list in std::iter::once(&mut self.c0)
+            .chain(self.inner.iter_mut())
+            .chain(self.outer.iter_mut())
+        {
+            for id in list.iter_mut() {
+                *id = to_orig[*id as usize];
+            }
+            list.sort_unstable();
+        }
+    }
+}
+
+/// Scan one tile's points and classify them into candidate lists. Ids keep
+/// the order of `ids` (ascending, per [`TileAssignment::build`]). Overfull
+/// tiles short-circuit: the tile is bad regardless of its regions.
+fn collect(
+    geom: &NnTileGeometry,
+    points: &PointSet,
+    grid: &TileGrid,
+    site: wsn_perc::Site,
+    ids: &[u32],
+) -> NnCandidates {
+    let mut cands = NnCandidates {
+        count_ok: ids.len() <= geom.params.max_points_per_tile(),
+        ..Default::default()
+    };
+    if !cands.count_ok {
+        return cands;
+    }
+    for &id in ids {
+        let mask = geom.classify(grid.local(site, points.get(id)));
+        if mask == 0 {
+            continue;
+        }
+        if mask & ROLE_REP != 0 {
+            cands.c0.push(id);
+        }
+        for d in Dir::ALL {
+            if mask & relay_bit(d) != 0 {
+                cands.inner[d.index()].push(id);
+            }
+            if mask & outer_relay_bit(d) != 0 {
+                cands.outer[d.index()].push(id);
+            }
+        }
+    }
+    cands
+}
+
+/// The id-priority decision: lowest id per region.
+fn choose(cands: &NnCandidates) -> NnElection {
+    let first = |l: &Vec<u32>| l.first().copied();
+    NnElection {
+        count_ok: cands.count_ok,
+        rep: first(&cands.c0),
+        inner: [
+            first(&cands.inner[0]),
+            first(&cands.inner[1]),
+            first(&cands.inner[2]),
+            first(&cands.inner[3]),
+        ],
+        outer: [
+            first(&cands.outer[0]),
+            first(&cands.outer[1]),
+            first(&cands.outer[2]),
+            first(&cands.outer[3]),
+        ],
+    }
+}
+
 fn elect(
     geom: &NnTileGeometry,
     points: &PointSet,
@@ -186,31 +271,7 @@ fn elect(
     site: wsn_perc::Site,
     ids: &[u32],
 ) -> NnElection {
-    let mut e = NnElection {
-        count_ok: ids.len() <= geom.params.max_points_per_tile(),
-        ..Default::default()
-    };
-    if !e.count_ok {
-        return e;
-    }
-    for &id in ids {
-        let mask = geom.classify(grid.local(site, points.get(id)));
-        if mask == 0 {
-            continue;
-        }
-        if mask & ROLE_REP != 0 && e.rep.is_none() {
-            e.rep = Some(id);
-        }
-        for d in Dir::ALL {
-            if mask & relay_bit(d) != 0 && e.inner[d.index()].is_none() {
-                e.inner[d.index()] = Some(id);
-            }
-            if mask & outer_relay_bit(d) != 0 && e.outer[d.index()].is_none() {
-                e.outer[d.index()] = Some(id);
-            }
-        }
-    }
-    e
+    choose(&collect(geom, points, grid, site, ids))
 }
 
 /// Build `NN-SENS` over `points` given the base `NN(2, k)` graph (from
@@ -269,6 +330,50 @@ pub fn build_nn_sens_parallel(
         })
         .collect();
 
+    Ok(assemble_nn_sens(points, base, grid, assignment, &elections))
+}
+
+/// Morton-ordered `NN-SENS`: elections scan the spatially sorted copy held
+/// by `order` (cache-linear classify passes), candidates are remapped to
+/// original deployment ids before the lowest-id choice, and the network —
+/// including every Claim 2.3 check against `base` — is assembled over the
+/// original `points`. Byte-identical to [`build_nn_sens`]. `base` is in
+/// original-id space, exactly as for the other builders.
+pub fn build_nn_sens_ordered(
+    points: &PointSet,
+    order: &PointOrder,
+    base: &Csr,
+    params: NnSensParams,
+    grid: TileGrid,
+) -> Result<SensNetwork, ParamError> {
+    use rayon::prelude::*;
+    let geom = NnTileGeometry::new(params)?;
+    assert_eq!(base.n(), points.len(), "base graph / point set mismatch");
+    assert_eq!(order.len(), points.len(), "order / point set mismatch");
+    let rank_assignment = TileAssignment::build(&grid, order.points());
+
+    let elections: Vec<NnElection> = (0..grid.rows())
+        .into_par_iter()
+        .flat_map_iter(|j| {
+            let row: Vec<NnElection> = (0..grid.cols())
+                .map(|i| {
+                    let lin = grid.linear((i, j));
+                    let mut cands = collect(
+                        &geom,
+                        order.points(),
+                        &grid,
+                        (i, j),
+                        rank_assignment.points_in(lin),
+                    );
+                    cands.remap_and_sort(order.to_orig());
+                    choose(&cands)
+                })
+                .collect();
+            row
+        })
+        .collect();
+
+    let assignment = TileAssignment::build(&grid, points);
     Ok(assemble_nn_sens(points, base, grid, assignment, &elections))
 }
 
@@ -612,6 +717,23 @@ mod tests {
         assert_eq!(par.reps, serial.reps);
         assert_eq!(par.roles, serial.roles);
         assert_eq!(par.graph, serial.graph);
+    }
+
+    #[test]
+    fn ordered_builder_is_identical_to_serial() {
+        use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointOrder};
+        let params = NnSensParams { a: 1.2, k: 400 };
+        let grid = TileGrid::new(params.tile_side(), 3, 2);
+        let pts = sample_poisson_window(&mut rng_from_seed(29), 1.0, &grid.covered_area());
+        let base = build_knn(&pts, params.k);
+        let serial = build_nn_sens(&pts, &base, params, grid.clone()).unwrap();
+        let ordered =
+            build_nn_sens_ordered(&pts, &PointOrder::morton(&pts), &base, params, grid).unwrap();
+        assert_eq!(ordered.lattice, serial.lattice);
+        assert_eq!(ordered.reps, serial.reps);
+        assert_eq!(ordered.roles, serial.roles);
+        assert_eq!(ordered.graph, serial.graph);
+        assert_eq!(ordered.missing_links, serial.missing_links);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use wsn_geom::tile::Dir;
 use wsn_geom::{Disk, Point};
 use wsn_graph::{Csr, EdgeList};
 use wsn_perc::Lattice;
-use wsn_pointproc::PointSet;
+use wsn_pointproc::{PointOrder, PointSet};
 
 use crate::params::{ParamError, UdgGeometryMode, UdgSensParams};
 use crate::subgraph::{relay_bit, SensNetwork, ROLE_REP};
@@ -106,33 +106,65 @@ impl TileElection {
     }
 }
 
-/// Elect representative and relays in one tile.
+/// Per-region candidate lists of one tile, in the id order of the scan.
 ///
-/// Strict mode: lowest id per region (any choice is valid by geometry).
-/// Paper mode: lowest-id representative that can reach (within `radius`)
-/// some candidate in every relay region; relays are the lowest-id reachable
-/// candidates. The tile is good only if such an election exists.
-fn elect(
+/// Splitting the election into *collect* (a pure coordinate scan) and
+/// *choose* (the id-priority decision) is what makes the Morton-ordered
+/// build exact: collect runs over the spatially sorted copy (cache-linear),
+/// then [`Self::remap_and_sort`] translates the candidate ids back to
+/// original deployment ids and restores ascending order, so choose sees
+/// byte-for-byte the lists the deployment-order scan would have produced.
+#[derive(Clone, Debug, Default)]
+struct TileCandidates {
+    c0: Vec<u32>,
+    relays: [Vec<u32>; 4],
+}
+
+impl TileCandidates {
+    fn remap_and_sort(&mut self, to_orig: &[u32]) {
+        for list in std::iter::once(&mut self.c0).chain(self.relays.iter_mut()) {
+            for id in list.iter_mut() {
+                *id = to_orig[*id as usize];
+            }
+            list.sort_unstable();
+        }
+    }
+}
+
+/// Scan one tile's points and classify them into candidate lists. Ids keep
+/// the order of `ids` (ascending, per [`TileAssignment::build`]).
+fn collect(
     geom: &UdgTileGeometry,
     points: &PointSet,
     grid: &TileGrid,
     site: wsn_perc::Site,
     ids: &[u32],
-) -> TileElection {
-    let mut c0: Vec<u32> = Vec::new();
-    let mut relays: [Vec<u32>; 4] = Default::default();
+) -> TileCandidates {
+    let mut cands = TileCandidates::default();
     for &id in ids {
         let local = grid.local(site, points.get(id));
         let mask = geom.classify(local);
         if mask & ROLE_REP != 0 {
-            c0.push(id);
+            cands.c0.push(id);
         }
         for d in Dir::ALL {
             if mask & relay_bit(d) != 0 {
-                relays[d.index()].push(id);
+                cands.relays[d.index()].push(id);
             }
         }
     }
+    cands
+}
+
+/// The id-priority decision over collected candidates.
+///
+/// Strict mode: lowest id per region (any choice is valid by geometry).
+/// Paper mode: lowest-id representative that can reach (within `radius`)
+/// some candidate in every relay region; relays are the lowest-id reachable
+/// candidates. The tile is good only if such an election exists. `points`
+/// must be the set the candidate ids index into.
+fn choose(geom: &UdgTileGeometry, points: &PointSet, cands: &TileCandidates) -> TileElection {
+    let TileCandidates { c0, relays } = cands;
     match geom.params.mode {
         UdgGeometryMode::Strict => TileElection {
             rep: c0.first().copied(),
@@ -145,7 +177,7 @@ fn elect(
         },
         UdgGeometryMode::Paper => {
             let radius = geom.params.radius;
-            for &rep in &c0 {
+            for &rep in c0 {
                 let rp = points.get(rep);
                 let mut chosen = [None; 4];
                 let mut ok = true;
@@ -169,6 +201,17 @@ fn elect(
             TileElection::default()
         }
     }
+}
+
+/// Elect representative and relays in one tile (collect + choose).
+fn elect(
+    geom: &UdgTileGeometry,
+    points: &PointSet,
+    grid: &TileGrid,
+    site: wsn_perc::Site,
+    ids: &[u32],
+) -> TileElection {
+    choose(geom, points, &collect(geom, points, grid, site, ids))
 }
 
 /// Build `UDG-SENS` over `points` on the given tile grid.
@@ -226,6 +269,51 @@ pub fn build_udg_sens_parallel(
         })
         .collect();
 
+    Ok(assemble_udg_sens(
+        points, &params, grid, assignment, &elections,
+    ))
+}
+
+/// Morton-ordered `UDG-SENS`: elections scan the spatially sorted copy held
+/// by `order` — each tile's resident list is a near-contiguous rank range,
+/// so the classify pass walks the point SoA sequentially — then candidates
+/// are remapped to original deployment ids (and re-sorted) before the
+/// id-priority choice. The network is assembled over the original `points`,
+/// so the result is byte-identical to [`build_udg_sens`]: same lattice,
+/// roles, reps, edges and fingerprints, independent of the layout.
+pub fn build_udg_sens_ordered(
+    points: &PointSet,
+    order: &PointOrder,
+    params: UdgSensParams,
+    grid: TileGrid,
+) -> Result<SensNetwork, ParamError> {
+    use rayon::prelude::*;
+    let geom = UdgTileGeometry::new(params)?;
+    assert_eq!(order.len(), points.len(), "order / point set mismatch");
+    let rank_assignment = TileAssignment::build(&grid, order.points());
+
+    let elections: Vec<TileElection> = (0..grid.rows())
+        .into_par_iter()
+        .flat_map_iter(|j| {
+            let row: Vec<TileElection> = (0..grid.cols())
+                .map(|i| {
+                    let lin = grid.linear((i, j));
+                    let mut cands = collect(
+                        &geom,
+                        order.points(),
+                        &grid,
+                        (i, j),
+                        rank_assignment.points_in(lin),
+                    );
+                    cands.remap_and_sort(order.to_orig());
+                    choose(&geom, points, &cands)
+                })
+                .collect();
+            row
+        })
+        .collect();
+
+    let assignment = TileAssignment::build(&grid, points);
     Ok(assemble_udg_sens(
         points, &params, grid, assignment, &elections,
     ))
@@ -491,6 +579,23 @@ mod tests {
             assert_eq!(par.roles, serial.roles);
             assert_eq!(par.graph, serial.graph);
             assert_eq!(par.missing_links, serial.missing_links);
+        }
+    }
+
+    #[test]
+    fn ordered_builder_is_identical_to_serial() {
+        use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointOrder};
+        for params in [UdgSensParams::strict_default(), UdgSensParams::paper()] {
+            let grid = TileGrid::fit(14.0, params.tile_side);
+            let pts = sample_poisson_window(&mut rng_from_seed(13), 25.0, &grid.covered_area());
+            let serial = build_udg_sens(&pts, params, grid.clone()).unwrap();
+            let ordered =
+                build_udg_sens_ordered(&pts, &PointOrder::morton(&pts), params, grid).unwrap();
+            assert_eq!(ordered.lattice, serial.lattice);
+            assert_eq!(ordered.reps, serial.reps);
+            assert_eq!(ordered.roles, serial.roles);
+            assert_eq!(ordered.graph, serial.graph);
+            assert_eq!(ordered.missing_links, serial.missing_links);
         }
     }
 

@@ -22,6 +22,8 @@
 //!   plus the [`ShardGrid`] decomposition driving the parallel pipeline.
 //! * [`hash`] — SplitMix64 seed derivation for deterministic parallel
 //!   experiments.
+//! * [`morton`] — Z-order keys for the cache-linear point layout the
+//!   construction pipeline sorts deployments into.
 //! * [`ordf64`] — the [`OrdF64`] total-order wrapper shared by every heap
 //!   or sort keyed on distances.
 //! * [`svg`] — a minimal SVG writer used to regenerate the paper's figures.
@@ -30,6 +32,7 @@ pub mod aabb;
 pub mod disk;
 pub mod hash;
 pub mod lens;
+pub mod morton;
 pub mod ordf64;
 pub mod point;
 pub mod region;
@@ -39,6 +42,7 @@ pub mod tile;
 pub use aabb::Aabb;
 pub use disk::Disk;
 pub use lens::Lens;
+pub use morton::morton_key;
 pub use ordf64::OrdF64;
 pub use point::Point;
 pub use region::Region;

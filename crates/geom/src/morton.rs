@@ -1,0 +1,142 @@
+//! Morton (Z-order) keys for cache-linear spatial layouts.
+//!
+//! A Morton key interleaves the bits of a point's quantised `(x, y)` cell
+//! coordinates, so sorting points by key lays spatially close points close
+//! in memory. The construction pipeline reorders each deployment into this
+//! order before building (see `wsn_pointproc::order`): grid-bucket scans
+//! and ghost gathers then walk the point SoA almost sequentially instead of
+//! hopping through it in deployment order.
+//!
+//! Keys are a *layout* device only — they never enter a predicate, a
+//! tie-break, or a seeded draw, so the graphs built over a Morton-ordered
+//! copy remap byte-identically to the deployment-order originals (the
+//! permutation-invariance suite pins this).
+
+use crate::{Aabb, Point};
+
+/// Bits of resolution per axis. 2^21 cells per side is far below f64's 52
+/// mantissa bits, and the interleaved key still fits one `u64` with room
+/// to spare.
+pub const MORTON_BITS: u32 = 21;
+
+/// Spread the low [`MORTON_BITS`] bits of `v` so bit `i` lands at bit `2i`
+/// (the classic parallel-prefix dilation).
+#[inline]
+pub fn spread_bits(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x1F_FFFF; // keep MORTON_BITS bits
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Quantise one coordinate into `[0, 2^MORTON_BITS)` against `[lo, hi]`.
+/// Degenerate ranges (`hi <= lo`) collapse to cell 0, which keeps the key
+/// total and the induced order stable.
+#[inline]
+fn quantize(v: f64, lo: f64, hi: f64) -> u32 {
+    let span = hi - lo;
+    // `span > 0.0` is false for NaN too, so degenerate AND non-finite
+    // bounds both collapse to cell 0.
+    if span > 0.0 {
+        let cells = (1u64 << MORTON_BITS) as f64;
+        let t = ((v - lo) / span * cells) as i64;
+        t.clamp(0, (1i64 << MORTON_BITS) - 1) as u32
+    } else {
+        0
+    }
+}
+
+/// The Morton key of `p` quantised against `bounds`: x and y each map to a
+/// 21-bit cell coordinate, whose bits interleave (x even, y odd).
+///
+/// Points outside `bounds` clamp onto its boundary cells — the key stays
+/// total, so any point multiset has a well-defined Z-order.
+#[inline]
+pub fn morton_key(p: Point, bounds: &Aabb) -> u64 {
+    let ix = quantize(p.x, bounds.min.x, bounds.max.x);
+    let iy = quantize(p.y, bounds.min.y, bounds.max.y);
+    spread_bits(ix) | (spread_bits(iy) << 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_bits_dilates_each_bit() {
+        assert_eq!(spread_bits(0), 0);
+        assert_eq!(spread_bits(1), 1);
+        assert_eq!(spread_bits(0b10), 0b100);
+        assert_eq!(spread_bits(0b11), 0b101);
+        for b in 0..MORTON_BITS {
+            assert_eq!(spread_bits(1 << b), 1u64 << (2 * b), "bit {b}");
+        }
+        // Only even bit positions are ever set.
+        assert_eq!(spread_bits(0x1F_FFFF) & 0xAAAA_AAAA_AAAA_AAAA, 0);
+    }
+
+    #[test]
+    fn key_matches_hand_interleaving_on_a_small_grid() {
+        // A 2^21-cell axis over [0, 2^21] makes quantisation the identity
+        // on integer coordinates, so keys are pure bit interleavings.
+        let side = (1u64 << MORTON_BITS) as f64;
+        let b = Aabb::from_coords(0.0, 0.0, side, side);
+        for (x, y, expect) in [
+            (0u32, 0u32, 0u64),
+            (1, 0, 0b01),
+            (0, 1, 0b10),
+            (1, 1, 0b11),
+            (2, 3, 0b1110),
+            (7, 5, 0b110111),
+        ] {
+            let p = Point::new(x as f64, y as f64);
+            assert_eq!(morton_key(p, &b), expect, "({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn z_order_of_quadrants() {
+        // The four quadrants of the box sort in Z order:
+        // bottom-left < bottom-right < top-left < top-right.
+        let b = Aabb::from_coords(0.0, 0.0, 1.0, 1.0);
+        let bl = morton_key(Point::new(0.1, 0.1), &b);
+        let br = morton_key(Point::new(0.9, 0.1), &b);
+        let tl = morton_key(Point::new(0.1, 0.9), &b);
+        let tr = morton_key(Point::new(0.9, 0.9), &b);
+        assert!(bl < br && br < tl && tl < tr);
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp_not_wrap() {
+        let b = Aabb::from_coords(0.0, 0.0, 1.0, 1.0);
+        let far = morton_key(Point::new(100.0, 100.0), &b);
+        let corner = morton_key(Point::new(1.0, 1.0), &b);
+        assert_eq!(far, corner);
+        assert_eq!(
+            morton_key(Point::new(-5.0, -5.0), &b),
+            morton_key(Point::new(0.0, 0.0), &b)
+        );
+    }
+
+    #[test]
+    fn degenerate_bounds_give_a_constant_key() {
+        let b = Aabb::from_coords(2.0, 3.0, 2.0, 3.0);
+        assert_eq!(morton_key(Point::new(2.0, 3.0), &b), 0);
+        assert_eq!(morton_key(Point::new(7.0, -1.0), &b), 0);
+    }
+
+    #[test]
+    fn nearby_points_share_key_prefixes_more_than_distant_ones() {
+        // Locality sanity: the XOR of two close points' keys is smaller (in
+        // leading-bit position) than that of two distant points, on average.
+        let b = Aabb::from_coords(0.0, 0.0, 100.0, 100.0);
+        let base = morton_key(Point::new(50.0, 50.0), &b);
+        let near = morton_key(Point::new(50.1, 50.1), &b);
+        let far = morton_key(Point::new(99.0, 2.0), &b);
+        let hi = |x: u64| 64 - x.leading_zeros();
+        assert!(hi(base ^ near) < hi(base ^ far));
+    }
+}

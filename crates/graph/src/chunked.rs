@@ -67,6 +67,16 @@ pub struct SpliceStats {
     pub delta_halfedges: usize,
 }
 
+/// One chunk's merged region, computed read-only by `merge_chunk` (possibly
+/// on a worker thread) and written back serially by `apply_chunk`.
+struct ChunkRewrite {
+    chunk: usize,
+    targets: Vec<u32>,
+    mult: Vec<u8>,
+    /// `(node, offset-into-targets)` in chunk node order.
+    node_starts: Vec<(u32, u32)>,
+}
+
 /// An undirected graph in chunked CSR form: per-node sorted neighbour
 /// slices, grouped into per-chunk arena regions with slack so
 /// [`Self::splice`] can rewrite one chunk without touching the rest.
@@ -326,10 +336,8 @@ impl ChunkedCsr {
             return stats;
         }
 
-        // Scratch buffers shared by every chunk rewrite this splice.
-        let mut s_targets: Vec<u32> = Vec::new();
-        let mut s_mult: Vec<u8> = Vec::new();
-        let mut s_node: Vec<(u32, u32)> = Vec::new();
+        // Per-chunk delta runs.
+        let mut runs: Vec<&[(u32, u32, u32, i32)]> = Vec::new();
         let mut i = 0usize;
         while i < co.len() {
             let chunk = co[i].0;
@@ -337,16 +345,24 @@ impl ChunkedCsr {
             while j < co.len() && co[j].0 == chunk {
                 j += 1;
             }
-            stats.chunks_touched += 1;
-            self.splice_chunk(
-                chunk as usize,
-                &co[i..j],
-                &mut s_targets,
-                &mut s_mult,
-                &mut s_node,
-                &mut stats,
-            );
+            runs.push(&co[i..j]);
             i = j;
+        }
+        stats.chunks_touched = runs.len();
+
+        // Merge pass: the two-pointer list merges (the compute) read only
+        // shared state, so the touched chunks fan out over the worker pool;
+        // the writes back into the arena — in-place copies, tail
+        // relocations, region bookkeeping — happen serially below, in chunk
+        // order, so relocation layout stays deterministic.
+        let rewrites: Vec<ChunkRewrite> = {
+            use rayon::prelude::*;
+            runs.into_par_iter()
+                .map(|drun| self.merge_chunk(drun))
+                .collect()
+        };
+        for rw in rewrites {
+            self.apply_chunk(rw, &mut stats);
         }
 
         // Reclaim relocation debris once it dominates the arena; amortised
@@ -358,20 +374,14 @@ impl ChunkedCsr {
         stats
     }
 
-    /// Rewrite one chunk's region by merging its current lists with its
-    /// (node, nbr)-sorted delta run.
-    fn splice_chunk(
-        &mut self,
-        c: usize,
-        delta: &[(u32, u32, u32, i32)],
-        s_targets: &mut Vec<u32>,
-        s_mult: &mut Vec<u8>,
-        s_node: &mut Vec<(u32, u32)>,
-        stats: &mut SpliceStats,
-    ) {
-        s_targets.clear();
-        s_mult.clear();
-        s_node.clear();
+    /// Compute one chunk's rewritten region by merging its current lists
+    /// with its (node, nbr)-sorted delta run. Read-only — safe to fan out
+    /// across touched chunks; [`Self::apply_chunk`] writes the result back.
+    fn merge_chunk(&self, delta: &[(u32, u32, u32, i32)]) -> ChunkRewrite {
+        let c = delta[0].0 as usize;
+        let mut s_targets: Vec<u32> = Vec::new();
+        let mut s_mult: Vec<u8> = Vec::new();
+        let mut s_node: Vec<(u32, u32)> = Vec::new();
         let mut di = 0usize;
         for idx in self.chunk_nodes_off[c] as usize..self.chunk_nodes_off[c + 1] as usize {
             let u = self.chunk_nodes[idx];
@@ -403,7 +413,7 @@ impl ChunkedCsr {
                             a += 1;
                         }
                         std::cmp::Ordering::Greater => {
-                            push_new(vb, drun[b].3, s_targets, s_mult);
+                            push_new(vb, drun[b].3, &mut s_targets, &mut s_mult);
                             b += 1;
                         }
                         std::cmp::Ordering::Equal => {
@@ -424,26 +434,42 @@ impl ChunkedCsr {
                     s_mult.push(self.mult[a]);
                 }
                 for &(_, _, v, d) in &drun[b..] {
-                    push_new(v, d, s_targets, s_mult);
+                    push_new(v, d, &mut s_targets, &mut s_mult);
                 }
             }
             s_node.push((u, s_start));
         }
         debug_assert_eq!(di, delta.len(), "delta run references a foreign node");
+        ChunkRewrite {
+            chunk: c,
+            targets: s_targets,
+            mult: s_mult,
+            node_starts: s_node,
+        }
+    }
 
+    /// Write one merged chunk back into the arena: in place when the slack
+    /// absorbs the drift, relocated to the tail otherwise.
+    fn apply_chunk(&mut self, rw: ChunkRewrite, stats: &mut SpliceStats) {
+        let ChunkRewrite {
+            chunk: c,
+            targets: s_targets,
+            mult: s_mult,
+            node_starts: s_node,
+        } = rw;
         let new_len = s_targets.len();
         let old_len = self.region_len[c] as usize;
         if new_len <= self.region_cap[c] as usize {
             // Fits in place (slack absorbed the drift).
             let base = self.region_start[c] as usize;
-            self.targets[base..base + new_len].copy_from_slice(s_targets);
-            self.mult[base..base + new_len].copy_from_slice(s_mult);
+            self.targets[base..base + new_len].copy_from_slice(&s_targets);
+            self.mult[base..base + new_len].copy_from_slice(&s_mult);
         } else {
             // Relocate to the arena tail with fresh slack.
             let cap = cap_for(u32::try_from(new_len).expect("chunk length fits u32")) as usize;
             let base = self.targets.len();
-            self.targets.extend_from_slice(s_targets);
-            self.mult.extend_from_slice(s_mult);
+            self.targets.extend_from_slice(&s_targets);
+            self.mult.extend_from_slice(&s_mult);
             self.targets.resize(base + cap, 0);
             self.mult.resize(base + cap, 0);
             self.dead += self.region_cap[c] as usize;

@@ -18,6 +18,8 @@
 //! * [`builder`] — edge-list accumulation and deduplication.
 //! * [`delta`] — incremental maintenance: per-shard edge caches, vertex
 //!   deactivation, monotone relabelling, CSR fingerprints.
+//! * [`perm`] — arbitrary-permutation relabelling, the emission boundary of
+//!   the Morton-ordered construction pipeline.
 //! * [`snapshot`] — epoch-versioned RCU-style snapshot publication: the
 //!   serve path's pin/publish/retire structure.
 //! * [`unionfind`] — disjoint sets with union by size + path halving.
@@ -35,6 +37,7 @@ pub mod components;
 pub mod csr;
 pub mod delta;
 pub mod dijkstra;
+pub mod perm;
 pub mod snapshot;
 pub mod stats;
 pub mod stretch;
@@ -48,6 +51,7 @@ pub use delta::{
     check_monotone, deactivate_vertices, fingerprint, relabel, IdRemap, MonotonicityError,
     ShardedEdgeStore,
 };
+pub use perm::{invert_permutation, remap_canonical_edges, remap_csr};
 pub use snapshot::{EpochGuard, EpochHandle, EpochPublisher, SnapshotStats};
 pub use unionfind::UnionFind;
 pub use view::{CsrView, GraphView};

@@ -17,15 +17,20 @@
 //! * [`ppp`] — homogeneous Poisson and binomial point processes in a window.
 //! * [`matern`] — Matérn type-II hard-core thinning (a dependent-deployment
 //!   workload variant used by the robustness experiments).
+//! * [`order`] — Morton (Z-order) and explicit point reorderings with
+//!   rank ↔ original-id maps, the cache-layout substrate of the ordered
+//!   builders.
 //! * [`window`] — simulation windows with optional torus wrap-around.
 
 pub mod matern;
+pub mod order;
 pub mod points;
 pub mod poisson;
 pub mod ppp;
 pub mod rng;
 pub mod window;
 
+pub use order::PointOrder;
 pub use points::PointSet;
 pub use poisson::sample_poisson;
 pub use ppp::{sample_binomial_window, sample_poisson_window};

@@ -8,6 +8,13 @@
 //!
 //! * Node ids live in a fixed **universe** id space (the initial deployment
 //!   plus any reserve pool); churn toggles an alive mask, never re-indexes.
+//!   This id space stays in *deployment order* even now that one-shot
+//!   construction runs Morton-ordered ([`crate::ordered`]): churn draws,
+//!   HNG level promotion and every golden are seeded per universe id, so
+//!   reordering here would change observable bytes. The locality win the
+//!   Morton layout buys at construction time comes from cache-dense
+//!   *per-group* remaps ([`wsn_graph::IdRemap`]) on the repair path
+//!   instead.
 //! * A shard is **dirty** when a dead or joined node lies inside its
 //!   ghost-padded extent — every predicate the builders evaluate (disk
 //!   membership, Gabriel blockers, RNG lune witnesses, Yao cone minima,

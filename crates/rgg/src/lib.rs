@@ -24,7 +24,10 @@
 //! Every topology also has a tile-sharded, rayon-parallel builder in
 //! [`sharded`] that streams the deployment as ghost-padded shards and is
 //! proven edge-identical to the monolithic builder — the construction
-//! pipeline behind million-node experiments.
+//! pipeline behind million-node experiments. The [`ordered`] entry points
+//! run those builders over a Morton-sorted copy of the deployment (cache
+//! -linear gathers) and remap the graph back to original ids at the
+//! emission boundary, byte-identically.
 //!
 //! Under node churn the same shard decomposition powers [`incremental`]:
 //! per-shard edge caches survive across epochs and only shards whose
@@ -36,6 +39,7 @@ pub mod gabriel;
 pub mod hng;
 pub mod incremental;
 pub mod knn;
+pub mod ordered;
 pub mod rng_graph;
 pub mod sharded;
 pub mod udg;
@@ -48,6 +52,10 @@ pub use hng::{
 };
 pub use incremental::{compact_alive, GatherPolicy, IncTopology, IncrementalGraph, RepairStats};
 pub use knn::{build_knn, knn_lists};
+pub use ordered::{
+    build_gabriel_ordered, build_hng_ordered, build_knn_ordered, build_rng_ordered,
+    build_udg_ordered, build_yao_ordered,
+};
 pub use rng_graph::build_rng;
 pub use sharded::{
     build_gabriel_sharded, build_knn_sharded, build_rng_sharded, build_udg_sharded,

@@ -1,0 +1,190 @@
+//! Morton-ordered construction entry points.
+//!
+//! Each `build_*_on_order` runs the sharded builder over the spatially
+//! sorted copy held by a [`PointOrder`] — grid buckets, ghost gathers and
+//! per-shard resident lists then walk the point SoA near-sequentially —
+//! and remaps the resulting graph back to original deployment ids at the
+//! emission boundary ([`wsn_graph::perm::remap_csr`]). The `build_*_ordered`
+//! wrappers construct the Morton order themselves.
+//!
+//! ## Why the remapped graph is the deployment-order graph
+//!
+//! The reordered copy carries bit-identical coordinates, and every
+//! predicate these builders evaluate is symmetric in its operands
+//! (`dist_sq`, `midpoint`) or canonicalised through `min`/`max`, so the
+//! *edge set* a builder derives is a pure function of the point multiset —
+//! ids only name the endpoints. Remapping endpoint names through
+//! `to_orig` and re-canonicalising via `Csr::from_canonical_edges`'s
+//! per-node sort therefore reproduces the deployment-order graph
+//! byte-for-byte. Selection tie-breaks (k-NN, Yao cones, HNG uplinks) do
+//! key on ids as a *last* resort, but only after exact distance equality —
+//! a measure-zero event for the continuous deployments this pipeline
+//! generates; the permutation-invariance suite and the golden matrix pin
+//! the equality in practice. HNG level draws are seeded per *original* id
+//! ([`crate::hng::hng_levels`]) and gathered into rank space, so the level
+//! structure itself is layout-independent by construction.
+
+use wsn_graph::perm::remap_csr;
+use wsn_graph::Csr;
+use wsn_pointproc::{PointOrder, PointSet};
+
+use crate::hng::{build_hng_sharded_on_levels, hng_levels, HngParams};
+use crate::sharded::{
+    build_gabriel_sharded, build_knn_sharded, build_rng_sharded, build_udg_sharded,
+    build_yao_sharded,
+};
+
+/// UDG over a prepared order — edge-identical to [`crate::build_udg`].
+pub fn build_udg_on_order(order: &PointOrder, radius: f64, tiles_per_shard: usize) -> Csr {
+    remap_csr(
+        &build_udg_sharded(order.points(), radius, tiles_per_shard),
+        order.to_orig(),
+    )
+}
+
+/// Gabriel graph over a prepared order — edge-identical to
+/// [`crate::build_gabriel`].
+pub fn build_gabriel_on_order(order: &PointOrder, radius: f64, tiles_per_shard: usize) -> Csr {
+    remap_csr(
+        &build_gabriel_sharded(order.points(), radius, tiles_per_shard),
+        order.to_orig(),
+    )
+}
+
+/// Relative neighborhood graph over a prepared order — edge-identical to
+/// [`crate::build_rng`].
+pub fn build_rng_on_order(order: &PointOrder, radius: f64, tiles_per_shard: usize) -> Csr {
+    remap_csr(
+        &build_rng_sharded(order.points(), radius, tiles_per_shard),
+        order.to_orig(),
+    )
+}
+
+/// Yao graph over a prepared order — edge-identical to [`crate::build_yao`].
+pub fn build_yao_on_order(
+    order: &PointOrder,
+    radius: f64,
+    cones: usize,
+    tiles_per_shard: usize,
+) -> Csr {
+    remap_csr(
+        &build_yao_sharded(order.points(), radius, cones, tiles_per_shard),
+        order.to_orig(),
+    )
+}
+
+/// Symmetrised k-NN over a prepared order — edge-identical to
+/// [`crate::build_knn`].
+pub fn build_knn_on_order(order: &PointOrder, k: usize, tiles_per_shard: usize) -> Csr {
+    remap_csr(
+        &build_knn_sharded(order.points(), k, tiles_per_shard),
+        order.to_orig(),
+    )
+}
+
+/// HNG over a prepared order — edge-identical to [`crate::build_hng`].
+///
+/// Level promotion draws are keyed on original deployment ids (the same
+/// `derive_seed2(seed, node, level)` stream every other HNG builder uses)
+/// and gathered into rank space, so the hierarchy is identical no matter
+/// the layout.
+pub fn build_hng_on_order(
+    order: &PointOrder,
+    params: HngParams,
+    seed: u64,
+    tiles_per_shard: usize,
+) -> Csr {
+    let params = HngParams::new(params.p, params.links); // validate
+    let levels = hng_levels(order.len(), params.p, seed);
+    let rank_levels = order.gather_values(&levels);
+    remap_csr(
+        &build_hng_sharded_on_levels(order.points(), &rank_levels, params.links, tiles_per_shard),
+        order.to_orig(),
+    )
+}
+
+/// Morton-ordered UDG: reorder, build sharded, remap.
+pub fn build_udg_ordered(points: &PointSet, radius: f64, tiles_per_shard: usize) -> Csr {
+    build_udg_on_order(&PointOrder::morton(points), radius, tiles_per_shard)
+}
+
+/// Morton-ordered Gabriel graph.
+pub fn build_gabriel_ordered(points: &PointSet, radius: f64, tiles_per_shard: usize) -> Csr {
+    build_gabriel_on_order(&PointOrder::morton(points), radius, tiles_per_shard)
+}
+
+/// Morton-ordered relative neighborhood graph.
+pub fn build_rng_ordered(points: &PointSet, radius: f64, tiles_per_shard: usize) -> Csr {
+    build_rng_on_order(&PointOrder::morton(points), radius, tiles_per_shard)
+}
+
+/// Morton-ordered Yao graph.
+pub fn build_yao_ordered(
+    points: &PointSet,
+    radius: f64,
+    cones: usize,
+    tiles_per_shard: usize,
+) -> Csr {
+    build_yao_on_order(&PointOrder::morton(points), radius, cones, tiles_per_shard)
+}
+
+/// Morton-ordered symmetrised k-NN.
+pub fn build_knn_ordered(points: &PointSet, k: usize, tiles_per_shard: usize) -> Csr {
+    build_knn_on_order(&PointOrder::morton(points), k, tiles_per_shard)
+}
+
+/// Morton-ordered HNG.
+pub fn build_hng_ordered(
+    points: &PointSet,
+    params: HngParams,
+    seed: u64,
+    tiles_per_shard: usize,
+) -> Csr {
+    build_hng_on_order(&PointOrder::morton(points), params, seed, tiles_per_shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_gabriel, build_hng, build_knn, build_rng, build_udg, build_yao};
+    use wsn_geom::Aabb;
+    use wsn_pointproc::{rng_from_seed, sample_binomial_window};
+
+    fn pts(n: usize, seed: u64) -> PointSet {
+        sample_binomial_window(&mut rng_from_seed(seed), n, &Aabb::square(12.0))
+    }
+
+    #[test]
+    fn ordered_builders_match_monolithic() {
+        let p = pts(900, 41);
+        assert_eq!(build_udg_ordered(&p, 1.0, 4), build_udg(&p, 1.0));
+        assert_eq!(build_gabriel_ordered(&p, 1.2, 4), build_gabriel(&p, 1.2));
+        assert_eq!(build_rng_ordered(&p, 1.2, 4), build_rng(&p, 1.2));
+        assert_eq!(build_yao_ordered(&p, 1.0, 6, 4), build_yao(&p, 1.0, 6));
+        assert_eq!(build_knn_ordered(&p, 8, 4), build_knn(&p, 8));
+        let hp = HngParams::new(0.5, 2);
+        assert_eq!(build_hng_ordered(&p, hp, 7, 4), build_hng(&p, hp, 7));
+    }
+
+    #[test]
+    fn arbitrary_orders_also_match() {
+        // Not just Morton: any bijection must remap back to the same graph.
+        let p = pts(400, 42);
+        let n = p.len() as u32;
+        // A fixed "shuffle": reverse, which is maximally non-monotone.
+        let rev: Vec<u32> = (0..n).rev().collect();
+        let order = PointOrder::from_to_orig(&p, rev);
+        assert_eq!(build_udg_on_order(&order, 1.0, 4), build_udg(&p, 1.0));
+        assert_eq!(build_knn_on_order(&order, 6, 4), build_knn(&p, 6));
+        let hp = HngParams::new(0.4, 2);
+        assert_eq!(build_hng_on_order(&order, hp, 3, 4), build_hng(&p, hp, 3));
+    }
+
+    #[test]
+    fn empty_point_sets_are_fine() {
+        let p = PointSet::new();
+        let order = PointOrder::morton(&p);
+        assert_eq!(build_udg_on_order(&order, 1.0, 4).n(), 0);
+        assert_eq!(build_knn_on_order(&order, 4, 4).n(), 0);
+    }
+}

@@ -12,11 +12,12 @@ use wsn_geom::Aabb;
 use wsn_graph::stats::degree_stats;
 use wsn_graph::Csr;
 use wsn_pointproc::matern::sample_matern_ii;
-use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
+use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointOrder, PointSet};
+use wsn_rgg::ordered::build_knn_on_order;
 use wsn_rgg::{
-    build_gabriel, build_gabriel_sharded, build_hng, build_hng_sharded, build_knn,
-    build_knn_sharded, build_rng, build_rng_sharded, build_udg, build_udg_sharded, build_yao,
-    build_yao_sharded, HngParams,
+    build_gabriel, build_gabriel_ordered, build_hng, build_hng_ordered, build_knn,
+    build_knn_ordered, build_rng, build_rng_ordered, build_udg, build_udg_ordered, build_yao,
+    build_yao_ordered, HngParams,
 };
 use wsn_simnet::churn::{
     simulate_lifetime_plain, simulate_lifetime_sens, ChurnConfig, ChurnModel, LifetimeReport,
@@ -27,12 +28,12 @@ use wsn_simnet::fault::random_failures;
 use wsn_simnet::{distributed_build_udg, route_packet_with_path};
 
 use wsn_core::coverage::{ell_for_target, empty_box_curve};
-use wsn_core::nn::{build_nn_sens, build_nn_sens_parallel};
+use wsn_core::nn::{build_nn_sens, build_nn_sens_ordered};
 use wsn_core::params::{NnSensParams, UdgSensParams};
 use wsn_core::stretch::{measure_sens_stretch, sample_id_pairs, sample_rep_pairs};
 use wsn_core::subgraph::SensNetwork;
 use wsn_core::tilegrid::TileGrid;
-use wsn_core::udg::{build_udg_sens, build_udg_sens_parallel};
+use wsn_core::udg::{build_udg_sens, build_udg_sens_ordered};
 
 use crate::spec::{DeploymentSpec, ScenarioSpec, TopologySpec};
 
@@ -146,7 +147,10 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
     // ---- topology construction --------------------------------------
     // The sharded pipeline is edge-identical to the monolithic builders,
     // so `spec.exec` can never change a metric value — only how fast (and
-    // in how many parallel shards) the graph appears.
+    // in how many parallel shards) the graph appears. Parallel runs go
+    // through the Morton-ordered entry points: the sharded builders walk a
+    // spatially sorted copy and emissions are remapped back to deployment
+    // ids, byte-identically (the permutation-invariance suite is the pin).
     let udg_params = UdgSensParams::strict_default();
     let shard_tiles = spec.exec.shard_tiles;
     let parallel = spec.exec.parallel;
@@ -154,7 +158,7 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
         TopologySpec::UdgSens => {
             let g = grid.clone().expect("SENS grid");
             let net = if parallel {
-                build_udg_sens_parallel(&points, udg_params, g)
+                build_udg_sens_ordered(&points, &PointOrder::morton(&points), udg_params, g)
             } else {
                 build_udg_sens(&points, udg_params, g)
             };
@@ -164,8 +168,9 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
             let params = NnSensParams { a, k };
             let g = grid.clone().expect("SENS grid");
             let net = if parallel {
-                let base = build_knn_sharded(&points, k, shard_tiles);
-                build_nn_sens_parallel(&points, &base, params, g)
+                let order = PointOrder::morton(&points);
+                let base = build_knn_on_order(&order, k, shard_tiles);
+                build_nn_sens_ordered(&points, &order, &base, params, g)
             } else {
                 let base = build_knn(&points, k);
                 build_nn_sens(&points, &base, params, g)
@@ -173,34 +178,34 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
             Built::Sens(net.expect("NN-SENS params validated by preset"))
         }
         TopologySpec::Udg { radius } => Built::Plain(if parallel {
-            build_udg_sharded(&points, radius, shard_tiles)
+            build_udg_ordered(&points, radius, shard_tiles)
         } else {
             build_udg(&points, radius)
         }),
         TopologySpec::Knn { k } => Built::Plain(if parallel {
-            build_knn_sharded(&points, k, shard_tiles)
+            build_knn_ordered(&points, k, shard_tiles)
         } else {
             build_knn(&points, k)
         }),
         TopologySpec::Gabriel { radius } => Built::Plain(if parallel {
-            build_gabriel_sharded(&points, radius, shard_tiles)
+            build_gabriel_ordered(&points, radius, shard_tiles)
         } else {
             build_gabriel(&points, radius)
         }),
         TopologySpec::Rng { radius } => Built::Plain(if parallel {
-            build_rng_sharded(&points, radius, shard_tiles)
+            build_rng_ordered(&points, radius, shard_tiles)
         } else {
             build_rng(&points, radius)
         }),
         TopologySpec::Yao { radius, cones } => Built::Plain(if parallel {
-            build_yao_sharded(&points, radius, cones, shard_tiles)
+            build_yao_ordered(&points, radius, cones, shard_tiles)
         } else {
             build_yao(&points, radius, cones)
         }),
         TopologySpec::Hng { p, links } => {
             let hseed = derive_seed(rep_seed, stream::HNG);
             Built::Plain(if parallel {
-                build_hng_sharded(&points, HngParams::new(p, links), hseed, shard_tiles)
+                build_hng_ordered(&points, HngParams::new(p, links), hseed, shard_tiles)
             } else {
                 build_hng(&points, HngParams::new(p, links), hseed)
             })

@@ -7,11 +7,17 @@
 //! the item index — so results are schedule-independent by construction.
 //!
 //! This shim reproduces exactly that surface. Work is fanned out over
-//! `std::thread::scope` in contiguous chunks (one per worker), and chunk
-//! outputs are concatenated in input order, so `collect` preserves the
-//! sequential ordering and every reduction is deterministic.
+//! `std::thread::scope` through a shared batch queue with guided batch
+//! sizes — workers that finish early steal the remaining batches, so a few
+//! slow items (a dense shard, a big tile row) no longer stall the whole
+//! fan-out the way static one-chunk-per-worker splitting did. Every result
+//! is tagged with its input index and the output is sorted back into input
+//! order, so `collect` preserves the sequential ordering and every
+//! reduction is deterministic regardless of which worker ran what.
 
+use std::collections::VecDeque;
 use std::iter::Sum;
+use std::sync::Mutex;
 use std::thread;
 
 pub mod prelude {
@@ -37,8 +43,21 @@ fn workers(n_items: usize) -> usize {
     hw.min(n_items).max(1)
 }
 
+/// Largest batch a worker claims in one queue access. Guided scheduling
+/// shrinks batches as the queue drains; the cap bounds the worst-case
+/// imbalance from one early oversized claim.
+const MAX_BATCH: usize = 256;
+
 /// Run `f` over `items` on a scoped thread pool, preserving input order in
 /// the concatenated output.
+///
+/// Scheduling is guided self-stealing: indexed items sit in a shared deque
+/// and each worker repeatedly claims a batch of `remaining / (workers * 4)`
+/// (clamped to `1..=MAX_BATCH`), so early batches are large (low contention)
+/// and the tail splits finely enough that no worker idles while another
+/// still holds a long run of slow items. Results carry their input index
+/// and are sorted back into input order before returning — callers observe
+/// exactly the sequential result, at any thread count.
 fn run_chunked<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -50,27 +69,40 @@ where
     if nw <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(nw);
-    let mut slots: Vec<Vec<U>> = Vec::with_capacity(nw);
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(n);
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nw);
-        let mut items = items;
-        // Peel chunks off the back so each thread owns its slice; reverse at
-        // the end to restore order.
-        let mut chunks_rev: Vec<Vec<T>> = Vec::with_capacity(nw);
-        while !items.is_empty() {
-            let at = items.len().saturating_sub(chunk);
-            chunks_rev.push(items.split_off(at));
-        }
-        for part in chunks_rev.into_iter().rev() {
-            let f = &f;
-            handles.push(scope.spawn(move || part.into_iter().map(f).collect::<Vec<U>>()));
+        for _ in 0..nw {
+            let (queue, f) = (&queue, &f);
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, U)> = Vec::new();
+                let mut batch: Vec<(usize, T)> = Vec::new();
+                loop {
+                    {
+                        let mut q = queue.lock().expect("rayon-shim queue poisoned");
+                        if q.is_empty() {
+                            return out;
+                        }
+                        let take = (q.len() / (nw * 4)).clamp(1, MAX_BATCH).min(q.len());
+                        batch.extend(q.drain(..take));
+                    }
+                    out.extend(batch.drain(..).map(|(i, x)| (i, f(x))));
+                }
+            }));
         }
         for h in handles {
-            slots.push(h.join().expect("rayon-shim worker panicked"));
+            // Re-raise worker panics with their original payload so
+            // assertion messages survive the fan-out.
+            match h.join() {
+                Ok(part) => tagged.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
-    slots.into_iter().flatten().collect()
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(tagged.len() == n);
+    tagged.into_iter().map(|(_, u)| u).collect()
 }
 
 /// Conversion into a "parallel" iterator, mirroring rayon's entry point.
@@ -249,5 +281,42 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u64> = (0u64..0).into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn skewed_workloads_preserve_order() {
+        // A handful of heavy items at the front would pin static chunking's
+        // first worker; the batch queue must still return input order.
+        let out: Vec<u64> = (0u64..500)
+            .into_par_iter()
+            .map(|x| {
+                if x < 4 {
+                    // Busy-ish work, deterministic result.
+                    (0..50_000u64).fold(x, |a, b| a.wrapping_add(b % 13))
+                } else {
+                    x
+                }
+            })
+            .collect();
+        let seq: Vec<u64> = (0u64..500)
+            .map(|x| {
+                if x < 4 {
+                    (0..50_000u64).fold(x, |a, b| a.wrapping_add(b % 13))
+                } else {
+                    x
+                }
+            })
+            .collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn single_item_and_single_worker_paths() {
+        let out: Vec<u64> = (0u64..1).into_par_iter().map(|x| x + 7).collect();
+        assert_eq!(out, vec![7]);
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 3).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (0u64..100).map(|x| x * 3).collect::<Vec<_>>());
     }
 }
