@@ -72,7 +72,7 @@
 
 use serde::value::Value;
 
-use crate::lifetime::LIFETIME_SCHEMA;
+use crate::lifetime::{LIFETIME_SCHEMA, RENEWAL_POLICIES};
 use crate::pipeline::{PIPELINE_SCHEMA, THREAD_LADDER};
 use crate::serve::SERVE_SCHEMA;
 
@@ -415,6 +415,10 @@ pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
             .iter()
             .filter_map(|r| sweep_key(r).map(|k| (k, r)))
             .collect();
+    // Sweep comparisons tracked separately from the renewal checks: "no
+    // sweep row matched anything" must stay a loud wrong-baseline failure
+    // even when the renewal sections hold on their own.
+    let mut sweep_checked = 0usize;
     for row in section(fresh, "locality_sweep", "fresh", &mut report) {
         let Some(key) = sweep_key(row) else {
             report
@@ -454,6 +458,7 @@ pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
             continue;
         };
         report.checked += 1;
+        sweep_checked += 1;
         let floor = base_s * (1.0 - LIFETIME_SPEEDUP_DROP_TOLERANCE);
         if fresh_s < floor {
             report.failures.push(format!(
@@ -515,12 +520,77 @@ pub fn gate_lifetime(baseline: &Value, fresh: &Value) -> GateReport {
             );
         }
     }
-    if report.checked == 0 && report.failures.is_empty() {
+    // The renewal section is schedule-deterministic, so the same
+    // invariants bind on both sides: a fresh run that lost them is a code
+    // regression, a baseline that lost them is a careless re-bless.
+    gate_renewal(baseline, "baseline", &mut report);
+    gate_renewal(fresh, "fresh", &mut report);
+    if sweep_checked == 0 && report.failures.is_empty() {
         report
             .failures
             .push("no fresh sweep row matched any baseline row — wrong baseline file?".into());
     }
     report
+}
+
+/// The renewal-section invariants of one `BENCH_lifetime.json` document:
+/// every policy of [`RENEWAL_POLICIES`] present (named expected/found
+/// diagnostics on a mismatch), the drain-only row actually partitioned
+/// (otherwise every comparison is censored at the horizon), and the
+/// energy-adding policies' lifetime-to-first-partition strictly exceeding
+/// the drain-only baseline. Sink rotation adds no energy and is exempt
+/// from the strict-exceed check.
+fn gate_renewal(doc: &Value, side: &str, report: &mut GateReport) {
+    let rows = section(doc, "renewal", side, report);
+    if rows.is_empty() {
+        return;
+    }
+    let found: Vec<&str> = rows
+        .iter()
+        .filter_map(|r| r.get("policy").and_then(|p| p.as_str()))
+        .collect();
+    if found != RENEWAL_POLICIES {
+        report.failures.push(format!(
+            "{side} renewal section: expected policies {RENEWAL_POLICIES:?}, found {found:?}"
+        ));
+        return;
+    }
+    let rounds = |policy: &str| -> Option<u64> {
+        let row = rows
+            .iter()
+            .find(|r| r.get("policy").and_then(|p| p.as_str()) == Some(policy))?;
+        row.get("lifetime_rounds").and_then(|v| v.as_u64())
+    };
+    let Some(none_rounds) = rounds("none") else {
+        report.failures.push(format!(
+            "{side} renewal section: \"none\" row has no lifetime_rounds"
+        ));
+        return;
+    };
+    let none_partitioned = rows
+        .iter()
+        .find(|r| r.get("policy").and_then(|p| p.as_str()) == Some("none"))
+        .and_then(|r| r.get("partitioned"))
+        .and_then(|v| v.as_bool());
+    if none_partitioned != Some(true) {
+        report.failures.push(format!(
+            "{side} renewal section: the drain-only row never partitioned — the renewal \
+             comparison is censored at the horizon"
+        ));
+        return;
+    }
+    for policy in ["mobile-charger", "solar"] {
+        match rounds(policy) {
+            Some(r) if r > none_rounds => report.checked += 1,
+            Some(r) => report.failures.push(format!(
+                "{side} renewal section: {policy} lifetime {r} rounds does not strictly \
+                 exceed the drain-only baseline's {none_rounds}"
+            )),
+            None => report.failures.push(format!(
+                "{side} renewal section: {policy} row has no lifetime_rounds"
+            )),
+        }
+    }
 }
 
 fn serve_key(row: &Value) -> Option<(String, u64, u64)> {
@@ -699,12 +769,35 @@ mod tests {
         assert!(!g2.passed());
     }
 
-    fn lifetime_doc(rows_json: &str, sweep_json: &str) -> Value {
+    fn renewal_row_json(policy: &str, rounds: u64, partitioned: bool) -> String {
+        format!(
+            r#"{{"policy": "{policy}", "lifetime_rounds": {rounds},
+                 "partitioned": {partitioned}}}"#
+        )
+    }
+
+    /// A renewal section that satisfies every invariant: the drain-only
+    /// row partitions at 7, both energy-adding policies out-live it.
+    fn good_renewal() -> String {
+        format!(
+            "[{}, {}, {}, {}]",
+            renewal_row_json("none", 7, true),
+            renewal_row_json("mobile-charger", 18, false),
+            renewal_row_json("solar", 18, false),
+            renewal_row_json("sink-rotation", 7, true),
+        )
+    }
+
+    fn lifetime_doc_with_renewal(rows_json: &str, sweep_json: &str, renewal_json: &str) -> Value {
         serde_json::from_str(&format!(
             r#"{{"schema": "{LIFETIME_SCHEMA}", "rows": {rows_json},
-                 "locality_sweep": {sweep_json}}}"#
+                 "locality_sweep": {sweep_json}, "renewal": {renewal_json}}}"#
         ))
         .unwrap()
+    }
+
+    fn lifetime_doc(rows_json: &str, sweep_json: &str) -> Value {
+        lifetime_doc_with_renewal(rows_json, sweep_json, &good_renewal())
     }
 
     fn sweep_row(topology: &str, n: u64, target: u64, speedup: f64, identical: bool) -> String {
@@ -737,7 +830,8 @@ mod tests {
         );
         let g = gate_lifetime(&base, &fresh);
         assert!(g.passed(), "{:?}", g.failures);
-        assert_eq!(g.checked, 1);
+        // 1 sweep comparison + 2 renewal strict-exceed checks per side.
+        assert_eq!(g.checked, 5);
         let too_slow = lifetime_doc(
             "[]",
             &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 3.9, true)),
@@ -795,11 +889,95 @@ mod tests {
         );
         let g = gate_lifetime(&base, &fresh);
         assert!(g.passed(), "{:?}", g.failures);
-        assert_eq!(g.checked, 1);
+        assert_eq!(g.checked, 5);
         assert_eq!(g.skipped.len(), 1);
-        // Nothing matched at all → loud failure, not a silent pass.
+        // Nothing matched at all → loud failure, not a silent pass, even
+        // though both renewal sections hold on their own.
         let g2 = gate_lifetime(&base, &lifetime_doc("[]", "[]"));
         assert!(!g2.passed());
+        assert!(g2.failures.iter().any(|f| f.contains("wrong baseline")));
+    }
+
+    #[test]
+    fn renewal_gate_requires_the_full_policy_set_with_named_diagnostics() {
+        let base = lifetime_doc(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 10.0, true)),
+        );
+        // Drop the solar row from the fresh document: the failure must
+        // name both the expected set and what was actually found.
+        let missing = lifetime_doc_with_renewal(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 9.0, true)),
+            &format!(
+                "[{}, {}, {}]",
+                renewal_row_json("none", 7, true),
+                renewal_row_json("mobile-charger", 18, false),
+                renewal_row_json("sink-rotation", 7, true),
+            ),
+        );
+        let g = gate_lifetime(&base, &missing);
+        assert!(!g.passed());
+        let f = g
+            .failures
+            .iter()
+            .find(|f| f.contains("expected policies"))
+            .expect("completeness diagnostic");
+        assert!(f.contains("fresh") && f.contains("solar") && f.contains("mobile-charger"));
+    }
+
+    #[test]
+    fn renewal_gate_pins_strict_exceed_and_an_uncensored_baseline() {
+        let base = lifetime_doc(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 10.0, true)),
+        );
+        // A charger that merely ties the drain-only lifetime fails.
+        let tied = lifetime_doc_with_renewal(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 9.0, true)),
+            &format!(
+                "[{}, {}, {}, {}]",
+                renewal_row_json("none", 7, true),
+                renewal_row_json("mobile-charger", 7, true),
+                renewal_row_json("solar", 18, false),
+                renewal_row_json("sink-rotation", 7, true),
+            ),
+        );
+        let g = gate_lifetime(&base, &tied);
+        assert!(!g.passed());
+        assert!(g
+            .failures
+            .iter()
+            .any(|f| f.contains("mobile-charger") && f.contains("strictly")));
+        // A drain-only row that never partitioned censors everything.
+        let censored = lifetime_doc_with_renewal(
+            "[]",
+            &format!("[{}]", sweep_row("udg(r=1)", 10000, 1, 9.0, true)),
+            &format!(
+                "[{}, {}, {}, {}]",
+                renewal_row_json("none", 18, false),
+                renewal_row_json("mobile-charger", 18, false),
+                renewal_row_json("solar", 18, false),
+                renewal_row_json("sink-rotation", 18, false),
+            ),
+        );
+        let g2 = gate_lifetime(&base, &censored);
+        assert!(!g2.passed());
+        assert!(g2.failures.iter().any(|f| f.contains("censored")));
+        // And a document without the section at all fails loudly.
+        let no_renewal: Value = serde_json::from_str(&format!(
+            r#"{{"schema": "{LIFETIME_SCHEMA}", "rows": [],
+                 "locality_sweep": [{}]}}"#,
+            sweep_row("udg(r=1)", 10000, 1, 9.0, true)
+        ))
+        .unwrap();
+        let g3 = gate_lifetime(&base, &no_renewal);
+        assert!(!g3.passed());
+        assert!(g3
+            .failures
+            .iter()
+            .any(|f| f.contains("fresh") && f.contains("\"renewal\"")));
     }
 
     #[test]
@@ -842,7 +1020,8 @@ mod tests {
     fn full_lifetime_doc(sweep_json: &str) -> Value {
         serde_json::from_str(&format!(
             r#"{{"schema": "{LIFETIME_SCHEMA}", "quick": false, "rows": [],
-                 "locality_sweep": {sweep_json}}}"#
+                 "locality_sweep": {sweep_json}, "renewal": {}}}"#,
+            good_renewal()
         ))
         .unwrap()
     }

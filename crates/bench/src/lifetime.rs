@@ -44,12 +44,13 @@ use wsn_pointproc::{rng_from_seed, sample_poisson_window, PointSet};
 use wsn_rgg::{IncTopology, IncrementalGraph};
 use wsn_simnet::churn::{
     cold_sharded_rebuild, simulate_lifetime_plain, ChurnConfig, ChurnModel, LifetimeReport,
-    RepairMode,
+    RenewalPolicy, RepairMode,
 };
 
 /// Schema tag of `BENCH_lifetime.json`; the gate names this version in its
-/// diagnostics.
-pub const LIFETIME_SCHEMA: &str = "wsn-bench-lifetime/3";
+/// diagnostics. `/4` added the `renewal` section (energy-renewal lifetime
+/// economics alongside the repair economics).
+pub const LIFETIME_SCHEMA: &str = "wsn-bench-lifetime/4";
 
 /// Per-epoch expected kill fraction of the bench churn (the acceptance
 /// regime: 10% per-epoch churn).
@@ -146,6 +147,37 @@ pub struct LocalitySweepRow {
     pub escalations: u64,
 }
 
+/// Stable policy names of the renewal section, in recorded order. The
+/// gate's completeness check pins exactly this set.
+pub const RENEWAL_POLICIES: [&str; 4] = ["none", "mobile-charger", "solar", "sink-rotation"];
+
+/// One renewal policy's lifetime economics: the same deployment, seed and
+/// drain schedule simulated under each [`RenewalPolicy`], recorded so the
+/// gate can assert that adding energy actually buys rounds. Everything in
+/// a row is schedule-deterministic (no wall-clock), so fresh CI rows equal
+/// the committed baseline byte-for-byte at any thread count.
+#[derive(Clone, Debug, Serialize)]
+pub struct RenewalBenchRow {
+    /// One of [`RENEWAL_POLICIES`].
+    pub policy: String,
+    pub topology: String,
+    pub nodes: u64,
+    /// Simulated horizon.
+    pub epochs: u64,
+    /// First-partition epoch, or the full horizon when the network never
+    /// partitioned (`partitioned` disambiguates the censored case).
+    pub lifetime_rounds: u64,
+    pub partitioned: bool,
+    /// Total energy added by the policy over the run (0 for `none` and
+    /// `sink-rotation`).
+    pub recharged_total: f64,
+    pub final_alive: u64,
+    pub deaths_battery: u64,
+    /// Population variance of alive batteries at the final epoch.
+    pub final_battery_variance: f64,
+    pub delivered_fraction: f64,
+}
+
 /// The whole `BENCH_lifetime.json` document.
 #[derive(Clone, Debug, Serialize)]
 pub struct LifetimeBenchReport {
@@ -157,6 +189,8 @@ pub struct LifetimeBenchReport {
     pub rows: Vec<LifetimeBenchRow>,
     /// The churn-locality sweep (dirty-shard ladder per topology × size).
     pub locality_sweep: Vec<LocalitySweepRow>,
+    /// Energy-renewal lifetime economics (one row per policy).
+    pub renewal: Vec<RenewalBenchRow>,
 }
 
 /// Seed of the HNG bench hierarchy. Fixed so a bench row is reproducible
@@ -473,6 +507,107 @@ fn locality_sweep_rows(kind: IncTopology, n: u64, seed: u64) -> Vec<LocalitySwee
     rows
 }
 
+/// Deployment size of the renewal section — small enough that the charger
+/// can reach a meaningful fraction of the population per epoch, and cheap
+/// enough that the section is pure determinism, not wall-clock.
+const RENEWAL_N: u64 = 300;
+
+/// Horizon of the renewal rows. Long enough that the drain-only baseline
+/// partitions well inside it, so the renewal policies' extra rounds are
+/// observable rather than censored.
+const RENEWAL_EPOCHS: usize = 18;
+
+/// Battery / drain schedule of the renewal rows: idle drain alone depletes
+/// a node in ⌈3200 / 450⌉ = 8 epochs, so the `none` row partitions around
+/// there and the horizon leaves 10 rounds of headroom for renewal to win.
+const RENEWAL_BATTERY: f64 = 3200.0;
+const RENEWAL_IDLE: f64 = 450.0;
+const RENEWAL_TRAFFIC: usize = 20;
+
+/// One renewal policy × the drain schedule above, on a shared deployment.
+fn renewal_row(
+    policy_name: &str,
+    policy: RenewalPolicy,
+    points: &PointSet,
+    seed: u64,
+) -> RenewalBenchRow {
+    let kind = IncTopology::Udg { radius: 1.0 };
+    let alive = vec![true; points.len()];
+    let mut cfg = ChurnConfig::new(RENEWAL_EPOCHS, RENEWAL_BATTERY, RENEWAL_TRAFFIC, 0.0, 0.0);
+    cfg.idle_cost = RENEWAL_IDLE;
+    cfg.renewal = policy;
+    let report = simulate_lifetime_plain(points, &alive, kind, &cfg, seed);
+    let partitioned = report.rounds_to_first_partition.is_some();
+    let last = report.epochs.last().expect("at least one epoch");
+    eprintln!(
+        "bench-lifetime: renewal {policy_name} n={} lifetime {} rounds (partitioned {}) \
+         recharged {:.0}",
+        points.len(),
+        report
+            .rounds_to_first_partition
+            .unwrap_or(report.epochs.len() as u64),
+        partitioned,
+        report.recharged_total,
+    );
+    RenewalBenchRow {
+        policy: policy_name.to_string(),
+        topology: kind.label(),
+        nodes: points.len() as u64,
+        epochs: report.epochs.len() as u64,
+        lifetime_rounds: report
+            .rounds_to_first_partition
+            .unwrap_or(report.epochs.len() as u64),
+        partitioned,
+        recharged_total: report.recharged_total,
+        final_alive: report.final_alive,
+        deaths_battery: report.deaths_battery_total,
+        final_battery_variance: last.battery_variance,
+        delivered_fraction: if report.offered_total > 0 {
+            report.delivered_total as f64 / report.offered_total as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The renewal section: every policy over one shared deployment and seed.
+/// The charger's travel budget and the solar rate are sized so both
+/// strictly out-live the drain-only baseline (the gate pins exactly that),
+/// while sink rotation records the no-added-energy comparison point.
+fn renewal_rows(seed: u64) -> Vec<RenewalBenchRow> {
+    let lambda = 10.0;
+    let side = ((RENEWAL_N as f64) / lambda).sqrt();
+    let points: PointSet =
+        sample_poisson_window(&mut rng_from_seed(seed), lambda, &Aabb::square(side));
+    let policies = [
+        ("none", RenewalPolicy::None),
+        (
+            "mobile-charger",
+            RenewalPolicy::MobileCharger {
+                travel_budget: 30.0 * side,
+                min_charge: 0.5 * RENEWAL_BATTERY,
+                max_charge: RENEWAL_BATTERY,
+            },
+        ),
+        (
+            "solar",
+            RenewalPolicy::Solar {
+                rate: RENEWAL_IDLE + 50.0,
+                max_charge: RENEWAL_BATTERY,
+            },
+        ),
+        ("sink-rotation", RenewalPolicy::SinkRotation),
+    ];
+    debug_assert!(policies
+        .iter()
+        .map(|(n, _)| *n)
+        .eq(RENEWAL_POLICIES.iter().copied()));
+    policies
+        .into_iter()
+        .map(|(name, policy)| renewal_row(name, policy, &points, seed))
+        .collect()
+}
+
 /// Run the lifetime bench: quick = 10⁴ nodes per topology (CI smoke), full
 /// adds the 10⁵ rows the committed baseline records. The churn-locality
 /// sweep additionally climbs to 10⁶ nodes in the full profile — the scale
@@ -505,6 +640,7 @@ pub fn run_lifetime_bench(quick: bool, seed: u64) -> LifetimeBenchReport {
         threads: crate::pipeline::effective_threads(),
         rows,
         locality_sweep,
+        renewal: renewal_rows(derive_seed2(seed, 0xEE, 0)),
     }
 }
 
@@ -598,5 +734,39 @@ mod tests {
             let json = serde_json::to_string_pretty(&rows).unwrap();
             assert!(json.contains("\"target_dirty_shards\""));
         }
+    }
+
+    #[test]
+    fn renewal_rows_cover_every_policy_and_renewal_buys_rounds() {
+        let rows = renewal_rows(0xBEEF);
+        let by = |p: &str| {
+            rows.iter()
+                .find(|r| r.policy == p)
+                .unwrap_or_else(|| panic!("missing renewal row for policy {p:?}"))
+        };
+        assert_eq!(
+            rows.iter().map(|r| r.policy.as_str()).collect::<Vec<_>>(),
+            RENEWAL_POLICIES.to_vec(),
+        );
+        let none = by("none");
+        assert!(
+            none.partitioned,
+            "the drain-only row must partition inside the horizon or every \
+             comparison is censored"
+        );
+        for p in ["mobile-charger", "solar"] {
+            let row = by(p);
+            assert!(
+                row.lifetime_rounds > none.lifetime_rounds,
+                "{p}: {} rounds does not exceed the drain-only {}",
+                row.lifetime_rounds,
+                none.lifetime_rounds
+            );
+            assert!(row.recharged_total > 0.0);
+        }
+        assert_eq!(by("sink-rotation").recharged_total, 0.0);
+        assert_eq!(none.recharged_total, 0.0);
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        assert!(json.contains("\"lifetime_rounds\""));
     }
 }

@@ -5,14 +5,18 @@
 //! `d(u, v)^β` (the paper's power model, after Li–Wan–Wang), so weights are
 //! never materialised.
 
-use crate::csr::Csr;
+use crate::view::GraphView;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use wsn_geom::OrdF64;
 
 /// Weighted distance from `src` to all nodes (`f64::INFINITY` when
 /// unreachable). `weight(u, v)` must be ≥ 0 and symmetric.
-pub fn distances<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, weight: W) -> Vec<f64> {
+pub fn distances<G, W>(g: &G, src: u32, weight: W) -> Vec<f64>
+where
+    G: GraphView + ?Sized,
+    W: Fn(u32, u32) -> f64,
+{
     let mut dist = vec![f64::INFINITY; g.n()];
     let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
     dist[src as usize] = 0.0;
@@ -35,7 +39,11 @@ pub fn distances<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, weight: W) -> Vec<f6
 }
 
 /// Weighted distance `src → dst` with early exit, or `None`.
-pub fn distance_to<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, dst: u32, weight: W) -> Option<f64> {
+pub fn distance_to<G, W>(g: &G, src: u32, dst: u32, weight: W) -> Option<f64>
+where
+    G: GraphView + ?Sized,
+    W: Fn(u32, u32) -> f64,
+{
     let mut dist = vec![f64::INFINITY; g.n()];
     let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
     dist[src as usize] = 0.0;
@@ -59,7 +67,11 @@ pub fn distance_to<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, dst: u32, weight: 
 }
 
 /// Weighted shortest path `src → dst` inclusive, or `None`.
-pub fn path<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, dst: u32, weight: W) -> Option<Vec<u32>> {
+pub fn path<G, W>(g: &G, src: u32, dst: u32, weight: W) -> Option<Vec<u32>>
+where
+    G: GraphView + ?Sized,
+    W: Fn(u32, u32) -> f64,
+{
     let mut dist = vec![f64::INFINITY; g.n()];
     let mut parent = vec![u32::MAX; g.n()];
     let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
@@ -95,10 +107,58 @@ pub fn path<W: Fn(u32, u32) -> f64>(g: &Csr, src: u32, dst: u32, weight: W) -> O
     Some(p)
 }
 
+/// Widest (bottleneck) path `src → dst` inclusive, or `None`: maximises
+/// the minimum `node_width` over every node of the path (src and dst
+/// included). The battery-aware lifetime routing uses node residual charge
+/// as the width, so traffic steers around nearly-depleted relays.
+///
+/// Deterministic: the max-heap order and the strict-improvement rule make
+/// the chosen path a pure function of the graph and the width values.
+pub fn widest_path<G, W>(g: &G, src: u32, dst: u32, node_width: W) -> Option<Vec<u32>>
+where
+    G: GraphView + ?Sized,
+    W: Fn(u32) -> f64,
+{
+    let mut best = vec![f64::NEG_INFINITY; g.n()];
+    let mut parent = vec![u32::MAX; g.n()];
+    let mut heap: BinaryHeap<(OrdF64, Reverse<u32>)> = BinaryHeap::new();
+    best[src as usize] = node_width(src);
+    parent[src as usize] = src;
+    heap.push((OrdF64(best[src as usize]), Reverse(src)));
+    while let Some((OrdF64(b), Reverse(u))) = heap.pop() {
+        if u == dst {
+            break;
+        }
+        if b < best[u as usize] {
+            continue; // stale entry
+        }
+        for &v in g.neighbors(u) {
+            let nb = b.min(node_width(v));
+            if nb > best[v as usize] {
+                best[v as usize] = nb;
+                parent[v as usize] = u;
+                heap.push((OrdF64(nb), Reverse(v)));
+            }
+        }
+    }
+    if parent[dst as usize] == u32::MAX {
+        return None;
+    }
+    let mut p = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        p.push(cur);
+    }
+    p.reverse();
+    Some(p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::EdgeList;
+    use crate::csr::Csr;
     use crate::{bfs, UNREACHABLE};
 
     /// Weighted grid-ish test graph:
@@ -161,6 +221,27 @@ mod tests {
         assert_eq!(path(&g, 0, 3, |_, _| 1.0), None);
         let d = distances(&g, 0, |_, _| 1.0);
         assert!(d[3].is_infinite());
+    }
+
+    #[test]
+    fn widest_path_avoids_the_narrow_relay() {
+        // 0—1—3 and 0—2—3: relay 1 is nearly depleted, relay 2 is full.
+        let mut el = EdgeList::new(4);
+        el.add(0, 1);
+        el.add(1, 3);
+        el.add(0, 2);
+        el.add(2, 3);
+        let g = Csr::from_edge_list(el);
+        let width = |u: u32| [100.0, 1.0, 80.0, 100.0][u as usize];
+        assert_eq!(widest_path(&g, 0, 3, width), Some(vec![0, 2, 3]));
+        // With both relays equal, the tie breaks to the smaller id.
+        let flat = |_: u32| 5.0;
+        assert_eq!(widest_path(&g, 0, 3, flat), Some(vec![0, 1, 3]));
+        // Unreachable is None.
+        let mut el2 = EdgeList::new(3);
+        el2.add(0, 1);
+        let g2 = Csr::from_edge_list(el2);
+        assert_eq!(widest_path(&g2, 0, 2, flat), None);
     }
 
     #[test]

@@ -213,23 +213,68 @@ pub fn hng_halo(points: &PointSet, levels: &[u32], links: usize) -> f64 {
         .clamp(1e-3, bb.width().max(bb.height()).max(1e-3))
 }
 
+/// What one shard's cached HNG emissions depend on *beyond* its own
+/// ghost-padded geometry. Margin-certified uplink rungs need no record —
+/// their answer disk provably fits the padded box, so any churn that
+/// could change them also marks the shard geometrically. Every other
+/// rung (answered through `covers_all` or the exact fallback) records a
+/// dependence box: churn of a node of level `≥ j` inside the box may
+/// change the cached answer, so the incremental engine re-derives the
+/// shard. Boxes are unioned per target level, ascending `j`, so a shard
+/// carries at most `T − 1` of them.
+///
+/// Top-clique edges are deliberately *not* recorded here: they depend
+/// only on the alive top level and its member set, which the engine
+/// tracks directly (`IncrementalGraph::hng_top`).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct HngDeps {
+    /// `(target level j, union of answer disks)` per fallback-answered
+    /// rung, ascending `j`.
+    pub(crate) boxes: Vec<(u32, Aabb)>,
+}
+
+impl HngDeps {
+    /// Record one rung's dependence: the disk around `p` reaching the
+    /// worst answered distance (any closer level-`≥ j` churn can displace
+    /// an answer), or the whole plane when the answer ran short of
+    /// `links` — then a level-`≥ j` join *anywhere* adds an edge.
+    fn record(&mut self, j: u32, p: Point, answer: &[(u32, f64)], links: usize) {
+        let bb = if answer.len() < links {
+            Aabb::new(
+                Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+                Point::new(f64::INFINITY, f64::INFINITY),
+            )
+        } else {
+            let worst = answer.last().map(|&(_, d)| d).unwrap_or(0.0);
+            Aabb::centered_square(p, 2.0 * worst)
+        };
+        match self.boxes.binary_search_by_key(&j, |&(lvl, _)| lvl) {
+            Ok(i) => self.boxes[i].1 = self.boxes[i].1.union(&bb),
+            Err(i) => self.boxes.insert(i, (j, bb)),
+        }
+    }
+}
+
 /// One shard's HNG emissions as canonical `(min, max)` pairs (symmetrised
-/// and deduplicated downstream like Yao/k-NN), plus the straggler flag.
+/// and deduplicated downstream like Yao/k-NN), plus the straggler flag
+/// and the dependence record.
 ///
 /// `levels` is indexed by the ids in `shard.ids`; `top`/`top_level`
-/// describe the top occupied level of the *whole* population. A node is
-/// locally certain iff every uplink level found `links` candidates whose
-/// worst distance fits the node's [`interior_margin`] of the shard's
-/// `padded` box — the same per-node certificate as k-NN, so a certified
-/// list provably cannot depend on points beyond the box. Any failed level
-/// routes the whole node through `fallback(p, gu)` (its exact global
-/// uplinks) and flags the shard.
+/// describe the top occupied level of the *whole* population. Each uplink
+/// rung is certified independently: a rung is locally certain iff it
+/// found `links` candidates whose worst distance fits the node's
+/// [`interior_margin`] of the shard's `padded` box — the same per-answer
+/// certificate as k-NN, so a certified list provably cannot depend on
+/// points beyond the box. A failed rung is answered exactly — through the
+/// gather itself when `covers_all`, else through
+/// `fallback(p, gu, j)` (the node's exact `links` nearest level-`≥ j`
+/// nodes as `(universe id, distance)`, in k-NN `(distance, id)` order) —
+/// and records its dependence disk in the returned [`HngDeps`].
 ///
-/// The flag is deliberately conservative about global structure: owning a
-/// top-clique node, or certifying a level only through `covers_all` with
-/// fewer than `links` candidates, also marks the shard — those answers
-/// depend on the population beyond any local geometry bound, so the
-/// incremental engine must never trust the shard's cache across an epoch.
+/// The straggler flag keeps the sharded builder's conservative meaning
+/// (clique owners and `covers_all`-certified answers depend on global
+/// structure); the incremental engine ignores it for HNG and trusts the
+/// dependence record plus its own top-level tracking instead.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn derive_hng<F>(
     shard: &Shard,
@@ -240,19 +285,19 @@ pub(crate) fn derive_hng<F>(
     padded: &Aabb,
     covers_all: bool,
     fallback: F,
-) -> (Vec<(u32, u32)>, bool)
+) -> (Vec<(u32, u32)>, bool, HngDeps)
 where
-    F: Fn(Point, u32) -> Vec<u32>,
+    F: Fn(Point, u32, u32) -> Vec<(u32, f64)>,
 {
     let mut out = Vec::new();
     let mut straggled = false;
+    let mut deps = HngDeps::default();
     if shard.pts.is_empty() {
-        return (out, straggled);
+        return (out, straggled, deps);
     }
     let local_levels: Vec<u32> = shard.ids.iter().map(|&g| levels[g as usize]).collect();
     let local_sets = LevelSets::build(&shard.pts, &local_levels);
     let indexes = local_sets.indexes(links);
-    let mut lists: Vec<Vec<u32>> = Vec::new();
     for (u, p) in shard.pts.iter_enumerated() {
         if !shard.owned[u as usize] {
             continue;
@@ -260,7 +305,7 @@ where
         let gu = shard.ids[u as usize];
         let lu = levels[gu as usize];
         if lu >= top_level {
-            // Clique member: exact from the global top list, never clean.
+            // Clique member: exact from the global top list.
             straggled = true;
             for &gv in top {
                 if gv != gu {
@@ -269,17 +314,18 @@ where
             }
         }
         let hi = lu.min(top_level.saturating_sub(1));
-        lists.clear();
-        let mut certain = true;
         for i in 1..=hi {
             let j = i + 1;
             let Some((_, ids_j)) = local_sets.sets.get((j - 2) as usize) else {
-                // No local candidates at this level; under `covers_all`
-                // the local set *is* the population, so this level would
-                // exist (`j ≤ top_level`). Without it, only the fallback
-                // knows.
-                certain = false;
-                break;
+                // No local candidates at this level at all (cannot happen
+                // under `covers_all`: `j ≤ top_level`, so the level is
+                // occupied globally); only the fallback knows.
+                let ans = fallback(p, gu, j);
+                deps.record(j, p, &ans, links);
+                for &(gv, _) in &ans {
+                    out.push((gu.min(gv), gu.max(gv)));
+                }
+                continue;
             };
             let skip = if local_levels[u as usize] >= j {
                 Some(
@@ -295,37 +341,33 @@ where
                 && found
                     .last()
                     .is_none_or(|&(_, d)| d <= interior_margin(p, padded));
-            if !margin_ok {
-                if covers_all {
-                    // Exact (the gather saw everyone) but certified only
-                    // by global knowledge — never trust the cache.
-                    straggled = true;
-                } else {
-                    certain = false;
-                    break;
+            if margin_ok {
+                // Certified: the answer disk fits the padded box, no
+                // record needed — churn inside it marks the shard
+                // geometrically.
+                for &(v, _) in &found {
+                    let gv = shard.ids[ids_j[v as usize] as usize];
+                    out.push((gu.min(gv), gu.max(gv)));
                 }
-            }
-            lists.push(
-                found
-                    .into_iter()
-                    .map(|(v, _)| shard.ids[ids_j[v as usize] as usize])
-                    .collect(),
-            );
-        }
-        if certain {
-            for list in &lists {
-                for &gv in list {
+            } else if covers_all {
+                // Exact (the gather saw everyone) but certified only by
+                // global knowledge — record the dependence disk.
+                straggled = true;
+                deps.record(j, p, &found, links);
+                for &(v, _) in &found {
+                    let gv = shard.ids[ids_j[v as usize] as usize];
+                    out.push((gu.min(gv), gu.max(gv)));
+                }
+            } else {
+                let ans = fallback(p, gu, j);
+                deps.record(j, p, &ans, links);
+                for &(gv, _) in &ans {
                     out.push((gu.min(gv), gu.max(gv)));
                 }
             }
-        } else {
-            straggled = true;
-            for gv in fallback(p, gu) {
-                out.push((gu.min(gv), gu.max(gv)));
-            }
         }
     }
-    (out, straggled)
+    (out, straggled, deps)
 }
 
 /// Sharded `HNG` on an explicit level assignment — edge-identical to
@@ -361,7 +403,25 @@ pub fn build_hng_sharded_on_levels(
             sets.top_level,
             &padded,
             covers_all,
-            |p, gu| upward_links(&sets, &indexes, p, gu, levels[gu as usize], links),
+            |p, gu, j| {
+                // One exact rung from the whole-population level index
+                // (ids are already global here).
+                let (_, ids_j) = &sets.sets[(j - 2) as usize];
+                let skip = if levels[gu as usize] >= j {
+                    Some(
+                        ids_j
+                            .binary_search(&gu)
+                            .expect("member of its own level set") as u32,
+                    )
+                } else {
+                    None
+                };
+                indexes[(j - 2) as usize]
+                    .knn(p, links, skip)
+                    .into_iter()
+                    .map(|(v, d)| (ids_j[v as usize], d))
+                    .collect()
+            },
         )
         .0
     });

@@ -55,7 +55,7 @@ use wsn_graph::{relabel, ChunkedCsr, Csr, IdRemap, ShardedEdgeStore};
 use wsn_pointproc::PointSet;
 use wsn_spatial::GridIndex;
 
-use crate::hng::{derive_hng, hng_levels, upward_links, LevelSets};
+use crate::hng::{derive_hng, hng_levels, HngDeps, LevelSets};
 use crate::sharded::{
     derive_gabriel, derive_knn, derive_rng, derive_udg, derive_yao, knn_cell_size, Shard,
 };
@@ -64,8 +64,9 @@ use crate::{
     knn_halo, WHOLE_WINDOW,
 };
 
-/// One dirty shard's re-derived emissions plus its k-NN straggler flag.
-type ShardEdges = (Vec<(u32, u32)>, bool);
+/// One dirty shard's re-derived emissions plus its k-NN straggler flag
+/// and (for HNG) its dependence record.
+type ShardEdges = (Vec<(u32, u32)>, bool, HngDeps);
 
 /// The plain topologies the incremental engine can maintain (the SENS
 /// constructions repair by per-epoch rebuild instead — their tile-election
@@ -191,6 +192,16 @@ pub struct IncrementalGraph {
     /// HNG level per universe id, rolled once at build from the kind's
     /// seed (empty for every other kind). Levels never change under churn.
     levels: Vec<u32>,
+    /// Per-shard HNG dependence records (see [`HngDeps`]; empty for every
+    /// other kind): which fallback-answered uplink rungs the shard's
+    /// cached emissions rest on, so churn outside both the shard's padded
+    /// geometry and every recorded box provably leaves the cache exact.
+    hng_deps: Vec<HngDeps>,
+    /// The alive population's top occupied level and its ascending member
+    /// ids, as of the last repair — the HNG clique. Tracked incrementally
+    /// so apply_churn re-derives clique-dependent shards only when the
+    /// top actually changes, instead of escalating every churned epoch.
+    hng_top: (u32, Vec<u32>),
     /// Cumulative whole-population index constructions (see
     /// [`RepairStats::escalations`]).
     escalations: u64,
@@ -263,11 +274,17 @@ impl IncrementalGraph {
             ShardGrid::new(&bbox, halo, tiles_per_shard)
         };
         let (resident_start, resident_ids) = resident_lists(&points, &grid);
+        let hng_top = match kind {
+            IncTopology::Hng { .. } => alive_top(&levels, &alive),
+            _ => (1, Vec::new()),
+        };
         let mut g = IncrementalGraph {
             kind,
             halo,
             store: ShardedEdgeStore::new(points.len(), grid.shard_count()),
             straggler: vec![false; grid.shard_count()],
+            hng_deps: vec![HngDeps::default(); grid.shard_count()],
+            hng_top,
             grid,
             points,
             alive,
@@ -391,10 +408,21 @@ impl IncrementalGraph {
                 state[s] = 2;
             }
         }
-        // Straggler shards consulted the whole population; never clean.
-        for (s, &strag) in self.straggler.iter().enumerate() {
-            if strag {
-                state[s] = 2;
+        match self.kind {
+            // HNG tracks its global dependence precisely: the top clique
+            // through the maintained `hng_top`, every fallback-answered
+            // uplink rung through its recorded dependence box. Straggler
+            // flags stay advisory — forcing them dirty would re-derive
+            // the whole population every churned epoch.
+            IncTopology::Hng { .. } => self.mark_hng_dependents(deaths, joins, &mut state),
+            // k-NN straggler shards consulted the whole population; never
+            // clean.
+            _ => {
+                for (s, &strag) in self.straggler.iter().enumerate() {
+                    if strag {
+                        state[s] = 2;
+                    }
+                }
             }
         }
 
@@ -460,6 +488,77 @@ impl IncrementalGraph {
             stats.splice_relocations = splice.relocations;
         }
         stats
+    }
+
+    /// HNG dirty marking beyond the geometric rule, called *after* the
+    /// alive toggles. Two sources of non-local dependence:
+    ///
+    /// * **The top clique.** If the alive population's top occupied level
+    ///   or its member set changed, every shard owning an alive node of
+    ///   level `≥ min(T_old, T_new)` re-derives — exactly the nodes whose
+    ///   clique membership or rung count (`min(ℓ(u), T − 1)`) can differ.
+    ///   Nodes below that level keep their rung structure, and the member
+    ///   sets of their target levels change only through churn, which the
+    ///   dependence boxes and the geometric rule cover.
+    /// * **Fallback-answered rungs.** A churned node of level `ℓ` dirties
+    ///   every shard with a recorded dependence box `(j, box)` where
+    ///   `j ≤ ℓ` and the node lies inside the box: it may enter or leave
+    ///   that rung's exact answer. Certified rungs need no check — their
+    ///   answer disks fit the shard's padded geometry, which the
+    ///   geometric rule already watches.
+    fn mark_hng_dependents(&mut self, deaths: &[u32], joins: &[u32], state: &mut [u8]) {
+        let (t_new, top_new) = alive_top(&self.levels, &self.alive);
+        if (t_new, top_new.as_slice()) != (self.hng_top.0, self.hng_top.1.as_slice()) {
+            let t_min = t_new.min(self.hng_top.0);
+            for (u, &lvl) in self.levels.iter().enumerate() {
+                if lvl >= t_min && self.alive[u] {
+                    let s = self.grid.owner_of(self.points.get(u as u32));
+                    state[s] = 2;
+                }
+            }
+        }
+        self.hng_top = (t_new, top_new);
+
+        // Churned nodes, highest level first, with cumulative prefix
+        // bounding boxes: for any target level j, the nodes of level ≥ j
+        // are a prefix, and `pref_bbox` bounds it for O(1) rejection of
+        // far shards' boxes.
+        let mut churned: Vec<(wsn_geom::Point, u32)> = deaths
+            .iter()
+            .chain(joins)
+            .map(|&c| (self.points.get(c), self.levels[c as usize]))
+            .collect();
+        churned.sort_by_key(|&(_, lvl)| std::cmp::Reverse(lvl));
+        let mut pref_bbox: Vec<Aabb> = Vec::with_capacity(churned.len());
+        for &(p, _) in &churned {
+            let pb = Aabb::new(p, p);
+            pref_bbox.push(match pref_bbox.last() {
+                None => pb,
+                Some(cur) => cur.union(&pb),
+            });
+        }
+        // churned[..count_at_least(j)] are the nodes of level ≥ j.
+        let count_at_least = |j: u32| churned.partition_point(|&(_, lvl)| lvl >= j);
+        for (s, deps) in self.hng_deps.iter().enumerate() {
+            if state[s] > 0 {
+                continue;
+            }
+            // Boxes ascend by target level, so once the churned prefix
+            // for a level is empty every later box is unreachable too.
+            for &(j, ref bb) in &deps.boxes {
+                let cnt = count_at_least(j);
+                if cnt == 0 {
+                    break;
+                }
+                if !bb.intersects(&pref_bbox[cnt - 1]) {
+                    continue;
+                }
+                if churned[..cnt].iter().any(|&(p, _)| bb.contains(p)) {
+                    state[s] = 2;
+                    break;
+                }
+            }
+        }
     }
 
     /// Re-derive the listed shards over the current alive population,
@@ -531,12 +630,9 @@ impl IncrementalGraph {
             }
             _ => None,
         };
-        // HNG's clique lives at the top *alive* level — an O(n) scan of
-        // the fixed level vector, same cost class as the bbox fold above.
-        let hng_top: Option<(u32, Vec<u32>)> = match kind {
-            IncTopology::Hng { .. } => Some(alive_top(&self.levels, &self.alive)),
-            _ => None,
-        };
+        // HNG's clique lives at the top *alive* level — maintained by
+        // build/apply_churn, so no scan here.
+        let hng_top = &self.hng_top;
         let levels = &self.levels;
 
         // One localized SubIndex per extent group; its extent doubles as
@@ -576,8 +672,10 @@ impl IncrementalGraph {
         // Pass 1: derive every dirty shard against its group. A k-NN
         // straggler first retries against the group index — certified
         // answers are exact — and only an uncertifiable query marks the
-        // shard for global escalation (`None`).
-        let results: Vec<Option<ShardEdges>> = dirty
+        // shard for escalation (`Err`). An HNG shard escalates per failed
+        // uplink rung, carrying the target levels it needs exact answers
+        // for, so pass 2 builds indexes over just those level subsets.
+        let results: Vec<Result<ShardEdges, Vec<u32>>> = dirty
             .to_vec()
             .into_par_iter()
             .map(|s| {
@@ -585,17 +683,21 @@ impl IncrementalGraph {
                 let (remap, pts) = &locals[gi];
                 let Some(index) = &indexes[gi] else {
                     // No alive points anywhere near: the shard is empty.
-                    return Some((Vec::new(), false));
+                    return Ok((Vec::new(), false, HngDeps::default()));
                 };
                 let shard = Shard::gather_mapped(pts, remap.to_universe(), index, grid, s, halo);
                 match kind {
-                    IncTopology::Udg { radius } => Some((derive_udg(&shard, radius), false)),
-                    IncTopology::Gabriel { radius } => {
-                        Some((derive_gabriel(&shard, radius), false))
+                    IncTopology::Udg { radius } => {
+                        Ok((derive_udg(&shard, radius), false, HngDeps::default()))
                     }
-                    IncTopology::Rng { radius } => Some((derive_rng(&shard, radius), false)),
+                    IncTopology::Gabriel { radius } => {
+                        Ok((derive_gabriel(&shard, radius), false, HngDeps::default()))
+                    }
+                    IncTopology::Rng { radius } => {
+                        Ok((derive_rng(&shard, radius), false, HngDeps::default()))
+                    }
                     IncTopology::Yao { radius, cones } => {
-                        Some((derive_yao(&shard, radius, cones), false))
+                        Ok((derive_yao(&shard, radius, cones), false, HngDeps::default()))
                     }
                     IncTopology::Knn { k } => {
                         let padded = grid.padded(s, halo);
@@ -614,7 +716,7 @@ impl IncrementalGraph {
                             }
                         });
                         if uncertified.get() {
-                            return None;
+                            return Err(Vec::new());
                         }
                         let mut edges = Vec::new();
                         for (gu, list) in lists {
@@ -622,19 +724,20 @@ impl IncrementalGraph {
                                 edges.push((gu.min(v), gu.max(v)));
                             }
                         }
-                        Some((edges, strag))
+                        Ok((edges, strag, HngDeps::default()))
                     }
                     IncTopology::Hng { links, .. } => {
                         let padded = grid.padded(s, halo);
                         let covers_all = alive_bbox
                             .as_ref()
                             .is_some_and(|bb| padded.contains_aabb(bb));
-                        let (top_level, top) = hng_top.as_ref().expect("computed for HNG");
+                        let (top_level, top) = hng_top;
                         // The group SubIndex certifies gathers, not
-                        // level-filtered k-NN — an uncertifiable uplink
-                        // escalates the shard straight to the global pass.
-                        let uncertified = Cell::new(false);
-                        let (edges, strag) = derive_hng(
+                        // level-filtered k-NN — a rung the margin cannot
+                        // vouch for records its target level and the
+                        // shard re-derives in pass 2 with exact answers.
+                        let needed = std::cell::RefCell::new(Vec::new());
+                        let (edges, strag, deps) = derive_hng(
                             &shard,
                             levels,
                             links,
@@ -642,39 +745,163 @@ impl IncrementalGraph {
                             *top_level,
                             &padded,
                             covers_all,
-                            |_, _| {
-                                uncertified.set(true);
+                            |_, _, j| {
+                                needed.borrow_mut().push(j);
                                 Vec::new()
                             },
                         );
-                        if uncertified.get() {
-                            return None;
+                        let needed = needed.into_inner();
+                        if !needed.is_empty() {
+                            return Err(needed);
                         }
-                        Some((edges, strag))
+                        Ok((edges, strag, deps))
                     }
                 }
             })
             .collect();
 
+        let is_hng = matches!(kind, IncTopology::Hng { .. });
         let mut escalate = Vec::new();
+        let mut needed_levels: Vec<u32> = Vec::new();
         for (&s, res) in dirty.iter().zip(results) {
             match res {
-                Some((edges, strag)) => {
+                Ok((edges, strag, deps)) => {
                     self.store.replace(s, edges);
                     self.straggler[s] = strag;
+                    if is_hng {
+                        self.hng_deps[s] = deps;
+                    }
                 }
-                None => escalate.push(s),
+                Err(mut lv) => {
+                    needed_levels.append(&mut lv);
+                    escalate.push(s);
+                }
             }
         }
-        // Pass 2 — the lazy escalation path: only now, with a straggler
-        // the dirty extents could not certify, pay for the global gather.
+        // Pass 2 — the lazy escalation path: only now, with answers the
+        // dirty extents could not certify, pay for a wider gather. k-NN
+        // goes global; HNG builds exact indexes over just the level
+        // subsets its failed rungs target.
         let mut escalations = 0;
         if !escalate.is_empty() {
             escalations = 1;
             self.escalations += 1;
-            gathered += self.rederive_global(&escalate);
+            if is_hng {
+                gathered += self.rederive_hng_levels(
+                    &escalate,
+                    needed_levels,
+                    &locals,
+                    &indexes,
+                    &group_of,
+                    &alive_bbox,
+                );
+            } else {
+                gathered += self.rederive_global(&escalate);
+            }
         }
         (gathered, escalations)
+    }
+
+    /// HNG escalation: re-derive `dirty` with exact per-rung fallback
+    /// answers from indexes over the alive level-`≥ j` subsets the probe
+    /// pass requested — never the whole population. Gather cost is the
+    /// sum of the needed level subsets' sizes, which the geometric level
+    /// distribution keeps far below `n` whenever the cheapest (largest)
+    /// levels certify locally. Returns the points gathered.
+    #[allow(clippy::too_many_arguments)]
+    fn rederive_hng_levels(
+        &mut self,
+        dirty: &[usize],
+        mut needed: Vec<u32>,
+        locals: &[(IdRemap, PointSet)],
+        indexes: &[Option<wsn_spatial::SubIndex>],
+        group_of: &[usize],
+        alive_bbox: &Option<Aabb>,
+    ) -> usize {
+        let IncTopology::Hng { links, .. } = self.kind else {
+            unreachable!("HNG-only escalation path");
+        };
+        needed.sort_unstable();
+        needed.dedup();
+        // Ascending universe ids and points of each needed level subset,
+        // in one pass (needed ascends, so a node stops contributing at
+        // its first too-high target level).
+        let mut level_ids: Vec<Vec<u32>> = vec![Vec::new(); needed.len()];
+        let mut level_pts: Vec<PointSet> = (0..needed.len()).map(|_| PointSet::new()).collect();
+        for (u, p) in self.points.iter_enumerated() {
+            if !self.alive[u as usize] {
+                continue;
+            }
+            let lvl = self.levels[u as usize];
+            for (row, &j) in needed.iter().enumerate() {
+                if lvl < j {
+                    break;
+                }
+                level_ids[row].push(u);
+                level_pts[row].push(p);
+            }
+        }
+        let level_indexes: Vec<GridIndex> = level_pts
+            .iter()
+            .map(|pts| GridIndex::build(pts, knn_cell_size(pts, links.max(1))))
+            .collect();
+        let gathered: usize = level_ids.iter().map(|v| v.len()).sum();
+        let (grid, halo) = (&self.grid, self.halo);
+        let (top_level, top) = (&self.hng_top.0, &self.hng_top.1);
+        let levels = &self.levels;
+        let needed = &needed;
+        let (level_ids, level_indexes) = (&level_ids, &level_indexes);
+        let results: Vec<ShardEdges> = dirty
+            .to_vec()
+            .into_par_iter()
+            .map(|s| {
+                let gi = group_of[s];
+                let (remap, pts) = &locals[gi];
+                let index = indexes[gi]
+                    .as_ref()
+                    .expect("escalated shards gathered points in pass 1");
+                let shard = Shard::gather_mapped(pts, remap.to_universe(), index, grid, s, halo);
+                let padded = grid.padded(s, halo);
+                let covers_all = alive_bbox
+                    .as_ref()
+                    .is_some_and(|bb| padded.contains_aabb(bb));
+                derive_hng(
+                    &shard,
+                    levels,
+                    links,
+                    top,
+                    *top_level,
+                    &padded,
+                    covers_all,
+                    |p, gu, j| {
+                        let row = needed
+                            .binary_search(&j)
+                            .expect("every fallback level was recorded by the probe");
+                        let ids = &level_ids[row];
+                        let skip = if levels[gu as usize] >= j {
+                            Some(
+                                ids.binary_search(&gu)
+                                    .expect("alive member of its own level set")
+                                    as u32,
+                            )
+                        } else {
+                            None
+                        };
+                        level_indexes[row]
+                            .knn(p, links, skip)
+                            .into_iter()
+                            .map(|(v, d)| (ids[v as usize], d))
+                            .collect()
+                    },
+                )
+            })
+            .collect();
+        for (&s, (edges, strag, deps)) in dirty.iter().zip(results) {
+            self.store.replace(s, edges);
+            self.straggler[s] = strag;
+            self.hng_deps[s] = deps;
+        }
+        gathered
     }
 
     /// The PR-4 whole-population re-derivation: compact the alive set,
@@ -686,6 +913,7 @@ impl IncrementalGraph {
             for &s in dirty {
                 self.store.replace(s, Vec::new());
                 self.straggler[s] = false;
+                self.hng_deps[s] = HngDeps::default();
             }
             return 0;
         }
@@ -727,11 +955,17 @@ impl IncrementalGraph {
             .map(|s| {
                 let shard = Shard::gather_mapped(&sub, &to_universe, &index, grid, s, halo);
                 match kind {
-                    IncTopology::Udg { radius } => (derive_udg(&shard, radius), false),
-                    IncTopology::Gabriel { radius } => (derive_gabriel(&shard, radius), false),
-                    IncTopology::Rng { radius } => (derive_rng(&shard, radius), false),
+                    IncTopology::Udg { radius } => {
+                        (derive_udg(&shard, radius), false, HngDeps::default())
+                    }
+                    IncTopology::Gabriel { radius } => {
+                        (derive_gabriel(&shard, radius), false, HngDeps::default())
+                    }
+                    IncTopology::Rng { radius } => {
+                        (derive_rng(&shard, radius), false, HngDeps::default())
+                    }
                     IncTopology::Yao { radius, cones } => {
-                        (derive_yao(&shard, radius, cones), false)
+                        (derive_yao(&shard, radius, cones), false, HngDeps::default())
                     }
                     IncTopology::Knn { k } => {
                         let padded = grid.padded(s, halo);
@@ -749,7 +983,7 @@ impl IncrementalGraph {
                                 edges.push((gu.min(v), gu.max(v)));
                             }
                         }
-                        (edges, strag)
+                        (edges, strag, HngDeps::default())
                     }
                     IncTopology::Hng { links, .. } => {
                         let padded = grid.padded(s, halo);
@@ -764,27 +998,37 @@ impl IncrementalGraph {
                             sets.top_level,
                             &padded,
                             covers_all,
-                            |p, gu| {
-                                upward_links(
-                                    sets,
-                                    indexes,
-                                    p,
-                                    to_compact[gu as usize],
-                                    levels[gu as usize],
-                                    links,
-                                )
-                                .into_iter()
-                                .map(|v| to_universe[v as usize])
-                                .collect()
+                            |p, gu, j| {
+                                let (_, ids_j) = &sets.sets[(j - 2) as usize];
+                                let cu = to_compact[gu as usize];
+                                let skip = if levels[gu as usize] >= j {
+                                    Some(
+                                        ids_j
+                                            .binary_search(&cu)
+                                            .expect("member of its own level set")
+                                            as u32,
+                                    )
+                                } else {
+                                    None
+                                };
+                                indexes[(j - 2) as usize]
+                                    .knn(p, links, skip)
+                                    .into_iter()
+                                    .map(|(v, d)| (to_universe[ids_j[v as usize] as usize], d))
+                                    .collect()
                             },
                         )
                     }
                 }
             })
             .collect();
-        for (&s, (edges, strag)) in dirty.iter().zip(results) {
+        let is_hng = matches!(self.kind, IncTopology::Hng { .. });
+        for (&s, (edges, strag, deps)) in dirty.iter().zip(results) {
             self.store.replace(s, edges);
             self.straggler[s] = strag;
+            if is_hng {
+                self.hng_deps[s] = deps;
+            }
         }
         sub.len()
     }
@@ -1068,6 +1312,62 @@ mod tests {
         // A quiescent epoch publishes an empty footprint.
         g.apply_churn(&[], &[]);
         assert!(g.dirty_extents().is_empty());
+    }
+
+    #[test]
+    fn hng_corner_churn_of_leaf_nodes_stays_local() {
+        use crate::hng::hng_levels;
+        let p = pts(600, 8, 16.0);
+        let kind = IncTopology::Hng {
+            p: 0.5,
+            links: 2,
+            seed: 0xC0DE,
+        };
+        let mut g = IncrementalGraph::build(p, vec![true; 600], kind, 2);
+        let levels = hng_levels(600, 0.5, 0xC0DE);
+        // Kill only level-1 nodes in one corner: they answer no uplink
+        // query and sit in no clique, so the dependence tracking must
+        // keep the repair to the corner instead of escalating the whole
+        // population the way the straggler-forcing path used to.
+        let deaths: Vec<u32> = g
+            .points()
+            .iter_enumerated()
+            .filter(|&(u, q)| q.x < 3.0 && q.y < 3.0 && levels[u as usize] == 1)
+            .map(|(u, _)| u)
+            .collect();
+        assert!(!deaths.is_empty());
+        let stats = g.apply_churn(&deaths, &[]);
+        assert!(
+            stats.dirty < stats.shard_count,
+            "corner HNG churn must leave shards clean ({} of {} dirty)",
+            stats.dirty,
+            stats.shard_count
+        );
+        assert!(g.verify_cold());
+    }
+
+    #[test]
+    fn hng_top_member_death_repairs_the_clique() {
+        use crate::hng::hng_levels;
+        let p = pts(400, 9, 12.0);
+        let kind = IncTopology::Hng {
+            p: 0.5,
+            links: 1,
+            seed: 7,
+        };
+        let mut g = IncrementalGraph::build(p, vec![true; 400], kind, 2);
+        let levels = hng_levels(400, 0.5, 7);
+        let (t, tops) = alive_top(&levels, g.alive());
+        assert!(t >= 2, "population too small to roll a hierarchy");
+        // Killing a clique member changes the maintained top set: every
+        // surviving peer re-derives its clique edges and any rung that
+        // targeted the dead node re-answers, but the result must still be
+        // byte-identical to a cold rebuild on the survivors.
+        g.apply_churn(&[tops[0]], &[]);
+        assert!(g.verify_cold());
+        // Reviving it restores the original top set just as exactly.
+        g.apply_churn(&[], &[tops[0]]);
+        assert!(g.verify_cold());
     }
 
     #[test]

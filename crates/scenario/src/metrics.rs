@@ -21,7 +21,7 @@ use wsn_rgg::{
 };
 use wsn_simnet::churn::{
     simulate_lifetime_plain, simulate_lifetime_sens, ChurnConfig, ChurnModel, LifetimeReport,
-    SensKind,
+    RenewalPolicy, RoutePolicy, SensKind,
 };
 use wsn_simnet::energy::{path_energy, EnergyModel};
 use wsn_simnet::fault::random_failures;
@@ -35,7 +35,7 @@ use wsn_core::subgraph::SensNetwork;
 use wsn_core::tilegrid::TileGrid;
 use wsn_core::udg::{build_udg_sens, build_udg_sens_ordered};
 
-use crate::spec::{DeploymentSpec, ScenarioSpec, TopologySpec};
+use crate::spec::{DeploymentSpec, RenewalSpec, RouteSpec, ScenarioSpec, TopologySpec};
 
 /// Seed streams inside one replication (fixed so adding a metric never
 /// shifts the randomness of another).
@@ -375,9 +375,22 @@ pub fn run_replication(spec: &ScenarioSpec, rep_seed: u64) -> Channels {
     ch
 }
 
+/// Censored lifetime in rounds: first-partition epoch, or the full
+/// simulated horizon when the network never partitioned.
+fn lifetime_rounds(report: &LifetimeReport) -> f64 {
+    report
+        .rounds_to_first_partition
+        .map_or(report.epochs.len() as f64, |e| e as f64)
+}
+
 /// Run the churn-driven lifetime workload of a cell and emit its channel
 /// family (`lifetime.*`). The deployment's highest-id `reserve_frac`
-/// fraction forms the join reserve; everything else starts alive.
+/// fraction forms the join reserve; everything else starts alive. When the
+/// spec's renewal or route axis departs from the drain-only hop-count
+/// defaults, a baseline arm is simulated on the *same* deployment and seed
+/// and the comparison channels (`lifetime.baseline_*`, plus the renewal
+/// diagnostics) are appended after the established family — existing
+/// goldens see no new bytes.
 fn run_lifetime(
     ch: &mut Channels,
     spec: &ScenarioSpec,
@@ -402,68 +415,53 @@ fn run_lifetime(
     if let Some(radius) = churn.blast_radius {
         cfg.churn_model = ChurnModel::Clustered { radius };
     }
+    cfg.renewal = match churn.renewal {
+        RenewalSpec::None => RenewalPolicy::None,
+        RenewalSpec::MobileCharger {
+            travel_budget,
+            min_charge,
+            max_charge,
+        } => RenewalPolicy::MobileCharger {
+            travel_budget,
+            min_charge,
+            max_charge,
+        },
+        RenewalSpec::Solar { rate, max_charge } => RenewalPolicy::Solar { rate, max_charge },
+        RenewalSpec::SinkRotation => RenewalPolicy::SinkRotation,
+    };
+    cfg.route = match churn.route {
+        RouteSpec::HopCount => RoutePolicy::HopCount,
+        RouteSpec::MinEnergy => RoutePolicy::MinEnergy,
+        RouteSpec::MaxMinResidual => RoutePolicy::MaxMinResidual,
+    };
     let seed = derive_seed(rep_seed, stream::CHURN);
 
-    let report: LifetimeReport = match spec.topology {
-        TopologySpec::UdgSens => simulate_lifetime_sens(
-            points,
-            &alive,
-            SensKind::Udg(UdgSensParams::strict_default()),
-            grid.expect("SENS grid"),
-            &cfg,
-            seed,
-        ),
-        TopologySpec::NnSens { a, k } => simulate_lifetime_sens(
-            points,
-            &alive,
-            SensKind::Nn(NnSensParams { a, k }),
-            grid.expect("SENS grid"),
-            &cfg,
-            seed,
-        ),
-        TopologySpec::Udg { radius } => simulate_lifetime_plain(
-            points,
-            &alive,
-            wsn_rgg::IncTopology::Udg { radius },
-            &cfg,
-            seed,
-        ),
-        TopologySpec::Knn { k } => {
-            simulate_lifetime_plain(points, &alive, wsn_rgg::IncTopology::Knn { k }, &cfg, seed)
+    let simulate = |cfg: &ChurnConfig| -> LifetimeReport {
+        match spec.topology {
+            TopologySpec::UdgSens => simulate_lifetime_sens(
+                points,
+                &alive,
+                SensKind::Udg(UdgSensParams::strict_default()),
+                grid.clone().expect("SENS grid"),
+                cfg,
+                seed,
+            ),
+            TopologySpec::NnSens { a, k } => simulate_lifetime_sens(
+                points,
+                &alive,
+                SensKind::Nn(NnSensParams { a, k }),
+                grid.clone().expect("SENS grid"),
+                cfg,
+                seed,
+            ),
+            _ => {
+                let kind = plain_kind(spec.topology, rep_seed).expect("plain topology");
+                simulate_lifetime_plain(points, &alive, kind, cfg, seed)
+            }
         }
-        TopologySpec::Gabriel { radius } => simulate_lifetime_plain(
-            points,
-            &alive,
-            wsn_rgg::IncTopology::Gabriel { radius },
-            &cfg,
-            seed,
-        ),
-        TopologySpec::Rng { radius } => simulate_lifetime_plain(
-            points,
-            &alive,
-            wsn_rgg::IncTopology::Rng { radius },
-            &cfg,
-            seed,
-        ),
-        TopologySpec::Yao { radius, cones } => simulate_lifetime_plain(
-            points,
-            &alive,
-            wsn_rgg::IncTopology::Yao { radius, cones },
-            &cfg,
-            seed,
-        ),
-        TopologySpec::Hng { p, links } => simulate_lifetime_plain(
-            points,
-            &alive,
-            wsn_rgg::IncTopology::Hng {
-                p,
-                links,
-                seed: derive_seed(rep_seed, stream::HNG),
-            },
-            &cfg,
-            seed,
-        ),
     };
+
+    let report = simulate(&cfg);
 
     push(ch, "lifetime.initial_alive", deployed as f64);
     push(ch, "lifetime.epochs", report.epochs.len() as f64);
@@ -522,6 +520,34 @@ fn run_lifetime(
             .map(|e| e.shards_rederived)
             .sum::<u64>() as f64,
     );
+
+    // Renewal / load-balance comparison family — emitted only when the
+    // spec departs from the drain-only hop-count defaults, so every
+    // pre-existing lifetime golden keeps its exact byte stream.
+    if churn.renewal == RenewalSpec::None && churn.route == RouteSpec::HopCount {
+        return;
+    }
+    let mut base_cfg = cfg;
+    base_cfg.renewal = RenewalPolicy::None;
+    base_cfg.route = RoutePolicy::HopCount;
+    let baseline = simulate(&base_cfg);
+    push(ch, "lifetime.recharged_total", report.recharged_total);
+    if let Some(last) = report.epochs.last() {
+        push(ch, "lifetime.final_battery_variance", last.battery_variance);
+    }
+    push(ch, "lifetime.lifetime_rounds", lifetime_rounds(&report));
+    push(
+        ch,
+        "lifetime.baseline_lifetime_rounds",
+        lifetime_rounds(&baseline),
+    );
+    if let Some(last) = baseline.epochs.last() {
+        push(
+            ch,
+            "lifetime.baseline_final_battery_variance",
+            last.battery_variance,
+        );
+    }
 }
 
 /// The incremental-engine topology of a plain (non-SENS) cell, if any.

@@ -11,7 +11,7 @@ use crate::report::Report;
 use crate::runner::{run_matrix, Profile};
 use crate::spec::{
     ChurnSpec, CoverageSpec, DeploymentSpec, ExecSpec, FaultSpec, MetricSuite, PowerSpec,
-    RoutingSpec, ScenarioMatrix, ServeSpec, StretchSpec, TopologySpec,
+    RenewalSpec, RouteSpec, RoutingSpec, ScenarioMatrix, ServeSpec, StretchSpec, TopologySpec,
 };
 use crate::substrate;
 
@@ -94,6 +94,16 @@ pub const PRESETS: &[Preset] = &[
     Preset {
         name: "lifetime-blackout-locality",
         title: "Lifetime: tight sector blackouts, locality-proportional repair trajectories",
+        replaces: &[],
+    },
+    Preset {
+        name: "lifetime-renewal",
+        title: "Lifetime: mobile-charger energy renewal vs the drain-only baseline",
+        replaces: &[],
+    },
+    Preset {
+        name: "lifetime-load-balance",
+        title: "Lifetime: max-min-residual load balancing vs hop-count, both sides pinned",
         replaces: &[],
     },
     Preset {
@@ -396,6 +406,8 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 blast_radius: None,
                 join_rate: 0.0,
                 reserve_frac: 0.0,
+                renewal: RenewalSpec::None,
+                route: RouteSpec::HopCount,
             }),
             serve: None,
             replications: 2,
@@ -425,6 +437,8 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 blast_radius: Some(1.5),
                 join_rate: 1.0,
                 reserve_frac: 0.25,
+                renewal: RenewalSpec::None,
+                route: RouteSpec::HopCount,
             }),
             serve: None,
             replications: 2,
@@ -457,6 +471,76 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                 blast_radius: Some(1.0),
                 join_rate: 1.0,
                 reserve_frac: 0.15,
+                renewal: RenewalSpec::None,
+                route: RouteSpec::HopCount,
+            }),
+            serve: None,
+            replications: 2,
+        },
+        // Energy renewal: the same battery-driven drain as the SENS-vs-UDG
+        // lifetime run, but a wireless charging vehicle tops up the
+        // lowest-battery nodes each epoch under a travel budget. The runner
+        // simulates the drain-only baseline on the same deployment and
+        // seed, so the golden pins both trajectories and their gap
+        // (`lifetime.lifetime_rounds` vs `lifetime.baseline_*`).
+        "lifetime-renewal" => ScenarioMatrix {
+            sides: vec![profile.pick(16.0, 8.0)],
+            deployments: poisson(&[25.0]),
+            topologies: vec![
+                TopologySpec::Udg { radius: 1.0 },
+                TopologySpec::Rng { radius: 1.0 },
+            ],
+            faults: vec![None],
+            metrics: MetricSuite::default(),
+            exec: ExecSpec::monolithic(),
+            churn: Some(ChurnSpec {
+                epochs: profile.pick(24, 14),
+                battery: 3200.0,
+                idle_cost: 450.0,
+                traffic: profile.pick(120, 30),
+                p_fail: 0.0,
+                blast_radius: None,
+                join_rate: 0.0,
+                reserve_frac: 0.0,
+                renewal: RenewalSpec::MobileCharger {
+                    travel_budget: 64.0,
+                    min_charge: 1600.0,
+                    max_charge: 3200.0,
+                },
+                route: RouteSpec::HopCount,
+            }),
+            serve: None,
+            replications: 2,
+        },
+        // Load balancing without adding energy: traffic steers around
+        // nearly-depleted relays (widest-path on residual battery). The
+        // runner's hop-count baseline arm makes the trade-off a pinned
+        // observable: residual spread flattens (`final_battery_variance`
+        // below the baseline's) while the longer widest paths spend more
+        // total energy under uniform random traffic, so the lifetime
+        // comparison runs the other way — both sides of the Raicu-style
+        // even-drain argument, byte-pinned on the same deployment.
+        "lifetime-load-balance" => ScenarioMatrix {
+            sides: vec![profile.pick(14.0, 8.0)],
+            deployments: poisson(&[25.0]),
+            topologies: vec![
+                TopologySpec::Udg { radius: 1.0 },
+                TopologySpec::Gabriel { radius: 1.0 },
+            ],
+            faults: vec![None],
+            metrics: MetricSuite::default(),
+            exec: ExecSpec::monolithic(),
+            churn: Some(ChurnSpec {
+                epochs: profile.pick(20, 12),
+                battery: 2800.0,
+                idle_cost: 120.0,
+                traffic: profile.pick(220, 60),
+                p_fail: 0.0,
+                blast_radius: None,
+                join_rate: 0.0,
+                reserve_frac: 0.0,
+                renewal: RenewalSpec::None,
+                route: RouteSpec::MaxMinResidual,
             }),
             serve: None,
             replications: 2,
@@ -488,6 +572,8 @@ fn matrix_for(preset: &Preset, profile: Profile) -> Option<ScenarioMatrix> {
                     blast_radius: Some(1.2),
                     join_rate: 1.0,
                     reserve_frac: 0.2,
+                    renewal: RenewalSpec::None,
+                    route: RouteSpec::HopCount,
                 },
                 clients: profile.pick(8, 4),
                 queries_per_client: profile.pick(24, 10),

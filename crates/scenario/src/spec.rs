@@ -138,6 +138,71 @@ impl FaultSpec {
     }
 }
 
+/// Per-epoch energy renewal axis of a lifetime workload — maps one-to-one
+/// onto `wsn_simnet::RenewalPolicy` (the runner does the translation).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum RenewalSpec {
+    /// Batteries only drain (the established default).
+    #[default]
+    None,
+    /// Wireless charging vehicle with a per-epoch travel budget and
+    /// QCAL-style max/min charge bands.
+    MobileCharger {
+        travel_budget: f64,
+        min_charge: f64,
+        max_charge: f64,
+    },
+    /// Per-epoch harvesting trickle clamped to a ceiling.
+    Solar { rate: f64, max_charge: f64 },
+    /// LEACH-style per-epoch sink rotation (no energy added; the hot
+    /// relay neighbourhood moves instead).
+    SinkRotation,
+}
+
+impl RenewalSpec {
+    /// Human-readable label used in reports and bench rows (stable:
+    /// goldens and the renewal gate pin it).
+    pub fn label(&self) -> String {
+        match *self {
+            RenewalSpec::None => "none".into(),
+            RenewalSpec::MobileCharger {
+                travel_budget,
+                min_charge,
+                max_charge,
+            } => format!("charger(b={travel_budget},min={min_charge},max={max_charge})"),
+            RenewalSpec::Solar { rate, max_charge } => {
+                format!("solar(rate={rate},max={max_charge})")
+            }
+            RenewalSpec::SinkRotation => "sink-rotation".into(),
+        }
+    }
+}
+
+/// Path selection for the plain-topology lifetime traffic loop — maps
+/// one-to-one onto `wsn_simnet::RoutePolicy`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum RouteSpec {
+    /// Fewest hops (the established default).
+    #[default]
+    HopCount,
+    /// Minimum total radio energy under the cell's energy model.
+    MinEnergy,
+    /// Maximise the minimum residual battery along the path (the
+    /// load-balancing variant).
+    MaxMinResidual,
+}
+
+impl RouteSpec {
+    /// Stable label (bench rows pin it).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteSpec::HopCount => "hop-count",
+            RouteSpec::MinEnergy => "min-energy",
+            RouteSpec::MaxMinResidual => "max-min-residual",
+        }
+    }
+}
+
 /// Churn-driven lifetime simulation (the dynamic-network workload).
 ///
 /// When present, the replication runs `wsn_simnet::churn` instead of the
@@ -166,6 +231,14 @@ pub struct ChurnSpec {
     pub join_rate: f64,
     /// Fraction of the deployment held back as the join reserve.
     pub reserve_frac: f64,
+    /// Per-epoch energy renewal ([`RenewalSpec::None`] = drain-only).
+    /// When this or `route` departs from the defaults the runner also
+    /// simulates a drain-only hop-count baseline arm and emits the
+    /// `lifetime.*` comparison channels.
+    pub renewal: RenewalSpec,
+    /// Path selection for the traffic loop ([`RouteSpec::HopCount`] is
+    /// the established default; SENS cells always route Fig.-9 style).
+    pub route: RouteSpec,
 }
 
 /// Always-on topology service workload (the serve-mode read path).

@@ -1,52 +1,83 @@
-//! First-order radio energy model.
+//! Distance-dependent radio energy model.
 //!
-//! The standard WSN abstraction (Heinzelman et al.): transmitting one
-//! message over distance `d` costs `elec + amp · d^β`, receiving costs
-//! `elec`, with path-loss exponent `β ∈ [2, 5]` — the same exponent family
-//! the paper's power-stretch argument (via Li–Wan–Wang) uses.
+//! The general transmit law is the wireless-charging literature's
+//! `β₁ + β₂ · d^α` form (QCAL-style, after the mobile-charger models in
+//! PAPERS.md): a fixed electronics floor `β₁` plus an amplifier term with
+//! path-loss exponent `α ∈ [2, 5]`. Receiving costs a flat `ρ`. The
+//! classic first-order model (Heinzelman et al.) — `elec + amp · d^β`
+//! transmit, `elec` receive — is the named instance with
+//! `β₁ = ρ = elec` and `β₂ = amp`, so [`EnergyModel::free_space`] and
+//! [`EnergyModel::multipath`] are numerically identical to what they
+//! produced before the generalisation (the lifetime goldens pin this).
 
 use serde::{Deserialize, Serialize};
 use wsn_pointproc::PointSet;
 
-/// Energy parameters (units are arbitrary but consistent; defaults are the
-/// classic 50 nJ/bit electronics + 100 pJ/bit/m² amplifier scaled to unit
+/// Energy parameters of the `β₁ + β₂ · d^α` transmit law (units are
+/// arbitrary but consistent; the named instances use the classic
+/// 50 nJ/bit electronics + 100 pJ/bit/m² amplifier scaled to unit
 /// messages).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct EnergyModel {
-    pub beta: f64,
-    pub elec: f64,
-    pub amp: f64,
+    /// Path-loss exponent α (need not be an integer).
+    pub alpha: f64,
+    /// Distance-independent transmit floor β₁ (electronics).
+    pub beta1: f64,
+    /// Amplifier coefficient β₂ of the `d^α` term.
+    pub beta2: f64,
+    /// Flat receive cost ρ.
+    pub rho: f64,
 }
 
 impl EnergyModel {
-    /// β = 2 free-space model.
+    /// A fully general instance. `alpha` may be non-integer (e.g. the
+    /// empirical 2.7–3.5 urban exponents); all coefficients must be
+    /// non-negative so path energies stay monotone in length.
+    pub fn new(alpha: f64, beta1: f64, beta2: f64, rho: f64) -> Self {
+        assert!(alpha >= 0.0, "path-loss exponent must be non-negative");
+        assert!(
+            beta1 >= 0.0 && beta2 >= 0.0 && rho >= 0.0,
+            "energy coefficients must be non-negative"
+        );
+        EnergyModel {
+            alpha,
+            beta1,
+            beta2,
+            rho,
+        }
+    }
+
+    /// α = 2 free-space model (the classic first-order instance).
     pub fn free_space() -> Self {
         EnergyModel {
-            beta: 2.0,
-            elec: 50.0,
-            amp: 100.0,
+            alpha: 2.0,
+            beta1: 50.0,
+            beta2: 100.0,
+            rho: 50.0,
         }
     }
 
-    /// β = 4 multipath model.
+    /// α = 4 multipath model.
     pub fn multipath() -> Self {
         EnergyModel {
-            beta: 4.0,
-            elec: 50.0,
-            amp: 100.0,
+            alpha: 4.0,
+            beta1: 50.0,
+            beta2: 100.0,
+            rho: 50.0,
         }
     }
 
-    /// Cost of transmitting one message over distance `d`.
+    /// Cost of transmitting one message over distance `d`:
+    /// `β₁ + β₂ · d^α`.
     #[inline]
     pub fn tx(&self, d: f64) -> f64 {
-        self.elec + self.amp * d.powf(self.beta)
+        self.beta1 + self.beta2 * d.powf(self.alpha)
     }
 
-    /// Cost of receiving one message.
+    /// Cost of receiving one message: `ρ`.
     #[inline]
     pub fn rx(&self) -> f64 {
-        self.elec
+        self.rho
     }
 
     /// Cost of one hop (transmit + receive).
@@ -56,7 +87,8 @@ impl EnergyModel {
     }
 }
 
-/// Total energy of forwarding one message along a node path.
+/// Total energy of forwarding one message along a node path (0 for empty
+/// and single-node paths — no hop, no radio).
 pub fn path_energy(points: &PointSet, path: &[u32], model: &EnergyModel) -> f64 {
     path.windows(2)
         .map(|w| model.hop(points.get(w[0]).dist(points.get(w[1]))))
@@ -65,8 +97,8 @@ pub fn path_energy(points: &PointSet, path: &[u32], model: &EnergyModel) -> f64 
 
 /// Minimum-energy path cost between two nodes in an arbitrary graph under
 /// this model (Dijkstra with per-hop energy weights).
-pub fn min_energy_path(
-    g: &wsn_graph::Csr,
+pub fn min_energy_path<G: wsn_graph::GraphView + ?Sized>(
+    g: &G,
     points: &PointSet,
     src: u32,
     dst: u32,
@@ -84,7 +116,7 @@ mod tests {
     use wsn_graph::EdgeList;
 
     #[test]
-    fn tx_grows_with_distance_and_beta() {
+    fn tx_grows_with_distance_and_alpha() {
         let m2 = EnergyModel::free_space();
         let m4 = EnergyModel::multipath();
         assert!(m2.tx(2.0) > m2.tx(1.0));
@@ -92,6 +124,36 @@ mod tests {
         assert!(m4.tx(2.0) > m2.tx(2.0));
         // Below d = 1 it is the other way around.
         assert!(m4.tx(0.5) < m2.tx(0.5));
+    }
+
+    #[test]
+    fn named_instances_match_the_first_order_model() {
+        // The generalised law at β₁ = ρ = 50, β₂ = 100 must reproduce the
+        // pre-generalisation `elec + amp·d^β` values exactly.
+        let m = EnergyModel::free_space();
+        for d in [0.0, 0.5, 1.0, 2.5] {
+            assert_eq!(m.tx(d), 50.0 + 100.0 * d * d);
+        }
+        assert_eq!(m.rx(), 50.0);
+        let m4 = EnergyModel::multipath();
+        assert_eq!(m4.tx(2.0), 50.0 + 100.0 * 16.0);
+    }
+
+    #[test]
+    fn non_integer_alpha_interpolates_between_exponents() {
+        let m = EnergyModel::new(2.7, 50.0, 100.0, 50.0);
+        let m2 = EnergyModel::free_space();
+        let m3 = EnergyModel::new(3.0, 50.0, 100.0, 50.0);
+        for d in [1.5, 2.0, 4.0] {
+            assert!(m.tx(d) > m2.tx(d), "α=2.7 above α=2 at d={d}");
+            assert!(m.tx(d) < m3.tx(d), "α=2.7 below α=3 at d={d}");
+        }
+        // d = 1 is the pivot: every α agrees there.
+        assert_eq!(m.tx(1.0), m2.tx(1.0));
+        // A decoupled receive cost stays decoupled.
+        let asym = EnergyModel::new(2.0, 40.0, 100.0, 10.0);
+        assert_eq!(asym.rx(), 10.0);
+        assert_eq!(asym.tx(0.0), 40.0);
     }
 
     #[test]
@@ -106,17 +168,15 @@ mod tests {
         let m = EnergyModel::free_space();
         let e = path_energy(&pts, &[0, 1, 2], &m);
         assert!((e - 2.0 * m.hop(1.0)).abs() < 1e-9);
+        // Degenerate paths spend nothing: no hop, no radio.
         assert_eq!(path_energy(&pts, &[0], &m), 0.0);
+        assert_eq!(path_energy(&pts, &[], &m), 0.0);
     }
 
     #[test]
-    fn relaying_beats_long_hops_for_beta_at_least_two() {
-        // With amp·d^β ≫ elec, two hops of d/2 beat one hop of d.
-        let m = EnergyModel {
-            beta: 2.0,
-            elec: 0.1,
-            amp: 100.0,
-        };
+    fn relaying_beats_long_hops_for_alpha_at_least_two() {
+        // With β₂·d^α ≫ β₁, two hops of d/2 beat one hop of d.
+        let m = EnergyModel::new(2.0, 0.1, 100.0, 0.1);
         let pts: PointSet = vec![
             Point::new(0.0, 0.0),
             Point::new(0.5, 0.0),
@@ -143,11 +203,7 @@ mod tests {
         el.add(1, 2);
         el.add(0, 2);
         let g = wsn_graph::Csr::from_edge_list(el);
-        let m = EnergyModel {
-            beta: 2.0,
-            elec: 0.1,
-            amp: 100.0,
-        };
+        let m = EnergyModel::new(2.0, 0.1, 100.0, 0.1);
         let best = min_energy_path(&g, &pts, 0, 2, &m).unwrap();
         assert!((best - path_energy(&pts, &[0, 1, 2], &m)).abs() < 1e-9);
     }

@@ -40,7 +40,7 @@ pub mod serve;
 
 pub use churn::{
     simulate_lifetime_plain, simulate_lifetime_sens, ChurnConfig, ChurnModel, EpochReport,
-    LifetimeReport, RepairMode, SensKind,
+    LifetimeReport, RenewalPolicy, RepairMode, RoutePolicy, SensKind,
 };
 pub use construct::{distributed_build_udg, DistributedBuild, ShardAccounting};
 pub use engine::{Engine, MsgStats};

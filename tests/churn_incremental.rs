@@ -25,7 +25,9 @@ use wsn::rgg::{
     build_gabriel_sharded, build_hng_sharded_on_levels, build_knn_sharded, build_rng_sharded,
     build_udg_sharded, build_yao_sharded, hng_levels, IncTopology, IncrementalGraph,
 };
-use wsn::simnet::churn::{simulate_lifetime_plain, ChurnConfig, ChurnModel, LifetimeReport};
+use wsn::simnet::churn::{
+    simulate_lifetime_plain, ChurnConfig, ChurnModel, LifetimeReport, RenewalPolicy, RoutePolicy,
+};
 
 /// Serialises every test in this binary: the thread-matrix test mutates
 /// `RAYON_NUM_THREADS` while the others trigger reads of it inside the
@@ -270,6 +272,76 @@ fn clustered_blackout_is_thread_count_invariant() {
         }
         // The schedule must actually churn for the pin to mean anything.
         assert!(d0.contains(':'), "no epochs simulated");
+    }
+}
+
+/// Thread-count invariance of the energy-renewal and routing axes: every
+/// renewal policy × route policy combination must produce a byte-identical
+/// epoch trajectory — including the recharge mass and residual battery
+/// sums, which fold every per-node battery mutation the policies make —
+/// at `RAYON_NUM_THREADS` ∈ {1, 4, 8}. The golden suite pins the two
+/// renewal presets the same way, but only for the policies they use;
+/// this covers the full cross product.
+#[test]
+fn renewal_and_route_policies_are_thread_count_invariant() {
+    let _guard = env_guard();
+    let points = sample_poisson_window(&mut rng_from_seed(33), 15.0, &Aabb::square(8.0));
+    let n = points.len();
+    let alive: Vec<bool> = (0..n).map(|i| i < n * 4 / 5).collect();
+    let renewals = [
+        RenewalPolicy::MobileCharger {
+            travel_budget: 120.0,
+            min_charge: 1500.0,
+            max_charge: 3000.0,
+        },
+        RenewalPolicy::Solar {
+            rate: 400.0,
+            max_charge: 3000.0,
+        },
+        RenewalPolicy::SinkRotation,
+    ];
+    let routes = [
+        RoutePolicy::HopCount,
+        RoutePolicy::MinEnergy,
+        RoutePolicy::MaxMinResidual,
+    ];
+    for renewal in renewals {
+        for route in routes {
+            // Battery sized so the policies actually matter: drain kills
+            // part of the network inside the horizon without renewal.
+            let mut cfg = ChurnConfig::new(6, 3000.0, 25, 0.05, 1.0);
+            cfg.idle_cost = 350.0;
+            cfg.renewal = renewal;
+            cfg.route = route;
+            let mut digests: Vec<(String, String)> = Vec::new();
+            for threads in ["1", "4", "8"] {
+                std::env::set_var("RAYON_NUM_THREADS", threads);
+                let r = simulate_lifetime_plain(
+                    &points,
+                    &alive,
+                    IncTopology::Udg { radius: 1.0 },
+                    &cfg,
+                    0xE4E,
+                );
+                let energy: Vec<String> = r
+                    .epochs
+                    .iter()
+                    .map(|e| format!("{}/{}", e.energy_recharged, e.battery_residual))
+                    .collect();
+                digests.push((
+                    threads.to_string(),
+                    format!("{} {energy:?}", epoch_digest(&r)),
+                ));
+            }
+            std::env::remove_var("RAYON_NUM_THREADS");
+            let (ref t0, ref d0) = digests[0];
+            for (t, d) in &digests[1..] {
+                assert_eq!(
+                    d, d0,
+                    "{renewal:?}/{route:?}: trajectory at {t} threads diverged from {t0} threads"
+                );
+            }
+        }
     }
 }
 
